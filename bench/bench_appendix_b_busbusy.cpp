@@ -1,0 +1,102 @@
+// Appendix B (CE Bus Busy): Figures B.1-B.4.
+//
+//   B.1 — scatter, bus busy vs. Cw (rising wedge),
+//   B.2 — scatter, bus busy vs. Pc,
+//   B.3 (a-c) — banded distributions by Cw (medians 0.0046 / 0.115 / 0.305),
+//   B.4 (a-c) — banded distributions by Pc (means 0.144 / 0.29 / rising).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/freq_table.hpp"
+#include "stats/scatter.hpp"
+
+namespace {
+
+void banded(const char* title, const std::vector<double>& values,
+            double paper_median) {
+  using namespace repro;
+  std::printf("--- %s ---\n", title);
+  if (values.empty()) {
+    std::printf("(no samples)\n\n");
+    return;
+  }
+  std::vector<double> mids;
+  for (int i = 0; i <= 10; ++i) {
+    mids.push_back(static_cast<double>(i) / 10.0);
+  }
+  std::printf("%s",
+              stats::FreqTable::from_values(values, mids, 1).render(36)
+                  .c_str());
+  std::printf("median: %.4f  (paper: %.4f)\n\n", stats::median(values),
+              paper_median);
+}
+
+}  // namespace
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "APPENDIX B — CE Bus Busy vs. concurrency (Figures B.1-B.4)",
+      "bus busy rises with Cw (band medians 0.005/0.115/0.305) and with "
+      "Pc up to saturation");
+
+  const core::StudyResult study = bench::run_full_study();
+  const auto samples = study.all_samples();
+  const auto cw = core::column_cw(samples);
+  const auto busy = core::column_bus_busy(samples);
+
+  stats::ScatterOptions b1;
+  b1.title = "Figure B.1: CE Bus Busy vs. Cw";
+  b1.x_label = "Cw";
+  b1.y_label = "busy";
+  b1.x_min = 0.0;
+  b1.x_max = 1.0;
+  std::printf("%s\n", stats::render_scatter(cw, busy, b1).c_str());
+
+  const auto with_pc = core::with_defined_pc(samples);
+  stats::ScatterOptions b2;
+  b2.title = "Figure B.2: CE Bus Busy vs. Pc";
+  b2.x_label = "Pc";
+  b2.y_label = "busy";
+  b2.x_min = 2.0;
+  b2.x_max = 8.0;
+  std::printf("%s\n",
+              stats::render_scatter(core::column_pc(with_pc),
+                                    core::column_bus_busy(with_pc), b2)
+                  .c_str());
+
+  std::vector<double> cw_low;
+  std::vector<double> cw_mid;
+  std::vector<double> cw_high;
+  for (const core::AnalyzedSample& sample : samples) {
+    if (sample.measures.cw <= 0.4) {
+      cw_low.push_back(sample.bus_busy);
+    } else if (sample.measures.cw <= 0.8) {
+      cw_mid.push_back(sample.bus_busy);
+    } else {
+      cw_high.push_back(sample.bus_busy);
+    }
+  }
+  banded("Figure B.3(a): Cw <= 0.4", cw_low, 0.0046);
+  banded("Figure B.3(b): 0.4 < Cw <= 0.8", cw_mid, 0.115);
+  banded("Figure B.3(c): Cw > 0.8", cw_high, 0.305);
+
+  std::vector<double> pc_low;
+  std::vector<double> pc_mid;
+  std::vector<double> pc_high;
+  for (const core::AnalyzedSample& sample : with_pc) {
+    if (sample.measures.pc <= 6.0) {
+      pc_low.push_back(sample.bus_busy);
+    } else if (sample.measures.pc <= 7.5) {
+      pc_mid.push_back(sample.bus_busy);
+    } else {
+      pc_high.push_back(sample.bus_busy);
+    }
+  }
+  banded("Figure B.4(a): Pc <= 6.0", pc_low, 0.157);
+  banded("Figure B.4(b): 6.0 < Pc <= 7.5", pc_mid, 0.282);
+  banded("Figure B.4(c): Pc > 7.5", pc_high, 0.30);
+  return 0;
+}

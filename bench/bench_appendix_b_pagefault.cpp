@@ -1,0 +1,113 @@
+// Appendix B (Page Fault Rate): Figures B.5-B.10.
+//
+//   B.5/B.6 — scatter vs. Cw and Pc,
+//   B.7/B.8 — banded distributions (most mass at low rates for serial
+//             bands; concurrent bands spread),
+//   B.9/B.10 — regression model plots (rate rises with Cw, R^2 = 0.65;
+//             weaker vs. Pc, R^2 = 0.61).
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "core/regression_models.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/freq_table.hpp"
+#include "stats/scatter.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "APPENDIX B — Page Fault Rate vs. concurrency (Figures B.5-B.10)",
+      "page-fault rate rises with Cw (R^2 = 0.65) and more weakly with Pc "
+      "(R^2 = 0.61)");
+
+  const core::StudyResult study = bench::run_full_study();
+  const auto samples = study.all_samples();
+  const auto cw = core::column_cw(samples);
+  const auto faults = core::column_page_fault_rate(samples);
+
+  stats::ScatterOptions b5;
+  b5.title = "Figure B.5: Page Fault Rate vs. Cw";
+  b5.x_label = "Cw";
+  b5.y_label = "faults";
+  b5.x_min = 0.0;
+  b5.x_max = 1.0;
+  std::printf("%s\n", stats::render_scatter(cw, faults, b5).c_str());
+
+  const auto with_pc = core::with_defined_pc(samples);
+  stats::ScatterOptions b6;
+  b6.title = "Figure B.6: Page Fault Rate vs. Pc";
+  b6.x_label = "Pc";
+  b6.y_label = "faults";
+  b6.x_min = 2.0;
+  b6.x_max = 8.0;
+  std::printf("%s\n",
+              stats::render_scatter(core::column_pc(with_pc),
+                                    core::column_page_fault_rate(with_pc),
+                                    b6)
+                  .c_str());
+
+  // B.7: banded by Cw.
+  double max_rate = 1.0;
+  for (const double f : faults) {
+    max_rate = std::max(max_rate, f);
+  }
+  std::vector<double> mids;
+  for (int i = 0; i <= 8; ++i) {
+    mids.push_back(max_rate * i / 8.0);
+  }
+  std::vector<double> low;
+  std::vector<double> mid;
+  std::vector<double> high;
+  for (const core::AnalyzedSample& sample : samples) {
+    if (sample.measures.cw <= 0.4) {
+      low.push_back(sample.page_fault_rate);
+    } else if (sample.measures.cw <= 0.8) {
+      mid.push_back(sample.page_fault_rate);
+    } else {
+      high.push_back(sample.page_fault_rate);
+    }
+  }
+  auto banded = [&](const char* title, const std::vector<double>& values) {
+    std::printf("--- %s ---\n", title);
+    if (values.empty()) {
+      std::printf("(no samples)\n\n");
+      return;
+    }
+    std::printf("%s",
+                stats::FreqTable::from_values(values, mids, 0).render(32)
+                    .c_str());
+    std::printf("median: %.0f\n\n", stats::median(values));
+  };
+  banded("Figure B.7(a): Cw <= 0.4", low);
+  banded("Figure B.7(b): 0.4 < Cw <= 0.8", mid);
+  banded("Figure B.7(c): Cw > 0.8", high);
+
+  // B.9 / B.10: regression plots.
+  const core::MedianModel vs_cw = core::fit_model(
+      samples, core::SystemMeasure::kPageFaultRate, core::Regressor::kCw);
+  stats::ScatterOptions b9;
+  b9.title = "Figure B.9: model, Page Fault Rate vs. Cw";
+  b9.x_label = "Cw";
+  b9.y_label = "faults";
+  std::printf("%s\n",
+              stats::render_curve(0.0, 1.0, 44,
+                                  [&](double x) { return vs_cw.predict(x); },
+                                  b9)
+                  .c_str());
+  std::printf("R^2 vs Cw = %.2f (paper: 0.65)\n\n", vs_cw.fit.r_squared);
+
+  const core::MedianModel vs_pc = core::fit_model(
+      samples, core::SystemMeasure::kPageFaultRate, core::Regressor::kPc);
+  stats::ScatterOptions b10;
+  b10.title = "Figure B.10: model, Page Fault Rate vs. Pc";
+  b10.x_label = "Pc";
+  b10.y_label = "faults";
+  std::printf("%s\n",
+              stats::render_curve(2.0, 8.0, 44,
+                                  [&](double x) { return vs_pc.predict(x); },
+                                  b10)
+                  .c_str());
+  std::printf("R^2 vs Pc = %.2f (paper: 0.61)\n", vs_pc.fit.r_squared);
+  return 0;
+}

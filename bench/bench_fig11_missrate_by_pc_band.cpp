@@ -1,0 +1,63 @@
+// Figure 11 (a)-(c): Distribution of Miss Rate banded by Pc.
+//
+// Paper medians: Pc <= 6.0: 0.004; 6.0 < Pc <= 7.5: 0.017; Pc > 7.5:
+// 0.017. "Median value of Missrate shows no increase between the middle
+// and high ranges of Pc, indicating less sensitivity to this measure
+// than Cw."
+#include <cstdio>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/freq_table.hpp"
+
+namespace {
+
+void print_band(const char* title, const std::vector<double>& miss,
+                double paper_median) {
+  using namespace repro;
+  std::printf("--- %s ---\n", title);
+  if (miss.empty()) {
+    std::printf("(no samples in this band)\n\n");
+    return;
+  }
+  std::vector<double> mids;
+  for (int i = 0; i <= 10; ++i) {
+    mids.push_back(static_cast<double>(i) / 100.0);
+  }
+  std::printf("%s",
+              stats::FreqTable::from_values(miss, mids, 2).render(40)
+                  .c_str());
+  std::printf("mean: %.4f  median: %.4f  (paper median: %.3f)\n\n",
+              stats::mean(miss), stats::median(miss), paper_median);
+}
+
+}  // namespace
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "FIGURE 11 — Distribution of Miss Rate by Pc band",
+      "medians 0.004 / 0.017 / 0.017: no increase between the middle and "
+      "high Pc ranges");
+
+  const core::StudyResult study = bench::run_full_study();
+  const auto samples = core::with_defined_pc(study.all_samples());
+
+  std::vector<double> low;
+  std::vector<double> mid;
+  std::vector<double> high;
+  for (const core::AnalyzedSample& sample : samples) {
+    if (sample.measures.pc <= 6.0) {
+      low.push_back(sample.miss_rate);
+    } else if (sample.measures.pc <= 7.5) {
+      mid.push_back(sample.miss_rate);
+    } else {
+      high.push_back(sample.miss_rate);
+    }
+  }
+  print_band("(a) Pc <= 6.0", low, 0.004);
+  print_band("(b) 6.0 < Pc <= 7.5", mid, 0.017);
+  print_band("(c) Pc > 7.5", high, 0.017);
+  return 0;
+}

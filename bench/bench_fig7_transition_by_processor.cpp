@@ -1,0 +1,36 @@
+// Figure 7: Number of Records Active by Processor Number / Concurrency
+// Transition Periods.
+//
+// Paper: "Processors 7 and 0 appear to be active significantly more often
+// than the other processors ... while processors 2, 3, and 4 are
+// significantly less active than the others."
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/report.hpp"
+#include "core/transition.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "FIGURE 7 — Transition Activity by Processor Number",
+      "CE7 and CE0 most active during transitions; CE2, CE3, CE4 least");
+
+  const core::TransitionResult result = core::run_transition_study(
+      workload::high_concurrency_mix(), bench::transition_config(),
+      instr::TriggerMode::kTransitionFromFull);
+
+  std::printf("%s\n",
+              core::render_processor_histogram(result.processor_counts,
+                                               "Transition records only")
+                  .c_str());
+
+  const auto& proc = result.processor_counts;
+  const double outer = static_cast<double>(proc[7] + proc[0]) / 2.0;
+  const double inner =
+      static_cast<double>(proc[2] + proc[3] + proc[4]) / 3.0;
+  std::printf("mean(CE7,CE0) / mean(CE2,CE3,CE4) = %.2f (paper: > 1)\n",
+              outer / inner);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The second measurement group (§3.5): all-active triggered captures.
+//
+// "In ten of the experiment sessions, the monitor was triggered when all
+// eight processors in the Cluster were active." These captures feed the
+// Chapter-5 analysis of system behaviour *during* full concurrency; this
+// bench reports the conditional system measures they give — miss rate
+// and bus activity inside 8-active operation vs. the workload average.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/sample.hpp"
+#include "instr/session_controller.hpp"
+#include "os/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "§3.5 second group — all-8-active triggered captures",
+      "system measures conditioned on full concurrency exceed the "
+      "workload averages (the Chapter-5 coupling, seen directly)");
+
+  os::System system{os::SystemConfig{}};
+  workload::WorkloadGenerator generator(workload::high_concurrency_mix(),
+                                        0xA17AC);
+  instr::SamplingConfig sampling;
+  instr::SessionController controller(system, generator, sampling, 0xA17AC);
+
+  // Ten triggered captures, as in the study.
+  instr::EventCounts triggered;
+  std::uint32_t completed = 0;
+  for (int capture = 0; capture < 10; ++capture) {
+    const auto buffer = controller.capture_triggered(
+        instr::TriggerMode::kAllActive, 400000);
+    if (buffer) {
+      triggered.merge(instr::reduce(*buffer));
+      ++completed;
+    }
+  }
+
+  // A random-sampled baseline over the same machine/mix.
+  instr::EventCounts random;
+  for (const instr::SampleRecord& record : controller.run_session(5)) {
+    random.merge(record.hw);
+  }
+
+  std::printf("captures completed: %u of 10\n\n", completed);
+  std::printf("  %-26s %10s %10s\n", "", "miss rate", "bus busy");
+  std::printf("  %-26s %10.4f %10.4f\n", "triggered (8-active)",
+              triggered.miss_rate(), triggered.bus_busy());
+  std::printf("  %-26s %10.4f %10.4f\n", "random sampling",
+              random.miss_rate(), random.bus_busy());
+
+  const auto triggered_measures =
+      core::ConcurrencyMeasures::from_counts(triggered.num);
+  std::printf("\nconcurrency inside the triggered buffers: Cw=%.3f "
+              "(near 1 by construction), Pc=%.2f\n",
+              triggered_measures.cw, triggered_measures.pc);
+  std::printf(
+      "(full-concurrency operation carries the high miss/bus activity the\n"
+      "regression models attribute to Cw — conditioning on 8-active shows\n"
+      "it without any model)\n");
+  return 0;
+}

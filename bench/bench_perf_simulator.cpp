@@ -1,0 +1,129 @@
+// Substrate microbenchmarks (google-benchmark): how fast is the simulated
+// machine itself? These guard against performance regressions in the
+// cycle-stepped core — the measurement studies run millions of cycles, so
+// cycles/second here bounds every other bench's runtime.
+#include <benchmark/benchmark.h>
+
+#include "base/rng.hpp"
+#include "cache/shared_cache.hpp"
+#include "fx8/machine.hpp"
+#include "fx8/mmu.hpp"
+#include "instr/reduction.hpp"
+#include "instr/signals.hpp"
+#include "isa/program.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+#include "os/system.hpp"
+#include "stats/regression.hpp"
+#include "workload/generator.hpp"
+#include "workload/kernels.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_IdleMachineTick(benchmark::State& state) {
+  fx8::NoFaultMmu mmu;
+  fx8::MachineConfig config = fx8::MachineConfig::fx8();
+  config.ip.duty = 0.0;
+  fx8::Machine machine(config, mmu);
+  for (auto _ : state) {
+    machine.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IdleMachineTick);
+
+void BM_LoadedMachineTick(benchmark::State& state) {
+  fx8::NoFaultMmu mmu;
+  fx8::Machine machine(fx8::MachineConfig::fx8(), mmu);
+  workload::KernelTuning tuning;
+  isa::ConcurrentLoopPhase loop;
+  loop.body = workload::matmul_row_body(tuning);
+  loop.trip_count = 1u << 20;  // effectively endless for the bench
+  const isa::Program program = isa::ProgramBuilder("bench")
+                                   .data_base(0x01000000)
+                                   .concurrent_loop(loop)
+                                   .build();
+  machine.cluster().load(&program, 1);
+  for (auto _ : state) {
+    machine.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LoadedMachineTick);
+
+void BM_FullSystemTick(benchmark::State& state) {
+  os::System system{os::SystemConfig{}};
+  workload::WorkloadGenerator generator(workload::high_concurrency_mix(),
+                                        42);
+  for (auto _ : state) {
+    generator.tick(system);
+    system.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSystemTick);
+
+void BM_SharedCacheHit(benchmark::State& state) {
+  mem::MainMemory memory{mem::MainMemoryConfig{}};
+  mem::MemoryBus bus{mem::MemoryBusConfig{}, memory};
+  cache::SharedCache cache{cache::SharedCacheConfig{}, bus};
+  // Warm one line.
+  (void)cache.access(0, 0x1000, cache::AccessType::kRead);
+  Cycle now = 0;
+  while (!cache.take_fill_ready(0)) {
+    bus.tick(now++);
+    cache.tick();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cache.access(0, 0x1000, cache::AccessType::kRead));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SharedCacheHit);
+
+void BM_ProbeLatchAndReduce(benchmark::State& state) {
+  fx8::NoFaultMmu mmu;
+  fx8::Machine machine(fx8::MachineConfig::fx8(), mmu);
+  instr::EventCounts counts;
+  for (auto _ : state) {
+    counts.accumulate(instr::latch(machine));
+  }
+  benchmark::DoNotOptimize(counts.records);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProbeLatchAndReduce);
+
+void BM_MedianModelFit(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double cw = rng.uniform01();
+    x.push_back(cw);
+    y.push_back(0.002 + 0.02 * cw * cw + rng.normal(0, 0.002));
+  }
+  std::vector<double> mids;
+  for (int i = 0; i <= 10; ++i) {
+    mids.push_back(i / 10.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fit_median_model(x, y, mids));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MedianModelFit);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNext);
+
+}  // namespace

@@ -1,0 +1,96 @@
+// Methodology validation: sampling vs. marker tracing.
+//
+// The thesis chose non-intrusive sampling because marker tracing
+// "requires specific code insertion in programs [and] is difficult to
+// apply to the observation of a real workload" (§2.1). This bench runs
+// ONE workload with BOTH instruments attached — the DAS-style sampler
+// and the event tracer — and compares their concurrency estimates. If
+// the sampling methodology is sound, the two must agree.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/sample.hpp"
+#include "instr/session_controller.hpp"
+#include "os/system.hpp"
+#include "trace/profile.hpp"
+#include "trace/tracer.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+int main() {
+  using namespace repro;
+  bench::print_header(
+      "EXTENSION — sampling vs. marker-trace ground truth",
+      "the thesis' sampling methodology should agree with exact traces "
+      "(methodology validation, not a paper artifact)");
+
+  os::System system{os::SystemConfig{}};
+  trace::EventTracer tracer;
+  system.machine().cluster().set_observer(&tracer);
+
+  workload::WorkloadMix mix = workload::session_presets()[2];  // busy mix
+  workload::WorkloadGenerator generator(mix, 0xFACADE);
+  instr::SamplingConfig sampling;
+  sampling.interval_cycles = 60000;
+  instr::SessionController controller(system, generator, sampling,
+                                      0xFACADE);
+
+  const Cycle t0 = system.now();
+  const auto records = controller.run_session(10);
+  const Cycle t1 = system.now();
+  const auto samples = core::analyze_all(records);
+
+  // Sampling estimate: aggregate counts over the session.
+  instr::EventCounts totals;
+  for (const instr::SampleRecord& record : records) {
+    totals.merge(record.hw);
+  }
+  const auto sampled =
+      core::ConcurrencyMeasures::from_counts(totals.num);
+
+  // Trace ground truth: global sweep over iteration intervals across all
+  // completed jobs, measured over the same wall-clock span.
+  std::vector<std::pair<Cycle, int>> deltas;
+  for (const trace::TraceEvent& event : tracer.events()) {
+    if (event.time < t0 || event.time > t1) {
+      continue;
+    }
+    if (event.kind == trace::EventKind::kIterationStart) {
+      deltas.emplace_back(event.time, +1);
+    } else if (event.kind == trace::EventKind::kIterationEnd) {
+      deltas.emplace_back(event.time, -1);
+    }
+  }
+  std::sort(deltas.begin(), deltas.end());
+  Cycle concurrent_time = 0;  // overlap >= 2
+  double overlap_integral = 0.0;
+  int overlap = 0;
+  Cycle prev = t0;
+  for (const auto& [time, delta] : deltas) {
+    if (overlap >= 2) {
+      concurrent_time += time - prev;
+      overlap_integral += static_cast<double>(overlap) *
+                          static_cast<double>(time - prev);
+    }
+    overlap += delta;
+    prev = time;
+  }
+  const double exact_cw = static_cast<double>(concurrent_time) /
+                          static_cast<double>(t1 - t0);
+  const double exact_pc =
+      concurrent_time > 0
+          ? overlap_integral / static_cast<double>(concurrent_time)
+          : 0.0;
+
+  std::printf("                sampling   trace ground truth\n");
+  std::printf("  Cw            %8.4f   %8.4f\n", sampled.cw, exact_cw);
+  std::printf("  Pc            %8.2f   %8.2f\n", sampled.pc, exact_pc);
+  std::printf("\n(agreement within a few percent validates the sampling "
+              "methodology;\nsmall gaps come from dispatch/dependence "
+              "states the CCB probe counts\nas active while no iteration "
+              "body is in flight)\n");
+  std::printf("\njobs traced: %zu, trace events: %zu\n",
+              trace::profile_all(tracer.events()).size(),
+              tracer.events().size());
+  return 0;
+}

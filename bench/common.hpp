@@ -1,0 +1,50 @@
+// Shared configuration for the reproduction benches.
+//
+// Every bench binary regenerates one table or figure of the paper from a
+// fresh simulation. They share one study configuration so their sample
+// populations are comparable, and a fixed seed so reruns are identical.
+#pragma once
+
+#include <cstdio>
+
+#include "core/study.hpp"
+#include "core/transition.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::bench {
+
+/// The nine-session random-sampling study configuration used by all
+/// Table/Figure benches (larger than the examples for stabler medians).
+inline core::StudyConfig study_config() {
+  core::StudyConfig config;
+  config.samples_per_session = 12;
+  config.sampling.interval_cycles = 80000;
+  config.warmup_cycles = 20000;
+  config.seed = 0x19870301;
+  return config;
+}
+
+/// The study itself (each bench runs its own copy; ~2s).
+inline core::StudyResult run_full_study() {
+  return core::run_default_study(study_config());
+}
+
+/// The triggered-capture configuration for the transition benches.
+inline core::TransitionConfig transition_config() {
+  core::TransitionConfig config;
+  config.captures = 60;
+  config.capture_timeout = 400000;
+  config.warmup_cycles = 20000;
+  config.seed = 0x19870402;
+  return config;
+}
+
+/// Header every bench prints: what the paper reports for this artifact.
+inline void print_header(const char* artifact, const char* paper_claim) {
+  std::printf("=============================================================\n");
+  std::printf("%s\n", artifact);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("=============================================================\n\n");
+}
+
+}  // namespace repro::bench

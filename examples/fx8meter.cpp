@@ -1,0 +1,199 @@
+// fx8meter — command-line driver for the measurement methodology.
+//
+// The closest thing in this repository to the study's C-Shell control
+// scripts (§3.4): pick a workload mixture, run sampled sessions, print
+// the report. Usage:
+//
+//   fx8meter [--sessions N] [--samples M] [--interval CYCLES]
+//            [--mix 0..8|high|presets] [--mix-file FILE]
+//            [--policy fifo|concurrent|serial] [--seed S]
+//            [--report table2|models|histogram|all] [--csv FILE]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/export.hpp"
+#include "core/regression_models.hpp"
+#include "core/report.hpp"
+#include "core/study.hpp"
+#include "workload/mix_io.hpp"
+#include "workload/presets.hpp"
+
+namespace {
+
+using namespace repro;
+
+struct Options {
+  std::uint32_t sessions = 9;
+  std::uint32_t samples = 8;
+  Cycle interval = 60000;
+  std::string mix = "presets";
+  std::string policy = "fifo";
+  std::string report = "all";
+  std::string mix_file;
+  std::string csv_file;
+  std::uint64_t seed = 0x19870301;
+};
+
+bool parse(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--sessions") {
+      const char* v = next();
+      if (!v) return false;
+      options.sessions = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--samples") {
+      const char* v = next();
+      if (!v) return false;
+      options.samples = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--interval") {
+      const char* v = next();
+      if (!v) return false;
+      options.interval = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--mix") {
+      const char* v = next();
+      if (!v) return false;
+      options.mix = v;
+    } else if (arg == "--policy") {
+      const char* v = next();
+      if (!v) return false;
+      options.policy = v;
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      options.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      options.report = v;
+    } else if (arg == "--mix-file") {
+      const char* v = next();
+      if (!v) return false;
+      options.mix_file = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (!v) return false;
+      options.csv_file = v;
+    } else if (arg == "--help" || arg == "-h") {
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return options.sessions > 0 && options.samples > 0 &&
+         options.interval >= 5 * 512;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse(argc, argv, options)) {
+    std::fprintf(
+        stderr,
+        "usage: fx8meter [--sessions N] [--samples M] [--interval CYCLES]\n"
+        "                [--mix 0..8|high|presets] [--policy "
+        "fifo|concurrent|serial]\n"
+        "                [--seed S] [--report table2|models|histogram|all]\n");
+    return 2;
+  }
+
+  // Assemble the session mixes.
+  std::vector<workload::WorkloadMix> mixes;
+  const auto presets = workload::session_presets();
+  if (!options.mix_file.empty()) {
+    std::ifstream in(options.mix_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open mix file: %s\n",
+                   options.mix_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    const workload::WorkloadMix mix = workload::parse_mix(text.str());
+    for (std::uint32_t s = 0; s < options.sessions; ++s) {
+      mixes.push_back(mix);
+    }
+  } else if (options.mix == "presets") {
+    for (std::uint32_t s = 0; s < options.sessions; ++s) {
+      mixes.push_back(presets[s % presets.size()]);
+    }
+  } else if (options.mix == "high") {
+    for (std::uint32_t s = 0; s < options.sessions; ++s) {
+      mixes.push_back(workload::high_concurrency_mix());
+    }
+  } else {
+    const auto index = static_cast<std::size_t>(
+        std::strtoul(options.mix.c_str(), nullptr, 10));
+    if (index >= presets.size()) {
+      std::fprintf(stderr, "mix index out of range (0..8)\n");
+      return 2;
+    }
+    for (std::uint32_t s = 0; s < options.sessions; ++s) {
+      mixes.push_back(presets[index]);
+    }
+  }
+
+  core::StudyConfig config;
+  config.samples_per_session = options.samples;
+  config.sampling.interval_cycles = options.interval;
+  config.seed = options.seed;
+  if (options.policy == "concurrent") {
+    config.system.scheduling = os::SchedulingPolicy::kConcurrentFirst;
+  } else if (options.policy == "serial") {
+    config.system.scheduling = os::SchedulingPolicy::kSerialFirst;
+  } else if (options.policy != "fifo") {
+    std::fprintf(stderr, "unknown policy: %s\n", options.policy.c_str());
+    return 2;
+  }
+
+  std::printf("fx8meter: %zu session(s), %u sample(s) x %llu cycles, "
+              "policy %s, seed %#llx\n\n",
+              mixes.size(), options.samples,
+              static_cast<unsigned long long>(options.interval),
+              options.policy.c_str(),
+              static_cast<unsigned long long>(options.seed));
+
+  const core::StudyResult study = core::run_study(mixes, config);
+
+  const bool all = options.report == "all";
+  if (all || options.report == "table2") {
+    std::printf("%s\n", core::render_table2(study.overall).c_str());
+    std::printf("%s\n", core::render_session_table(study.sessions).c_str());
+  }
+  if (all || options.report == "histogram") {
+    std::printf("%s\n",
+                core::render_active_histogram(
+                    study.totals.num, "Records with N processors active")
+                    .c_str());
+  }
+  if (all || options.report == "models") {
+    const auto samples = study.all_samples();
+    const auto models = core::fit_all_models(samples);
+    std::printf("%s\n",
+                core::render_regression_table(models, core::Regressor::kCw)
+                    .c_str());
+    std::printf("%s\n",
+                core::render_regression_table(models, core::Regressor::kPc)
+                    .c_str());
+  }
+  if (!options.csv_file.empty()) {
+    std::ofstream out(options.csv_file);
+    if (!out) {
+      std::fprintf(stderr, "cannot write csv: %s\n",
+                   options.csv_file.c_str());
+      return 2;
+    }
+    out << core::samples_to_csv(study.sessions);
+    std::printf("wrote %s\n", options.csv_file.c_str());
+  }
+  return 0;
+}

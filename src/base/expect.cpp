@@ -1,0 +1,17 @@
+#include "base/expect.hpp"
+
+#include <sstream>
+
+namespace repro::detail {
+
+void fail_contract(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& message) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) {
+    os << " — " << message;
+  }
+  throw ContractViolation(os.str());
+}
+
+}  // namespace repro::detail

@@ -1,0 +1,43 @@
+// Precondition / invariant checking used across the library.
+//
+// These are *logic* checks (programmer errors), so they throw
+// std::logic_error rather than returning status codes; simulator state is
+// never recoverable once an internal invariant breaks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Thrown when a REPRO_EXPECT / REPRO_ENSURE check fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void fail_contract(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& message);
+}  // namespace detail
+
+}  // namespace repro
+
+/// Check a precondition; throws repro::ContractViolation on failure.
+#define REPRO_EXPECT(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::repro::detail::fail_contract("precondition", #cond, __FILE__,        \
+                                     __LINE__, (msg));                       \
+    }                                                                        \
+  } while (false)
+
+/// Check a postcondition / invariant; throws repro::ContractViolation.
+#define REPRO_ENSURE(cond, msg)                                              \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::repro::detail::fail_contract("invariant", #cond, __FILE__, __LINE__, \
+                                     (msg));                                 \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,66 @@
+// Fixed-capacity overwriting ring buffer.
+//
+// This is the storage discipline of the DAS 9100 acquisition memory: a
+// 512-deep buffer that, while armed, keeps the most recent N samples and is
+// frozen ("filled") some number of samples after the trigger fires.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace repro {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {
+    REPRO_EXPECT(capacity > 0, "ring buffer capacity must be positive");
+  }
+
+  /// Append one element, overwriting the oldest when full.
+  void push(const T& value) {
+    storage_[head_] = value;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) {
+      ++size_;
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Element i counted from the *oldest* retained sample (0 = oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    REPRO_EXPECT(i < size_, "ring buffer index out of range");
+    const std::size_t start = full() ? head_ : 0;
+    return storage_[(start + i) % capacity_];
+  }
+
+  /// Copy out the retained samples, oldest first.
+  [[nodiscard]] std::vector<T> snapshot() const {
+    std::vector<T> out;
+    out.reserve(size_);
+    for (std::size_t i = 0; i < size_; ++i) {
+      out.push_back(at(i));
+    }
+    return out;
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace repro

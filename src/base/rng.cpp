@@ -1,0 +1,123 @@
+#include "base/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <numbers>
+
+namespace repro {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t key) noexcept {
+  std::uint64_t state = key;
+  return splitmix64(state);
+}
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) {
+    word = splitmix64(sm);
+  }
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded generation, with rejection to keep
+  // the distribution exactly uniform.
+  if (bound == 0) {
+    return 0;
+  }
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_in(std::int64_t lo, std::int64_t hi) {
+  REPRO_EXPECT(lo <= hi, "uniform_in requires lo <= hi");
+  const auto span =
+      static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63, safe
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random bits into [0,1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform01() < p;
+}
+
+double Rng::exponential(double mean) {
+  REPRO_EXPECT(mean > 0.0, "exponential mean must be positive");
+  double u = uniform01();
+  // Avoid log(0).
+  if (u <= 0.0) {
+    u = 0x1.0p-53;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mu, double sigma) noexcept {
+  double u1 = uniform01();
+  if (u1 <= 0.0) {
+    u1 = 0x1.0p-53;
+  }
+  const double u2 = uniform01();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * mag * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  REPRO_EXPECT(!weights.empty(), "discrete distribution needs weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    REPRO_EXPECT(w >= 0.0, "discrete weights must be non-negative");
+    total += w;
+  }
+  REPRO_EXPECT(total > 0.0, "discrete weights must not all be zero");
+  double x = uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (x < weights[i]) {
+      return i;
+    }
+    x -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split() noexcept { return Rng(next() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace repro

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Every stochastic choice in the reproduction (workload mixture, iteration
+// jitter, access patterns, sampling offsets) draws from an Rng seeded
+// explicitly, so a whole measurement study is reproducible bit-for-bit from
+// its seed. The generator is xoshiro256** (Blackman & Vigna), seeded through
+// SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "base/expect.hpp"
+
+namespace repro {
+
+/// SplitMix64 stepper; used for seeding and as a cheap stateless hash.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless 64-bit mix of a key (one SplitMix64 round). Handy for making
+/// per-(loop, iteration) deterministic values without carrying a stream.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t key) noexcept;
+
+/// xoshiro256** generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  [[nodiscard]] std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface so <random> adaptors also work.
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~std::uint64_t{0}; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t uniform(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Exponential variate with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean);
+
+  /// Normal variate (Box–Muller; one value per call, no caching).
+  [[nodiscard]] double normal(double mu, double sigma) noexcept;
+
+  /// Index drawn from a discrete distribution given non-negative weights
+  /// (at least one weight must be positive).
+  [[nodiscard]] std::size_t discrete(std::span<const double> weights);
+
+  /// Split off an independent child stream (seeded from this stream).
+  [[nodiscard]] Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace repro

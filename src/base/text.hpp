@@ -1,0 +1,30 @@
+// Small text/formatting helpers used by the report and chart renderers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace repro {
+
+/// Fixed-point decimal rendering, e.g. fixed(0.3456, 3) == "0.346".
+[[nodiscard]] std::string fixed(double value, int decimals);
+
+/// Percentage rendering, e.g. percent(0.5212, 2) == "52.12".
+[[nodiscard]] std::string percent(double fraction, int decimals);
+
+/// Scientific rendering with a fixed mantissa width, e.g. "2.57e-02".
+[[nodiscard]] std::string scientific(double value, int decimals);
+
+/// Left-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_left(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to at least `width` characters.
+[[nodiscard]] std::string pad_right(const std::string& s, std::size_t width);
+
+/// A bar of `n` copies of `fill` (SAS PROC CHART style asterisks).
+[[nodiscard]] std::string bar(std::size_t n, char fill = '*');
+
+/// Thousands-separated integer, e.g. 231112 -> "231,112".
+[[nodiscard]] std::string with_commas(std::uint64_t value);
+
+}  // namespace repro

@@ -1,0 +1,34 @@
+// Core scalar types shared by every module of the FX/8 reproduction.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace repro {
+
+/// Machine cycle count. The whole simulator is cycle-stepped; one Cycle is
+/// one tick of the (shared) cluster clock.
+using Cycle = std::uint64_t;
+
+/// Virtual or physical byte address inside the simulated machine.
+using Addr = std::uint64_t;
+
+/// Identifier of a Computational Element within the cluster, 0..7.
+using CeId = std::uint32_t;
+
+/// Identifier of an Interactive Processor, 0-based.
+using IpId = std::uint32_t;
+
+/// Identifier of a simulated process/job.
+using JobId = std::uint64_t;
+
+/// Maximum cluster width on an FX/8: eight Computational Elements.
+inline constexpr std::uint32_t kMaxCes = 8;
+
+/// Page size of Concentrix on the FX/8 (Appendix C: 4 Kbyte pages).
+inline constexpr std::uint64_t kPageBytes = 4096;
+
+/// Cache line size used by the shared CE cache model.
+inline constexpr std::uint64_t kLineBytes = 32;
+
+}  // namespace repro

@@ -1,0 +1,40 @@
+#include "cache/icache.hpp"
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::cache {
+
+InstructionCache::InstructionCache(std::uint64_t capacity_bytes)
+    : capacity_(capacity_bytes) {
+  REPRO_EXPECT(capacity_bytes > 0, "icache capacity must be positive");
+}
+
+bool InstructionCache::fits(std::uint64_t code_bytes) const {
+  return code_bytes <= capacity_;
+}
+
+double InstructionCache::spill_fraction(std::uint64_t code_bytes) const {
+  if (fits(code_bytes)) {
+    return 0.0;
+  }
+  // With LRU and cyclic reuse, a loop of size S > C re-misses the excess
+  // S - C (and, as S grows past 2C, effectively everything) each pass.
+  const double excess = static_cast<double>(code_bytes - capacity_);
+  const double frac = excess / static_cast<double>(code_bytes - capacity_ / 2);
+  return frac > 1.0 ? 1.0 : frac;
+}
+
+bool InstructionCache::spills(std::uint64_t key,
+                              std::uint64_t code_bytes) const {
+  const double frac = spill_fraction(code_bytes);
+  if (frac <= 0.0) {
+    return false;
+  }
+  // Map the hash to [0,1) and compare; deterministic in `key`.
+  const double u =
+      static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+  return u < frac;
+}
+
+}  // namespace repro::cache

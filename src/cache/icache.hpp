@@ -1,0 +1,43 @@
+// Per-CE internal instruction cache model.
+//
+// Each CE contains a 16 KB instruction cache "for efficient handling of
+// loops and other localized portions of code" (Appendix C). Loop bodies
+// that fit generate no instruction traffic to the shared cache after the
+// first pass (paper §5.1); larger bodies spill a fraction of their fetches.
+//
+// We model the steady-state spill fraction analytically instead of tags:
+// the observable the study cares about is how much instruction traffic
+// reaches the shared cache, not icache internals.
+#pragma once
+
+#include <cstdint>
+
+#include "base/types.hpp"
+
+namespace repro::cache {
+
+class InstructionCache {
+ public:
+  explicit InstructionCache(std::uint64_t capacity_bytes = 16 * 1024);
+
+  [[nodiscard]] std::uint64_t capacity() const { return capacity_; }
+
+  /// True when code of this footprint runs fully out of the icache.
+  [[nodiscard]] bool fits(std::uint64_t code_bytes) const;
+
+  /// Steady-state fraction of instruction fetches that spill to the shared
+  /// cache for a loop of this code footprint: 0 when it fits, approaching
+  /// 1 as the footprint grows (cyclic-reuse thrashing: a footprint of
+  /// k*capacity re-misses the whole excess every pass).
+  [[nodiscard]] double spill_fraction(std::uint64_t code_bytes) const;
+
+  /// Deterministic per-step decision: does step `key` of code with this
+  /// footprint issue a shared-cache instruction fetch? (Hashes `key`
+  /// against the spill fraction so replays are reproducible.)
+  [[nodiscard]] bool spills(std::uint64_t key, std::uint64_t code_bytes) const;
+
+ private:
+  std::uint64_t capacity_;
+};
+
+}  // namespace repro::cache

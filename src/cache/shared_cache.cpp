@@ -1,0 +1,189 @@
+#include "cache/shared_cache.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::cache {
+
+SharedCache::SharedCache(const SharedCacheConfig& config, mem::MemoryBus& bus)
+    : config_(config), bus_(bus), fill_ready_(config.max_ces, 0) {
+  REPRO_EXPECT(config.banks > 0 && config.modules > 0 && config.ways > 0,
+               "cache geometry must be positive");
+  REPRO_EXPECT(config.banks % config.modules == 0,
+               "banks must divide evenly across modules");
+  REPRO_EXPECT(config.max_ces > 0 && config.max_ces <= 32,
+               "MSHR waiter mask supports up to 32 CEs");
+  const std::uint64_t total_lines = config.total_bytes / kLineBytes;
+  REPRO_EXPECT(total_lines % (config.banks * config.ways) == 0,
+               "cache size must factor into banks*ways*sets");
+  sets_per_bank_ = total_lines / (config.banks * config.ways);
+  lines_.resize(total_lines);
+}
+
+Addr SharedCache::line_addr(Addr addr) const {
+  return addr / kLineBytes * kLineBytes;
+}
+
+std::uint32_t SharedCache::bank_of(Addr addr) const {
+  return static_cast<std::uint32_t>((addr / kLineBytes) % config_.banks);
+}
+
+std::uint32_t SharedCache::module_of_bank(std::uint32_t bank) const {
+  REPRO_EXPECT(bank < config_.banks, "bank index out of range");
+  return bank / (config_.banks / config_.modules);
+}
+
+std::size_t SharedCache::set_index(Addr addr) const {
+  const std::uint32_t bank = bank_of(addr);
+  const std::size_t set_in_bank =
+      static_cast<std::size_t>(addr / kLineBytes / config_.banks) %
+      sets_per_bank_;
+  return (static_cast<std::size_t>(bank) * sets_per_bank_ + set_in_bank) *
+         config_.ways;
+}
+
+SharedCache::Line* SharedCache::find_line(Addr addr) {
+  const Addr tag = line_addr(addr);
+  const std::size_t base = set_index(addr);
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.state != LineState::kInvalid && line.tag == tag) {
+      return &line;
+    }
+  }
+  return nullptr;
+}
+
+const SharedCache::Line* SharedCache::find_line(Addr addr) const {
+  return const_cast<SharedCache*>(this)->find_line(addr);
+}
+
+SharedCache::Line& SharedCache::victim_for(Addr addr) {
+  const std::size_t base = set_index(addr);
+  Line* victim = &lines_[base];
+  for (std::uint32_t w = 0; w < config_.ways; ++w) {
+    Line& line = lines_[base + w];
+    if (line.state == LineState::kInvalid) {
+      return line;
+    }
+    if (line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+  return *victim;
+}
+
+AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
+  REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
+  REPRO_EXPECT(!miss_outstanding(ce),
+               "CE presented an access with a miss already outstanding");
+  ++stats_.accesses;
+  ++use_clock_;
+  const Addr tag = line_addr(addr);
+
+  if (Line* line = find_line(addr)) {
+    // Present. Writes need a unique copy; upgrading costs an invalidate
+    // broadcast but the data is already here, so the CE is not stalled.
+    line->last_use = use_clock_;
+    if (type == AccessType::kWrite) {
+      if (line->state == LineState::kShared) {
+        ++stats_.write_upgrades;
+        const std::uint32_t module = module_of_bank(bank_of(addr));
+        (void)bus_.submit(module, mem::MemBusOp::kInvalidate, tag);
+        line->state = LineState::kUnique;
+      }
+      line->dirty = true;
+    }
+    return AccessOutcome::kHit;
+  }
+
+  ++stats_.misses;
+  const std::uint32_t ce_bit = 1u << ce;
+
+  // Merge with an in-flight fill of the same line if one exists: the
+  // cross-CE sharing path.
+  if (const auto it = fills_.find(tag); it != fills_.end()) {
+    it->second.waiters |= ce_bit;
+    it->second.want_unique |= (type == AccessType::kWrite);
+    ++stats_.merged_misses;
+    return AccessOutcome::kMissMerged;
+  }
+
+  // Fetch the line; the victim is chosen (and written back if dirty) when
+  // the fill completes and the line is installed.
+  const std::uint32_t module = module_of_bank(bank_of(addr));
+  const mem::TxnId txn = bus_.submit(module, mem::MemBusOp::kLineFetch, tag);
+  fills_.emplace(tag, Fill{txn, ce_bit, type == AccessType::kWrite});
+  return AccessOutcome::kMissStarted;
+}
+
+void SharedCache::tick() {
+  for (auto it = fills_.begin(); it != fills_.end();) {
+    if (!bus_.take_finished(it->second.txn)) {
+      ++it;
+      continue;
+    }
+    // Install the line (writing back the victim if needed) and wake every
+    // waiter.
+    Line& line = victim_for(it->first);
+    if (line.state != LineState::kInvalid && line.dirty) {
+      ++stats_.write_backs;
+      (void)bus_.submit(module_of_bank(bank_of(line.tag)),
+                        mem::MemBusOp::kWriteBack, line.tag);
+    }
+    line.tag = it->first;
+    line.state =
+        it->second.want_unique ? LineState::kUnique : LineState::kShared;
+    line.dirty = it->second.want_unique;
+    line.last_use = ++use_clock_;
+    for (std::uint32_t ce = 0; ce < config_.max_ces; ++ce) {
+      if (it->second.waiters & (1u << ce)) {
+        fill_ready_[ce] = 1;
+      }
+    }
+    it = fills_.erase(it);
+  }
+}
+
+bool SharedCache::take_fill_ready(CeId ce) {
+  REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
+  if (fill_ready_[ce]) {
+    fill_ready_[ce] = 0;
+    return true;
+  }
+  return false;
+}
+
+bool SharedCache::miss_outstanding(CeId ce) const {
+  REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
+  if (fill_ready_[ce]) {
+    return true;  // Filled but not yet consumed by the CE.
+  }
+  const std::uint32_t ce_bit = 1u << ce;
+  for (const auto& [addr, fill] : fills_) {
+    if (fill.waiters & ce_bit) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SharedCache::snoop_invalidate(Addr addr) {
+  if (Line* line = find_line(addr)) {
+    // Coherence rule: the IP side needs the unique copy, ours is dropped.
+    // A dirty victim would be written back by hardware; account for it.
+    if (line->dirty) {
+      ++stats_.write_backs;
+      (void)bus_.submit(module_of_bank(bank_of(line->tag)),
+                        mem::MemBusOp::kWriteBack, line->tag);
+    }
+    line->state = LineState::kInvalid;
+    line->dirty = false;
+    ++stats_.snoop_invalidations;
+  }
+}
+
+bool SharedCache::contains(Addr addr) const {
+  return find_line(addr) != nullptr;
+}
+
+}  // namespace repro::cache

@@ -1,0 +1,118 @@
+// Shared Computational-Element cache (the two CPC modules).
+//
+// The eight CEs share a 128 KB, four-way interleaved cache split into two
+// Computational Element Cache modules, reached through a crossbar
+// (Appendix C). Misses go to main memory over the module's memory bus.
+// Coherence with the IP cache follows the machine's "unique copy before
+// modify" rule: a write needs a unique copy, and obtaining one broadcasts
+// an invalidate on the memory bus.
+//
+// Cross-CE locality is first-class here: concurrent-loop iterations on
+// different CEs touch neighbouring addresses, so a line fetched for one CE
+// hits for its neighbours — the mechanism the paper credits for miss rate
+// being insensitive to Mean Concurrency Level (§5.1, §5.3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hpp"
+#include "mem/bus_ops.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::cache {
+
+enum class AccessType : std::uint8_t { kRead, kWrite, kInstrFetch };
+
+enum class LineState : std::uint8_t { kInvalid, kShared, kUnique };
+
+struct SharedCacheConfig {
+  std::uint64_t total_bytes = 128 * 1024;
+  std::uint32_t banks = 4;          ///< Interleave factor across modules.
+  std::uint32_t modules = 2;        ///< CPC modules (one memory bus each).
+  std::uint32_t ways = 2;           ///< Set associativity within a bank.
+  std::uint32_t max_ces = kMaxCes;  ///< Requesters tracked by the MSHRs.
+};
+
+/// Outcome of presenting an access to the cache.
+enum class AccessOutcome : std::uint8_t {
+  kHit,         ///< Served this cycle.
+  kMissStarted, ///< Miss; a fill was issued; requester must wait.
+  kMissMerged,  ///< Miss on a line already being filled; requester waits.
+};
+
+struct SharedCacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t write_upgrades = 0;   ///< Shared->Unique ownership fetches.
+  std::uint64_t write_backs = 0;
+  std::uint64_t merged_misses = 0;    ///< Cross-CE fill sharing events.
+  std::uint64_t snoop_invalidations = 0;
+};
+
+class SharedCache {
+ public:
+  SharedCache(const SharedCacheConfig& config, mem::MemoryBus& bus);
+
+  [[nodiscard]] const SharedCacheConfig& config() const { return config_; }
+
+  /// Present an access from `ce`. On kHit the access is complete. On a
+  /// miss outcome the CE must stall until take_fill_ready(ce) is true.
+  /// At most one outstanding miss per CE (enforced).
+  AccessOutcome access(CeId ce, Addr addr, AccessType type);
+
+  /// Progress outstanding fills; call once per machine cycle after the
+  /// memory bus has ticked.
+  void tick();
+
+  /// True (consuming the flag) once the CE's outstanding miss has filled.
+  [[nodiscard]] bool take_fill_ready(CeId ce);
+
+  /// True while the CE has a miss outstanding.
+  [[nodiscard]] bool miss_outstanding(CeId ce) const;
+
+  /// Coherence request from the IP side: drop any copy of this line.
+  void snoop_invalidate(Addr addr);
+
+  /// Bank serving an address (crossbar arbitration needs this).
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
+  /// Module (and hence memory bus) behind a bank.
+  [[nodiscard]] std::uint32_t module_of_bank(std::uint32_t bank) const;
+
+  [[nodiscard]] const SharedCacheStats& stats() const { return stats_; }
+
+  /// True if the line holding `addr` is present (tests).
+  [[nodiscard]] bool contains(Addr addr) const;
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    LineState state = LineState::kInvalid;
+    bool dirty = false;
+    std::uint64_t last_use = 0;  ///< LRU stamp.
+  };
+  struct Fill {
+    mem::TxnId txn = 0;
+    std::uint32_t waiters = 0;  ///< Bitmask of stalled CEs.
+    bool want_unique = false;   ///< Fill triggered by a write.
+  };
+
+  [[nodiscard]] Addr line_addr(Addr addr) const;
+  [[nodiscard]] std::size_t set_index(Addr addr) const;
+  [[nodiscard]] Line* find_line(Addr addr);
+  [[nodiscard]] const Line* find_line(Addr addr) const;
+  Line& victim_for(Addr addr);
+
+  SharedCacheConfig config_;
+  mem::MemoryBus& bus_;
+  std::vector<Line> lines_;          ///< sets_ * ways_, bank-major layout.
+  std::size_t sets_per_bank_ = 0;
+  std::unordered_map<Addr, Fill> fills_;  ///< Keyed by line address.
+  std::vector<std::uint8_t> fill_ready_;  ///< Per-CE completion flags.
+  SharedCacheStats stats_;
+  std::uint64_t use_clock_ = 0;
+};
+
+}  // namespace repro::cache

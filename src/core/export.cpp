@@ -1,0 +1,62 @@
+#include "core/export.hpp"
+
+#include <sstream>
+
+#include "base/text.hpp"
+
+namespace repro::core {
+
+namespace {
+
+void header(std::ostringstream& os, bool with_session) {
+  if (with_session) {
+    os << "session,";
+  }
+  os << "sample,cw,pc,pc_defined,miss_rate,bus_busy,page_fault_rate,"
+        "records";
+  for (int j = 0; j <= 8; ++j) {
+    os << ",num" << j;
+  }
+  os << '\n';
+}
+
+void row(std::ostringstream& os, const AnalyzedSample& sample,
+         const std::string* session) {
+  if (session != nullptr) {
+    os << *session << ',';
+  }
+  os << sample.raw.index << ',' << fixed(sample.measures.cw, 6) << ','
+     << (sample.measures.pc_defined ? fixed(sample.measures.pc, 4) : "")
+     << ',' << (sample.measures.pc_defined ? 1 : 0) << ','
+     << fixed(sample.miss_rate, 6) << ',' << fixed(sample.bus_busy, 6)
+     << ',' << fixed(sample.page_fault_rate, 1) << ','
+     << sample.raw.hw.records;
+  for (int j = 0; j <= 8; ++j) {
+    os << ',' << sample.raw.hw.num[static_cast<std::size_t>(j)];
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string samples_to_csv(std::span<const SessionResult> sessions) {
+  std::ostringstream os;
+  header(os, true);
+  for (const SessionResult& session : sessions) {
+    for (const AnalyzedSample& sample : session.samples) {
+      row(os, sample, &session.name);
+    }
+  }
+  return os.str();
+}
+
+std::string samples_to_csv(std::span<const AnalyzedSample> samples) {
+  std::ostringstream os;
+  header(os, false);
+  for (const AnalyzedSample& sample : samples) {
+    row(os, sample, nullptr);
+  }
+  return os.str();
+}
+
+}  // namespace repro::core

@@ -1,0 +1,25 @@
+// Tabular export of analyzed samples.
+//
+// The study moved its reduced data to an IBM 4381 for SAS analysis
+// (§3.5); the modern equivalent is a CSV a downstream user can load into
+// any stats package to re-run or extend the Chapter 4/5 analyses.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/sample.hpp"
+#include "core/study.hpp"
+
+namespace repro::core {
+
+/// One row per sample: session, index, measures, system measures, and
+/// the raw active-processor histogram.
+[[nodiscard]] std::string samples_to_csv(
+    std::span<const SessionResult> sessions);
+
+/// One row per sample from a flat sample list (session column omitted).
+[[nodiscard]] std::string samples_to_csv(
+    std::span<const AnalyzedSample> samples);
+
+}  // namespace repro::core

@@ -1,0 +1,60 @@
+#include "core/measures.hpp"
+
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/text.hpp"
+
+namespace repro::core {
+
+ConcurrencyMeasures ConcurrencyMeasures::from_counts(
+    std::span<const std::uint64_t> counts) {
+  REPRO_EXPECT(counts.size() >= 2 && counts.size() <= kMaxCes + 1,
+               "histogram must cover 0..P with P in 1..8");
+  ConcurrencyMeasures m;
+  m.width = static_cast<std::uint32_t>(counts.size() - 1);
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : counts) {
+    total += count;
+  }
+  REPRO_EXPECT(total > 0, "cannot derive measures from zero records");
+
+  for (std::size_t j = 0; j < counts.size(); ++j) {
+    m.c[j] = static_cast<double>(counts[j]) / static_cast<double>(total);
+  }
+
+  // Workload Concurrency: mass at 2 or more active processors (eq 4.2).
+  std::uint64_t concurrent_records = 0;
+  for (std::size_t j = 2; j < counts.size(); ++j) {
+    concurrent_records += counts[j];
+  }
+  m.cw = static_cast<double>(concurrent_records) / static_cast<double>(total);
+
+  if (concurrent_records > 0) {
+    m.pc_defined = true;
+    double pc = 0.0;
+    for (std::size_t j = 2; j < counts.size(); ++j) {
+      m.c_cond[j] = static_cast<double>(counts[j]) /
+                    static_cast<double>(concurrent_records);
+      pc += static_cast<double>(j) * m.c_cond[j];
+    }
+    m.pc = pc;
+    REPRO_ENSURE(m.pc >= 2.0 && m.pc <= static_cast<double>(m.width) + 1e-9,
+                 "Pc must lie in [2, P]");
+  }
+  return m;
+}
+
+std::string ConcurrencyMeasures::describe() const {
+  std::ostringstream os;
+  os << "Cw=" << fixed(cw, 4);
+  if (pc_defined) {
+    os << " Pc=" << fixed(pc, 2) << " c(8|c)=" << fixed(c_cond[width], 4);
+  } else {
+    os << " Pc=undefined";
+  }
+  return os.str();
+}
+
+}  // namespace repro::core

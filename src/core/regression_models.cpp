@@ -1,0 +1,90 @@
+#include "core/regression_models.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::core {
+
+std::string measure_name(SystemMeasure measure) {
+  switch (measure) {
+    case SystemMeasure::kMissRate:
+      return "Median Miss Rate";
+    case SystemMeasure::kBusBusy:
+      return "Median CE Bus Busy";
+    case SystemMeasure::kPageFaultRate:
+      return "Median Page Fault Rate";
+  }
+  return "?";
+}
+
+std::vector<double> cw_midpoints() {
+  std::vector<double> mids;
+  for (int i = 0; i <= 10; ++i) {
+    mids.push_back(static_cast<double>(i) / 10.0);
+  }
+  return mids;
+}
+
+std::vector<double> pc_midpoints() {
+  std::vector<double> mids;
+  for (int i = 2; i <= 8; ++i) {
+    mids.push_back(static_cast<double>(i));
+  }
+  return mids;
+}
+
+namespace {
+
+std::vector<double> measure_column(std::span<const AnalyzedSample> samples,
+                                   SystemMeasure measure) {
+  switch (measure) {
+    case SystemMeasure::kMissRate:
+      return column_miss_rate(samples);
+    case SystemMeasure::kBusBusy:
+      return column_bus_busy(samples);
+    case SystemMeasure::kPageFaultRate:
+      return column_page_fault_rate(samples);
+  }
+  return {};
+}
+
+}  // namespace
+
+MedianModel fit_model(std::span<const AnalyzedSample> samples,
+                      SystemMeasure measure, Regressor regressor) {
+  MedianModel model;
+  model.measure = measure;
+  model.regressor = regressor;
+
+  std::vector<AnalyzedSample> filtered;
+  std::span<const AnalyzedSample> used = samples;
+  if (regressor == Regressor::kPc) {
+    filtered = with_defined_pc(samples);
+    used = filtered;
+  }
+  REPRO_EXPECT(!used.empty(), "no samples to fit a model to");
+
+  const std::vector<double> x =
+      regressor == Regressor::kCw ? column_cw(used) : column_pc(used);
+  const std::vector<double> y = measure_column(used, measure);
+  const std::vector<double> mids =
+      regressor == Regressor::kCw ? cw_midpoints() : pc_midpoints();
+
+  model.median_points = stats::median_by_midpoint(x, y, mids);
+  model.fit = stats::fit_median_model(x, y, mids);
+  return model;
+}
+
+std::vector<MedianModel> fit_all_models(
+    std::span<const AnalyzedSample> samples) {
+  std::vector<MedianModel> models;
+  for (const Regressor regressor : {Regressor::kCw, Regressor::kPc}) {
+    for (const SystemMeasure measure :
+         {SystemMeasure::kMissRate, SystemMeasure::kBusBusy,
+          SystemMeasure::kPageFaultRate}) {
+      models.push_back(fit_model(samples, measure, regressor));
+    }
+  }
+  return models;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,51 @@
+// The Chapter 5 regression pipeline: median-binned second-order models of
+// system measures against the concurrency measures (Tables 3 and 4).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/sample.hpp"
+#include "stats/regression.hpp"
+
+namespace repro::core {
+
+/// Which system measure a model explains.
+enum class SystemMeasure : std::uint8_t {
+  kMissRate,
+  kBusBusy,
+  kPageFaultRate,
+};
+
+[[nodiscard]] std::string measure_name(SystemMeasure measure);
+
+/// Which concurrency measure is the regressor.
+enum class Regressor : std::uint8_t { kCw, kPc };
+
+struct MedianModel {
+  SystemMeasure measure{};
+  Regressor regressor{};
+  /// The (midpoint, median) pairs the model was fitted to.
+  std::vector<std::pair<double, double>> median_points;
+  /// coeffs[0] = C, coeffs[1] = beta1, coeffs[2] = beta2.
+  stats::PolyFit fit;
+
+  [[nodiscard]] double predict(double x) const { return fit(x); }
+};
+
+/// Cw midpoints "(0.0, 0.1, ... 1.0)" (§5.2).
+[[nodiscard]] std::vector<double> cw_midpoints();
+/// Pc midpoints "(2.0, 3.0 ... 8.0)" (§5.2).
+[[nodiscard]] std::vector<double> pc_midpoints();
+
+/// Fit one model. For Regressor::kPc only samples with defined Pc enter.
+[[nodiscard]] MedianModel fit_model(std::span<const AnalyzedSample> samples,
+                                    SystemMeasure measure,
+                                    Regressor regressor);
+
+/// All six models of Tables 3-4.
+[[nodiscard]] std::vector<MedianModel> fit_all_models(
+    std::span<const AnalyzedSample> samples);
+
+}  // namespace repro::core

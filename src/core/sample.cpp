@@ -1,0 +1,87 @@
+#include "core/sample.hpp"
+
+namespace repro::core {
+
+AnalyzedSample analyze(const instr::SampleRecord& record,
+                       std::uint32_t width) {
+  AnalyzedSample sample;
+  sample.raw = record;
+  sample.measures = ConcurrencyMeasures::from_counts(
+      std::span(record.hw.num).first(width + 1));
+  sample.miss_rate = record.hw.miss_rate();
+  sample.bus_busy = record.hw.bus_busy();
+  sample.page_fault_rate =
+      static_cast<double>(record.sw.ce_page_faults());
+  return sample;
+}
+
+std::vector<AnalyzedSample> analyze_all(
+    std::span<const instr::SampleRecord> records, std::uint32_t width) {
+  std::vector<AnalyzedSample> samples;
+  samples.reserve(records.size());
+  for (const instr::SampleRecord& record : records) {
+    samples.push_back(analyze(record, width));
+  }
+  return samples;
+}
+
+std::vector<double> column_cw(std::span<const AnalyzedSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const AnalyzedSample& s : samples) {
+    out.push_back(s.measures.cw);
+  }
+  return out;
+}
+
+std::vector<double> column_pc(std::span<const AnalyzedSample> samples) {
+  std::vector<double> out;
+  for (const AnalyzedSample& s : samples) {
+    if (s.measures.pc_defined) {
+      out.push_back(s.measures.pc);
+    }
+  }
+  return out;
+}
+
+std::vector<double> column_miss_rate(
+    std::span<const AnalyzedSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const AnalyzedSample& s : samples) {
+    out.push_back(s.miss_rate);
+  }
+  return out;
+}
+
+std::vector<double> column_bus_busy(std::span<const AnalyzedSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const AnalyzedSample& s : samples) {
+    out.push_back(s.bus_busy);
+  }
+  return out;
+}
+
+std::vector<double> column_page_fault_rate(
+    std::span<const AnalyzedSample> samples) {
+  std::vector<double> out;
+  out.reserve(samples.size());
+  for (const AnalyzedSample& s : samples) {
+    out.push_back(s.page_fault_rate);
+  }
+  return out;
+}
+
+std::vector<AnalyzedSample> with_defined_pc(
+    std::span<const AnalyzedSample> samples) {
+  std::vector<AnalyzedSample> out;
+  for (const AnalyzedSample& s : samples) {
+    if (s.measures.pc_defined) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::core

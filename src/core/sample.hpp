@@ -1,0 +1,50 @@
+// Analyzed samples: raw instrumentation records plus the derived
+// concurrency and system measures of Chapters 4-5.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "instr/session_controller.hpp"
+
+namespace repro::core {
+
+struct AnalyzedSample {
+  instr::SampleRecord raw;
+  ConcurrencyMeasures measures;
+  /// Missrate: miss cycles / total CE bus cycles (§5).
+  double miss_rate = 0.0;
+  /// CE Bus Busy: non-idle fraction averaged over the CE buses (§5).
+  double bus_busy = 0.0;
+  /// Page Fault Rate: CE page faults in the measurement interval (§5).
+  double page_fault_rate = 0.0;
+};
+
+/// Derive the analysis measures from one sample record.
+[[nodiscard]] AnalyzedSample analyze(const instr::SampleRecord& record,
+                                     std::uint32_t width = kMaxCes);
+
+/// Analyze a whole session.
+[[nodiscard]] std::vector<AnalyzedSample> analyze_all(
+    std::span<const instr::SampleRecord> records,
+    std::uint32_t width = kMaxCes);
+
+// Column extractors used by the regression/figure pipelines.
+[[nodiscard]] std::vector<double> column_cw(
+    std::span<const AnalyzedSample> samples);
+/// Pc values for samples where Pc is defined (undefined samples skipped).
+[[nodiscard]] std::vector<double> column_pc(
+    std::span<const AnalyzedSample> samples);
+[[nodiscard]] std::vector<double> column_miss_rate(
+    std::span<const AnalyzedSample> samples);
+[[nodiscard]] std::vector<double> column_bus_busy(
+    std::span<const AnalyzedSample> samples);
+[[nodiscard]] std::vector<double> column_page_fault_rate(
+    std::span<const AnalyzedSample> samples);
+
+/// Keep only samples with defined Pc (for the vs-Pc analyses).
+[[nodiscard]] std::vector<AnalyzedSample> with_defined_pc(
+    std::span<const AnalyzedSample> samples);
+
+}  // namespace repro::core

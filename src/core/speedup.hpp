@@ -1,0 +1,55 @@
+// Speedup and Efficiency (paper §2).
+//
+// "Speedup is defined as S = T1/Tp, where T1 is the execution time
+// required for a program on a single processor, and Tp is the execution
+// of the program on P processors. Efficiency is given by the ratio
+// Ep = Sp/P, 0 < Ep < 1." The thesis contrasts these program-level
+// measures — which "are unable to provide a detailed characterization"
+// and have "no direct applicability" to a production workload — with its
+// own workload measures; this harness produces them for any loop body on
+// 1..8-CE configurations of the simulated machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "fx8/machine.hpp"
+#include "isa/kernel.hpp"
+
+namespace repro::core {
+
+struct SpeedupPoint {
+  std::uint32_t processors = 1;
+  Cycle time = 0;
+  double speedup = 1.0;     ///< S_p = T1 / Tp.
+  double efficiency = 1.0;  ///< E_p = S_p / p.
+};
+
+struct SpeedupCurve {
+  std::string kernel;
+  std::uint64_t trip_count = 0;
+  Cycle t1 = 0;
+  std::vector<SpeedupPoint> points;  ///< One per processor count 1..P.
+};
+
+struct SpeedupOptions {
+  std::uint32_t max_processors = kMaxCes;
+  /// Disable IP background traffic to isolate the kernel (default on:
+  /// speedup is a program measure, not a workload measure).
+  bool quiesce_ips = true;
+  /// Base machine configuration (cluster width is overridden per point).
+  fx8::MachineConfig machine = fx8::MachineConfig::fx8();
+};
+
+/// Execute a concurrent loop of `body` x `trip_count` on machines of
+/// width 1..max_processors and measure S_p and E_p.
+[[nodiscard]] SpeedupCurve measure_speedup(const isa::KernelSpec& body,
+                                           std::uint64_t trip_count,
+                                           const SpeedupOptions& options = {});
+
+/// Render the curve as a two-row table (S_p / E_p per processor count).
+[[nodiscard]] std::string render_speedup_table(const SpeedupCurve& curve);
+
+}  // namespace repro::core

@@ -1,0 +1,64 @@
+#include "core/study.hpp"
+
+#include "base/rng.hpp"
+
+namespace repro::core {
+
+std::vector<AnalyzedSample> StudyResult::all_samples() const {
+  std::vector<AnalyzedSample> all;
+  for (const SessionResult& session : sessions) {
+    all.insert(all.end(), session.samples.begin(), session.samples.end());
+  }
+  return all;
+}
+
+SessionResult run_session(const workload::WorkloadMix& mix,
+                          const StudyConfig& config,
+                          std::uint64_t session_seed) {
+  os::System system(config.system);
+  workload::WorkloadGenerator generator(mix, mix64(session_seed ^ 0xABCD));
+  instr::SessionController controller(system, generator, config.sampling,
+                                      mix64(session_seed ^ 0x5A5A));
+
+  // Warm up: let the workload reach steady state before sampling.
+  for (Cycle c = 0; c < config.warmup_cycles; ++c) {
+    generator.tick(system);
+    system.tick();
+  }
+
+  SessionResult result;
+  result.name = mix.name;
+  const std::uint32_t width = system.machine().cluster().width();
+  const auto records = controller.run_session(config.samples_per_session);
+  result.samples = analyze_all(records, width);
+  for (const instr::SampleRecord& record : records) {
+    result.totals.merge(record.hw);
+  }
+  result.overall = ConcurrencyMeasures::from_counts(
+      std::span(result.totals.num).first(width + 1));
+  return result;
+}
+
+StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
+                      const StudyConfig& config) {
+  StudyResult study;
+  std::uint64_t seed_state = config.seed;
+  for (const workload::WorkloadMix& mix : mixes) {
+    const std::uint64_t session_seed = splitmix64(seed_state);
+    study.sessions.push_back(run_session(mix, config, session_seed));
+    study.totals.merge(study.sessions.back().totals);
+  }
+  const std::uint32_t width =
+      study.sessions.empty() ? kMaxCes
+                             : study.sessions.front().overall.width;
+  study.overall = ConcurrencyMeasures::from_counts(
+      std::span(study.totals.num).first(width + 1));
+  return study;
+}
+
+StudyResult run_default_study(const StudyConfig& config) {
+  const auto mixes = workload::session_presets();
+  return run_study(mixes, config);
+}
+
+}  // namespace repro::core

@@ -1,0 +1,64 @@
+// WorkloadStudy: the full Chapter 3-4 random-sampling experiment.
+//
+// Runs the nine measurement sessions (or any set of mixes) end-to-end:
+// build a system, drive it with the session's workload mixture, sample it
+// with the logic analyzer + kernel counters, and return the analyzed
+// samples plus aggregate measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/measures.hpp"
+#include "core/sample.hpp"
+#include "instr/session_controller.hpp"
+#include "os/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::core {
+
+struct StudyConfig {
+  os::SystemConfig system;
+  instr::SamplingConfig sampling;
+  /// Samples per session. The paper groups ~65 five-minute samples over
+  /// nine sessions (Figure 4 shows 65); we default to ~8 per session.
+  std::uint32_t samples_per_session = 8;
+  /// Warm-up cycles before sampling starts (machine reaches steady state).
+  Cycle warmup_cycles = 20000;
+  std::uint64_t seed = 0x19870301;
+};
+
+struct SessionResult {
+  std::string name;
+  std::vector<AnalyzedSample> samples;
+  /// Session-total hardware counts (sum over samples).
+  instr::EventCounts totals;
+  /// Measures over the session totals.
+  ConcurrencyMeasures overall;
+};
+
+struct StudyResult {
+  std::vector<SessionResult> sessions;
+  instr::EventCounts totals;        ///< All-session aggregate.
+  ConcurrencyMeasures overall;      ///< Table 2.
+
+  /// Every analyzed sample across all sessions.
+  [[nodiscard]] std::vector<AnalyzedSample> all_samples() const;
+};
+
+/// Run one session with the given mix.
+[[nodiscard]] SessionResult run_session(const workload::WorkloadMix& mix,
+                                        const StudyConfig& config,
+                                        std::uint64_t session_seed);
+
+/// Run a whole study over the given mixes (defaults to the nine presets).
+[[nodiscard]] StudyResult run_study(
+    std::span<const workload::WorkloadMix> mixes, const StudyConfig& config);
+
+/// Convenience: the paper's nine-session study.
+[[nodiscard]] StudyResult run_default_study(const StudyConfig& config);
+
+}  // namespace repro::core

@@ -1,0 +1,58 @@
+// TransitionStudy: the Chapter 4.3 triggered-capture experiments.
+//
+// "monitoring began when processor activity changed from all processors
+// active (full-concurrency) to a lower concurrency level". The analysis
+// keeps the transition states proper — records with 2..P-1 processors
+// active — and tallies per-processor activity across them (Figures 6, 7).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "core/study.hpp"
+#include "instr/logic_analyzer.hpp"
+#include "instr/session_controller.hpp"
+#include "workload/generator.hpp"
+
+namespace repro::core {
+
+struct TransitionConfig {
+  os::SystemConfig system;
+  instr::SamplingConfig sampling;  ///< buffer_depth reused for captures.
+  std::uint32_t captures = 40;     ///< Triggered acquisitions to gather.
+  Cycle capture_timeout = 400000;  ///< Per-capture trigger wait bound.
+  Cycle warmup_cycles = 20000;
+  std::uint64_t seed = 0x19870402;
+};
+
+struct TransitionResult {
+  /// Records with exactly j processors active, j = 0..8, across captures.
+  std::array<std::uint64_t, kMaxCes + 1> state_counts{};
+  /// Records in which processor j was active (transition records only).
+  std::array<std::uint64_t, kMaxCes> processor_counts{};
+  std::uint32_t captures_completed = 0;
+  std::uint32_t captures_timed_out = 0;
+
+  /// Fraction of transition-state records (2..P-1 active) at exactly j.
+  [[nodiscard]] double transition_share(std::uint32_t j) const;
+  /// Total transition-state records.
+  [[nodiscard]] std::uint64_t transition_records() const;
+
+  /// The §4.3 multiprocessing overhead: processor-cycles lost to idling
+  /// during captured transition records, as a fraction of the processor-
+  /// cycles those records could have delivered. "If the transition from
+  /// P processors to one is instantaneous, processors do not incur any
+  /// idle time" — this measures how far the machine is from that ideal.
+  [[nodiscard]] double idle_overhead(std::uint32_t width = kMaxCes) const;
+};
+
+/// Run the transition experiment with the given mix (defaults used by the
+/// benches: workload::high_concurrency_mix()).
+[[nodiscard]] TransitionResult run_transition_study(
+    const workload::WorkloadMix& mix, const TransitionConfig& config,
+    instr::TriggerMode trigger =
+        instr::TriggerMode::kTransitionFromFull);
+
+}  // namespace repro::core

@@ -1,0 +1,82 @@
+// Concurrency Control Bus.
+//
+// "Both synchronization and processor scheduling functions are handled in
+// hardware, and make use of the Concurrency Control Bus" (§3.2). The CCB
+// hands loop iterations to requesting CEs one grant per cycle
+// (self-scheduling, [19] in the paper), tracks completion so
+// dependence-carrying iterations can await their predecessor, and knows
+// when the loop has drained. The CE that completes the final iteration
+// continues serial execution (Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace repro::fx8 {
+
+/// How loop iterations are handed to processors. Self-scheduling is what
+/// the FX/8 hardware does ([19] in the paper); static chunking is the
+/// compile-time alternative the era's scheduling literature (the paper's
+/// ref [8]) compares against — each CE owns a contiguous block.
+enum class DispatchPolicy : std::uint8_t {
+  kSelfScheduled,
+  kStaticChunked,
+};
+
+class ConcurrencyControlBus {
+ public:
+  ConcurrencyControlBus() = default;
+
+  /// Begin dispatching a loop of `trip_count` iterations. `width` is the
+  /// number of participating CEs (chunked mode splits across it).
+  void start_loop(std::uint64_t trip_count,
+                  DispatchPolicy policy = DispatchPolicy::kSelfScheduled,
+                  std::uint32_t width = kMaxCes);
+
+  /// Reset per-cycle grant budget; call once per machine cycle.
+  void begin_cycle();
+
+  /// Try to obtain the next undispatched iteration for CE `ce`. At most
+  /// `grants_per_cycle` (hardware serialization: 1) succeed per cycle.
+  /// Self-scheduled mode ignores `ce` (one shared queue); chunked mode
+  /// draws from the CE's own block.
+  [[nodiscard]] std::optional<std::uint64_t> try_dispatch(CeId ce = 0);
+
+  /// Record completion of iteration `iter`.
+  void mark_complete(std::uint64_t iter);
+
+  /// Dependence check: can iteration `iter` begin its body? True when it
+  /// has no predecessor or the predecessor has completed.
+  [[nodiscard]] bool predecessor_complete(std::uint64_t iter) const;
+
+  [[nodiscard]] bool loop_active() const { return active_; }
+  [[nodiscard]] bool all_dispatched() const;
+  [[nodiscard]] bool all_complete() const;
+  [[nodiscard]] std::uint64_t trip_count() const { return trip_; }
+  [[nodiscard]] std::uint64_t dispatched() const { return dispatched_count_; }
+  [[nodiscard]] std::uint64_t completed() const { return completed_count_; }
+  [[nodiscard]] DispatchPolicy policy() const { return policy_; }
+
+  /// Close out a drained loop; requires all_complete().
+  void end_loop();
+
+ private:
+  bool active_ = false;
+  DispatchPolicy policy_ = DispatchPolicy::kSelfScheduled;
+  std::uint64_t trip_ = 0;
+  std::uint64_t next_iter_ = 0;          ///< Self-scheduled queue head.
+  std::uint64_t dispatched_count_ = 0;
+  std::uint64_t completed_count_ = 0;
+  std::vector<std::uint8_t> complete_;
+  /// Chunked mode: per-CE [next, end) block cursors.
+  std::array<std::uint64_t, kMaxCes> chunk_next_{};
+  std::array<std::uint64_t, kMaxCes> chunk_end_{};
+  std::uint32_t grants_left_ = 0;
+  static constexpr std::uint32_t kGrantsPerCycle = 1;
+};
+
+}  // namespace repro::fx8

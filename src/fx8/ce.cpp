@@ -1,0 +1,263 @@
+#include "fx8/ce.hpp"
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::fx8 {
+
+namespace {
+/// Map a hash to [0,1).
+double hash_frac(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+}  // namespace
+
+Ce::Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
+       std::uint64_t icache_bytes)
+    : id_(id), cache_(cache), crossbar_(crossbar), mmu_(mmu),
+      icache_(icache_bytes) {}
+
+void Ce::start(const KernelInstance& inst) {
+  REPRO_EXPECT(idle(), "CE already has an instance loaded");
+  REPRO_EXPECT(inst.spec != nullptr, "instance needs a kernel spec");
+  inst_ = inst;
+  phase_ = Phase::kStepSetup;
+  resume_phase_ = Phase::kStepSetup;
+  step_ = 0;
+  total_steps_ = inst.spec->steps + inst.extra_steps;
+  compute_left_ = 0;
+  loads_left_ = 0;
+  stores_left_ = 0;
+  accesses_done_ = 0;
+  last_load_addr_ = 0;
+  fault_left_ = 0;
+  pending_translated_ = false;
+  pending_addr_ = 0;
+}
+
+void Ce::take_completed() {
+  REPRO_EXPECT(done(), "CE has not completed its instance");
+  phase_ = Phase::kIdle;
+}
+
+void Ce::setup_step() {
+  const isa::KernelSpec& k = *inst_.spec;
+  const std::uint64_t h =
+      mix64(inst_.key + 0x9E3779B97F4A7C15ULL * (step_ + 1));
+  compute_left_ = k.compute_cycles;
+  if (k.compute_jitter > 0) {
+    compute_left_ = k.compute_cycles - k.compute_jitter +
+                    static_cast<std::uint32_t>(
+                        h % (2ULL * k.compute_jitter + 1));
+  }
+  // Vector steps sit at fixed positions in the compiled code, so the
+  // decision hashes the phase's code image and step index — identical for
+  // every iteration of a loop (iterations run the same instructions; only
+  // data-dependent branching varies, modelled by extra_steps).
+  if (k.vector_fraction > 0.0 &&
+      hash_frac(mix64(inst_.code_base + 0x9E3779B97F4A7C15ULL * step_)) <
+          k.vector_fraction) {
+    compute_left_ += k.vector_cycles;
+  }
+  loads_left_ = k.loads_per_step;
+  stores_left_ = k.stores_per_step;
+}
+
+Addr Ce::next_data_addr(bool is_store) {
+  const isa::KernelSpec& k = *inst_.spec;
+  if (is_store && k.loads_per_step > 0) {
+    // Stores are read-modify-write of the most recently loaded datum, so
+    // they nearly always hit (possibly upgrading Shared -> Unique).
+    return last_load_addr_;
+  }
+  const std::uint64_t step_bytes =
+      inst_.stream_step_bytes == 0 ? k.stride_bytes : inst_.stream_step_bytes;
+  const std::uint64_t idx = accesses_done_++;
+  if (k.pattern == isa::AccessPattern::kHotCold) {
+    const std::uint64_t h = mix64(inst_.key ^ (0x5eed0000ULL + idx));
+    if (hash_frac(h) < k.hot_fraction) {
+      // Hot set lives at the base of the data region, 8B-aligned slots.
+      return inst_.data_base + mix64(h) % k.hot_set_bytes / 8 * 8;
+    }
+    return inst_.data_base + k.hot_set_bytes +
+           (inst_.stream_start + idx * step_bytes) % k.working_set_bytes;
+  }
+  return inst_.data_base +
+         (inst_.stream_start + idx * step_bytes) % k.working_set_bytes;
+}
+
+void Ce::issue_access(cache::AccessType type, Addr addr) {
+  const cache::AccessOutcome outcome = cache_.access(id_, addr, type);
+  ++stats_.mem_accesses;
+  const bool is_store = type == cache::AccessType::kWrite;
+  switch (outcome) {
+    case cache::AccessOutcome::kHit:
+      switch (type) {
+        case cache::AccessType::kRead:
+          bus_op_ = mem::CeBusOp::kRead;
+          break;
+        case cache::AccessType::kWrite:
+          bus_op_ = mem::CeBusOp::kWrite;
+          break;
+        case cache::AccessType::kInstrFetch:
+          bus_op_ = mem::CeBusOp::kInstrFetch;
+          break;
+      }
+      return;
+    case cache::AccessOutcome::kMissStarted:
+      // This CE's lookup initiated the line fetch: a miss on its bus.
+      bus_op_ = is_store ? mem::CeBusOp::kWriteMiss : mem::CeBusOp::kReadMiss;
+      phase_ = Phase::kMissWait;
+      return;
+    case cache::AccessOutcome::kMissMerged:
+      // Another CE's fill is already in flight; this bus just waits on it
+      // (a hit-in-flight, not a second miss — the cross-CE sharing path
+      // of paper §5.1).
+      bus_op_ = mem::CeBusOp::kWait;
+      phase_ = Phase::kMissWait;
+      return;
+  }
+}
+
+void Ce::tick() {
+  bus_op_ = mem::CeBusOp::kIdle;
+  if (phase_ == Phase::kIdle || phase_ == Phase::kDone) {
+    return;
+  }
+  ++stats_.busy_cycles;
+
+  if (phase_ == Phase::kFaultWait) {
+    ++stats_.fault_wait_cycles;
+    if (--fault_left_ == 0) {
+      phase_ = resume_phase_;
+    }
+    return;
+  }
+
+  if (phase_ == Phase::kMissWait) {
+    ++stats_.miss_wait_cycles;
+    bus_op_ = mem::CeBusOp::kWait;
+    if (cache_.take_fill_ready(id_)) {
+      // The stalled access completes with this fill.
+      if (pending_is_ifetch_) {
+        phase_ = Phase::kCompute;
+      } else {
+        if (pending_is_store_) {
+          --stores_left_;
+        } else {
+          --loads_left_;
+          last_load_addr_ = pending_addr_;
+        }
+        phase_ = Phase::kAccess;
+      }
+      pending_translated_ = false;
+    }
+    return;
+  }
+
+  // Control phases are combinational; loop until a cycle is consumed.
+  for (;;) {
+    switch (phase_) {
+      case Phase::kStepSetup: {
+        if (step_ >= total_steps_) {
+          phase_ = Phase::kDone;
+          ++stats_.instances_completed;
+          --stats_.busy_cycles;  // This cycle did no work.
+          return;
+        }
+        setup_step();
+        if (icache_.spills(inst_.key ^ (0xF00DULL + step_),
+                           inst_.spec->code_bytes)) {
+          pending_is_ifetch_ = true;
+          pending_addr_ = inst_.code_base +
+                          (static_cast<std::uint64_t>(step_) * 64) %
+                              inst_.spec->code_bytes;
+          pending_translated_ = false;
+          phase_ = Phase::kIFetch;
+        } else {
+          phase_ = Phase::kCompute;
+        }
+        continue;
+      }
+      case Phase::kCompute: {
+        if (compute_left_ > 0) {
+          --compute_left_;
+          ++stats_.compute_cycles;
+          return;  // Bus idle this cycle.
+        }
+        phase_ = Phase::kAccess;
+        continue;
+      }
+      case Phase::kIFetch: {
+        if (!pending_translated_) {
+          const Cycle fault = mmu_.touch(inst_.job, id_, pending_addr_);
+          pending_translated_ = true;
+          if (fault > 0) {
+            fault_left_ = fault;
+            resume_phase_ = Phase::kIFetch;
+            ++stats_.fault_wait_cycles;
+            phase_ = Phase::kFaultWait;
+            return;
+          }
+        }
+        if (!crossbar_.try_acquire(cache_.bank_of(pending_addr_))) {
+          bus_op_ = mem::CeBusOp::kWait;
+          ++stats_.xbar_conflict_cycles;
+          return;
+        }
+        issue_access(cache::AccessType::kInstrFetch, pending_addr_);
+        if (phase_ != Phase::kMissWait) {
+          phase_ = Phase::kCompute;
+          pending_translated_ = false;
+        }
+        return;
+      }
+      case Phase::kAccess: {
+        if (loads_left_ == 0 && stores_left_ == 0) {
+          ++step_;
+          phase_ = Phase::kStepSetup;
+          continue;
+        }
+        pending_is_ifetch_ = false;
+        if (!pending_translated_) {
+          pending_is_store_ = loads_left_ == 0;
+          pending_addr_ = next_data_addr(pending_is_store_);
+          const Cycle fault = mmu_.touch(inst_.job, id_, pending_addr_);
+          pending_translated_ = true;
+          if (fault > 0) {
+            fault_left_ = fault;
+            resume_phase_ = Phase::kAccess;
+            ++stats_.fault_wait_cycles;
+            phase_ = Phase::kFaultWait;
+            return;
+          }
+        }
+        if (!crossbar_.try_acquire(cache_.bank_of(pending_addr_))) {
+          bus_op_ = mem::CeBusOp::kWait;
+          ++stats_.xbar_conflict_cycles;
+          return;
+        }
+        issue_access(pending_is_store_ ? cache::AccessType::kWrite
+                                       : cache::AccessType::kRead,
+                     pending_addr_);
+        if (phase_ != Phase::kMissWait) {
+          if (pending_is_store_) {
+            --stores_left_;
+          } else {
+            --loads_left_;
+            last_load_addr_ = pending_addr_;
+          }
+          pending_translated_ = false;
+        }
+        return;
+      }
+      case Phase::kIdle:
+      case Phase::kDone:
+      case Phase::kMissWait:
+      case Phase::kFaultWait:
+        REPRO_ENSURE(false, "unreachable CE phase in run loop");
+    }
+  }
+}
+
+}  // namespace repro::fx8

@@ -1,0 +1,130 @@
+// Computational Element: the per-cycle interpreter of kernel instances.
+//
+// A CE executes one kernel instance at a time (a serial-phase repetition
+// or one concurrent-loop iteration). Each cycle it either burns a compute
+// cycle (bus idle), issues a data/instruction access through the crossbar
+// to the shared cache (bus read/write/ifetch, or the miss variants), waits
+// on an outstanding miss (bus wait), or stalls for page-fault service
+// (bus idle — the fault is handled by the OS). The per-cycle bus opcode is
+// what the logic-analyzer probe on this CE's cache bus latches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "base/types.hpp"
+#include "cache/icache.hpp"
+#include "cache/shared_cache.hpp"
+#include "fx8/crossbar.hpp"
+#include "fx8/mmu.hpp"
+#include "isa/kernel.hpp"
+#include "mem/bus_ops.hpp"
+
+namespace repro::fx8 {
+
+/// Everything needed to run one execution of a kernel.
+struct KernelInstance {
+  const isa::KernelSpec* spec = nullptr;
+  JobId job = 0;
+  /// Deterministic key: all per-step randomness hashes off this.
+  std::uint64_t key = 0;
+  /// Base of the job's data region and of the kernel's code image.
+  Addr data_base = 0;
+  Addr code_base = 0;
+  /// Starting byte offset of this instance's streaming walk within the
+  /// working set (element-interleaved for shared-data loops).
+  std::uint64_t stream_start = 0;
+  /// Byte distance between this instance's successive streaming accesses.
+  /// Serial code streams by the kernel's stride; a shared-data concurrent
+  /// iteration i walks elements i, i+T, i+2T... of the loop's arrays
+  /// (cyclic distribution), so its per-access jump is T*stride while
+  /// concurrently executing iterations sit on the *same* cache lines —
+  /// the cross-CE locality of paper §5.1. 0 means "use the spec stride".
+  std::uint64_t stream_step_bytes = 0;
+  /// Extra steps appended (conditional long path of an iteration).
+  std::uint32_t extra_steps = 0;
+};
+
+struct CeStats {
+  std::uint64_t busy_cycles = 0;       ///< Cycles executing an instance.
+  std::uint64_t compute_cycles = 0;
+  std::uint64_t mem_accesses = 0;
+  std::uint64_t miss_wait_cycles = 0;
+  std::uint64_t fault_wait_cycles = 0;
+  std::uint64_t xbar_conflict_cycles = 0;
+  std::uint64_t instances_completed = 0;
+};
+
+class Ce {
+ public:
+  Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
+     std::uint64_t icache_bytes = 16 * 1024);
+
+  [[nodiscard]] CeId id() const { return id_; }
+
+  /// Begin executing an instance. Requires idle().
+  void start(const KernelInstance& inst);
+
+  /// True when no instance is loaded (fresh, or the last one completed and
+  /// take_completed() was called).
+  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+
+  /// True when the loaded instance has finished.
+  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+
+  /// Acknowledge completion, returning the CE to idle.
+  void take_completed();
+
+  /// Advance one cycle (only meaningful while an instance is loaded).
+  /// Must be called after Crossbar::begin_cycle() for this cycle.
+  void tick();
+
+  /// Bus opcode latched by a probe for the cycle just ticked. Idle CEs
+  /// latch kIdle.
+  [[nodiscard]] mem::CeBusOp bus_op() const { return bus_op_; }
+
+  [[nodiscard]] const CeStats& stats() const { return stats_; }
+
+ private:
+  enum class Phase : std::uint8_t {
+    kIdle,
+    kStepSetup,   ///< Derive compute/access budget for the next step.
+    kIFetch,      ///< Issue a spilled instruction fetch.
+    kCompute,     ///< Burn compute cycles.
+    kAccess,      ///< Issue data accesses.
+    kMissWait,    ///< Outstanding shared-cache miss.
+    kFaultWait,   ///< Page-fault service stall.
+    kDone,
+  };
+
+  void setup_step();
+  void issue_access(cache::AccessType type, Addr addr);
+  [[nodiscard]] Addr next_data_addr(bool is_store);
+
+  CeId id_;
+  cache::SharedCache& cache_;
+  Crossbar& crossbar_;
+  Mmu& mmu_;
+  cache::InstructionCache icache_;
+
+  KernelInstance inst_;
+  Phase phase_ = Phase::kIdle;
+  Phase resume_phase_ = Phase::kIdle;  ///< Where to return after a stall.
+  std::uint32_t step_ = 0;
+  std::uint32_t total_steps_ = 0;
+  std::uint32_t compute_left_ = 0;
+  std::uint32_t loads_left_ = 0;
+  std::uint32_t stores_left_ = 0;
+  std::uint64_t accesses_done_ = 0;  ///< Streaming-cursor position.
+  Addr last_load_addr_ = 0;          ///< Stores are read-modify-write.
+  Cycle fault_left_ = 0;
+  bool pending_is_store_ = false;    ///< What the stalled access was.
+  bool pending_is_ifetch_ = false;
+  Addr pending_addr_ = 0;
+  bool pending_translated_ = false;  ///< Fault check already done.
+
+  mem::CeBusOp bus_op_ = mem::CeBusOp::kIdle;
+  CeStats stats_;
+};
+
+}  // namespace repro::fx8

@@ -1,0 +1,384 @@
+#include "fx8/cluster.hpp"
+
+#include <bit>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::fx8 {
+
+namespace {
+
+double hash_frac(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::vector<CeId> make_order(ServicePolicy policy, std::uint32_t n) {
+  std::vector<CeId> order;
+  if (policy == ServicePolicy::kOuterFirst && n == kMaxCes) {
+    order = {0, 7, 6, 3, 4, 2, 5, 1};
+    return order;
+  }
+  // kAscending, kRotating, and narrow clusters start from 0..n-1;
+  // kRotating applies its rotation at tick time.
+  for (CeId c = 0; c < n; ++c) {
+    order.push_back(c);
+  }
+  return order;
+}
+
+/// Bytes a kernel instance's streaming cursor advances per execution
+/// (loads walk the stream; RMW stores revisit the last load).
+std::uint64_t stream_bytes_per_instance(const isa::KernelSpec& k) {
+  std::uint64_t accesses =
+      static_cast<std::uint64_t>(k.steps) * k.loads_per_step;
+  if (k.loads_per_step == 0) {
+    accesses = static_cast<std::uint64_t>(k.steps) * k.stores_per_step;
+  }
+  return accesses * k.stride_bytes;
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
+                 Mmu& mmu)
+    : config_(config), cache_(cache),
+      crossbar_(cache.config().banks),
+      base_order_(make_order(config.policy, config.n_ces)) {
+  REPRO_EXPECT(config.n_ces >= 1 && config.n_ces <= kMaxCes,
+               "cluster width must be 1..8");
+  REPRO_EXPECT(config.detached_ces < config.n_ces,
+               "at least one CE must remain in the cluster");
+  // Detached CEs (the highest ids) never take cluster work: drop them
+  // from the service order.
+  std::erase_if(base_order_,
+                [&](CeId c) { return c >= cluster_width(); });
+  ces_.reserve(config.n_ces);
+  for (CeId c = 0; c < config.n_ces; ++c) {
+    ces_.emplace_back(c, cache, crossbar_, mmu, config.icache_bytes);
+  }
+}
+
+CeId Cluster::detached_ce(std::uint32_t slot) const {
+  REPRO_EXPECT(slot < config_.detached_ces, "detached slot out of range");
+  return config_.n_ces - 1 - slot;
+}
+
+bool Cluster::detached_busy(std::uint32_t slot) const {
+  REPRO_EXPECT(slot < config_.detached_ces, "detached slot out of range");
+  return detached_[slot].program != nullptr;
+}
+
+void Cluster::load_detached(std::uint32_t slot, const isa::Program* program,
+                            JobId job) {
+  REPRO_EXPECT(!detached_busy(slot), "detached slot already has a job");
+  REPRO_EXPECT(program != nullptr, "cannot load a null program");
+  program->validate();
+  REPRO_EXPECT(!program->has_concurrency(),
+               "detached processes are exclusively serial");
+  detached_[slot] = DetachedJob{program, job, 0, 0};
+}
+
+void Cluster::run_detached(std::uint32_t slot) {
+  DetachedJob& detached = detached_[slot];
+  if (detached.program == nullptr) {
+    return;
+  }
+  Ce& ce = ces_[detached_ce(slot)];
+  if (ce.done()) {
+    ce.take_completed();
+    ++detached.reps_done;
+    ++stats_.serial_reps_completed;
+  }
+  if (!ce.idle()) {
+    return;
+  }
+  const auto& phase =
+      std::get<isa::SerialPhase>(detached.program->phases[detached.phase_idx]);
+  if (detached.reps_done >= phase.reps) {
+    detached.reps_done = 0;
+    ++detached.phase_idx;
+    if (detached.phase_idx >= detached.program->phases.size()) {
+      detached.program = nullptr;
+      ++stats_.jobs_completed;
+      return;
+    }
+  }
+  const auto& current = std::get<isa::SerialPhase>(
+      detached.program->phases[detached.phase_idx]);
+  KernelInstance inst;
+  inst.spec = &current.body;
+  inst.job = detached.job;
+  inst.key = mix64(detached.program->seed ^
+                   (static_cast<std::uint64_t>(detached.phase_idx) << 40) ^
+                   (0xDE7AC4EDULL + detached.reps_done));
+  inst.data_base = detached.program->data_base;
+  inst.code_base = detached.program->data_base + 0x08000000ULL +
+                   static_cast<Addr>(detached.phase_idx) * 0x100000ULL;
+  inst.stream_start =
+      detached.reps_done * stream_bytes_per_instance(current.body) %
+      current.body.working_set_bytes;
+  ces_[detached_ce(slot)].start(inst);
+}
+
+void Cluster::load(const isa::Program* program, JobId job) {
+  REPRO_EXPECT(!busy(), "cluster already has a job loaded");
+  REPRO_EXPECT(program != nullptr, "cannot load a null program");
+  program->validate();
+  program_ = program;
+  job_ = job;
+  phase_idx_ = 0;
+  serial_reps_done_ = 0;
+  in_loop_ = false;
+  in_serial_phase_ = false;
+  worker_.fill(WorkerState::kNone);
+  if (observer_) {
+    observer_->on_job_start(job_, now_);
+  }
+}
+
+std::uint64_t Cluster::phase_key(std::uint64_t salt) const {
+  return mix64(program_->seed ^ (static_cast<std::uint64_t>(phase_idx_) << 40) ^
+               salt);
+}
+
+Addr Cluster::code_base_for_phase() const {
+  // Code images live in a region disjoint from data, one slot per phase.
+  return program_->data_base + 0x08000000ULL +
+         static_cast<Addr>(phase_idx_) * 0x100000ULL;
+}
+
+void Cluster::finish_job() {
+  if (observer_) {
+    observer_->on_job_end(job_, now_);
+  }
+  program_ = nullptr;
+  job_ = 0;
+  ++stats_.jobs_completed;
+}
+
+void Cluster::run_serial_phase(const isa::SerialPhase& phase) {
+  if (!in_serial_phase_) {
+    in_serial_phase_ = true;
+    if (observer_) {
+      observer_->on_serial_phase_start(
+          job_, static_cast<std::uint32_t>(phase_idx_), now_);
+    }
+  }
+  Ce& ce = ces_[serial_ce_];
+  if (ce.done()) {
+    ce.take_completed();
+    ++serial_reps_done_;
+    ++stats_.serial_reps_completed;
+  }
+  if (!ce.idle()) {
+    return;
+  }
+  if (serial_reps_done_ >= phase.reps) {
+    serial_reps_done_ = 0;
+    in_serial_phase_ = false;
+    if (observer_) {
+      observer_->on_serial_phase_end(
+          job_, static_cast<std::uint32_t>(phase_idx_), now_);
+    }
+    ++phase_idx_;
+    if (phase_idx_ >= program_->phases.size()) {
+      finish_job();
+    }
+    return;
+  }
+  KernelInstance inst;
+  inst.spec = &phase.body;
+  inst.job = job_;
+  inst.key = phase_key(0xABCD0000ULL + serial_reps_done_);
+  inst.data_base = program_->data_base;
+  inst.code_base = code_base_for_phase();
+  inst.stream_start = serial_reps_done_ * stream_bytes_per_instance(phase.body);
+  if (phase.body.working_set_bytes > 0) {
+    inst.stream_start %= phase.body.working_set_bytes;
+  }
+  ce.start(inst);
+}
+
+bool Cluster::iteration_has_dependence(const isa::ConcurrentLoopPhase& loop,
+                                       std::uint64_t iter) const {
+  if (iter == 0 || loop.dependence_prob <= 0.0) {
+    return false;
+  }
+  return hash_frac(mix64(phase_key(0xDE90000ULL) ^ iter)) <
+         loop.dependence_prob;
+}
+
+void Cluster::start_iteration(CeId ce_id, const isa::ConcurrentLoopPhase& loop,
+                              std::uint64_t iter) {
+  if (observer_) {
+    observer_->on_iteration_start(job_, iter, ce_id, now_);
+  }
+  KernelInstance inst;
+  inst.spec = &loop.body;
+  inst.job = job_;
+  inst.key = phase_key(0x17E40000ULL) ^ mix64(iter);
+  inst.data_base = program_->data_base;
+  inst.code_base = code_base_for_phase();
+  if (loop.shared_data) {
+    // Cyclic element distribution: iteration i reads elements i, i+T,
+    // i+2T... so concurrently executing iterations walk the same cache
+    // lines together (paper §5.1's cross-CE locality).
+    inst.stream_start =
+        (iter * loop.body.stride_bytes) % loop.body.working_set_bytes;
+    inst.stream_step_bytes = loop.trip_count * loop.body.stride_bytes;
+  } else {
+    inst.stream_start =
+        mix64(inst.key ^ 0x0FF5E7ULL) % loop.body.working_set_bytes /
+        loop.body.stride_bytes * loop.body.stride_bytes;
+  }
+  if (loop.long_path_prob > 0.0 &&
+      hash_frac(mix64(inst.key ^ 0xA11CEULL)) < loop.long_path_prob) {
+    inst.extra_steps = loop.long_path_extra_steps;
+  }
+  ces_[ce_id].start(inst);
+}
+
+void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
+  if (!in_loop_) {
+    ccb_.start_loop(phase.trip_count, config_.dispatch, cluster_width());
+    in_loop_ = true;
+    worker_.fill(WorkerState::kNone);
+    if (observer_) {
+      observer_->on_loop_start(job_, static_cast<std::uint32_t>(phase_idx_),
+                               phase.trip_count, now_);
+    }
+  }
+
+  // Service CEs in priority order: completions first so freed iterations
+  // unblock dependants within the same cycle, then dependence releases,
+  // then dispatch (one CCB grant per cycle).
+  const std::uint64_t rot = config_.policy == ServicePolicy::kRotating
+                                ? rotation_
+                                : 0;
+  const auto order_size = static_cast<std::uint32_t>(base_order_.size());
+  for (std::uint32_t i = 0; i < order_size; ++i) {
+    const CeId c = base_order_[(i + rot) % order_size];
+    Ce& ce = ces_[c];
+    if (worker_[c] == WorkerState::kExecuting && ce.done()) {
+      ce.take_completed();
+      ccb_.mark_complete(worker_iter_[c]);
+      if (observer_) {
+        observer_->on_iteration_end(job_, worker_iter_[c], c, now_);
+      }
+      ++stats_.iterations_completed;
+      worker_[c] = WorkerState::kNone;
+      if (ccb_.all_complete()) {
+        serial_ce_ = c;  // Last finisher continues serially (Figure 2).
+      }
+    }
+    if (worker_[c] == WorkerState::kAwaitingDep) {
+      ++stats_.dependence_wait_cycles;
+      if (ccb_.predecessor_complete(worker_iter_[c])) {
+        start_iteration(c, phase, worker_iter_[c]);
+        worker_[c] = WorkerState::kExecuting;
+      }
+    }
+    if (worker_[c] == WorkerState::kNone && !ccb_.all_dispatched()) {
+      if (const auto iter = ccb_.try_dispatch(c)) {
+        worker_iter_[c] = *iter;
+        if (iteration_has_dependence(phase, *iter) &&
+            !ccb_.predecessor_complete(*iter)) {
+          worker_[c] = WorkerState::kAwaitingDep;
+        } else {
+          start_iteration(c, phase, *iter);
+          worker_[c] = WorkerState::kExecuting;
+        }
+      }
+    }
+  }
+
+  if (ccb_.all_complete()) {
+    ccb_.end_loop();
+    in_loop_ = false;
+    ++stats_.loops_completed;
+    if (observer_) {
+      observer_->on_loop_end(job_, static_cast<std::uint32_t>(phase_idx_),
+                             now_);
+    }
+    ++phase_idx_;
+    if (phase_idx_ >= program_->phases.size()) {
+      finish_job();
+    }
+  }
+}
+
+void Cluster::advance_control() {
+  if (!busy()) {
+    return;
+  }
+  const isa::Phase& phase = program_->phases[phase_idx_];
+  if (const auto* serial = std::get_if<isa::SerialPhase>(&phase)) {
+    run_serial_phase(*serial);
+  } else {
+    run_concurrent_phase(std::get<isa::ConcurrentLoopPhase>(phase));
+  }
+}
+
+void Cluster::tick() {
+  crossbar_.begin_cycle();
+  if (in_loop_) {
+    ccb_.begin_cycle();
+  }
+  advance_control();
+  for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+    run_detached(slot);
+  }
+  const std::uint64_t rot =
+      config_.policy == ServicePolicy::kRotating ? rotation_ : 0;
+  const auto order_size = static_cast<std::uint32_t>(base_order_.size());
+  for (std::uint32_t i = 0; i < order_size; ++i) {
+    ces_[base_order_[(i + rot) % order_size]].tick();
+  }
+  for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+    ces_[detached_ce(slot)].tick();
+  }
+  ++rotation_;
+  ++now_;
+}
+
+std::uint32_t Cluster::active_mask() const {
+  std::uint32_t mask = 0;
+  // Detached processes show on the CCB probe as active processors even
+  // though they are exclusively serial — the Figure-3 footnote's
+  // measurement caveat.
+  for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+    if (detached_[slot].program != nullptr) {
+      mask |= 1u << detached_ce(slot);
+    }
+  }
+  if (!busy()) {
+    return mask;
+  }
+  if (in_loop_) {
+    const bool contending = !ccb_.all_dispatched();
+    for (CeId c = 0; c < cluster_width(); ++c) {
+      if (worker_[c] != WorkerState::kNone || contending) {
+        mask |= 1u << c;
+      }
+    }
+    return mask;
+  }
+  return mask | (1u << serial_ce_);
+}
+
+std::uint32_t Cluster::active_count() const {
+  return static_cast<std::uint32_t>(std::popcount(active_mask()));
+}
+
+mem::CeBusOp Cluster::ce_bus_op(CeId ce) const {
+  REPRO_EXPECT(ce < config_.n_ces, "CE index out of range");
+  return ces_[ce].bus_op();
+}
+
+const Ce& Cluster::ce(CeId id) const {
+  REPRO_EXPECT(id < config_.n_ces, "CE index out of range");
+  return ces_[id];
+}
+
+}  // namespace repro::fx8

@@ -1,0 +1,185 @@
+// The Computational Cluster: eight CEs, the Concurrency Control Bus, and
+// the program control that maps phases onto them.
+//
+// Serial phases run on the continuation CE; concurrent DO-loop phases are
+// self-scheduled over the CCB (Figure 2). The CE that completes the last
+// iteration of a loop becomes the continuation CE for the following serial
+// phase — "and need not be the same processor that entered the loop
+// serially" (§3.2).
+//
+// The service order in which CEs are polled each cycle doubles as the
+// hardware priority: earlier CEs win crossbar routing and CCB grants on
+// ties. The default order favours CE7 and CE0, the asymmetry the paper
+// observed in transition periods (Figure 7); an evenly rotating order is
+// available as the ablation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+#include "cache/shared_cache.hpp"
+#include "fx8/ccb.hpp"
+#include "fx8/ce.hpp"
+#include "fx8/crossbar.hpp"
+#include "fx8/mmu.hpp"
+#include "isa/program.hpp"
+
+namespace repro::fx8 {
+
+/// How CEs are prioritized when several contend in the same cycle.
+enum class ServicePolicy : std::uint8_t {
+  /// Fixed order favouring the outermost CEs: 7,0,6,1,5,2,4,3. This is the
+  /// asymmetric priority the measured machine exhibits (Figure 7).
+  kOuterFirst,
+  /// Fixed ascending order 0..7 (every tie resolved identically).
+  kAscending,
+  /// Order rotates by one each cycle (fair round-robin) — the ablation
+  /// that flattens the per-CE transition activity profile.
+  kRotating,
+};
+
+struct ClusterConfig {
+  std::uint32_t n_ces = kMaxCes;
+  ServicePolicy policy = ServicePolicy::kOuterFirst;
+  /// Loop-iteration dispatch: hardware self-scheduling (the machine's
+  /// behaviour) or compile-time static chunking (the ablation).
+  DispatchPolicy dispatch = DispatchPolicy::kSelfScheduled;
+  std::uint64_t icache_bytes = 16 * 1024;
+  /// CEs detached from the cluster to run exclusively-serial processes
+  /// (the highest-numbered ids). The Figure-3 footnote: "Detached
+  /// processes (exclusively serial) may constitute a portion of these
+  /// states." Default 0 = the whole complex forms one cluster, the
+  /// measured CSRD configuration.
+  std::uint32_t detached_ces = 0;
+};
+
+struct ClusterStats {
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t loops_completed = 0;
+  std::uint64_t iterations_completed = 0;
+  std::uint64_t serial_reps_completed = 0;
+  std::uint64_t dependence_wait_cycles = 0;
+};
+
+/// Marker-event hook: the "special event marker instructions embedded in
+/// programs" of the paper's related work (§2.1 [16][17]). The cluster
+/// invokes these at job/phase/iteration boundaries; src/trace builds
+/// composite traces from them. All callbacks default to no-ops.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+  virtual void on_job_start(JobId, Cycle) {}
+  virtual void on_job_end(JobId, Cycle) {}
+  virtual void on_serial_phase_start(JobId, std::uint32_t /*phase*/, Cycle) {}
+  virtual void on_serial_phase_end(JobId, std::uint32_t /*phase*/, Cycle) {}
+  virtual void on_loop_start(JobId, std::uint32_t /*phase*/,
+                             std::uint64_t /*trip*/, Cycle) {}
+  virtual void on_loop_end(JobId, std::uint32_t /*phase*/, Cycle) {}
+  virtual void on_iteration_start(JobId, std::uint64_t /*iter*/, CeId,
+                                  Cycle) {}
+  virtual void on_iteration_end(JobId, std::uint64_t /*iter*/, CeId,
+                                Cycle) {}
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& config, cache::SharedCache& cache, Mmu& mmu);
+
+  /// Load a job onto the cluster. Requires !busy().
+  void load(const isa::Program* program, JobId job);
+
+  /// True while a job is loaded and unfinished.
+  [[nodiscard]] bool busy() const { return program_ != nullptr; }
+
+  /// Advance one cycle (program control, CCB, crossbar, all CEs).
+  void tick();
+
+  /// Bitmask of CEs "active" in the paper's CCB-probe sense: executing
+  /// serial code, or participating in a concurrent operation (holding an
+  /// iteration, awaiting a dependence, or contending for one while
+  /// undispatched iterations remain).
+  [[nodiscard]] std::uint32_t active_mask() const;
+
+  /// Number of active CEs this cycle (popcount of active_mask).
+  [[nodiscard]] std::uint32_t active_count() const;
+
+  [[nodiscard]] mem::CeBusOp ce_bus_op(CeId ce) const;
+  [[nodiscard]] const Ce& ce(CeId id) const;
+  [[nodiscard]] const ConcurrencyControlBus& ccb() const { return ccb_; }
+  [[nodiscard]] Crossbar& crossbar() { return crossbar_; }
+  [[nodiscard]] const ClusterStats& stats() const { return stats_; }
+  [[nodiscard]] std::uint32_t width() const { return config_.n_ces; }
+  [[nodiscard]] CeId continuation_ce() const { return serial_ce_; }
+
+  /// Attach/detach a marker-event observer (nullptr detaches). The
+  /// observer must outlive the cluster or be detached first.
+  void set_observer(ClusterObserver* observer) { observer_ = observer; }
+
+  // --- Detached CEs ---------------------------------------------------
+  /// CEs participating in cluster (loop) execution.
+  [[nodiscard]] std::uint32_t cluster_width() const {
+    return config_.n_ces - config_.detached_ces;
+  }
+  [[nodiscard]] std::uint32_t detached_count() const {
+    return config_.detached_ces;
+  }
+  /// The CE a detached slot owns (slot 0 = highest CE id).
+  [[nodiscard]] CeId detached_ce(std::uint32_t slot) const;
+  [[nodiscard]] bool detached_busy(std::uint32_t slot) const;
+  /// Run an exclusively-serial program on a detached CE. Requires a free
+  /// slot and a program with no concurrent phases.
+  void load_detached(std::uint32_t slot, const isa::Program* program,
+                     JobId job);
+
+ private:
+  enum class WorkerState : std::uint8_t { kNone, kAwaitingDep, kExecuting };
+
+  struct DetachedJob {
+    const isa::Program* program = nullptr;
+    JobId job = 0;
+    std::size_t phase_idx = 0;
+    std::uint64_t reps_done = 0;
+  };
+
+  void advance_control();
+  void run_detached(std::uint32_t slot);
+  void run_serial_phase(const isa::SerialPhase& phase);
+  void run_concurrent_phase(const isa::ConcurrentLoopPhase& phase);
+  void start_iteration(CeId ce, const isa::ConcurrentLoopPhase& loop,
+                       std::uint64_t iter);
+  [[nodiscard]] bool iteration_has_dependence(
+      const isa::ConcurrentLoopPhase& loop, std::uint64_t iter) const;
+  [[nodiscard]] std::uint64_t phase_key(std::uint64_t salt) const;
+  [[nodiscard]] Addr code_base_for_phase() const;
+  void finish_job();
+
+  ClusterConfig config_;
+  cache::SharedCache& cache_;
+  Crossbar crossbar_;
+  ConcurrencyControlBus ccb_;
+  std::vector<Ce> ces_;
+  std::vector<CeId> base_order_;
+  std::uint64_t rotation_ = 0;
+
+  const isa::Program* program_ = nullptr;
+  JobId job_ = 0;
+  std::size_t phase_idx_ = 0;
+  std::uint64_t serial_reps_done_ = 0;
+  CeId serial_ce_ = 0;
+  bool in_loop_ = false;
+  bool in_serial_phase_ = false;
+  std::array<WorkerState, kMaxCes> worker_{};
+  std::array<std::uint64_t, kMaxCes> worker_iter_{};
+
+  std::array<DetachedJob, kMaxCes> detached_{};
+
+  ClusterStats stats_;
+  ClusterObserver* observer_ = nullptr;
+  /// Cluster-local clock; advances with tick() and timestamps marker
+  /// events (equals Machine::now() when ticked by the machine).
+  Cycle now_ = 0;
+};
+
+}  // namespace repro::fx8

@@ -1,0 +1,27 @@
+#include "fx8/crossbar.hpp"
+
+#include <algorithm>
+
+#include "base/expect.hpp"
+
+namespace repro::fx8 {
+
+Crossbar::Crossbar(std::uint32_t banks) : bank_taken_(banks, 0) {
+  REPRO_EXPECT(banks > 0, "crossbar needs at least one bank");
+}
+
+void Crossbar::begin_cycle() {
+  std::fill(bank_taken_.begin(), bank_taken_.end(), std::uint8_t{0});
+}
+
+bool Crossbar::try_acquire(std::uint32_t bank) {
+  REPRO_EXPECT(bank < bank_taken_.size(), "bank index out of range");
+  if (bank_taken_[bank]) {
+    ++conflicts_;
+    return false;
+  }
+  bank_taken_[bank] = 1;
+  return true;
+}
+
+}  // namespace repro::fx8

@@ -1,0 +1,36 @@
+// Crossbar between the CEs and the shared-cache banks.
+//
+// "Connection to these cache modules is accomplished through a crossbar
+// switch which routes both address and data between cache and CE"
+// (Appendix C). Each cycle a bank can serve one requester; contention
+// shows up on the losing CE's bus as a wait cycle. Priority is positional:
+// the cluster services CEs in its configured order, so the crossbar just
+// enforces one-grant-per-bank bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace repro::fx8 {
+
+class Crossbar {
+ public:
+  explicit Crossbar(std::uint32_t banks);
+
+  /// Reset per-cycle grants. Call once per machine cycle before CEs act.
+  void begin_cycle();
+
+  /// Try to route an access to `bank` this cycle; true on success.
+  [[nodiscard]] bool try_acquire(std::uint32_t bank);
+
+  /// Lifetime count of rejected (conflicted) acquisitions.
+  [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+
+ private:
+  std::vector<std::uint8_t> bank_taken_;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace repro::fx8

@@ -1,0 +1,68 @@
+#include "fx8/ip.hpp"
+
+#include <algorithm>
+
+#include "base/expect.hpp"
+
+namespace repro::fx8 {
+
+Ip::Ip(IpId id, const IpConfig& config, Addr region_base,
+       cache::IpCache& cache, std::uint64_t seed)
+    : id_(id), config_(config), region_base_(region_base), cache_(cache),
+      rng_(seed) {
+  REPRO_EXPECT(config.duty >= 0.0 && config.duty <= 1.0,
+               "IP duty must be a fraction");
+  REPRO_EXPECT(config.access_interval > 0, "access interval must be positive");
+  REPRO_EXPECT(config.working_set_bytes >= 8, "IP working set too small");
+  enter_idle();
+}
+
+void Ip::enter_idle() {
+  bursting_ = false;
+  if (config_.duty >= 1.0) {
+    state_left_ = 1;
+    return;
+  }
+  const double idle_mean =
+      config_.duty <= 0.0
+          ? 1e9
+          : config_.mean_burst_cycles * (1.0 - config_.duty) / config_.duty;
+  state_left_ = std::max<Cycle>(1, static_cast<Cycle>(
+                                       rng_.exponential(idle_mean)));
+}
+
+void Ip::enter_burst() {
+  bursting_ = true;
+  state_left_ = std::max<Cycle>(
+      1, static_cast<Cycle>(
+             rng_.exponential(static_cast<double>(config_.mean_burst_cycles))));
+  access_countdown_ = config_.access_interval;
+}
+
+void Ip::tick() {
+  if (state_left_ == 0) {
+    if (bursting_ || config_.duty <= 0.0) {
+      enter_idle();
+    } else {
+      enter_burst();
+    }
+  }
+  --state_left_;
+  if (!bursting_) {
+    return;
+  }
+  if (--access_countdown_ != 0) {
+    return;
+  }
+  access_countdown_ = config_.access_interval;
+  if (rng_.bernoulli(config_.jump_prob)) {
+    cursor_ = rng_.uniform(config_.working_set_bytes / 8) * 8;
+  } else {
+    cursor_ = (cursor_ + 8) % config_.working_set_bytes;
+  }
+  const bool is_write = rng_.bernoulli(config_.write_fraction);
+  (void)cache_.access(region_base_ + cursor_, is_write);
+  ++accesses_;
+}
+
+}  // namespace repro::fx8

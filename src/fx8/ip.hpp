@@ -1,0 +1,65 @@
+// Interactive Processor activity model.
+//
+// "Interactive Processors handle interactive traffic, operating system
+// functions, and I/O" (§3.1). IPs are not the measured resource — the
+// study deliberately ran its own control software on an IP to keep
+// measurement artifact off the cluster (§3.4) — but their cache misses
+// load the shared memory bus and their writes revoke CE-cache copies, so
+// the machine model needs their traffic.
+//
+// An IP alternates exponentially-distributed idle and burst periods; while
+// bursting it issues an access to its working set every few cycles.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "cache/ip_cache.hpp"
+
+namespace repro::fx8 {
+
+struct IpConfig {
+  /// Long-run fraction of time spent bursting.
+  double duty = 0.25;
+  /// Cycles between accesses within a burst.
+  std::uint32_t access_interval = 6;
+  /// Fraction of accesses that are writes (these snoop the CE cache).
+  double write_fraction = 0.15;
+  /// Bytes of the IP's working region.
+  std::uint64_t working_set_bytes = 24 * 1024;
+  /// Mean burst length in cycles (idle mean derives from duty).
+  std::uint32_t mean_burst_cycles = 2000;
+  /// Probability an access jumps to a random spot instead of streaming.
+  double jump_prob = 0.1;
+};
+
+class Ip {
+ public:
+  Ip(IpId id, const IpConfig& config, Addr region_base,
+     cache::IpCache& cache, std::uint64_t seed);
+
+  [[nodiscard]] IpId id() const { return id_; }
+
+  /// Advance one cycle.
+  void tick();
+
+  [[nodiscard]] std::uint64_t accesses_issued() const { return accesses_; }
+
+ private:
+  void enter_idle();
+  void enter_burst();
+
+  IpId id_;
+  IpConfig config_;
+  Addr region_base_;
+  cache::IpCache& cache_;
+  Rng rng_;
+  bool bursting_ = false;
+  Cycle state_left_ = 0;
+  std::uint32_t access_countdown_ = 0;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace repro::fx8

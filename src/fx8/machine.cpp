@@ -1,0 +1,59 @@
+#include "fx8/machine.hpp"
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::fx8 {
+
+MachineConfig MachineConfig::fx8() { return MachineConfig{}; }
+
+MachineConfig MachineConfig::fx1() {
+  MachineConfig config;
+  config.cluster.n_ces = 1;
+  config.cluster.policy = ServicePolicy::kAscending;
+  config.n_ips = 1;
+  config.shared_cache.total_bytes = 64 * 1024;
+  config.shared_cache.modules = 1;
+  config.shared_cache.banks = 2;
+  config.membus.bus_count = 1;
+  return config;
+}
+
+Machine::Machine(const MachineConfig& config, Mmu& mmu) : config_(config) {
+  memory_ = std::make_unique<mem::MainMemory>(config.memory);
+  membus_ = std::make_unique<mem::MemoryBus>(config.membus, *memory_);
+  shared_cache_ =
+      std::make_unique<cache::SharedCache>(config.shared_cache, *membus_);
+  cluster_ = std::make_unique<Cluster>(config.cluster, *shared_cache_, mmu);
+
+  std::uint64_t seed = config.seed;
+  for (IpId ip = 0; ip < config.n_ips; ++ip) {
+    cache::IpCacheConfig ipc;
+    ipc.bus = ip % config.membus.bus_count;
+    auto ip_cache = std::make_unique<cache::IpCache>(ipc, *membus_);
+    ip_cache->set_snoop_hook(
+        [this](Addr line) { shared_cache_->snoop_invalidate(line); });
+    // IP regions sit far above job data regions so they never alias.
+    const Addr region = 0xE0000000ULL + static_cast<Addr>(ip) * 0x100000ULL;
+    ips_.emplace_back(ip, config.ip, region, *ip_cache, splitmix64(seed));
+    ip_caches_.push_back(std::move(ip_cache));
+  }
+}
+
+void Machine::tick() {
+  cluster_->tick();
+  for (Ip& ip : ips_) {
+    ip.tick();
+  }
+  membus_->tick(now_);
+  shared_cache_->tick();
+  ++now_;
+}
+
+void Machine::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    tick();
+  }
+}
+
+}  // namespace repro::fx8

@@ -1,0 +1,88 @@
+// Machine facade: the measured Alliant FX/8 (Figure 1).
+//
+// Wires main memory, the two memory buses, the shared CE cache, the
+// cluster (CEs + crossbar + Concurrency Control Bus), and the Interactive
+// Processors with their caches, and exposes the *probe surface* — the
+// per-cycle signals the DAS 9100 was clipped onto (§3.3):
+//   1. each CE's cache-bus opcode,
+//   2. the memory-bus opcodes,
+//   3. the Concurrency Control Bus activity state of every CE.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/types.hpp"
+#include "cache/ip_cache.hpp"
+#include "cache/shared_cache.hpp"
+#include "fx8/cluster.hpp"
+#include "fx8/ip.hpp"
+#include "fx8/mmu.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::fx8 {
+
+struct MachineConfig {
+  mem::MainMemoryConfig memory;
+  mem::MemoryBusConfig membus;
+  cache::SharedCacheConfig shared_cache;
+  ClusterConfig cluster;
+  IpConfig ip;
+  std::uint32_t n_ips = 2;
+  std::uint64_t seed = 0x1987;
+
+  /// The measured machine: 8 CEs, 2 IPs, 128 KB shared cache (the CSRD
+  /// configuration of Figure 1).
+  static MachineConfig fx8();
+  /// Entry configuration: 1 CE, 1 IP (the FX/1 of Appendix C).
+  static MachineConfig fx1();
+};
+
+class Machine {
+ public:
+  Machine(const MachineConfig& config, Mmu& mmu);
+
+  /// Advance the whole machine one cycle.
+  void tick();
+  /// Convenience: tick `cycles` times.
+  void run(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const { return now_; }
+
+  [[nodiscard]] Cluster& cluster() { return *cluster_; }
+  [[nodiscard]] const Cluster& cluster() const { return *cluster_; }
+  [[nodiscard]] cache::SharedCache& shared_cache() { return *shared_cache_; }
+  [[nodiscard]] const cache::SharedCache& shared_cache() const {
+    return *shared_cache_;
+  }
+  [[nodiscard]] mem::MemoryBus& membus() { return *membus_; }
+  [[nodiscard]] mem::MainMemory& memory() { return *memory_; }
+  [[nodiscard]] std::vector<Ip>& ips() { return ips_; }
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+
+  // --- Probe surface -------------------------------------------------
+  [[nodiscard]] mem::CeBusOp ce_bus_op(CeId ce) const {
+    return cluster_->ce_bus_op(ce);
+  }
+  [[nodiscard]] mem::MemBusOp mem_bus_op(std::uint32_t bus) const {
+    return membus_->op_on(bus);
+  }
+  /// CCB probe: bitmask of concurrent/serial-active CEs.
+  [[nodiscard]] std::uint32_t active_mask() const {
+    return cluster_->active_mask();
+  }
+
+ private:
+  MachineConfig config_;
+  std::unique_ptr<mem::MainMemory> memory_;
+  std::unique_ptr<mem::MemoryBus> membus_;
+  std::unique_ptr<cache::SharedCache> shared_cache_;
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::unique_ptr<cache::IpCache>> ip_caches_;
+  std::vector<Ip> ips_;
+  Cycle now_ = 0;
+};
+
+}  // namespace repro::fx8

@@ -1,0 +1,33 @@
+// Memory-management interface between the machine and the OS layer.
+//
+// CEs present virtual addresses. The OS (src/os) supplies the policy —
+// page tables, fault accounting, fault service time — through this
+// interface, keeping the hardware model free of OS types. The simulator
+// indexes the shared cache by virtual address (jobs get disjoint regions,
+// so there is no aliasing); the MMU's observable contribution is the page
+// faults the kernel counters log, exactly the software measurement the
+// paper collected (§3.3).
+#pragma once
+
+#include "base/types.hpp"
+
+namespace repro::fx8 {
+
+class Mmu {
+ public:
+  virtual ~Mmu() = default;
+
+  /// Touch `addr` on behalf of `job` from processor `ce`. Returns the
+  /// number of cycles the access must stall for fault service (0 when the
+  /// page is already mapped). A non-zero return maps the page, so the
+  /// retried access will not fault again.
+  virtual Cycle touch(JobId job, CeId ce, Addr addr) = 0;
+};
+
+/// MMU that never faults; used by unit tests of the bare machine.
+class NoFaultMmu final : public Mmu {
+ public:
+  Cycle touch(JobId, CeId, Addr) override { return 0; }
+};
+
+}  // namespace repro::fx8

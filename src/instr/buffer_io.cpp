@@ -1,0 +1,66 @@
+#include "instr/buffer_io.hpp"
+
+#include <sstream>
+
+#include "base/expect.hpp"
+
+namespace repro::instr {
+
+namespace {
+constexpr char kHeader[] = "# das-buffer v1: cycle ce0..ce7 mem0 mem1 mask";
+}
+
+std::string buffer_to_text(std::span<const ProbeRecord> records) {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  for (const ProbeRecord& record : records) {
+    os << record.cycle;
+    for (const mem::CeBusOp op : record.ce_ops) {
+      os << ' ' << static_cast<unsigned>(op);
+    }
+    for (const mem::MemBusOp op : record.mem_ops) {
+      os << ' ' << static_cast<unsigned>(op);
+    }
+    os << ' ' << record.active_mask << '\n';
+  }
+  return os.str();
+}
+
+std::vector<ProbeRecord> parse_buffer(const std::string& text) {
+  std::istringstream is(text);
+  std::string line;
+  REPRO_EXPECT(std::getline(is, line) && line == kHeader,
+               "missing or unknown das-buffer header");
+  std::vector<ProbeRecord> records;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    ProbeRecord record;
+    unsigned value = 0;
+    REPRO_EXPECT(static_cast<bool>(fields >> record.cycle),
+                 "malformed cycle in: " + line);
+    for (mem::CeBusOp& op : record.ce_ops) {
+      REPRO_EXPECT(static_cast<bool>(fields >> value) &&
+                       value < mem::kNumCeBusOps,
+                   "malformed CE opcode in: " + line);
+      op = static_cast<mem::CeBusOp>(value);
+    }
+    for (mem::MemBusOp& op : record.mem_ops) {
+      REPRO_EXPECT(static_cast<bool>(fields >> value) &&
+                       value < mem::kNumMemBusOps,
+                   "malformed memory opcode in: " + line);
+      op = static_cast<mem::MemBusOp>(value);
+    }
+    REPRO_EXPECT(static_cast<bool>(fields >> record.active_mask) &&
+                     record.active_mask <= 0xFF,
+                 "malformed activity mask in: " + line);
+    std::string trailing;
+    REPRO_EXPECT(!(fields >> trailing), "trailing fields in: " + line);
+    records.push_back(record);
+  }
+  return records;
+}
+
+}  // namespace repro::instr

@@ -1,0 +1,27 @@
+// Acquisition-buffer serialization.
+//
+// The control scripts could "transfer acquired buffers to files resident
+// on the Alliant system" (§3.3); reduction then happened separately. The
+// text format here plays that file role: one record per line, columns
+// for the cycle stamp, the eight CE bus opcodes, the two memory bus
+// opcodes, and the CCB activity mask. Decouples acquisition from
+// analysis and makes captures diffable.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "instr/signals.hpp"
+
+namespace repro::instr {
+
+/// Serialize a buffer (one header line, then one line per record).
+[[nodiscard]] std::string buffer_to_text(
+    std::span<const ProbeRecord> records);
+
+/// Parse a buffer back. Throws ContractViolation on malformed input.
+/// Round-trips buffer_to_text exactly.
+[[nodiscard]] std::vector<ProbeRecord> parse_buffer(const std::string& text);
+
+}  // namespace repro::instr

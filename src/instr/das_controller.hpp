@@ -1,0 +1,61 @@
+// DAS 9100 command port.
+//
+// "The DAS is fully controllable through an i/o port; all experiments
+// used this feature to control the instrument, as well as to transfer
+// acquired buffers to files resident on the Alliant system" (§3.3). This
+// is that control path: a line-oriented command protocol over the
+// analyzer, which the session controller (the "C-Shell scripts") drives.
+//
+// Command set:
+//   TRIGGER IMMEDIATE | ALLACTIVE | TRANSITION   stage the trigger mode
+//   DEPTH <records>                               stage the buffer depth
+//   WIDTH <processors>                            stage the full width
+//   ARM                                           build + arm an acquisition
+//   STATUS                                        DISARMED/ARMED/CAPTURING/COMPLETE
+//   XFER                                          close out a complete acquisition
+//   RESET                                         drop everything staged
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "instr/logic_analyzer.hpp"
+
+namespace repro::instr {
+
+class DasController {
+ public:
+  struct Response {
+    bool ok = false;
+    std::string text;
+  };
+
+  DasController() = default;
+
+  /// Execute one command line; unknown or malformed commands return
+  /// ok = false with a diagnostic (the instrument NAKs, it never throws).
+  Response command(const std::string& line);
+
+  /// Probe sample clock; feeds an armed/capturing acquisition. Returns
+  /// true when this sample completed the acquisition.
+  bool on_sample_clock(const ProbeRecord& record);
+
+  [[nodiscard]] bool acquisition_complete() const;
+
+  /// Buffer retrieval after a successful XFER.
+  [[nodiscard]] bool has_transfer() const { return transfer_.has_value(); }
+  [[nodiscard]] std::vector<ProbeRecord> take_transfer();
+
+  /// The configuration that will be used at the next ARM.
+  [[nodiscard]] const AnalyzerConfig& staged_config() const {
+    return staged_;
+  }
+
+ private:
+  AnalyzerConfig staged_;
+  std::optional<LogicAnalyzer> analyzer_;
+  std::optional<std::vector<ProbeRecord>> transfer_;
+};
+
+}  // namespace repro::instr

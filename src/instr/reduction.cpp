@@ -1,0 +1,115 @@
+#include "instr/reduction.hpp"
+
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/text.hpp"
+
+namespace repro::instr {
+
+void EventCounts::accumulate(const ProbeRecord& record, std::uint32_t n_ces,
+                             std::uint32_t n_buses) {
+  REPRO_EXPECT(n_ces >= 1 && n_ces <= kMaxCes, "CE count out of range");
+  REPRO_EXPECT(n_buses >= 1 && n_buses <= 2, "bus count out of range");
+  ++records;
+  ce_bus_cycles += n_ces;
+  const std::uint32_t active = record.active_count();
+  REPRO_ENSURE(active <= kMaxCes, "more active processors than exist");
+  ++num[active];
+  for (CeId ce = 0; ce < n_ces; ++ce) {
+    if (record.ce_active(ce)) {
+      ++proc[ce];
+    }
+    ++ceop[static_cast<std::size_t>(record.ce_ops[ce])];
+  }
+  for (std::uint32_t bus = 0; bus < n_buses; ++bus) {
+    ++membop[static_cast<std::size_t>(record.mem_ops[bus])];
+  }
+}
+
+void EventCounts::merge(const EventCounts& other) {
+  for (std::size_t j = 0; j < num.size(); ++j) {
+    num[j] += other.num[j];
+  }
+  for (std::size_t j = 0; j < proc.size(); ++j) {
+    proc[j] += other.proc[j];
+  }
+  for (std::size_t j = 0; j < ceop.size(); ++j) {
+    ceop[j] += other.ceop[j];
+  }
+  for (std::size_t j = 0; j < membop.size(); ++j) {
+    membop[j] += other.membop[j];
+  }
+  records += other.records;
+  ce_bus_cycles += other.ce_bus_cycles;
+}
+
+double EventCounts::miss_rate() const {
+  if (ce_bus_cycles == 0) {
+    return 0.0;
+  }
+  const std::uint64_t misses =
+      ceop[static_cast<std::size_t>(mem::CeBusOp::kReadMiss)] +
+      ceop[static_cast<std::size_t>(mem::CeBusOp::kWriteMiss)];
+  return static_cast<double>(misses) / static_cast<double>(ce_bus_cycles);
+}
+
+double EventCounts::bus_busy() const {
+  if (ce_bus_cycles == 0) {
+    return 0.0;
+  }
+  const std::uint64_t idle =
+      ceop[static_cast<std::size_t>(mem::CeBusOp::kIdle)];
+  return static_cast<double>(ce_bus_cycles - idle) /
+         static_cast<double>(ce_bus_cycles);
+}
+
+double EventCounts::mem_bus_busy() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t count : membop) {
+    total += count;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  const std::uint64_t idle =
+      membop[static_cast<std::size_t>(mem::MemBusOp::kIdle)];
+  return static_cast<double>(total - idle) / static_cast<double>(total);
+}
+
+std::string EventCounts::render() const {
+  std::ostringstream os;
+  os << "HARDWARE MEASUREMENT EVENT COUNTS (" << records << " records)\n";
+  os << "  num_j  (records with j processors active):\n";
+  for (std::size_t j = 0; j < num.size(); ++j) {
+    os << "    j=" << j << "  " << with_commas(num[j]) << '\n';
+  }
+  os << "  proc_j (records with processor j active):\n";
+  for (std::size_t j = 0; j < proc.size(); ++j) {
+    os << "    CE" << j << "  " << with_commas(proc[j]) << '\n';
+  }
+  os << "  ceop_j (CE bus opcode cycles):\n";
+  for (std::size_t j = 0; j < ceop.size(); ++j) {
+    os << "    " << pad_right(std::string(name(static_cast<mem::CeBusOp>(j))),
+                              11)
+       << with_commas(ceop[j]) << '\n';
+  }
+  os << "  membop_j (memory bus opcode cycles):\n";
+  for (std::size_t j = 0; j < membop.size(); ++j) {
+    os << "    "
+       << pad_right(std::string(name(static_cast<mem::MemBusOp>(j))), 11)
+       << with_commas(membop[j]) << '\n';
+  }
+  return os.str();
+}
+
+EventCounts reduce(std::span<const ProbeRecord> records, std::uint32_t n_ces,
+                   std::uint32_t n_buses) {
+  EventCounts counts;
+  for (const ProbeRecord& record : records) {
+    counts.accumulate(record, n_ces, n_buses);
+  }
+  return counts;
+}
+
+}  // namespace repro::instr

@@ -1,0 +1,60 @@
+// Event-count reduction: Table 1 of the paper.
+//
+// "The programs ... reduce the acquired data to appropriate event counts":
+//   num_j    — number of records with j processors active,
+//   proc_j   — number of records with processor j active,
+//   ceop_j   — number of records with CE bus opcode = j,
+//   membop_j — number of records with memory bus opcode = j.
+// The derived system measures of §5 come straight from these counts:
+// Missrate (miss cycles / total CE bus cycles), CE Bus Busy (non-idle CE
+// bus cycles / total CE bus cycles).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "instr/signals.hpp"
+#include "mem/bus_ops.hpp"
+
+namespace repro::instr {
+
+struct EventCounts {
+  /// num_j: records with exactly j processors active, j = 0..8.
+  std::array<std::uint64_t, kMaxCes + 1> num{};
+  /// proc_j: records in which processor j was active.
+  std::array<std::uint64_t, kMaxCes> proc{};
+  /// ceop_j: CE-bus opcode occurrences, summed over all CE buses.
+  std::array<std::uint64_t, mem::kNumCeBusOps> ceop{};
+  /// membop_j: memory-bus opcode occurrences, summed over both buses.
+  std::array<std::uint64_t, mem::kNumMemBusOps> membop{};
+
+  std::uint64_t records = 0;
+  /// CE bus cycles observed = records * number of CE buses probed.
+  std::uint64_t ce_bus_cycles = 0;
+
+  void accumulate(const ProbeRecord& record, std::uint32_t n_ces = kMaxCes,
+                  std::uint32_t n_buses = 2);
+  void merge(const EventCounts& other);
+
+  /// Missrate: fraction of CE bus cycles that are cache misses (§5).
+  [[nodiscard]] double miss_rate() const;
+  /// CE Bus Busy: fraction of CE bus cycles that are not idle, averaged
+  /// over all buses (§5).
+  [[nodiscard]] double bus_busy() const;
+  /// Fraction of memory-bus cycles that are not idle.
+  [[nodiscard]] double mem_bus_busy() const;
+
+  /// Table-1-style rendering.
+  [[nodiscard]] std::string render() const;
+};
+
+/// Reduce a transferred acquisition buffer.
+[[nodiscard]] EventCounts reduce(std::span<const ProbeRecord> records,
+                                 std::uint32_t n_ces = kMaxCes,
+                                 std::uint32_t n_buses = 2);
+
+}  // namespace repro::instr

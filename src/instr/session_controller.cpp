@@ -1,0 +1,123 @@
+#include "instr/session_controller.hpp"
+
+#include <algorithm>
+
+#include "base/expect.hpp"
+#include "instr/das_controller.hpp"
+
+namespace repro::instr {
+
+namespace {
+
+/// Issue an instrument command that must be accepted.
+void must_ack(DasController& das, const std::string& line) {
+  const DasController::Response response = das.command(line);
+  REPRO_ENSURE(response.ok, "DAS rejected: " + line + " -> " + response.text);
+}
+
+}  // namespace
+
+SessionController::SessionController(os::System& system,
+                                     workload::WorkloadGenerator& workload,
+                                     const SamplingConfig& config,
+                                     std::uint64_t seed)
+    : system_(system), workload_(workload), config_(config), rng_(seed) {
+  REPRO_EXPECT(config.interval_cycles >=
+                   config.snapshots_per_sample * config.buffer_depth,
+               "interval too short for the requested acquisitions");
+  REPRO_EXPECT(config.snapshots_per_sample > 0, "need at least one snapshot");
+}
+
+void SessionController::step() {
+  workload_.tick(system_);
+  system_.tick();
+}
+
+SampleRecord SessionController::take_sample() {
+  const std::uint32_t n_ces = system_.machine().cluster().width();
+  const std::uint32_t n_buses = system_.machine().config().membus.bus_count;
+
+  // Choose snapshot start offsets within the interval, far enough apart
+  // that acquisitions never overlap.
+  const Cycle slot =
+      config_.interval_cycles / config_.snapshots_per_sample;
+  std::vector<Cycle> starts;
+  starts.reserve(config_.snapshots_per_sample);
+  for (std::uint32_t s = 0; s < config_.snapshots_per_sample; ++s) {
+    const Cycle jitter_room = slot - config_.buffer_depth;
+    const Cycle jitter = jitter_room == 0 ? 0 : rng_.uniform(jitter_room);
+    starts.push_back(static_cast<Cycle>(s) * slot + jitter);
+  }
+
+  SoftwareSampler sw_sampler(system_.counters());
+
+  // Configure the instrument over its command port (§3.3/§3.4).
+  DasController das;
+  must_ack(das, "TRIGGER IMMEDIATE");
+  must_ack(das, "DEPTH " + std::to_string(config_.buffer_depth));
+
+  SampleRecord record;
+  record.index = next_index_++;
+  record.interval_cycles = config_.interval_cycles;
+
+  std::size_t next_snapshot = 0;
+  bool acquiring = false;
+  for (Cycle c = 0; c < config_.interval_cycles; ++c) {
+    if (next_snapshot < starts.size() && c == starts[next_snapshot]) {
+      must_ack(das, "ARM");
+      acquiring = true;
+    }
+    step();
+    if (acquiring &&
+        das.on_sample_clock(latch(system_.machine()))) {
+      must_ack(das, "XFER");
+      record.hw.merge(reduce(das.take_transfer(), n_ces, n_buses));
+      acquiring = false;
+      ++next_snapshot;
+    }
+  }
+  // sw counters are read "at the time that the hardware sample was
+  // stored" — here, at interval close.
+  record.sw = sw_sampler.take_delta();
+  return record;
+}
+
+std::vector<SampleRecord> SessionController::run_session(
+    std::uint32_t n_samples) {
+  std::vector<SampleRecord> samples;
+  samples.reserve(n_samples);
+  for (std::uint32_t s = 0; s < n_samples; ++s) {
+    samples.push_back(take_sample());
+  }
+  return samples;
+}
+
+std::optional<std::vector<ProbeRecord>> SessionController::capture_triggered(
+    TriggerMode trigger, Cycle timeout) {
+  DasController das;
+  switch (trigger) {
+    case TriggerMode::kImmediate:
+      must_ack(das, "TRIGGER IMMEDIATE");
+      break;
+    case TriggerMode::kAllActive:
+      must_ack(das, "TRIGGER ALLACTIVE");
+      break;
+    case TriggerMode::kTransitionFromFull:
+      must_ack(das, "TRIGGER TRANSITION");
+      break;
+  }
+  must_ack(das, "DEPTH " + std::to_string(config_.buffer_depth));
+  must_ack(das, "WIDTH " +
+                    std::to_string(system_.machine().cluster().width()));
+  must_ack(das, "ARM");
+  for (Cycle c = 0; c < timeout; ++c) {
+    step();
+    if (das.on_sample_clock(latch(system_.machine()))) {
+      must_ack(das, "XFER");
+      return das.take_transfer();
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace repro::instr

@@ -1,0 +1,72 @@
+// Session controller: the study's C-Shell measurement scripts.
+//
+// "The measurements were controlled by UNIX C-Shell script programs ...
+// which controlled collection of both the hardware and software data"
+// (§3.4), running on an IP to keep artifact off the cluster. For random
+// workload sampling: "Five snapshots of the system were taken and grouped
+// together in a five-minute interval" (§3.5); software counters were read
+// when the hardware sample was stored.
+//
+// One SampleRecord therefore bundles the reduced hardware event counts of
+// five 512-deep acquisitions taken at random offsets inside the interval,
+// plus the interval's kernel-counter deltas.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "instr/logic_analyzer.hpp"
+#include "instr/reduction.hpp"
+#include "instr/software_sampler.hpp"
+#include "os/system.hpp"
+#include "workload/generator.hpp"
+
+namespace repro::instr {
+
+struct SamplingConfig {
+  /// Cycles per sample interval (the "five minutes").
+  Cycle interval_cycles = 120000;
+  /// Acquisitions grouped into one sample.
+  std::uint32_t snapshots_per_sample = 5;
+  std::size_t buffer_depth = 512;
+};
+
+struct SampleRecord {
+  std::uint64_t index = 0;
+  Cycle interval_cycles = 0;
+  EventCounts hw;
+  SoftwareSample sw;
+};
+
+class SessionController {
+ public:
+  SessionController(os::System& system, workload::WorkloadGenerator& workload,
+                    const SamplingConfig& config, std::uint64_t seed);
+
+  /// Run one sample interval and return its record.
+  [[nodiscard]] SampleRecord take_sample();
+
+  /// Run a whole session of `n_samples` intervals.
+  [[nodiscard]] std::vector<SampleRecord> run_session(
+      std::uint32_t n_samples);
+
+  /// Triggered capture (high-concurrency / transition experiments): run
+  /// until the analyzer completes one acquisition or `timeout` elapses.
+  /// Returns nothing on timeout.
+  [[nodiscard]] std::optional<std::vector<ProbeRecord>> capture_triggered(
+      TriggerMode trigger, Cycle timeout);
+
+ private:
+  void step();
+
+  os::System& system_;
+  workload::WorkloadGenerator& workload_;
+  SamplingConfig config_;
+  Rng rng_;
+  std::uint64_t next_index_ = 0;
+};
+
+}  // namespace repro::instr

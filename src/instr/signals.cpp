@@ -1,0 +1,26 @@
+#include "instr/signals.hpp"
+
+#include <bit>
+
+namespace repro::instr {
+
+std::uint32_t ProbeRecord::active_count() const {
+  return static_cast<std::uint32_t>(std::popcount(active_mask));
+}
+
+ProbeRecord latch(const fx8::Machine& machine) {
+  ProbeRecord record;
+  record.cycle = machine.now();
+  const std::uint32_t n_ces = machine.cluster().width();
+  for (CeId ce = 0; ce < n_ces && ce < kMaxCes; ++ce) {
+    record.ce_ops[ce] = machine.ce_bus_op(ce);
+  }
+  const std::uint32_t n_buses = machine.config().membus.bus_count;
+  for (std::uint32_t bus = 0; bus < n_buses && bus < 2; ++bus) {
+    record.mem_ops[bus] = machine.mem_bus_op(bus);
+  }
+  record.active_mask = machine.active_mask();
+  return record;
+}
+
+}  // namespace repro::instr

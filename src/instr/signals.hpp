@@ -1,0 +1,46 @@
+// Probe signals: what the logic analyzer latches each sample clock.
+//
+// "Probes from the DAS were connected to the FX/8 at three different
+// logical points": each CE's cache-bus opcode, the shared memory bus
+// opcode, and the Concurrency Control Bus activity state (§3.3). One
+// ProbeRecord is one latched sample of all channels.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hpp"
+#include "fx8/machine.hpp"
+#include "mem/bus_ops.hpp"
+
+namespace repro::instr {
+
+/// The DAS 9100 used in the study acquires up to 80 signals (§3.3).
+inline constexpr std::uint32_t kAnalyzerChannels = 80;
+
+struct ProbeRecord {
+  Cycle cycle = 0;
+  std::array<mem::CeBusOp, kMaxCes> ce_ops{};
+  std::array<mem::MemBusOp, 2> mem_ops{};
+  /// CCB probe: bit j set when CE j is active.
+  std::uint32_t active_mask = 0;
+
+  [[nodiscard]] std::uint32_t active_count() const;
+  [[nodiscard]] bool ce_active(CeId ce) const {
+    return (active_mask >> ce) & 1u;
+  }
+};
+
+/// Latch the probe channels off the machine for the current cycle.
+[[nodiscard]] ProbeRecord latch(const fx8::Machine& machine);
+
+/// Channels consumed by the probe set (3 bits per CE bus opcode, 3 per
+/// memory bus, 1 per CCB activity line) — must fit the instrument.
+[[nodiscard]] constexpr std::uint32_t channels_used(std::uint32_t n_ces,
+                                                    std::uint32_t n_buses) {
+  return n_ces * 3 + n_buses * 3 + n_ces;
+}
+static_assert(channels_used(kMaxCes, 2) <= kAnalyzerChannels,
+              "probe set exceeds the DAS 9100 channel count");
+
+}  // namespace repro::instr

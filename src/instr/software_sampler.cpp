@@ -1,0 +1,24 @@
+#include "instr/software_sampler.hpp"
+
+namespace repro::instr {
+
+SoftwareSampler::SoftwareSampler(const os::KernelCounters& counters)
+    : counters_(counters), last_(counters.snapshot()) {}
+
+SoftwareSample SoftwareSampler::take_delta() {
+  const auto now = counters_.snapshot();
+  auto delta = [&](os::KernelCounter c) {
+    const auto i = static_cast<std::size_t>(c);
+    return now[i] - last_[i];
+  };
+  SoftwareSample sample;
+  sample.ce_page_faults_user = delta(os::KernelCounter::kCePageFaultsUser);
+  sample.ce_page_faults_system =
+      delta(os::KernelCounter::kCePageFaultsSystem);
+  sample.jobs_completed = delta(os::KernelCounter::kJobsCompleted);
+  sample.context_switches = delta(os::KernelCounter::kContextSwitches);
+  last_ = now;
+  return sample;
+}
+
+}  // namespace repro::instr

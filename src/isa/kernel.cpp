@@ -1,0 +1,35 @@
+#include "isa/kernel.hpp"
+
+#include <sstream>
+
+#include "base/expect.hpp"
+
+namespace repro::isa {
+
+void KernelSpec::validate() const {
+  REPRO_EXPECT(steps > 0, "kernel must have at least one step");
+  REPRO_EXPECT(compute_cycles > 0 || loads_per_step > 0 || stores_per_step > 0,
+               "kernel must do some work per step");
+  REPRO_EXPECT(compute_jitter <= compute_cycles,
+               "compute jitter cannot exceed the mean compute cycles");
+  REPRO_EXPECT(stride_bytes > 0, "stride must be positive");
+  REPRO_EXPECT(working_set_bytes >= stride_bytes,
+               "working set must cover at least one stride");
+  REPRO_EXPECT(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+               "hot fraction must be a probability");
+  REPRO_EXPECT(hot_set_bytes > 0, "hot set must be non-empty");
+  REPRO_EXPECT(vector_fraction >= 0.0 && vector_fraction <= 1.0,
+               "vector fraction must be a probability");
+}
+
+std::string describe(const KernelSpec& spec) {
+  std::ostringstream os;
+  os << spec.name << ": " << spec.steps << " steps, " << spec.compute_cycles
+     << "c compute, " << spec.loads_per_step << "L/" << spec.stores_per_step
+     << "S per step, ws=" << spec.working_set_bytes / 1024 << "KB, code="
+     << spec.code_bytes / 1024 << "KB, "
+     << (spec.pattern == AccessPattern::kStreaming ? "streaming" : "hot/cold");
+  return os.str();
+}
+
+}  // namespace repro::isa

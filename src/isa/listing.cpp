@@ -1,0 +1,43 @@
+#include "isa/listing.hpp"
+
+#include <sstream>
+
+#include "base/text.hpp"
+
+namespace repro::isa {
+
+std::string listing(const Program& program) {
+  std::ostringstream os;
+  os << "program " << program.name << "  (data base 0x" << std::hex
+     << program.data_base << std::dec << ", seed " << program.seed
+     << ")\n";
+  std::size_t index = 0;
+  for (const Phase& phase : program.phases) {
+    os << "  [" << pad_left(std::to_string(index), 2) << "] ";
+    if (const auto* serial = std::get_if<SerialPhase>(&phase)) {
+      os << "serial      x" << pad_left(std::to_string(serial->reps), 4)
+         << "  " << describe(serial->body) << '\n';
+    } else {
+      const auto& loop = std::get<ConcurrentLoopPhase>(phase);
+      os << "CONCURRENT  x" << pad_left(std::to_string(loop.trip_count), 4)
+         << "  " << describe(loop.body);
+      if (loop.dependence_prob > 0.0) {
+        os << "  [dep " << fixed(loop.dependence_prob, 2) << ']';
+      }
+      if (loop.long_path_prob > 0.0) {
+        os << "  [branchy " << fixed(loop.long_path_prob, 2) << " +"
+           << loop.long_path_extra_steps << " steps]";
+      }
+      if (!loop.shared_data) {
+        os << "  [private data]";
+      }
+      os << '\n';
+    }
+    ++index;
+  }
+  os << "  total concurrent iterations: "
+     << program.total_concurrent_iterations() << '\n';
+  return os.str();
+}
+
+}  // namespace repro::isa

@@ -1,0 +1,19 @@
+// Program listings: a compiler-listing-style rendering of a Program.
+//
+// FX/FORTRAN printed optimization listings showing which loops were
+// turned into concurrent form; this is the reproduction's equivalent,
+// used by examples and debugging sessions to see what a generated job
+// actually contains.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace repro::isa {
+
+/// Multi-line listing: one line per phase with its kind, repetition or
+/// trip count, body summary, and concurrency attributes.
+[[nodiscard]] std::string listing(const Program& program);
+
+}  // namespace repro::isa

@@ -1,0 +1,84 @@
+#include "isa/program.hpp"
+
+#include <utility>
+
+#include "base/expect.hpp"
+
+namespace repro::isa {
+
+namespace {
+
+void validate_phase(const Phase& phase) {
+  if (const auto* serial = std::get_if<SerialPhase>(&phase)) {
+    serial->body.validate();
+    REPRO_EXPECT(serial->reps > 0, "serial phase must repeat at least once");
+    return;
+  }
+  const auto& loop = std::get<ConcurrentLoopPhase>(phase);
+  loop.body.validate();
+  REPRO_EXPECT(loop.trip_count > 0, "loop must have at least one iteration");
+  REPRO_EXPECT(loop.long_path_prob >= 0.0 && loop.long_path_prob <= 1.0,
+               "long path probability must be a probability");
+  REPRO_EXPECT(loop.dependence_prob >= 0.0 && loop.dependence_prob <= 1.0,
+               "dependence probability must be a probability");
+  REPRO_EXPECT(loop.await_poll_cycles > 0, "await poll must consume cycles");
+}
+
+}  // namespace
+
+void Program::validate() const {
+  REPRO_EXPECT(!phases.empty(), "program must have at least one phase");
+  for (const Phase& phase : phases) {
+    validate_phase(phase);
+  }
+}
+
+std::uint64_t Program::total_concurrent_iterations() const {
+  std::uint64_t total = 0;
+  for (const Phase& phase : phases) {
+    if (const auto* loop = std::get_if<ConcurrentLoopPhase>(&phase)) {
+      total += loop->trip_count;
+    }
+  }
+  return total;
+}
+
+bool Program::has_concurrency() const {
+  for (const Phase& phase : phases) {
+    if (std::holds_alternative<ConcurrentLoopPhase>(phase)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) {
+  prog_.name = std::move(name);
+}
+
+ProgramBuilder& ProgramBuilder::seed(std::uint64_t s) {
+  prog_.seed = s;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::data_base(Addr base) {
+  prog_.data_base = base;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::serial(KernelSpec body, std::uint64_t reps) {
+  prog_.phases.push_back(SerialPhase{std::move(body), reps});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::concurrent_loop(ConcurrentLoopPhase loop) {
+  prog_.phases.push_back(std::move(loop));
+  return *this;
+}
+
+Program ProgramBuilder::build() const {
+  prog_.validate();
+  return prog_;
+}
+
+}  // namespace repro::isa

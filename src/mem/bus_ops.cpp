@@ -1,0 +1,41 @@
+#include "mem/bus_ops.hpp"
+
+namespace repro::mem {
+
+std::string_view name(CeBusOp op) {
+  switch (op) {
+    case CeBusOp::kIdle:
+      return "idle";
+    case CeBusOp::kRead:
+      return "read";
+    case CeBusOp::kWrite:
+      return "write";
+    case CeBusOp::kReadMiss:
+      return "read-miss";
+    case CeBusOp::kWriteMiss:
+      return "write-miss";
+    case CeBusOp::kInstrFetch:
+      return "ifetch";
+    case CeBusOp::kWait:
+      return "wait";
+  }
+  return "?";
+}
+
+std::string_view name(MemBusOp op) {
+  switch (op) {
+    case MemBusOp::kIdle:
+      return "idle";
+    case MemBusOp::kLineFetch:
+      return "line-fetch";
+    case MemBusOp::kWriteBack:
+      return "write-back";
+    case MemBusOp::kIpTraffic:
+      return "ip-traffic";
+    case MemBusOp::kInvalidate:
+      return "invalidate";
+  }
+  return "?";
+}
+
+}  // namespace repro::mem

@@ -1,0 +1,42 @@
+#include "mem/frame_allocator.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::mem {
+
+FrameAllocator::FrameAllocator(std::uint64_t capacity_bytes)
+    : total_(capacity_bytes / kPageBytes), free_count_(total_),
+      used_(total_, 0) {
+  REPRO_EXPECT(total_ > 0, "pool must hold at least one frame");
+}
+
+std::optional<FrameId> FrameAllocator::allocate() {
+  if (free_count_ == 0) {
+    ++stats_.exhaustions;
+    return std::nullopt;
+  }
+  while (used_[cursor_]) {
+    cursor_ = (cursor_ + 1) % total_;
+  }
+  used_[cursor_] = 1;
+  --free_count_;
+  ++stats_.allocations;
+  const FrameId frame = cursor_;
+  cursor_ = (cursor_ + 1) % total_;
+  return frame;
+}
+
+void FrameAllocator::free(FrameId frame) {
+  REPRO_EXPECT(frame < total_, "frame id out of range");
+  REPRO_EXPECT(used_[frame], "double free of a physical frame");
+  used_[frame] = 0;
+  ++free_count_;
+  ++stats_.frees;
+}
+
+bool FrameAllocator::is_allocated(FrameId frame) const {
+  REPRO_EXPECT(frame < total_, "frame id out of range");
+  return used_[frame] != 0;
+}
+
+}  // namespace repro::mem

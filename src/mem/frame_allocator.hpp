@@ -1,0 +1,55 @@
+// Physical frame allocator.
+//
+// Main memory holds up to 64 MB in 4 KB frames (Appendix C). The VM
+// layer maps virtual pages onto frames from this pool; when the pool is
+// exhausted the kernel must reclaim (the global replacement pressure
+// that makes page-fault rate a *system* measure rather than a per-job
+// counter).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.hpp"
+
+namespace repro::mem {
+
+using FrameId = std::uint64_t;
+
+struct FrameAllocatorStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t frees = 0;
+  std::uint64_t exhaustions = 0;  ///< Allocation attempts that found none.
+};
+
+class FrameAllocator {
+ public:
+  /// Pool sized for `capacity_bytes` of physical memory.
+  explicit FrameAllocator(std::uint64_t capacity_bytes);
+
+  /// Grab a free frame; nullopt when physical memory is exhausted.
+  [[nodiscard]] std::optional<FrameId> allocate();
+
+  /// Return a frame to the pool. Double frees are contract violations.
+  void free(FrameId frame);
+
+  [[nodiscard]] std::uint64_t total_frames() const { return total_; }
+  [[nodiscard]] std::uint64_t free_frames() const { return free_count_; }
+  [[nodiscard]] std::uint64_t used_frames() const {
+    return total_ - free_count_;
+  }
+  [[nodiscard]] bool is_allocated(FrameId frame) const;
+  [[nodiscard]] const FrameAllocatorStats& stats() const { return stats_; }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t free_count_ = 0;
+  /// Bitmap + rotating scan cursor (frames are interchangeable; the
+  /// cursor keeps allocation O(1) amortized).
+  std::vector<std::uint8_t> used_;
+  std::uint64_t cursor_ = 0;
+  FrameAllocatorStats stats_;
+};
+
+}  // namespace repro::mem

@@ -1,0 +1,86 @@
+#include "mem/memory_bus.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::mem {
+
+MemoryBus::MemoryBus(const MemoryBusConfig& config, MainMemory& memory)
+    : config_(config), memory_(memory), buses_(config.bus_count) {
+  REPRO_EXPECT(config.bus_count > 0, "need at least one memory bus");
+  REPRO_EXPECT(config.transfer_cycles > 0, "transfer time must be positive");
+  REPRO_EXPECT(config.invalidate_cycles > 0,
+               "invalidate time must be positive");
+}
+
+TxnId MemoryBus::submit(std::uint32_t bus, MemBusOp op, Addr addr) {
+  REPRO_EXPECT(bus < buses_.size(), "bus index out of range");
+  REPRO_EXPECT(op != MemBusOp::kIdle, "cannot submit an idle transaction");
+  const TxnId id = next_id_++;
+  buses_[bus].queue.push_back(PendingTxn{id, op, addr});
+  return id;
+}
+
+void MemoryBus::start_next(BusState& bus, Cycle now) {
+  if (bus.queue.empty()) {
+    return;
+  }
+  const PendingTxn& head = bus.queue.front();
+  if (head.op == MemBusOp::kInvalidate) {
+    bus.active = head;
+    bus.remaining = config_.invalidate_cycles;
+    bus.queue.pop_front();
+    return;
+  }
+  // Memory-touching transaction: only start when the bank can serve it.
+  if (memory_.earliest_start(head.addr, now) > now) {
+    return;  // Bank conflict: bus idles this cycle.
+  }
+  memory_.begin_access(head.addr, now);
+  bus.active = head;
+  bus.remaining = config_.transfer_cycles;
+  bus.queue.pop_front();
+}
+
+void MemoryBus::tick(Cycle now) {
+  for (BusState& bus : buses_) {
+    if (bus.remaining == 0) {
+      start_next(bus, now);
+    }
+    if (bus.remaining > 0) {
+      bus.current_op = bus.active.op;
+      --bus.remaining;
+      if (bus.remaining == 0) {
+        finished_.insert(bus.active.id);
+      }
+    } else {
+      bus.current_op = MemBusOp::kIdle;
+    }
+    ++bus.op_cycle_counts[static_cast<std::size_t>(bus.current_op)];
+  }
+}
+
+bool MemoryBus::take_finished(TxnId id) {
+  const auto it = finished_.find(id);
+  if (it == finished_.end()) {
+    return false;
+  }
+  finished_.erase(it);
+  return true;
+}
+
+MemBusOp MemoryBus::op_on(std::uint32_t bus) const {
+  REPRO_EXPECT(bus < buses_.size(), "bus index out of range");
+  return buses_[bus].current_op;
+}
+
+std::size_t MemoryBus::queue_depth(std::uint32_t bus) const {
+  REPRO_EXPECT(bus < buses_.size(), "bus index out of range");
+  return buses_[bus].queue.size();
+}
+
+std::uint64_t MemoryBus::op_cycles(std::uint32_t bus, MemBusOp op) const {
+  REPRO_EXPECT(bus < buses_.size(), "bus index out of range");
+  return buses_[bus].op_cycle_counts[static_cast<std::size_t>(op)];
+}
+
+}  // namespace repro::mem

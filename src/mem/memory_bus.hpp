@@ -1,0 +1,80 @@
+// Dual memory-bus model.
+//
+// Traffic between the caches and main memory runs over two 64-bit buses
+// (Appendix C). Each cache module owns one bus. A transaction occupies its
+// bus for a fixed transfer time once its memory bank is free; queued
+// transactions wait. Each cycle every bus exposes the opcode a probe
+// would latch, which is what membop_j in Table 1 counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "base/types.hpp"
+#include "mem/bus_ops.hpp"
+#include "mem/main_memory.hpp"
+
+namespace repro::mem {
+
+using TxnId = std::uint64_t;
+
+struct MemoryBusConfig {
+  std::uint32_t bus_count = 2;
+  std::uint32_t transfer_cycles = 4;    ///< Bus occupancy of a line move.
+  std::uint32_t invalidate_cycles = 1;  ///< Bus occupancy of an invalidate.
+};
+
+class MemoryBus {
+ public:
+  MemoryBus(const MemoryBusConfig& config, MainMemory& memory);
+
+  [[nodiscard]] const MemoryBusConfig& config() const { return config_; }
+
+  /// Queue a transaction on bus `bus`. Returns a token to poll with
+  /// take_finished(). `addr` selects the memory bank for ops that touch
+  /// memory (fetch, write-back, IP traffic); ignored for invalidates.
+  TxnId submit(std::uint32_t bus, MemBusOp op, Addr addr);
+
+  /// Advance one cycle. Must be called exactly once per machine cycle with
+  /// a strictly increasing `now`.
+  void tick(Cycle now);
+
+  /// True (and consumes the completion) if the transaction has finished.
+  [[nodiscard]] bool take_finished(TxnId id);
+
+  /// Opcode a probe on bus `bus` would latch for the cycle just ticked.
+  [[nodiscard]] MemBusOp op_on(std::uint32_t bus) const;
+
+  /// Number of queued-but-unstarted transactions on a bus (tests).
+  [[nodiscard]] std::size_t queue_depth(std::uint32_t bus) const;
+
+  /// Lifetime opcode-cycle counts per bus (op indexed by MemBusOp value).
+  [[nodiscard]] std::uint64_t op_cycles(std::uint32_t bus, MemBusOp op) const;
+
+ private:
+  struct PendingTxn {
+    TxnId id = 0;
+    MemBusOp op = MemBusOp::kIdle;
+    Addr addr = 0;
+  };
+  struct BusState {
+    std::deque<PendingTxn> queue;
+    PendingTxn active;
+    std::uint32_t remaining = 0;  ///< Bus cycles left on the active txn.
+    MemBusOp current_op = MemBusOp::kIdle;
+    std::vector<std::uint64_t> op_cycle_counts =
+        std::vector<std::uint64_t>(kNumMemBusOps, 0);
+  };
+
+  void start_next(BusState& bus, Cycle now);
+
+  MemoryBusConfig config_;
+  MainMemory& memory_;
+  std::vector<BusState> buses_;
+  std::unordered_set<TxnId> finished_;
+  TxnId next_id_ = 1;
+};
+
+}  // namespace repro::mem

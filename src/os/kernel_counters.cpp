@@ -1,0 +1,25 @@
+#include "os/kernel_counters.hpp"
+
+namespace repro::os {
+
+std::string_view name(KernelCounter counter) {
+  switch (counter) {
+    case KernelCounter::kCePageFaultsUser:
+      return "ce-page-faults-user";
+    case KernelCounter::kCePageFaultsSystem:
+      return "ce-page-faults-system";
+    case KernelCounter::kContextSwitches:
+      return "context-switches";
+    case KernelCounter::kJobsCompleted:
+      return "jobs-completed";
+    case KernelCounter::kJobsSubmitted:
+      return "jobs-submitted";
+    case KernelCounter::kPagesMapped:
+      return "pages-mapped";
+    case KernelCounter::kPagesEvicted:
+      return "pages-evicted";
+  }
+  return "?";
+}
+
+}  // namespace repro::os

@@ -1,0 +1,55 @@
+// Concentrix-style kernel event counters.
+//
+// "The operating system logs counts continuously for a variety of memory
+// management, scheduling, and interrupt variables" (§3.3). The study's
+// software instrumentation simply read those counters; this table is the
+// counterpart the software sampler (src/instr) reads. Counters only ever
+// increase; samplers take deltas between snapshots.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace repro::os {
+
+enum class KernelCounter : std::uint8_t {
+  kCePageFaultsUser = 0,   ///< User-mode page faults taken by CEs.
+  kCePageFaultsSystem,     ///< System-mode page faults taken by CEs.
+  kContextSwitches,        ///< Cluster job switches.
+  kJobsCompleted,
+  kJobsSubmitted,
+  kPagesMapped,
+  kPagesEvicted,
+};
+inline constexpr std::size_t kNumKernelCounters = 7;
+
+[[nodiscard]] std::string_view name(KernelCounter counter);
+
+class KernelCounters {
+ public:
+  void increment(KernelCounter counter, std::uint64_t by = 1) {
+    values_[static_cast<std::size_t>(counter)] += by;
+  }
+
+  [[nodiscard]] std::uint64_t read(KernelCounter counter) const {
+    return values_[static_cast<std::size_t>(counter)];
+  }
+
+  /// Total CE page faults (user + system), the paper's Page Fault Rate
+  /// numerator (§5).
+  [[nodiscard]] std::uint64_t ce_page_faults() const {
+    return read(KernelCounter::kCePageFaultsUser) +
+           read(KernelCounter::kCePageFaultsSystem);
+  }
+
+  [[nodiscard]] std::array<std::uint64_t, kNumKernelCounters> snapshot()
+      const {
+    return values_;
+  }
+
+ private:
+  std::array<std::uint64_t, kNumKernelCounters> values_{};
+};
+
+}  // namespace repro::os

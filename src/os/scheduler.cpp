@@ -1,0 +1,111 @@
+#include "os/scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/expect.hpp"
+
+namespace repro::os {
+
+Scheduler::Scheduler(fx8::Machine& machine, VirtualMemory& vm,
+                     KernelCounters& counters, SchedulingPolicy policy)
+    : machine_(machine), vm_(vm), counters_(counters), policy_(policy),
+      detached_running_(machine.cluster().detached_count()) {}
+
+Job Scheduler::pop_next() {
+  auto it = queue_.begin();
+  if (policy_ != SchedulingPolicy::kFifo) {
+    const JobClass preferred = policy_ == SchedulingPolicy::kConcurrentFirst
+                                   ? JobClass::kCluster
+                                   : JobClass::kSerialDetached;
+    for (auto candidate = queue_.begin(); candidate != queue_.end();
+         ++candidate) {
+      if (candidate->cls == preferred) {
+        it = candidate;
+        break;
+      }
+    }
+  }
+  Job job = std::move(*it);
+  queue_.erase(it);
+  return job;
+}
+
+void Scheduler::submit(Job job) {
+  job.program.validate();
+  counters_.increment(KernelCounter::kJobsSubmitted);
+  queue_.push_back(std::move(job));
+}
+
+void Scheduler::tick(Cycle now) {
+  // Reap drained detached jobs.
+  for (std::uint32_t slot = 0; slot < detached_running_.size(); ++slot) {
+    if (detached_running_[slot] &&
+        !machine_.cluster().detached_busy(slot)) {
+      detached_running_[slot]->finished_at = now;
+      vm_.release_job(detached_running_[slot]->id);
+      counters_.increment(KernelCounter::kJobsCompleted);
+      ++stats_.jobs_completed;
+      ++stats_.serial_jobs_completed;
+      detached_running_[slot].reset();
+    }
+  }
+  // Route queued serial jobs onto free detached CEs.
+  for (std::uint32_t slot = 0; slot < detached_running_.size(); ++slot) {
+    if (detached_running_[slot]) {
+      continue;
+    }
+    const auto candidate = std::find_if(
+        queue_.begin(), queue_.end(), [](const Job& job) {
+          return job.cls == JobClass::kSerialDetached;
+        });
+    if (candidate == queue_.end()) {
+      break;
+    }
+    Job job = std::move(*candidate);
+    queue_.erase(candidate);
+    job.started_at = now;
+    stats_.total_wait_cycles += now - job.submitted_at;
+    counters_.increment(KernelCounter::kContextSwitches);
+    detached_running_[slot] = std::move(job);
+    machine_.cluster().load_detached(
+        slot, &detached_running_[slot]->program,
+        detached_running_[slot]->id);
+  }
+
+  // Reap a drained job.
+  if (running_ && !machine_.cluster().busy()) {
+    running_->finished_at = now;
+    vm_.release_job(running_->id);
+    counters_.increment(KernelCounter::kJobsCompleted);
+    ++stats_.jobs_completed;
+    if (running_->cls == JobClass::kCluster) {
+      ++stats_.cluster_jobs_completed;
+    } else {
+      ++stats_.serial_jobs_completed;
+    }
+    running_.reset();
+  }
+  // Start the next one.
+  if (!running_ && !queue_.empty()) {
+    running_ = pop_next();
+    running_->started_at = now;
+    stats_.total_wait_cycles += now - running_->submitted_at;
+    counters_.increment(KernelCounter::kContextSwitches);
+    machine_.cluster().load(&running_->program, running_->id);
+  }
+}
+
+bool Scheduler::idle() const {
+  if (running_ || !queue_.empty()) {
+    return false;
+  }
+  for (const std::optional<Job>& job : detached_running_) {
+    if (job) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace repro::os

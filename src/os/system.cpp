@@ -1,0 +1,23 @@
+#include "os/system.hpp"
+
+namespace repro::os {
+
+System::System(const SystemConfig& config) {
+  vm_ = std::make_unique<VirtualMemory>(config.vm, counters_);
+  machine_ = std::make_unique<fx8::Machine>(config.machine, *vm_);
+  scheduler_ = std::make_unique<Scheduler>(*machine_, *vm_, counters_,
+                                           config.scheduling);
+}
+
+void System::tick() {
+  scheduler_->tick(machine_->now());
+  machine_->tick();
+}
+
+void System::run(Cycle cycles) {
+  for (Cycle i = 0; i < cycles; ++i) {
+    tick();
+  }
+}
+
+}  // namespace repro::os

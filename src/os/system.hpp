@@ -1,0 +1,50 @@
+// System facade: the machine plus its operating system.
+//
+// This is the integration point the instrumentation layer attaches to: it
+// owns the FX/8 model, the virtual-memory/fault machinery, the kernel
+// counters, and the scheduler, and advances them in the right order each
+// cycle.
+#pragma once
+
+#include <memory>
+
+#include "base/types.hpp"
+#include "fx8/machine.hpp"
+#include "os/kernel_counters.hpp"
+#include "os/scheduler.hpp"
+#include "os/vm.hpp"
+
+namespace repro::os {
+
+struct SystemConfig {
+  fx8::MachineConfig machine;
+  VmConfig vm;
+  SchedulingPolicy scheduling = SchedulingPolicy::kFifo;
+};
+
+class System {
+ public:
+  explicit System(const SystemConfig& config);
+
+  /// Advance the whole system one cycle (scheduler, then hardware).
+  void tick();
+  void run(Cycle cycles);
+
+  [[nodiscard]] Cycle now() const { return machine_->now(); }
+
+  [[nodiscard]] fx8::Machine& machine() { return *machine_; }
+  [[nodiscard]] const fx8::Machine& machine() const { return *machine_; }
+  [[nodiscard]] Scheduler& scheduler() { return *scheduler_; }
+  [[nodiscard]] const Scheduler& scheduler() const { return *scheduler_; }
+  [[nodiscard]] KernelCounters& counters() { return counters_; }
+  [[nodiscard]] const KernelCounters& counters() const { return counters_; }
+  [[nodiscard]] VirtualMemory& vm() { return *vm_; }
+
+ private:
+  KernelCounters counters_;
+  std::unique_ptr<VirtualMemory> vm_;
+  std::unique_ptr<fx8::Machine> machine_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace repro::os

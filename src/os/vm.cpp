@@ -1,0 +1,110 @@
+#include "os/vm.hpp"
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::os {
+
+VirtualMemory::VirtualMemory(const VmConfig& config, KernelCounters& counters)
+    : config_(config), counters_(counters),
+      frames_(config.physical_bytes) {
+  REPRO_EXPECT(config.segments > 0 && config.pages_per_segment > 0,
+               "address space must be non-empty");
+  REPRO_EXPECT(config.system_fault_fraction >= 0.0 &&
+                   config.system_fault_fraction <= 1.0,
+               "system fault fraction must be a probability");
+}
+
+void VirtualMemory::unmap(JobPages& pages, Addr page) {
+  const auto it = pages.resident.find(page);
+  if (it == pages.resident.end()) {
+    return;
+  }
+  frames_.free(it->second);
+  pages.resident.erase(it);
+  counters_.increment(KernelCounter::kPagesEvicted);
+}
+
+bool VirtualMemory::reclaim_one() {
+  while (!global_fifo_.empty()) {
+    const auto [job, page] = global_fifo_.front();
+    global_fifo_.pop_front();
+    const auto job_it = jobs_.find(job);
+    if (job_it == jobs_.end()) {
+      continue;  // Job released; entry stale.
+    }
+    if (!job_it->second.resident.contains(page)) {
+      continue;  // Evicted earlier; entry stale.
+    }
+    unmap(job_it->second, page);
+    ++stats_.global_reclaims;
+    return true;
+  }
+  return false;
+}
+
+Cycle VirtualMemory::touch(JobId job, CeId ce, Addr addr) {
+  ++stats_.translations;
+  const Addr limit =
+      config_.segments * config_.pages_per_segment * kPageBytes;
+  REPRO_EXPECT(addr < limit, "virtual address beyond the segmented space");
+
+  const Addr page = addr / kPageBytes;
+  JobPages& pages = jobs_[job];
+  if (pages.resident.contains(page)) {
+    return 0;
+  }
+
+  // Page fault: find a frame (reclaiming under exhaustion), map, account.
+  std::optional<mem::FrameId> frame = frames_.allocate();
+  while (!frame) {
+    REPRO_ENSURE(reclaim_one(),
+                 "physical memory exhausted with nothing reclaimable");
+    frame = frames_.allocate();
+  }
+  pages.resident.emplace(page, *frame);
+  pages.fifo.push_back(page);
+  global_fifo_.emplace_back(job, page);
+  ++stats_.faults;
+  counters_.increment(KernelCounter::kPagesMapped);
+
+  // Deterministically classify user vs system mode from the fault site.
+  const bool system_mode =
+      static_cast<double>(mix64(page ^ (job << 20) ^ ce) >> 11) * 0x1.0p-53 <
+      config_.system_fault_fraction;
+  counters_.increment(system_mode ? KernelCounter::kCePageFaultsSystem
+                                  : KernelCounter::kCePageFaultsUser);
+
+  if (config_.resident_limit_pages > 0 &&
+      pages.resident.size() > config_.resident_limit_pages) {
+    // Per-job FIFO cap: skip stale queue entries.
+    while (!pages.fifo.empty()) {
+      const Addr victim = pages.fifo.front();
+      pages.fifo.pop_front();
+      if (pages.resident.contains(victim)) {
+        unmap(pages, victim);
+        ++stats_.evictions;
+        break;
+      }
+    }
+  }
+  return config_.fault_service_cycles;
+}
+
+void VirtualMemory::release_job(JobId job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) {
+    return;
+  }
+  for (const auto& [page, frame] : it->second.resident) {
+    frames_.free(frame);
+  }
+  jobs_.erase(it);
+}
+
+std::uint64_t VirtualMemory::resident_pages(JobId job) const {
+  const auto it = jobs_.find(job);
+  return it == jobs_.end() ? 0 : it->second.resident.size();
+}
+
+}  // namespace repro::os

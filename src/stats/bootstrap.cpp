@@ -1,0 +1,54 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+
+ConfidenceInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, double level, std::size_t resamples) {
+  REPRO_EXPECT(!values.empty(), "bootstrap needs data");
+  REPRO_EXPECT(level > 0.0 && level < 1.0, "level must be in (0,1)");
+  REPRO_EXPECT(resamples >= 100, "too few resamples for stable quantiles");
+
+  ConfidenceInterval ci;
+  ci.level = level;
+  ci.point = statistic(values);
+
+  std::vector<double> stats;
+  stats.reserve(resamples);
+  std::vector<double> resample(values.size());
+  for (std::size_t r = 0; r < resamples; ++r) {
+    for (double& v : resample) {
+      v = values[rng.uniform(values.size())];
+    }
+    stats.push_back(statistic(resample));
+  }
+  const double alpha = (1.0 - level) / 2.0;
+  ci.lo = quantile(stats, alpha);
+  ci.hi = quantile(stats, 1.0 - alpha);
+  return ci;
+}
+
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     Rng& rng, double level,
+                                     std::size_t resamples) {
+  return bootstrap_ci(
+      values, [](std::span<const double> v) { return mean(v); }, rng,
+      level, resamples);
+}
+
+ConfidenceInterval bootstrap_median_ci(std::span<const double> values,
+                                       Rng& rng, double level,
+                                       std::size_t resamples) {
+  return bootstrap_ci(
+      values, [](std::span<const double> v) { return median(v); }, rng,
+      level, resamples);
+}
+
+}  // namespace repro::stats

@@ -1,0 +1,41 @@
+// Bootstrap confidence intervals.
+//
+// The thesis reports point estimates (Cw = 0.3506, Pc = 7.66) without
+// sampling error; with only ~65 five-minute samples behind them, the
+// uncertainty is material. Percentile-bootstrap intervals quantify it:
+// resample the sample set with replacement, recompute the statistic, and
+// take the empirical quantiles.
+#pragma once
+
+#include <functional>
+#include <span>
+
+#include "base/rng.hpp"
+
+namespace repro::stats {
+
+struct ConfidenceInterval {
+  double point = 0.0;   ///< Statistic on the original sample.
+  double lo = 0.0;      ///< Lower percentile bound.
+  double hi = 0.0;      ///< Upper percentile bound.
+  double level = 0.95;  ///< Nominal coverage.
+};
+
+/// Percentile bootstrap for an arbitrary statistic of a double sample.
+/// `statistic` must accept any non-empty sample. `resamples` >= 100.
+[[nodiscard]] ConfidenceInterval bootstrap_ci(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    Rng& rng, double level = 0.95, std::size_t resamples = 1000);
+
+/// Convenience: bootstrap CI of the mean.
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    std::span<const double> values, Rng& rng, double level = 0.95,
+    std::size_t resamples = 1000);
+
+/// Convenience: bootstrap CI of the median.
+[[nodiscard]] ConfidenceInterval bootstrap_median_ci(
+    std::span<const double> values, Rng& rng, double level = 0.95,
+    std::size_t resamples = 1000);
+
+}  // namespace repro::stats

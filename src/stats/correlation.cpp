@@ -1,0 +1,92 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/text.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  REPRO_EXPECT(x.size() == y.size(), "series size mismatch");
+  REPRO_EXPECT(x.size() >= 2, "correlation needs at least two points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxy += (x[i] - mx) * (y[i] - my);
+    sxx += (x[i] - mx) * (x[i] - mx);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  REPRO_EXPECT(sxx > 0.0 && syy > 0.0,
+               "correlation undefined for a constant series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+
+/// Fractional ranks (ties get the average rank).
+std::vector<double> ranks(std::span<const double> values) {
+  std::vector<std::size_t> index(values.size());
+  std::iota(index.begin(), index.end(), 0);
+  std::sort(index.begin(), index.end(), [&](std::size_t a, std::size_t b) {
+    return values[a] < values[b];
+  });
+  std::vector<double> out(values.size(), 0.0);
+  std::size_t i = 0;
+  while (i < index.size()) {
+    std::size_t j = i;
+    while (j + 1 < index.size() &&
+           values[index[j + 1]] == values[index[i]]) {
+      ++j;
+    }
+    const double avg_rank =
+        (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) {
+      out[index[k]] = avg_rank;
+    }
+    i = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+double spearman(std::span<const double> x, std::span<const double> y) {
+  const std::vector<double> rx = ranks(x);
+  const std::vector<double> ry = ranks(y);
+  return pearson(rx, ry);
+}
+
+std::string render_correlation_matrix(std::span<const Series> series,
+                                      bool rank) {
+  REPRO_EXPECT(series.size() >= 2, "matrix needs at least two series");
+  std::size_t label_width = 6;
+  for (const Series& s : series) {
+    label_width = std::max(label_width, s.name.size());
+  }
+  std::ostringstream os;
+  os << pad_right(rank ? "rank-r" : "r", label_width + 2);
+  for (const Series& s : series) {
+    os << pad_left(s.name, 10);
+  }
+  os << '\n';
+  for (const Series& row : series) {
+    os << pad_right(row.name, label_width + 2);
+    for (const Series& col : series) {
+      const double r = rank ? spearman(row.values, col.values)
+                            : pearson(row.values, col.values);
+      os << pad_left(fixed(r, 3), 10);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace repro::stats

@@ -1,0 +1,32 @@
+// Correlation coefficients (SAS replacement, part 2).
+//
+// Chapter 5 reasons about which pairs of measures are related ("Little
+// correlation between Missrate and Pc is seen"); Pearson's r quantifies
+// that directly, and Spearman's rank variant guards against the
+// nonlinearity the second-order models exist for.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::stats {
+
+/// Pearson product-moment correlation. Requires >= 2 points and
+/// non-degenerate variance in both series.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Spearman rank correlation (Pearson over fractional ranks).
+[[nodiscard]] double spearman(std::span<const double> x,
+                              std::span<const double> y);
+
+/// Render a labelled correlation matrix for several series.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+[[nodiscard]] std::string render_correlation_matrix(
+    std::span<const Series> series, bool rank = false);
+
+}  // namespace repro::stats

@@ -1,0 +1,62 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/expect.hpp"
+
+namespace repro::stats {
+
+double mean(std::span<const double> values) {
+  REPRO_EXPECT(!values.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  REPRO_EXPECT(!values.empty(), "variance of empty sample");
+  if (values.size() < 2) {
+    return 0.0;
+  }
+  const double m = mean(values);
+  double sq = 0.0;
+  for (const double v : values) {
+    sq += (v - m) * (v - m);
+  }
+  return sq / static_cast<double>(values.size() - 1);
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double quantile(std::span<const double> values, double q) {
+  REPRO_EXPECT(!values.empty(), "quantile of empty sample");
+  REPRO_EXPECT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) {
+  return quantile(values, 0.5);
+}
+
+double min_of(std::span<const double> values) {
+  REPRO_EXPECT(!values.empty(), "min of empty sample");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max_of(std::span<const double> values) {
+  REPRO_EXPECT(!values.empty(), "max of empty sample");
+  return *std::max_element(values.begin(), values.end());
+}
+
+}  // namespace repro::stats

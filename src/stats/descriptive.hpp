@@ -1,0 +1,25 @@
+// Descriptive statistics (the SAS replacement, part 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace repro::stats {
+
+[[nodiscard]] double mean(std::span<const double> values);
+
+/// Sample variance (n-1 denominator); 0 for fewer than two values.
+[[nodiscard]] double variance(std::span<const double> values);
+
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Median (average of the two central order statistics for even n).
+[[nodiscard]] double median(std::span<const double> values);
+
+/// Linear-interpolated quantile, q in [0,1].
+[[nodiscard]] double quantile(std::span<const double> values, double q);
+
+[[nodiscard]] double min_of(std::span<const double> values);
+[[nodiscard]] double max_of(std::span<const double> values);
+
+}  // namespace repro::stats

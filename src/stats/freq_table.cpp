@@ -1,0 +1,117 @@
+#include "stats/freq_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/text.hpp"
+
+namespace repro::stats {
+
+std::size_t nearest_midpoint(double value, std::span<const double> midpoints) {
+  REPRO_EXPECT(!midpoints.empty(), "need at least one midpoint");
+  std::size_t best = 0;
+  double best_dist = std::abs(value - midpoints[0]);
+  for (std::size_t i = 1; i < midpoints.size(); ++i) {
+    const double dist = std::abs(value - midpoints[i]);
+    if (dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  return best;
+}
+
+FreqTable FreqTable::from_values(std::span<const double> values,
+                                 std::span<const double> midpoints,
+                                 int label_decimals) {
+  REPRO_EXPECT(!midpoints.empty(), "need at least one midpoint");
+  FreqTable table;
+  table.rows_.resize(midpoints.size());
+  for (std::size_t i = 0; i < midpoints.size(); ++i) {
+    table.rows_[i].label = repro::fixed(midpoints[i], label_decimals);
+  }
+  for (const double v : values) {
+    ++table.rows_[nearest_midpoint(v, midpoints)].freq;
+  }
+  table.finalize();
+  return table;
+}
+
+FreqTable FreqTable::from_counts(std::span<const std::uint64_t> counts,
+                                 std::span<const std::string> labels) {
+  REPRO_EXPECT(counts.size() == labels.size(),
+               "counts and labels must align");
+  REPRO_EXPECT(!counts.empty(), "need at least one category");
+  FreqTable table;
+  table.rows_.resize(counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    table.rows_[i].label = labels[i];
+    table.rows_[i].freq = counts[i];
+  }
+  table.finalize();
+  return table;
+}
+
+void FreqTable::finalize() {
+  total_ = 0;
+  for (const FreqRow& row : rows_) {
+    total_ += row.freq;
+  }
+  std::uint64_t cum = 0;
+  for (FreqRow& row : rows_) {
+    cum += row.freq;
+    row.cum_freq = cum;
+    if (total_ > 0) {
+      row.percent = 100.0 * static_cast<double>(row.freq) /
+                    static_cast<double>(total_);
+      row.cum_percent = 100.0 * static_cast<double>(cum) /
+                        static_cast<double>(total_);
+    }
+  }
+}
+
+std::size_t FreqTable::median_row() const {
+  REPRO_EXPECT(total_ > 0, "median of an empty table");
+  const std::uint64_t half = (total_ + 1) / 2;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].cum_freq >= half) {
+      return i;
+    }
+  }
+  return rows_.size() - 1;
+}
+
+std::string FreqTable::render(std::size_t bar_width) const {
+  std::uint64_t max_freq = 0;
+  std::size_t label_width = 8;
+  for (const FreqRow& row : rows_) {
+    max_freq = std::max(max_freq, row.freq);
+    label_width = std::max(label_width, row.label.size());
+  }
+  const double scale =
+      max_freq == 0 ? 0.0
+                    : static_cast<double>(bar_width) /
+                          static_cast<double>(max_freq);
+
+  std::ostringstream os;
+  os << pad_right("MIDPOINT", label_width + 2)
+     << pad_right("", bar_width + 2) << pad_left("FREQ", 8)
+     << pad_left("CUM.FREQ", 10) << pad_left("PERCENT", 9)
+     << pad_left("CUM.PCT", 9) << '\n';
+  for (const FreqRow& row : rows_) {
+    const auto len = static_cast<std::size_t>(
+        std::llround(static_cast<double>(row.freq) * scale));
+    os << pad_right(row.label, label_width + 2) << '|'
+       << pad_right(bar(len), bar_width + 1) << pad_left(
+              std::to_string(row.freq), 8)
+       << pad_left(std::to_string(row.cum_freq), 10)
+       << pad_left(repro::fixed(row.percent, 2), 9)
+       << pad_left(repro::fixed(row.cum_percent, 2), 9) << '\n';
+  }
+  os << "TOTAL: " << total_ << '\n';
+  return os.str();
+}
+
+}  // namespace repro::stats

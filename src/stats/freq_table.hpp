@@ -1,0 +1,55 @@
+// Frequency tables and SAS PROC CHART-style ASCII rendering.
+//
+// Every distribution figure in the paper (Figures 3-7, 10-11, A.1-A.5,
+// B.3-B.4, B.7-B.8) is a SAS frequency chart: one row per midpoint with a
+// bar of asterisks and FREQ / CUM.FREQ / PERCENT / CUM.PERCENT columns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::stats {
+
+struct FreqRow {
+  std::string label;       ///< Midpoint or category label.
+  std::uint64_t freq = 0;
+  std::uint64_t cum_freq = 0;
+  double percent = 0.0;
+  double cum_percent = 0.0;
+};
+
+class FreqTable {
+ public:
+  /// Build by clustering values to the *nearest* midpoint — the paper's
+  /// binning rule for its regression medians and distributions (§5.2).
+  static FreqTable from_values(std::span<const double> values,
+                               std::span<const double> midpoints,
+                               int label_decimals = 2);
+
+  /// Build from pre-counted categories (e.g. records per processor count).
+  static FreqTable from_counts(std::span<const std::uint64_t> counts,
+                               std::span<const std::string> labels);
+
+  [[nodiscard]] const std::vector<FreqRow>& rows() const { return rows_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+
+  /// Frequency-weighted median label index (rows are in bin order).
+  [[nodiscard]] std::size_t median_row() const;
+
+  /// SAS-style ASCII chart. `bar_width` bounds the longest bar.
+  [[nodiscard]] std::string render(std::size_t bar_width = 60) const;
+
+ private:
+  void finalize();
+
+  std::vector<FreqRow> rows_;
+  std::uint64_t total_ = 0;
+};
+
+/// Index of the midpoint nearest to `value` (ties resolve to the lower).
+[[nodiscard]] std::size_t nearest_midpoint(double value,
+                                           std::span<const double> midpoints);
+
+}  // namespace repro::stats

@@ -1,0 +1,133 @@
+#include "stats/regression.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/expect.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/freq_table.hpp"
+
+namespace repro::stats {
+
+double PolyFit::operator()(double x) const {
+  double result = 0.0;
+  double power = 1.0;
+  for (const double c : coeffs) {
+    result += c * power;
+    power *= x;
+  }
+  return result;
+}
+
+std::vector<double> solve_linear(std::vector<double> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  REPRO_EXPECT(a.size() == n * n, "matrix/vector size mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row * n + col]) > std::abs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    REPRO_EXPECT(std::abs(a[pivot * n + col]) > 1e-12,
+                 "singular normal-equation matrix");
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    // Eliminate below.
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> z(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) {
+      sum -= a[i * n + k] * z[k];
+    }
+    z[i] = sum / a[i * n + i];
+  }
+  return z;
+}
+
+PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
+                       int degree) {
+  REPRO_EXPECT(degree >= 0, "degree must be non-negative");
+  REPRO_EXPECT(x.size() == y.size(), "x/y size mismatch");
+  const auto terms = static_cast<std::size_t>(degree) + 1;
+  REPRO_EXPECT(x.size() >= terms, "need at least degree+1 points");
+
+  // Normal equations: (X'X) beta = X'y with X_{ij} = x_i^j.
+  std::vector<double> xtx(terms * terms, 0.0);
+  std::vector<double> xty(terms, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> powers(terms, 1.0);
+    for (std::size_t j = 1; j < terms; ++j) {
+      powers[j] = powers[j - 1] * x[i];
+    }
+    for (std::size_t r = 0; r < terms; ++r) {
+      for (std::size_t c = 0; c < terms; ++c) {
+        xtx[r * terms + c] += powers[r] * powers[c];
+      }
+      xty[r] += powers[r] * y[i];
+    }
+  }
+
+  PolyFit fit;
+  fit.coeffs = solve_linear(std::move(xtx), std::move(xty));
+
+  // R^2 = 1 - SSE/SST.
+  const double y_mean = mean(y);
+  double sse = 0.0;
+  double sst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit(x[i]);
+    sse += (y[i] - pred) * (y[i] - pred);
+    sst += (y[i] - y_mean) * (y[i] - y_mean);
+  }
+  fit.r_squared = sst <= 1e-300 ? 1.0 : 1.0 - sse / sst;
+  return fit;
+}
+
+std::vector<std::pair<double, double>> median_by_midpoint(
+    std::span<const double> x, std::span<const double> y,
+    std::span<const double> midpoints) {
+  REPRO_EXPECT(x.size() == y.size(), "x/y size mismatch");
+  std::vector<std::vector<double>> buckets(midpoints.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    buckets[nearest_midpoint(x[i], midpoints)].push_back(y[i]);
+  }
+  std::vector<std::pair<double, double>> result;
+  for (std::size_t m = 0; m < midpoints.size(); ++m) {
+    if (!buckets[m].empty()) {
+      result.emplace_back(midpoints[m], median(buckets[m]));
+    }
+  }
+  return result;
+}
+
+PolyFit fit_median_model(std::span<const double> x, std::span<const double> y,
+                         std::span<const double> midpoints) {
+  const auto medians = median_by_midpoint(x, y, midpoints);
+  REPRO_EXPECT(medians.size() >= 3,
+               "need at least three occupied bins for a 2nd-order model");
+  std::vector<double> mx;
+  std::vector<double> my;
+  for (const auto& [mid, med] : medians) {
+    mx.push_back(mid);
+    my.push_back(med);
+  }
+  return fit_polynomial(mx, my, 2);
+}
+
+}  // namespace repro::stats

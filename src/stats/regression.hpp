@@ -1,0 +1,49 @@
+// Polynomial least squares and the paper's median-binned model pipeline.
+//
+// "Second order linear models were determined to most accurately model the
+// data. These models were of the form System Measure = β1·x + β2·x² + C"
+// with fit quality reported as R² (§5.2). fit_polynomial solves the normal
+// equations; median_by_midpoint implements the paper's binning ("the
+// median of the system measure for the set of points clustered around
+// their closest midpoint").
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace repro::stats {
+
+struct PolyFit {
+  /// coeffs[k] multiplies x^k (so coeffs[0] is the paper's C, coeffs[1]
+  /// is β1, coeffs[2] is β2).
+  std::vector<double> coeffs;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double operator()(double x) const;
+};
+
+/// Least-squares fit of a degree-`degree` polynomial. Requires at least
+/// degree+1 points.
+[[nodiscard]] PolyFit fit_polynomial(std::span<const double> x,
+                                     std::span<const double> y, int degree);
+
+/// Cluster (x,y) points to their nearest midpoint and take the median of y
+/// within each non-empty cluster. Returns (midpoint, median) pairs in
+/// midpoint order.
+[[nodiscard]] std::vector<std::pair<double, double>> median_by_midpoint(
+    std::span<const double> x, std::span<const double> y,
+    std::span<const double> midpoints);
+
+/// The paper's full pipeline: median-bin, then fit a 2nd-order model to
+/// the (midpoint, median) pairs.
+[[nodiscard]] PolyFit fit_median_model(std::span<const double> x,
+                                       std::span<const double> y,
+                                       std::span<const double> midpoints);
+
+/// Solve the square linear system A·z = b by Gaussian elimination with
+/// partial pivoting (exposed for tests). A is row-major n×n.
+[[nodiscard]] std::vector<double> solve_linear(std::vector<double> a,
+                                               std::vector<double> b);
+
+}  // namespace repro::stats

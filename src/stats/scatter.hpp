@@ -1,0 +1,38 @@
+// SAS letter-scatter rendering.
+//
+// The paper's scatter plots (Figures 8-9, B.1-B.2, B.5-B.6) use the SAS
+// convention "A = 1 obs, B = 2 obs, etc." — each character cell shows how
+// many observations landed there.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+namespace repro::stats {
+
+struct ScatterOptions {
+  std::size_t width = 72;   ///< Character columns for the plot area.
+  std::size_t height = 24;  ///< Character rows for the plot area.
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  /// Fixed axis bounds; when min == max the data range (padded) is used.
+  double x_min = 0.0, x_max = 0.0;
+  double y_min = 0.0, y_max = 0.0;
+};
+
+/// Render points as an ASCII letter-scatter. Empty input yields an empty
+/// plot frame.
+[[nodiscard]] std::string render_scatter(std::span<const double> x,
+                                         std::span<const double> y,
+                                         const ScatterOptions& options);
+
+/// Render a fitted curve (sampled at `points` x positions) as a line plot
+/// using 'o' marks — used for the regression-model figures (12-14, B.9-10).
+[[nodiscard]] std::string render_curve(double x_min, double x_max,
+                                       std::size_t points,
+                                       const std::function<double(double)>& f,
+                                       const ScatterOptions& options);
+
+}  // namespace repro::stats

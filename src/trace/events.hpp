@@ -1,0 +1,49 @@
+// Time-stamped execution events.
+//
+// The paper contrasts its non-intrusive sampling with the event-marker
+// tracing of its related work: "hardware monitoring and special event
+// marker instructions embedded in programs to acquire execution traces.
+// Captured events on different processors are time-stamped, and the
+// composite trace yields information about the overlapping operations
+// (concurrency) in the program" (§2.1, refs [16][17]). It also names
+// program-level evaluation as future research (§6).
+//
+// This module provides that second methodology: the cluster emits marker
+// events, and trace/profile.hpp derives exact per-program concurrency —
+// the ground truth the sampling methodology estimates.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "base/types.hpp"
+
+namespace repro::trace {
+
+enum class EventKind : std::uint8_t {
+  kJobStart = 0,
+  kJobEnd,
+  kSerialPhaseStart,
+  kSerialPhaseEnd,
+  kLoopStart,       ///< arg = trip count.
+  kLoopEnd,
+  kIterationStart,  ///< arg = iteration index, ce = executing CE.
+  kIterationEnd,    ///< arg = iteration index, ce = executing CE.
+};
+inline constexpr std::size_t kNumEventKinds = 8;
+
+[[nodiscard]] std::string_view name(EventKind kind);
+
+struct TraceEvent {
+  Cycle time = 0;
+  EventKind kind = EventKind::kJobStart;
+  JobId job = 0;
+  /// Phase index within the program (phases are serial/loop sections).
+  std::uint32_t phase = 0;
+  /// CE for iteration events; 0 otherwise.
+  CeId ce = 0;
+  /// Kind-specific argument (trip count, iteration index).
+  std::uint64_t arg = 0;
+};
+
+}  // namespace repro::trace

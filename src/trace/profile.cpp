@@ -1,0 +1,171 @@
+#include "trace/profile.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "base/expect.hpp"
+#include "base/text.hpp"
+
+namespace repro::trace {
+
+namespace {
+
+/// Sweep the iteration intervals of one loop: integral of overlap over
+/// time, and the last instant the overlap equalled the cluster width
+/// (the start of the final drain).
+struct OverlapSweep {
+  double integral = 0.0;
+  Cycle last_full = 0;
+  bool reached_full = false;
+};
+
+OverlapSweep sweep_overlap(const std::vector<std::pair<Cycle, int>>& deltas,
+                           std::uint32_t width) {
+  OverlapSweep sweep;
+  int overlap = 0;
+  Cycle prev = deltas.empty() ? 0 : deltas.front().first;
+  for (const auto& [time, delta] : deltas) {
+    sweep.integral +=
+        static_cast<double>(overlap) * static_cast<double>(time - prev);
+    overlap += delta;
+    prev = time;
+    if (overlap == static_cast<int>(width)) {
+      sweep.last_full = time;
+      sweep.reached_full = true;
+    }
+  }
+  return sweep;
+}
+
+}  // namespace
+
+std::string ProgramProfile::describe() const {
+  std::ostringstream os;
+  os << "job " << job << ": " << duration() << " cycles, cw=" << fixed(cw, 3)
+     << ", pc=" << (pc_defined ? fixed(pc, 2) : "n/a") << ", "
+     << loops.size() << " loops";
+  return os.str();
+}
+
+ProgramProfile profile_job(std::span<const TraceEvent> events, JobId job,
+                           std::uint32_t width) {
+  REPRO_EXPECT(width >= 1 && width <= kMaxCes, "width must be 1..8");
+  ProgramProfile profile;
+  profile.job = job;
+
+  bool saw_start = false;
+  bool saw_end = false;
+  Cycle serial_start = 0;
+
+  LoopProfile* open_loop = nullptr;
+  std::vector<std::pair<Cycle, int>> deltas;
+  double total_overlap_integral = 0.0;
+
+  auto close_loop = [&](Cycle end_time) {
+    REPRO_ENSURE(open_loop != nullptr, "loop end without a loop start");
+    open_loop->end = end_time;
+    std::sort(deltas.begin(), deltas.end(),
+              [](const auto& a, const auto& b) {
+                // Process ends before starts at equal times so overlap
+                // never over-counts.
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+    const OverlapSweep sweep = sweep_overlap(deltas, width);
+    const Cycle duration = open_loop->duration();
+    if (duration > 0) {
+      open_loop->mean_overlap =
+          sweep.integral / static_cast<double>(duration);
+    }
+    open_loop->drain_cycles = sweep.reached_full
+                                  ? end_time - sweep.last_full
+                                  : duration;
+    total_overlap_integral += sweep.integral;
+    profile.concurrent_cycles += duration;
+    deltas.clear();
+    open_loop = nullptr;
+  };
+
+  for (const TraceEvent& event : events) {
+    if (event.job != job) {
+      continue;
+    }
+    switch (event.kind) {
+      case EventKind::kJobStart:
+        profile.start = event.time;
+        saw_start = true;
+        break;
+      case EventKind::kJobEnd:
+        profile.end = event.time;
+        saw_end = true;
+        break;
+      case EventKind::kSerialPhaseStart:
+        serial_start = event.time;
+        break;
+      case EventKind::kSerialPhaseEnd:
+        profile.serial_cycles += event.time - serial_start;
+        break;
+      case EventKind::kLoopStart: {
+        LoopProfile loop;
+        loop.phase = event.phase;
+        loop.trip_count = event.arg;
+        loop.start = event.time;
+        loop.iterations_per_ce.assign(width, 0);
+        profile.loops.push_back(loop);
+        open_loop = &profile.loops.back();
+        break;
+      }
+      case EventKind::kLoopEnd:
+        close_loop(event.time);
+        break;
+      case EventKind::kIterationStart:
+        deltas.emplace_back(event.time, +1);
+        break;
+      case EventKind::kIterationEnd:
+        deltas.emplace_back(event.time, -1);
+        if (open_loop != nullptr && event.ce < width) {
+          ++open_loop->iterations_per_ce[event.ce];
+        }
+        break;
+    }
+  }
+  REPRO_EXPECT(saw_start && saw_end,
+               "trace does not contain the job's start/end markers");
+  REPRO_EXPECT(open_loop == nullptr, "trace ends inside a loop");
+
+  const Cycle duration = profile.duration();
+  if (duration > 0) {
+    profile.cw = static_cast<double>(profile.concurrent_cycles) /
+                 static_cast<double>(duration);
+  }
+  if (profile.concurrent_cycles > 0) {
+    profile.pc_defined = true;
+    profile.pc = total_overlap_integral /
+                 static_cast<double>(profile.concurrent_cycles);
+  }
+  return profile;
+}
+
+std::vector<ProgramProfile> profile_all(std::span<const TraceEvent> events,
+                                        std::uint32_t width) {
+  // Find jobs with both markers, in start order.
+  std::vector<std::pair<Cycle, JobId>> jobs;
+  std::vector<JobId> ended;
+  for (const TraceEvent& event : events) {
+    if (event.kind == EventKind::kJobStart) {
+      jobs.emplace_back(event.time, event.job);
+    } else if (event.kind == EventKind::kJobEnd) {
+      ended.push_back(event.job);
+    }
+  }
+  std::sort(jobs.begin(), jobs.end());
+  std::vector<ProgramProfile> profiles;
+  for (const auto& [time, job] : jobs) {
+    if (std::find(ended.begin(), ended.end(), job) != ended.end()) {
+      profiles.push_back(profile_job(events, job, width));
+    }
+  }
+  return profiles;
+}
+
+}  // namespace repro::trace

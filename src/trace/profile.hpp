@@ -1,0 +1,72 @@
+// Program-level concurrency profiles from composite traces.
+//
+// The paper's closing suggestion: "Future research in the measurement of
+// concurrency should include evaluation of individual programs, to
+// determine their behavior within the workload environment" (§6). A
+// ProgramProfile is exactly that: the per-job counterparts of Cw and Pc,
+// plus per-loop drain (transition) overheads, computed exactly from the
+// marker trace rather than estimated by sampling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/types.hpp"
+#include "trace/events.hpp"
+
+namespace repro::trace {
+
+struct LoopProfile {
+  std::uint32_t phase = 0;
+  std::uint64_t trip_count = 0;
+  Cycle start = 0;
+  Cycle end = 0;
+
+  /// Average number of iterations in flight while the loop ran — the
+  /// per-loop analogue of Pc.
+  double mean_overlap = 0.0;
+  /// Cycles between the first iteration completing the final batch-drain
+  /// (last dispatch wave) and loop end — the transition overhead of §4.3.
+  Cycle drain_cycles = 0;
+  /// Iterations executed per CE (unevenness shows scheduling skew).
+  std::vector<std::uint64_t> iterations_per_ce;
+
+  [[nodiscard]] Cycle duration() const { return end - start; }
+};
+
+struct ProgramProfile {
+  JobId job = 0;
+  Cycle start = 0;
+  Cycle end = 0;
+  /// Cycles inside serial phases / concurrent loops.
+  Cycle serial_cycles = 0;
+  Cycle concurrent_cycles = 0;
+
+  /// Program-level Workload Concurrency: fraction of the job's lifetime
+  /// spent inside concurrent loops.
+  double cw = 0.0;
+  /// Program-level Mean Concurrency Level: mean iteration overlap over
+  /// the concurrent spans (undefined = 0 when no loops).
+  double pc = 0.0;
+  bool pc_defined = false;
+
+  std::vector<LoopProfile> loops;
+
+  [[nodiscard]] Cycle duration() const { return end - start; }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Build the profile of one job from a composite trace. The trace must
+/// contain the job's start/end markers; throws ContractViolation
+/// otherwise.
+[[nodiscard]] ProgramProfile profile_job(std::span<const TraceEvent> events,
+                                         JobId job,
+                                         std::uint32_t width = kMaxCes);
+
+/// All jobs with complete start/end markers in the trace, in start order.
+[[nodiscard]] std::vector<ProgramProfile> profile_all(
+    std::span<const TraceEvent> events, std::uint32_t width = kMaxCes);
+
+}  // namespace repro::trace

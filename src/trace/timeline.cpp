@@ -1,0 +1,103 @@
+#include "trace/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace repro::trace {
+
+std::string render_timeline(std::span<const TraceEvent> events, JobId job,
+                            const TimelineOptions& options) {
+  REPRO_EXPECT(options.columns >= 8, "timeline needs at least 8 columns");
+  REPRO_EXPECT(options.width >= 1 && options.width <= kMaxCes,
+               "width must be 1..8");
+
+  Cycle start = 0;
+  Cycle end = 0;
+  bool saw_start = false;
+  bool saw_end = false;
+  for (const TraceEvent& event : events) {
+    if (event.job != job) {
+      continue;
+    }
+    if (event.kind == EventKind::kJobStart) {
+      start = event.time;
+      saw_start = true;
+    } else if (event.kind == EventKind::kJobEnd) {
+      end = event.time;
+      saw_end = true;
+    }
+  }
+  REPRO_EXPECT(saw_start && saw_end, "job markers missing from trace");
+  REPRO_EXPECT(end > start, "job has zero duration");
+
+  const double scale = static_cast<double>(options.columns) /
+                       static_cast<double>(end - start);
+  auto column = [&](Cycle t) {
+    const auto c = static_cast<std::size_t>(
+        static_cast<double>(t - start) * scale);
+    return std::min(c, options.columns - 1);
+  };
+
+  // Rows: one per CE ('#' while executing an iteration) plus a serial row.
+  std::vector<std::string> ce_rows(options.width,
+                                   std::string(options.columns, ' '));
+  std::string serial_row(options.columns, ' ');
+
+  std::array<Cycle, kMaxCes> iter_start{};
+  std::array<bool, kMaxCes> in_iter{};
+  Cycle serial_start = 0;
+  bool in_serial = false;
+
+  auto fill = [&](std::string& row, Cycle a, Cycle b, char mark) {
+    for (std::size_t c = column(a); c <= column(b); ++c) {
+      row[c] = mark;
+    }
+  };
+
+  for (const TraceEvent& event : events) {
+    if (event.job != job) {
+      continue;
+    }
+    switch (event.kind) {
+      case EventKind::kIterationStart:
+        if (event.ce < options.width) {
+          iter_start[event.ce] = event.time;
+          in_iter[event.ce] = true;
+        }
+        break;
+      case EventKind::kIterationEnd:
+        if (event.ce < options.width && in_iter[event.ce]) {
+          fill(ce_rows[event.ce], iter_start[event.ce], event.time, '#');
+          in_iter[event.ce] = false;
+        }
+        break;
+      case EventKind::kSerialPhaseStart:
+        serial_start = event.time;
+        in_serial = true;
+        break;
+      case EventKind::kSerialPhaseEnd:
+        if (in_serial) {
+          fill(serial_row, serial_start, event.time, '.');
+          in_serial = false;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::ostringstream os;
+  os << "job " << job << " timeline (" << (end - start) << " cycles, '"
+     << '#' << "'=iteration, '.'=serial)\n";
+  for (std::uint32_t ce = 0; ce < options.width; ++ce) {
+    os << "CE" << ce << " |" << ce_rows[ce] << "|\n";
+  }
+  os << "ser |" << serial_row << "|\n";
+  return os.str();
+}
+
+}  // namespace repro::trace

@@ -1,0 +1,28 @@
+// ASCII timeline rendering of a composite trace.
+//
+// Renders concurrency-over-time for a job the way an engineer would
+// sketch it from a logic-analyzer screen: one row per CE, time bucketed
+// into columns, '#' where the CE executes an iteration, '.' where the
+// cluster is in a serial phase, ' ' where idle.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "base/types.hpp"
+#include "trace/events.hpp"
+
+namespace repro::trace {
+
+struct TimelineOptions {
+  std::size_t columns = 72;       ///< Time buckets across the page.
+  std::uint32_t width = kMaxCes;  ///< CE rows.
+};
+
+/// Render the job's execution as a per-CE activity chart. Requires the
+/// job's start/end markers to be present.
+[[nodiscard]] std::string render_timeline(std::span<const TraceEvent> events,
+                                          JobId job,
+                                          const TimelineOptions& options);
+
+}  // namespace repro::trace

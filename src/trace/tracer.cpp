@@ -1,0 +1,85 @@
+#include "trace/tracer.hpp"
+
+namespace repro::trace {
+
+std::string_view name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJobStart:
+      return "job-start";
+    case EventKind::kJobEnd:
+      return "job-end";
+    case EventKind::kSerialPhaseStart:
+      return "serial-start";
+    case EventKind::kSerialPhaseEnd:
+      return "serial-end";
+    case EventKind::kLoopStart:
+      return "loop-start";
+    case EventKind::kLoopEnd:
+      return "loop-end";
+    case EventKind::kIterationStart:
+      return "iter-start";
+    case EventKind::kIterationEnd:
+      return "iter-end";
+  }
+  return "?";
+}
+
+EventTracer::EventTracer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity_ > 0) {
+    events_.reserve(capacity_);
+  }
+}
+
+void EventTracer::record(TraceEvent event) {
+  if (capacity_ > 0 && events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(event);
+}
+
+void EventTracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+void EventTracer::on_job_start(JobId job, Cycle now) {
+  record({now, EventKind::kJobStart, job, 0, 0, 0});
+}
+
+void EventTracer::on_job_end(JobId job, Cycle now) {
+  record({now, EventKind::kJobEnd, job, 0, 0, 0});
+}
+
+void EventTracer::on_serial_phase_start(JobId job, std::uint32_t phase,
+                                        Cycle now) {
+  current_phase_ = phase;
+  record({now, EventKind::kSerialPhaseStart, job, phase, 0, 0});
+}
+
+void EventTracer::on_serial_phase_end(JobId job, std::uint32_t phase,
+                                      Cycle now) {
+  record({now, EventKind::kSerialPhaseEnd, job, phase, 0, 0});
+}
+
+void EventTracer::on_loop_start(JobId job, std::uint32_t phase,
+                                std::uint64_t trip, Cycle now) {
+  current_phase_ = phase;
+  record({now, EventKind::kLoopStart, job, phase, 0, trip});
+}
+
+void EventTracer::on_loop_end(JobId job, std::uint32_t phase, Cycle now) {
+  record({now, EventKind::kLoopEnd, job, phase, 0, 0});
+}
+
+void EventTracer::on_iteration_start(JobId job, std::uint64_t iter, CeId ce,
+                                     Cycle now) {
+  record({now, EventKind::kIterationStart, job, current_phase_, ce, iter});
+}
+
+void EventTracer::on_iteration_end(JobId job, std::uint64_t iter, CeId ce,
+                                   Cycle now) {
+  record({now, EventKind::kIterationEnd, job, current_phase_, ce, iter});
+}
+
+}  // namespace repro::trace

@@ -1,0 +1,56 @@
+// EventTracer: a ClusterObserver that builds composite traces.
+//
+// Attach to a cluster with Machine::cluster().set_observer(&tracer); the
+// resulting event stream is the "composite trace [that] yields
+// information about the overlapping operations (concurrency) in the
+// program" of §2.1. The paper notes this technique "requires specific
+// code insertion in programs [and] is difficult to apply to the
+// observation of a real workload" — here it serves as ground truth
+// against which the sampling methodology can be validated (see
+// bench_trace_vs_sampling).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fx8/cluster.hpp"
+#include "trace/events.hpp"
+
+namespace repro::trace {
+
+class EventTracer final : public fx8::ClusterObserver {
+ public:
+  /// `capacity` bounds the retained trace (0 = unbounded). When bounded,
+  /// recording stops once full (the overflow count keeps tallying).
+  explicit EventTracer(std::size_t capacity = 0);
+
+  void on_job_start(JobId job, Cycle now) override;
+  void on_job_end(JobId job, Cycle now) override;
+  void on_serial_phase_start(JobId job, std::uint32_t phase,
+                             Cycle now) override;
+  void on_serial_phase_end(JobId job, std::uint32_t phase,
+                           Cycle now) override;
+  void on_loop_start(JobId job, std::uint32_t phase, std::uint64_t trip,
+                     Cycle now) override;
+  void on_loop_end(JobId job, std::uint32_t phase, Cycle now) override;
+  void on_iteration_start(JobId job, std::uint64_t iter, CeId ce,
+                          Cycle now) override;
+  void on_iteration_end(JobId job, std::uint64_t iter, CeId ce,
+                        Cycle now) override;
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  void record(TraceEvent event);
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t dropped_ = 0;
+  std::uint32_t current_phase_ = 0;
+};
+
+}  // namespace repro::trace

@@ -1,0 +1,62 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/expect.hpp"
+
+namespace repro::workload {
+
+void WorkloadMix::validate() const {
+  REPRO_EXPECT(concurrent_job_fraction >= 0.0 &&
+                   concurrent_job_fraction <= 1.0,
+               "concurrent job fraction must be a probability");
+  REPRO_EXPECT(mean_idle_cycles >= 0.0, "idle gap cannot be negative");
+  REPRO_EXPECT(mean_burst_jobs >= 1.0, "bursts contain at least one job");
+  numeric.trip_law.validate();
+}
+
+WorkloadGenerator::WorkloadGenerator(WorkloadMix mix, std::uint64_t seed)
+    : mix_(std::move(mix)), rng_(seed) {
+  mix_.validate();
+}
+
+void WorkloadGenerator::submit_burst(os::System& system) {
+  // Geometric-ish burst size with the configured mean.
+  std::uint64_t burst = 1;
+  const double p_more = 1.0 - 1.0 / mix_.mean_burst_jobs;
+  while (burst < 8 && rng_.bernoulli(p_more)) {
+    ++burst;
+  }
+  for (std::uint64_t i = 0; i < burst; ++i) {
+    const JobId id = next_job_id_++;
+    if (rng_.bernoulli(mix_.concurrent_job_fraction)) {
+      system.scheduler().submit(
+          make_numeric_job(id, rng_, mix_.numeric, system.now()));
+    } else {
+      system.scheduler().submit(
+          make_serial_job(id, rng_, mix_.serial, system.now()));
+    }
+  }
+}
+
+void WorkloadGenerator::tick(os::System& system) {
+  if (!system.scheduler().idle()) {
+    waiting_for_drain_ = true;
+    return;
+  }
+  if (waiting_for_drain_) {
+    // The machine just drained: draw the idle gap before the next burst.
+    waiting_for_drain_ = false;
+    const Cycle gap = mix_.mean_idle_cycles <= 0.0
+                          ? 0
+                          : static_cast<Cycle>(
+                                rng_.exponential(mix_.mean_idle_cycles));
+    next_arrival_ = system.now() + gap;
+  }
+  if (system.now() >= next_arrival_) {
+    submit_burst(system);
+  }
+}
+
+}  // namespace repro::workload

@@ -1,0 +1,56 @@
+// Workload generator: keeps the system fed according to a mixture.
+//
+// A WorkloadMix describes one measurement session's environment: how
+// likely the next submission is a concurrent numeric job vs. a detached
+// serial process, how bursty submissions are, and how long the machine
+// idles between bursts. The generator drives an os::System the way the
+// user population drove the CSRD machine: it watches the run queue and
+// submits new work when the machine drains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "os/system.hpp"
+#include "workload/jobs.hpp"
+
+namespace repro::workload {
+
+struct WorkloadMix {
+  std::string name = "default";
+  /// Probability the next submitted job is a concurrent numeric job.
+  double concurrent_job_fraction = 0.5;
+  /// Mean idle gap (cycles) between the queue draining and new arrivals.
+  double mean_idle_cycles = 30000;
+  /// Mean number of jobs per arrival burst (>= 1).
+  double mean_burst_jobs = 1.6;
+  NumericJobParams numeric;
+  SerialJobParams serial;
+
+  void validate() const;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadMix mix, std::uint64_t seed);
+
+  /// Call once per cycle before System::tick(); submits jobs when the
+  /// machine has drained and the idle gap has elapsed.
+  void tick(os::System& system);
+
+  [[nodiscard]] std::uint64_t jobs_generated() const { return next_job_id_; }
+  [[nodiscard]] const WorkloadMix& mix() const { return mix_; }
+
+ private:
+  void submit_burst(os::System& system);
+
+  WorkloadMix mix_;
+  Rng rng_;
+  JobId next_job_id_ = 0;
+  Cycle next_arrival_ = 0;
+  bool waiting_for_drain_ = false;
+};
+
+}  // namespace repro::workload

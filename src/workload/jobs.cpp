@@ -1,0 +1,84 @@
+#include "workload/jobs.hpp"
+
+#include <utility>
+
+#include "isa/program.hpp"
+
+namespace repro::workload {
+
+Addr job_data_base(JobId id) {
+  // 16 MB slots rotating through a 3.1 GB window, clear of the IP regions
+  // at 0xE0000000 and of the per-phase code images (+128 MB per base).
+  return 0x01000000ULL + (id % 180) * 0x01000000ULL;
+}
+
+os::Job make_numeric_job(JobId id, Rng& rng, const NumericJobParams& params,
+                         Cycle now) {
+  const auto palette = concurrent_palette(params.tuning);
+  isa::ProgramBuilder builder("numeric-" + std::to_string(id));
+  builder.seed(rng.next()).data_base(job_data_base(id));
+
+  const auto loops = static_cast<std::uint32_t>(
+      rng.uniform_in(params.min_loops, params.max_loops));
+  const isa::KernelSpec setup = scalar_setup_body(params.tuning);
+  for (std::uint32_t i = 0; i < loops; ++i) {
+    const auto reps = static_cast<std::uint64_t>(
+        rng.uniform_in(params.min_setup_reps, params.max_setup_reps));
+    builder.serial(setup, reps);
+
+    isa::ConcurrentLoopPhase loop;
+    loop.body = draw(palette, rng);
+    loop.trip_count = params.trip_law.sample(rng);
+    if (params.trip_law.is_narrow(loop.trip_count)) {
+      // Outer-parallelized loop: few iterations, each doing the work of a
+      // whole batch, so the cluster runs at trip_count-active for a
+      // comparable duration. Each iteration covers correspondingly more
+      // of the arrays, striding across rows — per-access locality is
+      // worse by roughly the width deficit, which keeps the loop's
+      // aggregate cache-miss volume independent of how many processors
+      // the compiler spread it over (paper §5.1/§5.3: miss behaviour
+      // follows the code's data intensity, not its processor count).
+      loop.body.steps *= 10;
+      loop.body.stride_bytes *=
+          8 / static_cast<std::uint32_t>(loop.trip_count);
+    }
+    loop.shared_data = true;
+    loop.dependence_prob =
+        loop.body.name == "solver-sweep" ? params.dependence_prob * 4
+                                         : params.dependence_prob;
+    if (loop.dependence_prob > 1.0) {
+      loop.dependence_prob = 1.0;
+    }
+    loop.long_path_prob = params.long_path_prob;
+    loop.long_path_extra_steps = params.long_path_extra_steps;
+    builder.concurrent_loop(loop);
+  }
+  // Teardown: write out results serially.
+  builder.serial(setup, 1);
+
+  os::Job job;
+  job.id = id;
+  job.cls = os::JobClass::kCluster;
+  job.program = builder.build();
+  job.submitted_at = now;
+  return job;
+}
+
+os::Job make_serial_job(JobId id, Rng& rng, const SerialJobParams& params,
+                        Cycle now) {
+  const auto palette = serial_palette(params.tuning);
+  isa::ProgramBuilder builder("serial-" + std::to_string(id));
+  builder.seed(rng.next()).data_base(job_data_base(id));
+  const auto reps = static_cast<std::uint64_t>(
+      rng.uniform_in(params.min_reps, params.max_reps));
+  builder.serial(draw(palette, rng), reps);
+
+  os::Job job;
+  job.id = id;
+  job.cls = os::JobClass::kSerialDetached;
+  job.program = builder.build();
+  job.submitted_at = now;
+  return job;
+}
+
+}  // namespace repro::workload

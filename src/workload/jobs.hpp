@@ -1,0 +1,47 @@
+// Job factories: compose kernel-palette bodies into schedulable programs.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+#include "base/types.hpp"
+#include "os/job.hpp"
+#include "workload/kernels.hpp"
+#include "workload/trip_law.hpp"
+
+namespace repro::workload {
+
+struct NumericJobParams {
+  KernelTuning tuning;
+  TripLaw trip_law;
+  std::uint32_t min_loops = 2;
+  std::uint32_t max_loops = 5;
+  /// Reps of the serial setup section before each loop.
+  std::uint32_t min_setup_reps = 1;
+  std::uint32_t max_setup_reps = 2;
+  double dependence_prob = 0.05;
+  double long_path_prob = 0.15;
+  std::uint32_t long_path_extra_steps = 10;
+};
+
+struct SerialJobParams {
+  KernelTuning tuning;
+  std::uint32_t min_reps = 3;
+  std::uint32_t max_reps = 12;
+};
+
+/// A FORTRAN-style numeric job: serial setup alternating with concurrent
+/// DO loops whose trip counts follow the law.
+[[nodiscard]] os::Job make_numeric_job(JobId id, Rng& rng,
+                                       const NumericJobParams& params,
+                                       Cycle now);
+
+/// A detached serial process (editor/compiler/shell): serial phases only.
+[[nodiscard]] os::Job make_serial_job(JobId id, Rng& rng,
+                                      const SerialJobParams& params,
+                                      Cycle now);
+
+/// Disjoint per-job data region base (jobs never share cache lines).
+[[nodiscard]] Addr job_data_base(JobId id);
+
+}  // namespace repro::workload

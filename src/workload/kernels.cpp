@@ -1,0 +1,242 @@
+#include "workload/kernels.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::workload {
+
+isa::KernelSpec matmul_row_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "matmul-row";
+  k.steps = 24 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles;
+  k.compute_jitter = 0;  // vectorized bodies run uniform iterations
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 3 * 1024;
+  k.vector_fraction = tuning.vector_fraction;
+  k.vector_cycles = 10;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec jacobi_row_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "jacobi-row";
+  k.steps = 32 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles + 1;
+  k.compute_jitter = 0;  // vectorized bodies run uniform iterations
+  k.loads_per_step = 4;  // N/S/E/W neighbours
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 4 * 1024;
+  k.vector_fraction = tuning.vector_fraction * 0.5;
+  k.vector_cycles = 8;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec triad_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "triad";
+  k.steps = 16 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles;
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 2 * 1024;
+  k.vector_fraction = tuning.vector_fraction * 1.5 > 1.0
+                          ? 1.0
+                          : tuning.vector_fraction * 1.5;
+  k.vector_cycles = 12;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec reduction_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "reduction";
+  k.steps = 20 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles;
+  k.loads_per_step = 2;
+  k.stores_per_step = 0;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 2 * 1024;
+  k.vector_fraction = tuning.vector_fraction;
+  k.vector_cycles = 8;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec solver_sweep_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "solver-sweep";
+  k.steps = 28 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles + 2;
+  k.compute_jitter = 1;  // mild: pivot-row length varies
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 5 * 1024;
+  k.vector_fraction = tuning.vector_fraction * 0.7;
+  k.vector_cycles = 10;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec fft_stage_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "fft-stage";
+  k.steps = 20 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles + 2;
+  k.loads_per_step = 2;   // butterfly pair
+  k.stores_per_step = 1;  // in-place update
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride * 2;  // complex elements
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 3 * 1024;
+  k.vector_fraction =
+      tuning.vector_fraction * 1.3 > 1.0 ? 1.0 : tuning.vector_fraction * 1.3;
+  k.vector_cycles = 12;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec lu_update_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "lu-update";
+  k.steps = 26 * tuning.concurrent_steps_scale;
+  k.compute_cycles = tuning.concurrent_compute_cycles;
+  k.loads_per_step = 2;   // pivot element + target element
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = tuning.concurrent_stride;
+  k.working_set_bytes = tuning.concurrent_working_set;
+  k.code_bytes = 4 * 1024;
+  k.vector_fraction = tuning.vector_fraction;
+  k.vector_cycles = 10;
+  k.validate();
+  return k;
+}
+
+std::vector<isa::KernelSpec> concurrent_palette(const KernelTuning& tuning) {
+  return {matmul_row_body(tuning), jacobi_row_body(tuning),
+          triad_body(tuning),      reduction_body(tuning),
+          solver_sweep_body(tuning), fft_stage_body(tuning),
+          lu_update_body(tuning)};
+}
+
+isa::KernelSpec scalar_setup_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "scalar-setup";
+  k.steps = 40;
+  k.compute_cycles = 6;
+  k.compute_jitter = 2;
+  k.loads_per_step = 1;
+  k.stores_per_step = 0;
+  k.pattern = isa::AccessPattern::kHotCold;
+  k.hot_fraction = tuning.serial_hot_fraction;
+  k.hot_set_bytes = 4 * 1024;
+  k.stride_bytes = 16;
+  k.working_set_bytes = 64 * 1024;
+  k.code_bytes = 6 * 1024;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec editor_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "editor";
+  k.steps = 60;
+  k.compute_cycles = 8;
+  k.compute_jitter = 3;
+  k.loads_per_step = 1;
+  k.stores_per_step = 0;
+  k.pattern = isa::AccessPattern::kHotCold;
+  k.hot_fraction = tuning.serial_hot_fraction + 0.05 > 1.0
+                       ? 1.0
+                       : tuning.serial_hot_fraction + 0.05;
+  k.hot_set_bytes = 2 * 1024;
+  k.stride_bytes = 16;
+  k.working_set_bytes = 32 * 1024;
+  k.code_bytes = 10 * 1024;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec compiler_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "compiler";
+  k.steps = 48;
+  k.compute_cycles = 5;
+  k.compute_jitter = 2;
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kHotCold;
+  k.hot_fraction = tuning.serial_hot_fraction - 0.08;
+  k.hot_set_bytes = 8 * 1024;
+  k.stride_bytes = 24;
+  k.working_set_bytes = 128 * 1024;
+  k.code_bytes = 40 * 1024;  // spills the 16 KB icache
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec shell_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "shell";
+  k.steps = 24;
+  k.compute_cycles = 7;
+  k.compute_jitter = 3;
+  k.loads_per_step = 1;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kHotCold;
+  k.hot_fraction = tuning.serial_hot_fraction;
+  k.hot_set_bytes = 3 * 1024;
+  k.stride_bytes = 16;
+  k.working_set_bytes = 48 * 1024;
+  k.code_bytes = 12 * 1024;
+  k.validate();
+  return k;
+}
+
+isa::KernelSpec circuit_sim_body(const KernelTuning& tuning) {
+  isa::KernelSpec k;
+  k.name = "circuit-sim";
+  k.steps = 56;
+  k.compute_cycles = 9;  // device-model evaluation is compute heavy
+  k.compute_jitter = 4;  // model complexity varies per device
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.pattern = isa::AccessPattern::kHotCold;
+  k.hot_fraction = tuning.serial_hot_fraction - 0.15;  // sparse walks
+  k.hot_set_bytes = 6 * 1024;   // device model tables
+  k.stride_bytes = 40;          // sparse matrix entries
+  k.working_set_bytes = 192 * 1024;
+  k.code_bytes = 24 * 1024;     // spills the icache a little
+  k.validate();
+  return k;
+}
+
+std::vector<isa::KernelSpec> serial_palette(const KernelTuning& tuning) {
+  return {scalar_setup_body(tuning), editor_body(tuning),
+          compiler_body(tuning), shell_body(tuning),
+          circuit_sim_body(tuning)};
+}
+
+isa::KernelSpec draw(const std::vector<isa::KernelSpec>& palette, Rng& rng) {
+  REPRO_EXPECT(!palette.empty(), "cannot draw from an empty palette");
+  return palette[rng.uniform(palette.size())];
+}
+
+}  // namespace repro::workload

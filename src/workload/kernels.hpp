@@ -1,0 +1,101 @@
+// The kernel palette: FORTRAN-style numeric bodies and serial/interactive
+// code, parameterized the way the measured CSRD workload was composed.
+//
+// "Programs developed on the machine range from high level software
+// (FORTRAN), such as structural mechanics and circuit simulation, to
+// assembly-level kernels for linear system solving" (§1). The decisive
+// contrast for the paper's results is data intensity: "the kinds of
+// functions which are suitable for parallel encoding, such as matrix and
+// concurrent vector operations, are usually much more data intensive than
+// general serial code" (§5.3). Concurrent bodies here stream large arrays
+// with little compute per access; serial bodies run mostly out of a hot
+// set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hpp"
+#include "isa/kernel.hpp"
+
+namespace repro::workload {
+
+/// Scales the data intensity of the concurrent kernels (1.0 = the
+/// calibrated default; the equal-locality ablation uses intensity that
+/// matches serial code).
+struct KernelTuning {
+  /// Extra compute cycles per access for concurrent bodies (higher =>
+  /// less data intensive).
+  std::uint32_t concurrent_compute_cycles = 6;
+  /// Fraction of concurrent steps that are register-vector operations.
+  double vector_fraction = 0.3;
+  /// Working set of one concurrent loop's shared array region.
+  std::uint64_t concurrent_working_set = 256 * 1024;
+  /// Streaming stride of concurrent bodies.
+  std::uint64_t concurrent_stride = 8;
+  /// Multiplier on the steps per concurrent iteration. Iteration duration
+  /// must dominate the skew self-scheduling accumulates for loop drains
+  /// to show the paper's long 2-active leftover tail (§4.3).
+  std::uint32_t concurrent_steps_scale = 1;
+  /// Hot-set fraction for serial bodies (higher => better locality).
+  double serial_hot_fraction = 0.93;
+};
+
+// --- Concurrent DO-loop bodies (one iteration of the parallelized loop) --
+
+/// Inner rows of a blocked matrix multiply: 2 loads + 1 RMW store per
+/// step, heavy vector use.
+[[nodiscard]] isa::KernelSpec matmul_row_body(const KernelTuning& tuning);
+
+/// 5-point Jacobi relaxation row: reads neighbours, writes centre.
+[[nodiscard]] isa::KernelSpec jacobi_row_body(const KernelTuning& tuning);
+
+/// STREAM-triad-like vector update a(i) = b(i) + s*c(i).
+[[nodiscard]] isa::KernelSpec triad_body(const KernelTuning& tuning);
+
+/// Dot-product / reduction chunk: pure loads.
+[[nodiscard]] isa::KernelSpec reduction_body(const KernelTuning& tuning);
+
+/// Forward-elimination sweep of a linear solver: loads a pivot row,
+/// updates a target row; bodies carry a dependence in the enclosing loop.
+[[nodiscard]] isa::KernelSpec solver_sweep_body(const KernelTuning& tuning);
+
+/// FFT butterfly stage: paired strided loads, heavy vector use.
+[[nodiscard]] isa::KernelSpec fft_stage_body(const KernelTuning& tuning);
+
+/// LU trailing-matrix update row: read pivot row, update target row.
+[[nodiscard]] isa::KernelSpec lu_update_body(const KernelTuning& tuning);
+
+/// All concurrent bodies (for random palette draws).
+[[nodiscard]] std::vector<isa::KernelSpec> concurrent_palette(
+    const KernelTuning& tuning);
+
+// --- Serial code -----------------------------------------------------
+
+/// Scalar setup/teardown around parallel loops (index arithmetic, small
+/// tables): hot/cold with good locality.
+[[nodiscard]] isa::KernelSpec scalar_setup_body(const KernelTuning& tuning);
+
+/// Interactive editor burst: tiny working set, almost no misses.
+[[nodiscard]] isa::KernelSpec editor_body(const KernelTuning& tuning);
+
+/// Compiler pass: hot/cold with a code footprint larger than the CE
+/// icache, so it spills instruction fetches to the shared cache.
+[[nodiscard]] isa::KernelSpec compiler_body(const KernelTuning& tuning);
+
+/// Shell / command processing: short bursts, moderate locality.
+[[nodiscard]] isa::KernelSpec shell_body(const KernelTuning& tuning);
+
+/// Circuit-simulation model evaluation: hot device models, cold sparse
+/// matrix walks (the intro's "circuit simulation" workload, serial part).
+[[nodiscard]] isa::KernelSpec circuit_sim_body(const KernelTuning& tuning);
+
+/// All serial bodies (for random palette draws).
+[[nodiscard]] std::vector<isa::KernelSpec> serial_palette(
+    const KernelTuning& tuning);
+
+/// Draw a random spec from a palette.
+[[nodiscard]] isa::KernelSpec draw(const std::vector<isa::KernelSpec>& palette,
+                                   Rng& rng);
+
+}  // namespace repro::workload

@@ -1,0 +1,176 @@
+#include "workload/mix_io.hpp"
+
+#include <charconv>
+#include <sstream>
+
+#include "base/expect.hpp"
+
+namespace repro::workload {
+
+namespace {
+
+void emit(std::ostringstream& os, const char* key, double value) {
+  os << key << " = " << value << '\n';
+}
+
+void emit(std::ostringstream& os, const char* key, std::uint64_t value) {
+  os << key << " = " << value << '\n';
+}
+
+double parse_double(const std::string& value, const std::string& line) {
+  double out = 0.0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  REPRO_EXPECT(ec == std::errc{} && ptr == end,
+               "malformed numeric value in: " + line);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& value, const std::string& line) {
+  std::uint64_t out = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, out);
+  REPRO_EXPECT(ec == std::errc{} && ptr == end,
+               "malformed integer value in: " + line);
+  return out;
+}
+
+std::string trim(const std::string& s) {
+  const auto first = s.find_first_not_of(" \t\r");
+  if (first == std::string::npos) {
+    return "";
+  }
+  const auto last = s.find_last_not_of(" \t\r");
+  return s.substr(first, last - first + 1);
+}
+
+}  // namespace
+
+std::string mix_to_text(const WorkloadMix& mix) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "# fx8-concurrency workload mix\n";
+  os << "name = " << mix.name << '\n';
+  emit(os, "concurrent_job_fraction", mix.concurrent_job_fraction);
+  emit(os, "mean_idle_cycles", mix.mean_idle_cycles);
+  emit(os, "mean_burst_jobs", mix.mean_burst_jobs);
+
+  const NumericJobParams& n = mix.numeric;
+  emit(os, "numeric.min_loops", std::uint64_t{n.min_loops});
+  emit(os, "numeric.max_loops", std::uint64_t{n.max_loops});
+  emit(os, "numeric.min_setup_reps", std::uint64_t{n.min_setup_reps});
+  emit(os, "numeric.max_setup_reps", std::uint64_t{n.max_setup_reps});
+  emit(os, "numeric.dependence_prob", n.dependence_prob);
+  emit(os, "numeric.long_path_prob", n.long_path_prob);
+  emit(os, "numeric.long_path_extra_steps",
+       std::uint64_t{n.long_path_extra_steps});
+
+  const TripLaw& t = n.trip_law;
+  emit(os, "trip.weight_multiple_of_width", t.weight_multiple_of_width);
+  emit(os, "trip.weight_two_leftover", t.weight_two_leftover);
+  emit(os, "trip.weight_uniform", t.weight_uniform);
+  emit(os, "trip.weight_narrow", t.weight_narrow);
+  emit(os, "trip.min_batches", t.min_batches);
+  emit(os, "trip.max_batches", t.max_batches);
+  emit(os, "trip.width", std::uint64_t{t.width});
+
+  const KernelTuning& k = n.tuning;
+  emit(os, "tuning.concurrent_compute_cycles",
+       std::uint64_t{k.concurrent_compute_cycles});
+  emit(os, "tuning.vector_fraction", k.vector_fraction);
+  emit(os, "tuning.concurrent_working_set", k.concurrent_working_set);
+  emit(os, "tuning.concurrent_stride", k.concurrent_stride);
+  emit(os, "tuning.concurrent_steps_scale",
+       std::uint64_t{k.concurrent_steps_scale});
+  emit(os, "tuning.serial_hot_fraction", k.serial_hot_fraction);
+
+  emit(os, "serial.min_reps", std::uint64_t{mix.serial.min_reps});
+  emit(os, "serial.max_reps", std::uint64_t{mix.serial.max_reps});
+  return os.str();
+}
+
+WorkloadMix parse_mix(const std::string& text) {
+  WorkloadMix mix;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') {
+      continue;
+    }
+    const auto eq = stripped.find('=');
+    REPRO_EXPECT(eq != std::string::npos, "missing '=' in: " + line);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    REPRO_EXPECT(!key.empty() && !value.empty(),
+                 "empty key or value in: " + line);
+
+    NumericJobParams& n = mix.numeric;
+    TripLaw& t = n.trip_law;
+    KernelTuning& k = n.tuning;
+    if (key == "name") {
+      mix.name = value;
+    } else if (key == "concurrent_job_fraction") {
+      mix.concurrent_job_fraction = parse_double(value, line);
+    } else if (key == "mean_idle_cycles") {
+      mix.mean_idle_cycles = parse_double(value, line);
+    } else if (key == "mean_burst_jobs") {
+      mix.mean_burst_jobs = parse_double(value, line);
+    } else if (key == "numeric.min_loops") {
+      n.min_loops = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "numeric.max_loops") {
+      n.max_loops = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "numeric.min_setup_reps") {
+      n.min_setup_reps = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "numeric.max_setup_reps") {
+      n.max_setup_reps = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "numeric.dependence_prob") {
+      n.dependence_prob = parse_double(value, line);
+    } else if (key == "numeric.long_path_prob") {
+      n.long_path_prob = parse_double(value, line);
+    } else if (key == "numeric.long_path_extra_steps") {
+      n.long_path_extra_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "trip.weight_multiple_of_width") {
+      t.weight_multiple_of_width = parse_double(value, line);
+    } else if (key == "trip.weight_two_leftover") {
+      t.weight_two_leftover = parse_double(value, line);
+    } else if (key == "trip.weight_uniform") {
+      t.weight_uniform = parse_double(value, line);
+    } else if (key == "trip.weight_narrow") {
+      t.weight_narrow = parse_double(value, line);
+    } else if (key == "trip.min_batches") {
+      t.min_batches = parse_u64(value, line);
+    } else if (key == "trip.max_batches") {
+      t.max_batches = parse_u64(value, line);
+    } else if (key == "trip.width") {
+      t.width = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "tuning.concurrent_compute_cycles") {
+      k.concurrent_compute_cycles =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "tuning.vector_fraction") {
+      k.vector_fraction = parse_double(value, line);
+    } else if (key == "tuning.concurrent_working_set") {
+      k.concurrent_working_set = parse_u64(value, line);
+    } else if (key == "tuning.concurrent_stride") {
+      k.concurrent_stride = parse_u64(value, line);
+    } else if (key == "tuning.concurrent_steps_scale") {
+      k.concurrent_steps_scale =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "tuning.serial_hot_fraction") {
+      k.serial_hot_fraction = parse_double(value, line);
+    } else if (key == "serial.min_reps") {
+      mix.serial.min_reps = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "serial.max_reps") {
+      mix.serial.max_reps = static_cast<std::uint32_t>(parse_u64(value, line));
+    } else {
+      REPRO_EXPECT(false, "unknown key in: " + line);
+    }
+  }
+  mix.validate();
+  return mix;
+}
+
+}  // namespace repro::workload

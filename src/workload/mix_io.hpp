@@ -1,0 +1,25 @@
+// WorkloadMix text serialization.
+//
+// Session mixtures are the study's experimental conditions; being able
+// to write them down, share them, and reload them is what makes a
+// measurement campaign repeatable. The format is a flat key=value file
+// ('#' comments, blank lines ignored) covering every calibration knob a
+// mix carries.
+#pragma once
+
+#include <string>
+
+#include "workload/generator.hpp"
+
+namespace repro::workload {
+
+/// Serialize a mix to the key=value format (round-trips exactly through
+/// parse_mix).
+[[nodiscard]] std::string mix_to_text(const WorkloadMix& mix);
+
+/// Parse a mix from the key=value format. Unknown keys and malformed
+/// lines throw ContractViolation with the offending line; missing keys
+/// keep their defaults. The result is validated before return.
+[[nodiscard]] WorkloadMix parse_mix(const std::string& text);
+
+}  // namespace repro::workload

@@ -1,0 +1,43 @@
+// Trip-count distribution for parallelized DO loops.
+//
+// The paper's transition analysis hinges on how loop trip counts relate to
+// the cluster width: "A simple reason for uneven distribution of processor
+// activity is a loop count which is I = 8*j + 2" (§4.3). The law mixes
+// three populations: counts that are a multiple of the cluster width
+// (clean drains), counts with exactly two leftover iterations (the
+// dominant 2-active transition mode), and uniform counts.
+#pragma once
+
+#include <cstdint>
+
+#include "base/rng.hpp"
+
+namespace repro::workload {
+
+struct TripLaw {
+  double weight_multiple_of_width = 0.36;
+  double weight_two_leftover = 0.32;
+  double weight_uniform = 0.22;
+  /// Outer-parallelized loops with fewer iterations than processors
+  /// (trip 2..width-1): these run the cluster at a lower concurrency
+  /// level for their whole duration, decoupling Pc from the code's
+  /// locality — the population behind the paper's Figure 11a band and
+  /// the near-zero missrate-vs-Pc R² of Table 4.
+  double weight_narrow = 0.10;
+  /// Batches per loop (j in 8*j): trip counts span width*min..width*max.
+  std::uint64_t min_batches = 3;
+  std::uint64_t max_batches = 20;
+  std::uint32_t width = 8;
+
+  /// True when `trip` came from the narrow population.
+  [[nodiscard]] bool is_narrow(std::uint64_t trip) const {
+    return trip < width;
+  }
+
+  /// Draw a trip count.
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+
+  void validate() const;
+};
+
+}  // namespace repro::workload

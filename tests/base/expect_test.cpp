@@ -1,0 +1,37 @@
+#include "base/expect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace repro {
+namespace {
+
+TEST(Expect, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(REPRO_EXPECT(1 + 1 == 2, "arithmetic works"));
+  EXPECT_NO_THROW(REPRO_ENSURE(true, "trivially true"));
+}
+
+TEST(Expect, FailingCheckThrowsWithContext) {
+  try {
+    REPRO_EXPECT(false, "the message");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("expect_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Expect, EnsureReportsInvariant) {
+  try {
+    REPRO_ENSURE(false, "broken invariant");
+    FAIL() << "expected ContractViolation";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace repro

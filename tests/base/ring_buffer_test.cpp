@@ -1,0 +1,79 @@
+#include "base/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.full());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+}
+
+TEST(RingBuffer, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), ContractViolation);
+}
+
+TEST(RingBuffer, FillsInOrder) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.at(0), 1);
+  EXPECT_EQ(buf.at(1), 2);
+}
+
+TEST(RingBuffer, OverwritesOldest) {
+  RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) {
+    buf.push(i);
+  }
+  EXPECT_TRUE(buf.full());
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.at(0), 3);
+  EXPECT_EQ(buf.at(1), 4);
+  EXPECT_EQ(buf.at(2), 5);
+}
+
+TEST(RingBuffer, AtOutOfRangeThrows) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  EXPECT_THROW((void)buf.at(1), ContractViolation);
+}
+
+TEST(RingBuffer, SnapshotOldestFirst) {
+  RingBuffer<int> buf(4);
+  for (int i = 0; i < 6; ++i) {
+    buf.push(i);
+  }
+  const std::vector<int> snap = buf.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front(), 2);
+  EXPECT_EQ(snap.back(), 5);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(9);
+  EXPECT_EQ(buf.at(0), 9);
+}
+
+TEST(RingBuffer, Exactly512DeepLikeTheDas9100) {
+  RingBuffer<int> buf(512);
+  for (int i = 0; i < 1000; ++i) {
+    buf.push(i);
+  }
+  EXPECT_EQ(buf.size(), 512u);
+  EXPECT_EQ(buf.at(0), 488);
+  EXPECT_EQ(buf.at(511), 999);
+}
+
+}  // namespace
+}  // namespace repro

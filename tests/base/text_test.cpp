@@ -1,0 +1,49 @@
+#include "base/text.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro {
+namespace {
+
+TEST(Text, FixedRounds) {
+  EXPECT_EQ(fixed(0.3456, 3), "0.346");
+  EXPECT_EQ(fixed(2.0, 2), "2.00");
+  EXPECT_EQ(fixed(-1.005, 1), "-1.0");
+}
+
+TEST(Text, Percent) {
+  EXPECT_EQ(percent(0.5212, 2), "52.12");
+  EXPECT_EQ(percent(1.0, 0), "100");
+}
+
+TEST(Text, Scientific) {
+  EXPECT_EQ(scientific(0.0257, 2), "2.57e-02");
+  EXPECT_EQ(scientific(-33000.0, 1), "-3.3e+04");
+}
+
+TEST(Text, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+}
+
+TEST(Text, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+TEST(Text, Bar) {
+  EXPECT_EQ(bar(4), "****");
+  EXPECT_EQ(bar(0), "");
+  EXPECT_EQ(bar(3, '#'), "###");
+}
+
+TEST(Text, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(231112), "231,112");
+  EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,60 @@
+#include "cache/icache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::cache {
+namespace {
+
+TEST(InstructionCache, FittingCodeNeverSpills) {
+  InstructionCache icache;  // 16 KB
+  EXPECT_TRUE(icache.fits(16 * 1024));
+  EXPECT_DOUBLE_EQ(icache.spill_fraction(16 * 1024), 0.0);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_FALSE(icache.spills(key, 8 * 1024));
+  }
+}
+
+TEST(InstructionCache, OversizedCodeSpills) {
+  InstructionCache icache;
+  EXPECT_FALSE(icache.fits(32 * 1024));
+  EXPECT_GT(icache.spill_fraction(32 * 1024), 0.0);
+  int spills = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    spills += icache.spills(key, 32 * 1024) ? 1 : 0;
+  }
+  EXPECT_GT(spills, 100);
+  EXPECT_LT(spills, 1000);
+}
+
+TEST(InstructionCache, SpillFractionMonotonic) {
+  InstructionCache icache;
+  double prev = 0.0;
+  for (std::uint64_t code = 16 * 1024; code <= 256 * 1024; code += 16 * 1024) {
+    const double frac = icache.spill_fraction(code);
+    EXPECT_GE(frac, prev);
+    EXPECT_LE(frac, 1.0);
+    prev = frac;
+  }
+}
+
+TEST(InstructionCache, SpillDecisionIsDeterministic) {
+  InstructionCache icache;
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(icache.spills(key, 48 * 1024), icache.spills(key, 48 * 1024));
+  }
+}
+
+TEST(InstructionCache, HugeFootprintSpillsAlmostEverything) {
+  InstructionCache icache;
+  EXPECT_GT(icache.spill_fraction(1ULL << 30), 0.9999);
+  EXPECT_LE(icache.spill_fraction(1ULL << 30), 1.0);
+}
+
+TEST(InstructionCache, RejectsZeroCapacity) {
+  EXPECT_THROW(InstructionCache{0}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::cache

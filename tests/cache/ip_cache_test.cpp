@@ -1,0 +1,65 @@
+#include "cache/ip_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::cache {
+namespace {
+
+class IpCacheTest : public ::testing::Test {
+ protected:
+  IpCacheTest()
+      : memory_(mem::MainMemoryConfig{}),
+        bus_(mem::MemoryBusConfig{}, memory_),
+        cache_(IpCacheConfig{}, bus_) {}
+
+  mem::MainMemory memory_;
+  mem::MemoryBus bus_;
+  IpCache cache_;
+};
+
+TEST_F(IpCacheTest, ColdMissThenHit) {
+  EXPECT_FALSE(cache_.access(0x100, false));
+  EXPECT_TRUE(cache_.access(0x100, false));
+  EXPECT_EQ(cache_.stats().accesses, 2u);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(IpCacheTest, MissQueuesIpTraffic) {
+  (void)cache_.access(0x100, false);
+  EXPECT_EQ(bus_.queue_depth(0), 1u);
+}
+
+TEST_F(IpCacheTest, ConflictingLinesEvict) {
+  // Direct mapped 32 KB: lines 32 KB apart collide.
+  EXPECT_FALSE(cache_.access(0x0, false));
+  EXPECT_FALSE(cache_.access(32 * 1024, false));
+  EXPECT_FALSE(cache_.access(0x0, false));  // evicted by the second
+}
+
+TEST_F(IpCacheTest, WriteInvokesSnoopHook) {
+  std::vector<Addr> snooped;
+  cache_.set_snoop_hook([&snooped](Addr line) { snooped.push_back(line); });
+  (void)cache_.access(0x1234, true);
+  ASSERT_EQ(snooped.size(), 1u);
+  EXPECT_EQ(snooped[0], 0x1234 / kLineBytes * kLineBytes);
+  EXPECT_EQ(cache_.stats().write_snoops, 1u);
+}
+
+TEST_F(IpCacheTest, ReadDoesNotSnoop) {
+  bool snooped = false;
+  cache_.set_snoop_hook([&snooped](Addr) { snooped = true; });
+  (void)cache_.access(0x1234, false);
+  EXPECT_FALSE(snooped);
+}
+
+TEST_F(IpCacheTest, NoHookIsSafe) {
+  EXPECT_NO_FATAL_FAILURE((void)cache_.access(0x1234, true));
+}
+
+}  // namespace
+}  // namespace repro::cache

@@ -1,0 +1,116 @@
+// Property/fuzz tests: the shared cache against a reference model.
+//
+// A simple map-of-lines reference predicts hit/miss for every access;
+// the real cache (with banks, ways, MSHRs and LRU) must agree on hits
+// whenever the reference is conservative, and must never lose coherence
+// invariants no matter the access sequence.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "base/rng.hpp"
+#include "cache/shared_cache.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::cache {
+namespace {
+
+class SharedCacheFuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  SharedCacheFuzz()
+      : memory_(mem::MainMemoryConfig{}),
+        bus_(mem::MemoryBusConfig{}, memory_),
+        cache_(SharedCacheConfig{}, bus_) {}
+
+  void drain_all_fills() {
+    for (int i = 0; i < 200; ++i) {
+      bus_.tick(now_++);
+      cache_.tick();
+    }
+  }
+
+  mem::MainMemory memory_;
+  mem::MemoryBus bus_;
+  SharedCache cache_;
+  Cycle now_ = 0;
+};
+
+TEST_P(SharedCacheFuzz, AgreesWithReferenceOnRepeatAccesses) {
+  Rng rng(GetParam());
+  // Small region so reuse is common; one CE so no MSHR interleaving.
+  for (int round = 0; round < 300; ++round) {
+    const Addr addr = rng.uniform(64) * kLineBytes + rng.uniform(32);
+    const bool present_before = cache_.contains(addr);
+    const AccessOutcome outcome =
+        cache_.access(0, addr, AccessType::kRead);
+    if (present_before) {
+      EXPECT_EQ(outcome, AccessOutcome::kHit)
+          << "line present but access missed";
+    }
+    if (outcome != AccessOutcome::kHit) {
+      drain_all_fills();
+      EXPECT_TRUE(cache_.take_fill_ready(0));
+      EXPECT_TRUE(cache_.contains(addr)) << "fill did not install line";
+    }
+  }
+}
+
+TEST_P(SharedCacheFuzz, RandomMultiCeTrafficKeepsInvariants) {
+  Rng rng(GetParam() ^ 0xF00D);
+  std::array<bool, kMaxCes> stalled{};
+  std::uint64_t completed_accesses = 0;
+  for (int round = 0; round < 5000; ++round) {
+    const CeId ce = static_cast<CeId>(rng.uniform(kMaxCes));
+    if (stalled[ce]) {
+      if (cache_.take_fill_ready(ce)) {
+        stalled[ce] = false;
+        ++completed_accesses;
+      }
+    } else {
+      const Addr addr = rng.uniform(512) * 16;
+      const auto type = rng.bernoulli(0.3) ? AccessType::kWrite
+                                           : AccessType::kRead;
+      const AccessOutcome outcome = cache_.access(ce, addr, type);
+      if (outcome == AccessOutcome::kHit) {
+        ++completed_accesses;
+      } else {
+        stalled[ce] = true;
+        EXPECT_TRUE(cache_.miss_outstanding(ce));
+      }
+    }
+    bus_.tick(now_++);
+    cache_.tick();
+  }
+  drain_all_fills();
+  EXPECT_GT(completed_accesses, 1000u);
+  // Accounting holds: every access is a hit, a miss, or a merged miss.
+  const SharedCacheStats& stats = cache_.stats();
+  EXPECT_GE(stats.accesses, stats.misses + stats.merged_misses);
+}
+
+TEST_P(SharedCacheFuzz, SnoopsNeverBreakSubsequentAccesses) {
+  Rng rng(GetParam() ^ 0xBEEF);
+  for (int round = 0; round < 1000; ++round) {
+    const Addr addr = rng.uniform(128) * kLineBytes;
+    if (rng.bernoulli(0.3)) {
+      cache_.snoop_invalidate(addr);
+      EXPECT_FALSE(cache_.contains(addr));
+    } else if (!cache_.miss_outstanding(0)) {
+      (void)cache_.access(0, addr, rng.bernoulli(0.5)
+                                       ? AccessType::kWrite
+                                       : AccessType::kRead);
+    } else {
+      (void)cache_.take_fill_ready(0);
+    }
+    bus_.tick(now_++);
+    cache_.tick();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedCacheFuzz,
+                         ::testing::Values(1, 17, 1987, 0xABCDEF));
+
+}  // namespace
+}  // namespace repro::cache

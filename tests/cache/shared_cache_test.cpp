@@ -1,0 +1,171 @@
+#include "cache/shared_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::cache {
+namespace {
+
+class SharedCacheTest : public ::testing::Test {
+ protected:
+  SharedCacheTest()
+      : memory_(mem::MainMemoryConfig{}),
+        bus_(mem::MemoryBusConfig{}, memory_),
+        cache_(SharedCacheConfig{}, bus_) {}
+
+  /// Run bus + cache until the CE's outstanding fill is ready (bounded).
+  void drain_fill(CeId ce) {
+    for (int i = 0; i < 100; ++i) {
+      bus_.tick(now_++);
+      cache_.tick();
+      if (cache_.take_fill_ready(ce)) {
+        return;
+      }
+    }
+    FAIL() << "fill never completed";
+  }
+
+  mem::MainMemory memory_;
+  mem::MemoryBus bus_;
+  SharedCache cache_;
+  Cycle now_ = 0;
+};
+
+TEST_F(SharedCacheTest, ColdReadMissesThenHits) {
+  EXPECT_EQ(cache_.access(0, 0x1000, AccessType::kRead),
+            AccessOutcome::kMissStarted);
+  drain_fill(0);
+  EXPECT_EQ(cache_.access(0, 0x1000, AccessType::kRead),
+            AccessOutcome::kHit);
+  EXPECT_EQ(cache_.stats().accesses, 2u);
+  EXPECT_EQ(cache_.stats().misses, 1u);
+}
+
+TEST_F(SharedCacheTest, SameLineDifferentOffsetHits) {
+  (void)cache_.access(0, 0x1000, AccessType::kRead);
+  drain_fill(0);
+  EXPECT_EQ(cache_.access(0, 0x1000 + kLineBytes - 1, AccessType::kRead),
+            AccessOutcome::kHit);
+}
+
+TEST_F(SharedCacheTest, CrossCeFillSharing) {
+  // CE0 misses; CE1 touches the same line while the fill is in flight and
+  // merges instead of issuing a second fetch.
+  EXPECT_EQ(cache_.access(0, 0x2000, AccessType::kRead),
+            AccessOutcome::kMissStarted);
+  EXPECT_EQ(cache_.access(1, 0x2000, AccessType::kRead),
+            AccessOutcome::kMissMerged);
+  EXPECT_EQ(cache_.stats().merged_misses, 1u);
+  // Both CEs wake from the single fill.
+  for (int i = 0; i < 100 && !(cache_.take_fill_ready(0)); ++i) {
+    bus_.tick(now_++);
+    cache_.tick();
+  }
+  EXPECT_TRUE(cache_.take_fill_ready(1));
+}
+
+TEST_F(SharedCacheTest, NeighbouringCeHitsAfterFill) {
+  (void)cache_.access(0, 0x3000, AccessType::kRead);
+  drain_fill(0);
+  // A different CE reading the same line hits: the cross-CE locality
+  // mechanism of paper §5.1.
+  EXPECT_EQ(cache_.access(5, 0x3000 + 8, AccessType::kRead),
+            AccessOutcome::kHit);
+}
+
+TEST_F(SharedCacheTest, WriteMissInstallsUniqueAndDirty) {
+  EXPECT_EQ(cache_.access(2, 0x4000, AccessType::kWrite),
+            AccessOutcome::kMissStarted);
+  drain_fill(2);
+  // A subsequent write hits without an upgrade.
+  const std::uint64_t upgrades_before = cache_.stats().write_upgrades;
+  EXPECT_EQ(cache_.access(2, 0x4000, AccessType::kWrite),
+            AccessOutcome::kHit);
+  EXPECT_EQ(cache_.stats().write_upgrades, upgrades_before);
+}
+
+TEST_F(SharedCacheTest, WriteToSharedLineUpgrades) {
+  (void)cache_.access(0, 0x5000, AccessType::kRead);
+  drain_fill(0);
+  const std::uint64_t upgrades_before = cache_.stats().write_upgrades;
+  EXPECT_EQ(cache_.access(0, 0x5000, AccessType::kWrite),
+            AccessOutcome::kHit);
+  EXPECT_EQ(cache_.stats().write_upgrades, upgrades_before + 1);
+}
+
+TEST_F(SharedCacheTest, SnoopInvalidateRemovesLine) {
+  (void)cache_.access(0, 0x6000, AccessType::kRead);
+  drain_fill(0);
+  ASSERT_TRUE(cache_.contains(0x6000));
+  cache_.snoop_invalidate(0x6000);
+  EXPECT_FALSE(cache_.contains(0x6000));
+  EXPECT_EQ(cache_.stats().snoop_invalidations, 1u);
+  EXPECT_EQ(cache_.access(0, 0x6000, AccessType::kRead),
+            AccessOutcome::kMissStarted);
+}
+
+TEST_F(SharedCacheTest, SnoopOfDirtyLineWritesBack) {
+  (void)cache_.access(0, 0x7000, AccessType::kWrite);
+  drain_fill(0);
+  const std::uint64_t wb_before = cache_.stats().write_backs;
+  cache_.snoop_invalidate(0x7000);
+  EXPECT_EQ(cache_.stats().write_backs, wb_before + 1);
+}
+
+TEST_F(SharedCacheTest, SnoopOfAbsentLineIsNoOp) {
+  cache_.snoop_invalidate(0xDEAD000);
+  EXPECT_EQ(cache_.stats().snoop_invalidations, 0u);
+}
+
+TEST_F(SharedCacheTest, EvictionOnSetOverflow) {
+  // Fill one set beyond its associativity: same bank, same set-in-bank.
+  // With 128KB / 32B lines / 4 banks / 2 ways = 512 sets per bank, two
+  // addresses alias a set when they differ by banks*sets*line bytes.
+  const Addr step = 4ULL * 512 * kLineBytes;
+  for (int i = 0; i < 3; ++i) {
+    (void)cache_.access(0, 0x100 + static_cast<Addr>(i) * step,
+                        AccessType::kRead);
+    drain_fill(0);
+  }
+  // The oldest of the three must have been evicted.
+  EXPECT_FALSE(cache_.contains(0x100));
+  EXPECT_TRUE(cache_.contains(0x100 + 2 * step));
+}
+
+TEST_F(SharedCacheTest, BankMapping) {
+  EXPECT_EQ(cache_.bank_of(0), 0u);
+  EXPECT_EQ(cache_.bank_of(kLineBytes), 1u);
+  EXPECT_EQ(cache_.bank_of(3 * kLineBytes), 3u);
+  EXPECT_EQ(cache_.module_of_bank(0), 0u);
+  EXPECT_EQ(cache_.module_of_bank(1), 0u);
+  EXPECT_EQ(cache_.module_of_bank(2), 1u);
+  EXPECT_EQ(cache_.module_of_bank(3), 1u);
+}
+
+TEST_F(SharedCacheTest, DoubleMissFromSameCeIsContractViolation) {
+  (void)cache_.access(0, 0x8000, AccessType::kRead);
+  EXPECT_THROW((void)cache_.access(0, 0x9000, AccessType::kRead),
+               ContractViolation);
+}
+
+TEST_F(SharedCacheTest, MissOutstandingTracksLifecycle) {
+  EXPECT_FALSE(cache_.miss_outstanding(0));
+  (void)cache_.access(0, 0xA000, AccessType::kRead);
+  EXPECT_TRUE(cache_.miss_outstanding(0));
+  drain_fill(0);
+  EXPECT_FALSE(cache_.miss_outstanding(0));
+}
+
+TEST_F(SharedCacheTest, RejectsBadGeometry) {
+  mem::MainMemory memory{mem::MainMemoryConfig{}};
+  mem::MemoryBus bus{mem::MemoryBusConfig{}, memory};
+  SharedCacheConfig bad;
+  bad.banks = 3;  // does not divide across 2 modules
+  EXPECT_THROW((SharedCache{bad, bus}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::cache

@@ -1,0 +1,65 @@
+#include "core/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace repro::core {
+namespace {
+
+AnalyzedSample sample_with(double cw, double miss) {
+  AnalyzedSample sample;
+  sample.raw.index = 3;
+  sample.raw.hw.records = 2560;
+  sample.raw.hw.num[8] = 100;
+  sample.measures.cw = cw;
+  sample.measures.pc = 7.5;
+  sample.measures.pc_defined = cw > 0;
+  sample.miss_rate = miss;
+  sample.bus_busy = 0.25;
+  sample.page_fault_rate = 42;
+  return sample;
+}
+
+std::size_t count_lines(const std::string& text) {
+  std::size_t lines = 0;
+  for (const char c : text) {
+    lines += c == '\n';
+  }
+  return lines;
+}
+
+TEST(Export, FlatCsvHasHeaderAndRows) {
+  const std::vector<AnalyzedSample> samples = {sample_with(0.5, 0.01),
+                                               sample_with(0.0, 0.0)};
+  const std::string csv = samples_to_csv(samples);
+  EXPECT_EQ(count_lines(csv), 3u);  // header + 2 rows
+  EXPECT_NE(csv.find("sample,cw,pc,pc_defined"), std::string::npos);
+  EXPECT_NE(csv.find("0.500000"), std::string::npos);
+  EXPECT_NE(csv.find(",num8"), std::string::npos);
+}
+
+TEST(Export, UndefinedPcIsEmptyField) {
+  const std::vector<AnalyzedSample> samples = {sample_with(0.0, 0.0)};
+  const std::string csv = samples_to_csv(samples);
+  // pc column empty: "...,,0,..." pattern (pc then pc_defined=0).
+  EXPECT_NE(csv.find(",,0,"), std::string::npos);
+}
+
+TEST(Export, SessionCsvPrefixesSessionName) {
+  SessionResult session;
+  session.name = "session-x";
+  session.samples = {sample_with(0.4, 0.005)};
+  const std::vector<SessionResult> sessions = {session};
+  const std::string csv = samples_to_csv(sessions);
+  EXPECT_NE(csv.find("session,"), std::string::npos);
+  EXPECT_NE(csv.find("session-x,"), std::string::npos);
+}
+
+TEST(Export, EmptyInputGivesHeaderOnly) {
+  const std::vector<AnalyzedSample> none;
+  EXPECT_EQ(count_lines(samples_to_csv(none)), 1u);
+}
+
+}  // namespace
+}  // namespace repro::core

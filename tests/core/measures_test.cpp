@@ -1,0 +1,130 @@
+#include "core/measures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::core {
+namespace {
+
+TEST(Measures, PaperTable2Example) {
+  // Reconstruct a histogram with the paper's Table 2 proportions:
+  // c8 = 0.2795, Cw = 0.3506, Pc = 7.66.
+  const std::vector<std::uint64_t> counts = {
+      4142, 2351, 100, 15, 22, 5, 25, 545, 2795};  // total 10000
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  EXPECT_NEAR(m.c[8], 0.2795, 1e-9);
+  EXPECT_NEAR(m.cw, 0.3507, 1e-9);
+  EXPECT_TRUE(m.pc_defined);
+  EXPECT_NEAR(m.pc, 7.61, 0.01);
+}
+
+TEST(Measures, AllSerialHasZeroCwUndefinedPc) {
+  const std::vector<std::uint64_t> counts = {10, 90, 0, 0, 0, 0, 0, 0, 0};
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  EXPECT_DOUBLE_EQ(m.cw, 0.0);
+  EXPECT_FALSE(m.pc_defined);
+}
+
+TEST(Measures, AllEightActiveGivesCwOnePcEight) {
+  const std::vector<std::uint64_t> counts = {0, 0, 0, 0, 0, 0, 0, 0, 100};
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  EXPECT_DOUBLE_EQ(m.cw, 1.0);
+  ASSERT_TRUE(m.pc_defined);
+  EXPECT_DOUBLE_EQ(m.pc, 8.0);
+  EXPECT_DOUBLE_EQ(m.c_cond[8], 1.0);
+}
+
+TEST(Measures, TwoActiveOnlyGivesPcTwo) {
+  const std::vector<std::uint64_t> counts = {0, 0, 50, 0, 0, 0, 0, 0, 0};
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  ASSERT_TRUE(m.pc_defined);
+  EXPECT_DOUBLE_EQ(m.pc, 2.0);
+}
+
+TEST(Measures, NarrowWidthHistogramsWork) {
+  // A 2-CE machine: counts for 0, 1, 2 active.
+  const std::vector<std::uint64_t> counts = {10, 30, 60};
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  EXPECT_EQ(m.width, 2u);
+  EXPECT_DOUBLE_EQ(m.cw, 0.6);
+  EXPECT_DOUBLE_EQ(m.pc, 2.0);
+}
+
+TEST(Measures, EmptyHistogramThrows) {
+  const std::vector<std::uint64_t> counts = {0, 0, 0};
+  EXPECT_THROW((void)ConcurrencyMeasures::from_counts(counts),
+               ContractViolation);
+}
+
+TEST(Measures, BadWidthThrows) {
+  const std::vector<std::uint64_t> one = {5};
+  EXPECT_THROW((void)ConcurrencyMeasures::from_counts(one),
+               ContractViolation);
+  const std::vector<std::uint64_t> ten(11, 5);
+  EXPECT_THROW((void)ConcurrencyMeasures::from_counts(ten),
+               ContractViolation);
+}
+
+TEST(Measures, DescribeHandlesUndefinedPc) {
+  const std::vector<std::uint64_t> counts = {1, 0, 0};
+  const auto m = ConcurrencyMeasures::from_counts(counts);
+  EXPECT_NE(m.describe().find("undefined"), std::string::npos);
+}
+
+// --- Property sweep: invariants hold for random histograms -------------
+
+class MeasuresPropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MeasuresPropertyTest, InvariantsHoldForRandomHistograms) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint64_t> counts(9);
+    std::uint64_t total = 0;
+    for (auto& count : counts) {
+      count = rng.uniform(1000);
+      total += count;
+    }
+    if (total == 0) {
+      counts[0] = 1;
+    }
+    const auto m = ConcurrencyMeasures::from_counts(counts);
+
+    // c_j sums to 1.
+    const double c_sum =
+        std::accumulate(m.c.begin(), m.c.end(), 0.0);
+    EXPECT_NEAR(c_sum, 1.0, 1e-9);
+
+    // Cw equals the concurrent mass and lies in [0,1].
+    double concurrent_mass = 0.0;
+    for (std::size_t j = 2; j <= 8; ++j) {
+      concurrent_mass += m.c[j];
+    }
+    EXPECT_NEAR(m.cw, concurrent_mass, 1e-9);
+    EXPECT_GE(m.cw, 0.0);
+    EXPECT_LE(m.cw, 1.0);
+
+    if (m.pc_defined) {
+      // Pc in [2, 8]; conditional distribution sums to 1.
+      EXPECT_GE(m.pc, 2.0);
+      EXPECT_LE(m.pc, 8.0 + 1e-9);
+      const double cond_sum =
+          std::accumulate(m.c_cond.begin(), m.c_cond.end(), 0.0);
+      EXPECT_NEAR(cond_sum, 1.0, 1e-9);
+    } else {
+      EXPECT_DOUBLE_EQ(m.cw, 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasuresPropertyTest,
+                         ::testing::Values(1, 7, 42, 1987, 0xDEADBEEF));
+
+}  // namespace
+}  // namespace repro::core

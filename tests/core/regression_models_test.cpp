@@ -1,0 +1,102 @@
+#include "core/regression_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::core {
+namespace {
+
+/// Build a synthetic analyzed sample with chosen measures.
+AnalyzedSample synthetic_sample(double cw, double pc, double miss,
+                                double busy, double faults) {
+  AnalyzedSample sample;
+  sample.measures.cw = cw;
+  sample.measures.pc = pc;
+  sample.measures.pc_defined = cw > 0.0;
+  sample.miss_rate = miss;
+  sample.bus_busy = busy;
+  sample.page_fault_rate = faults;
+  return sample;
+}
+
+std::vector<AnalyzedSample> quadratic_population(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<AnalyzedSample> samples;
+  for (int i = 0; i < 300; ++i) {
+    const double cw = rng.uniform01();
+    const double pc = 2.0 + 6.0 * rng.uniform01();
+    const double miss = 0.002 + 0.02 * cw * cw + rng.normal(0, 0.002);
+    const double busy = 0.05 + 0.3 * cw + rng.normal(0, 0.01);
+    const double faults = 100 * cw + rng.normal(0, 10);
+    samples.push_back(synthetic_sample(cw, pc, miss, busy, faults));
+  }
+  return samples;
+}
+
+TEST(RegressionModels, MidpointsMatchPaper) {
+  const auto cw = cw_midpoints();
+  ASSERT_EQ(cw.size(), 11u);
+  EXPECT_DOUBLE_EQ(cw.front(), 0.0);
+  EXPECT_DOUBLE_EQ(cw.back(), 1.0);
+  const auto pc = pc_midpoints();
+  ASSERT_EQ(pc.size(), 7u);
+  EXPECT_DOUBLE_EQ(pc.front(), 2.0);
+  EXPECT_DOUBLE_EQ(pc.back(), 8.0);
+}
+
+TEST(RegressionModels, RecoversPlantedCwRelationship) {
+  const auto samples = quadratic_population(5);
+  const MedianModel model =
+      fit_model(samples, SystemMeasure::kMissRate, Regressor::kCw);
+  EXPECT_EQ(model.fit.coeffs.size(), 3u);
+  // Planted: miss = 0.002 + 0.02 cw^2.
+  EXPECT_NEAR(model.predict(1.0), 0.022, 0.004);
+  EXPECT_NEAR(model.predict(0.0), 0.002, 0.004);
+  EXPECT_GT(model.fit.r_squared, 0.8);
+  EXPECT_GE(model.median_points.size(), 5u);
+}
+
+TEST(RegressionModels, UncorrelatedPcHasWeakModel) {
+  // Miss rate was planted independent of Pc.
+  const auto samples = quadratic_population(5);
+  const MedianModel model =
+      fit_model(samples, SystemMeasure::kMissRate, Regressor::kPc);
+  // The medians vary only by noise; the prediction range is tiny compared
+  // to the Cw model's range.
+  const double spread =
+      std::abs(model.predict(8.0) - model.predict(2.0));
+  EXPECT_LT(spread, 0.01);
+}
+
+TEST(RegressionModels, FitAllProducesSixModels) {
+  const auto samples = quadratic_population(7);
+  const auto models = fit_all_models(samples);
+  ASSERT_EQ(models.size(), 6u);
+  int cw_count = 0;
+  int pc_count = 0;
+  for (const MedianModel& model : models) {
+    cw_count += model.regressor == Regressor::kCw;
+    pc_count += model.regressor == Regressor::kPc;
+  }
+  EXPECT_EQ(cw_count, 3);
+  EXPECT_EQ(pc_count, 3);
+}
+
+TEST(RegressionModels, EmptySamplesThrow) {
+  const std::vector<AnalyzedSample> none;
+  EXPECT_THROW(
+      (void)fit_model(none, SystemMeasure::kMissRate, Regressor::kCw),
+      ContractViolation);
+}
+
+TEST(RegressionModels, MeasureNamesAreDistinct) {
+  EXPECT_NE(measure_name(SystemMeasure::kMissRate),
+            measure_name(SystemMeasure::kBusBusy));
+  EXPECT_NE(measure_name(SystemMeasure::kBusBusy),
+            measure_name(SystemMeasure::kPageFaultRate));
+}
+
+}  // namespace
+}  // namespace repro::core

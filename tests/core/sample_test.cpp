@@ -1,0 +1,87 @@
+#include "core/sample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::core {
+namespace {
+
+instr::SampleRecord synthetic_record(std::uint64_t eight_active,
+                                     std::uint64_t one_active,
+                                     std::uint64_t idle) {
+  instr::SampleRecord record;
+  record.interval_cycles = 1000;
+  instr::ProbeRecord probe;
+  probe.active_mask = 0xFF;
+  for (CeId ce = 0; ce < 8; ++ce) {
+    probe.ce_ops[ce] = mem::CeBusOp::kRead;
+  }
+  probe.ce_ops[0] = mem::CeBusOp::kReadMiss;
+  for (std::uint64_t i = 0; i < eight_active; ++i) {
+    record.hw.accumulate(probe);
+  }
+  instr::ProbeRecord serial;
+  serial.active_mask = 0x01;
+  serial.ce_ops[0] = mem::CeBusOp::kRead;
+  for (std::uint64_t i = 0; i < one_active; ++i) {
+    record.hw.accumulate(serial);
+  }
+  instr::ProbeRecord idle_probe;
+  for (std::uint64_t i = 0; i < idle; ++i) {
+    record.hw.accumulate(idle_probe);
+  }
+  record.sw.ce_page_faults_user = 30;
+  record.sw.ce_page_faults_system = 12;
+  return record;
+}
+
+TEST(AnalyzedSample, DerivesMeasuresFromCounts) {
+  const auto sample = analyze(synthetic_record(50, 30, 20));
+  EXPECT_NEAR(sample.measures.cw, 0.5, 1e-9);
+  ASSERT_TRUE(sample.measures.pc_defined);
+  EXPECT_DOUBLE_EQ(sample.measures.pc, 8.0);
+  // 1 miss per 8-active record over 8 buses per record.
+  EXPECT_NEAR(sample.miss_rate, 50.0 / 800.0, 1e-9);
+  // Busy: 8 ops per 8-active record + 1 per serial record.
+  EXPECT_NEAR(sample.bus_busy, (50.0 * 8 + 30.0) / 800.0, 1e-9);
+  EXPECT_DOUBLE_EQ(sample.page_fault_rate, 42.0);
+}
+
+TEST(AnalyzedSample, AllIdleSampleHasUndefinedPc) {
+  const auto sample = analyze(synthetic_record(0, 0, 100));
+  EXPECT_DOUBLE_EQ(sample.measures.cw, 0.0);
+  EXPECT_FALSE(sample.measures.pc_defined);
+  EXPECT_DOUBLE_EQ(sample.miss_rate, 0.0);
+  EXPECT_DOUBLE_EQ(sample.bus_busy, 0.0);
+}
+
+TEST(Columns, ExtractorsAlignWithSamples) {
+  std::vector<instr::SampleRecord> records = {
+      synthetic_record(50, 30, 20), synthetic_record(0, 0, 100),
+      synthetic_record(100, 0, 0)};
+  const auto samples = analyze_all(records);
+  ASSERT_EQ(samples.size(), 3u);
+
+  const auto cw = column_cw(samples);
+  EXPECT_EQ(cw.size(), 3u);
+  EXPECT_NEAR(cw[2], 1.0, 1e-9);
+
+  // Pc column skips the undefined sample.
+  const auto pc = column_pc(samples);
+  EXPECT_EQ(pc.size(), 2u);
+
+  EXPECT_EQ(column_miss_rate(samples).size(), 3u);
+  EXPECT_EQ(column_bus_busy(samples).size(), 3u);
+  EXPECT_EQ(column_page_fault_rate(samples).size(), 3u);
+}
+
+TEST(Columns, WithDefinedPcFilters) {
+  std::vector<instr::SampleRecord> records = {
+      synthetic_record(10, 0, 90), synthetic_record(0, 100, 0)};
+  const auto samples = analyze_all(records);
+  const auto filtered = with_defined_pc(samples);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_TRUE(filtered[0].measures.pc_defined);
+}
+
+}  // namespace
+}  // namespace repro::core

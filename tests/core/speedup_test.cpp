@@ -1,0 +1,80 @@
+#include "core/speedup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "workload/kernels.hpp"
+
+namespace repro::core {
+namespace {
+
+isa::KernelSpec compute_kernel() {
+  isa::KernelSpec k;
+  k.name = "compute";
+  k.steps = 8;
+  k.compute_cycles = 20;
+  k.loads_per_step = 1;
+  k.working_set_bytes = 32 * 1024;
+  return k;
+}
+
+TEST(Speedup, SingleProcessorIsIdentity) {
+  SpeedupOptions options;
+  options.max_processors = 1;
+  const SpeedupCurve curve = measure_speedup(compute_kernel(), 16, options);
+  ASSERT_EQ(curve.points.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve.points[0].speedup, 1.0);
+  EXPECT_DOUBLE_EQ(curve.points[0].efficiency, 1.0);
+  EXPECT_EQ(curve.points[0].time, curve.t1);
+}
+
+TEST(Speedup, ComputeBoundKernelScalesWell) {
+  const SpeedupCurve curve = measure_speedup(compute_kernel(), 64);
+  ASSERT_EQ(curve.points.size(), 8u);
+  EXPECT_GT(curve.points[7].speedup, 5.0);
+  EXPECT_LE(curve.points[7].speedup, 8.5);
+  // Efficiency in (0, 1] as the paper defines it.
+  for (const SpeedupPoint& point : curve.points) {
+    EXPECT_GT(point.efficiency, 0.0);
+    EXPECT_LE(point.efficiency, 1.05);
+  }
+}
+
+TEST(Speedup, SpeedupIsMonotoneForBalancedTrips) {
+  // Trip = multiple of every width in 1..8 avoids leftover penalties.
+  const SpeedupCurve curve =
+      measure_speedup(compute_kernel(), 840);  // lcm(1..8) = 840
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].speedup,
+              curve.points[i - 1].speedup * 0.99);
+  }
+}
+
+TEST(Speedup, MemoryBoundKernelScalesWorse) {
+  workload::KernelTuning tuning;
+  isa::KernelSpec memory_bound = workload::jacobi_row_body(tuning);
+  const SpeedupCurve mem_curve = measure_speedup(memory_bound, 64);
+  const SpeedupCurve cpu_curve = measure_speedup(compute_kernel(), 64);
+  EXPECT_LT(mem_curve.points[7].efficiency,
+            cpu_curve.points[7].efficiency);
+}
+
+TEST(Speedup, RejectsBadInputs) {
+  EXPECT_THROW((void)measure_speedup(compute_kernel(), 0),
+               ContractViolation);
+  SpeedupOptions options;
+  options.max_processors = 9;
+  EXPECT_THROW((void)measure_speedup(compute_kernel(), 8, options),
+               ContractViolation);
+}
+
+TEST(Speedup, TableRendersAllPoints) {
+  const SpeedupCurve curve = measure_speedup(compute_kernel(), 32);
+  const std::string table = render_speedup_table(curve);
+  EXPECT_NE(table.find("compute"), std::string::npos);
+  EXPECT_NE(table.find("S_p"), std::string::npos);
+  EXPECT_NE(table.find("E_p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::core

@@ -1,0 +1,102 @@
+#include "fx8/ccb.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+TEST(Ccb, DispatchesAllIterationsExactlyOnce) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(10);
+  std::vector<std::uint64_t> got;
+  while (!ccb.all_dispatched()) {
+    ccb.begin_cycle();
+    if (const auto it = ccb.try_dispatch()) {
+      got.push_back(*it);
+    }
+  }
+  ASSERT_EQ(got.size(), 10u);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(got[i], i);
+  }
+}
+
+TEST(Ccb, OneGrantPerCycle) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(10);
+  ccb.begin_cycle();
+  EXPECT_TRUE(ccb.try_dispatch().has_value());
+  EXPECT_FALSE(ccb.try_dispatch().has_value());
+  ccb.begin_cycle();
+  EXPECT_TRUE(ccb.try_dispatch().has_value());
+}
+
+TEST(Ccb, StartLoopGrantsInStartingCycle) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(4);
+  // No begin_cycle yet: the cstart cycle itself can dispatch.
+  EXPECT_TRUE(ccb.try_dispatch().has_value());
+}
+
+TEST(Ccb, CompletionTracking) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(3);
+  ccb.begin_cycle();
+  (void)ccb.try_dispatch();
+  ccb.begin_cycle();
+  (void)ccb.try_dispatch();
+  ccb.begin_cycle();
+  (void)ccb.try_dispatch();
+  EXPECT_TRUE(ccb.all_dispatched());
+  EXPECT_FALSE(ccb.all_complete());
+  ccb.mark_complete(1);
+  ccb.mark_complete(0);
+  ccb.mark_complete(2);
+  EXPECT_TRUE(ccb.all_complete());
+  ccb.end_loop();
+  EXPECT_FALSE(ccb.loop_active());
+}
+
+TEST(Ccb, DoubleCompletionIsContractViolation) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(2);
+  ccb.mark_complete(0);
+  EXPECT_THROW(ccb.mark_complete(0), ContractViolation);
+}
+
+TEST(Ccb, PredecessorDependence) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(4);
+  EXPECT_TRUE(ccb.predecessor_complete(0));   // no predecessor
+  EXPECT_FALSE(ccb.predecessor_complete(2));  // 1 not complete
+  ccb.mark_complete(1);
+  EXPECT_TRUE(ccb.predecessor_complete(2));
+}
+
+TEST(Ccb, EndLoopRequiresDrain) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(1);
+  EXPECT_THROW(ccb.end_loop(), ContractViolation);
+}
+
+TEST(Ccb, CannotStartTwoLoops) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(1);
+  EXPECT_THROW(ccb.start_loop(1), ContractViolation);
+}
+
+TEST(Ccb, ReusableAfterEndLoop) {
+  ConcurrencyControlBus ccb;
+  ccb.start_loop(1);
+  ccb.begin_cycle();
+  (void)ccb.try_dispatch();
+  ccb.mark_complete(0);
+  ccb.end_loop();
+  EXPECT_NO_THROW(ccb.start_loop(5));
+  EXPECT_EQ(ccb.trip_count(), 5u);
+}
+
+}  // namespace
+}  // namespace repro::fx8

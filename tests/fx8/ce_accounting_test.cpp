@@ -1,0 +1,104 @@
+// Accounting tests: the CE's per-cycle bookkeeping that the derived
+// system measures rest on.
+#include <gtest/gtest.h>
+
+#include "fx8/machine.hpp"
+#include "fx8/mmu.hpp"
+#include "isa/program.hpp"
+#include "workload/kernels.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+isa::Program one_loop(const isa::KernelSpec& body, std::uint64_t trip) {
+  isa::ConcurrentLoopPhase loop;
+  loop.body = body;
+  loop.trip_count = trip;
+  return isa::ProgramBuilder("acct")
+      .data_base(0x01000000)
+      .concurrent_loop(loop)
+      .build();
+}
+
+TEST(CeAccounting, CrossbarConflictsAppearUnderGangContention) {
+  // The element-interleaved gang hammers the same banks: conflict waits
+  // must be visible in both the crossbar and per-CE stats.
+  NoFaultMmu mmu;
+  MachineConfig config = MachineConfig::fx8();
+  config.ip.duty = 0.0;
+  Machine machine(config, mmu);
+  workload::KernelTuning tuning;
+  const isa::Program program =
+      one_loop(workload::jacobi_row_body(tuning), 64);
+  machine.cluster().load(&program, 1);
+  while (machine.cluster().busy()) {
+    machine.tick();
+  }
+  EXPECT_GT(machine.cluster().crossbar().conflicts(), 0u);
+  std::uint64_t ce_wait = 0;
+  for (CeId c = 0; c < 8; ++c) {
+    ce_wait += machine.cluster().ce(c).stats().xbar_conflict_cycles;
+  }
+  EXPECT_EQ(ce_wait, machine.cluster().crossbar().conflicts());
+}
+
+TEST(CeAccounting, SingleCeSeesNoCrossbarConflicts) {
+  NoFaultMmu mmu;
+  MachineConfig config = MachineConfig::fx8();
+  config.cluster.n_ces = 1;
+  config.cluster.policy = ServicePolicy::kAscending;
+  config.ip.duty = 0.0;
+  Machine machine(config, mmu);
+  workload::KernelTuning tuning;
+  const isa::Program program =
+      one_loop(workload::triad_body(tuning), 16);
+  machine.cluster().load(&program, 1);
+  while (machine.cluster().busy()) {
+    machine.tick();
+  }
+  EXPECT_EQ(machine.cluster().crossbar().conflicts(), 0u);
+}
+
+TEST(CeAccounting, BusyCyclesBoundOtherCounters) {
+  NoFaultMmu mmu;
+  Machine machine(MachineConfig::fx8(), mmu);
+  workload::KernelTuning tuning;
+  const isa::Program program =
+      one_loop(workload::matmul_row_body(tuning), 40);
+  machine.cluster().load(&program, 1);
+  while (machine.cluster().busy()) {
+    machine.tick();
+  }
+  for (CeId c = 0; c < 8; ++c) {
+    const CeStats& stats = machine.cluster().ce(c).stats();
+    EXPECT_LE(stats.compute_cycles + stats.miss_wait_cycles +
+                  stats.fault_wait_cycles + stats.xbar_conflict_cycles,
+              stats.busy_cycles)
+        << "CE" << c << " cycle taxonomy exceeds busy time";
+    EXPECT_GT(stats.instances_completed, 0u);
+  }
+}
+
+TEST(CeAccounting, IcacheSpillsShowAsInstructionTraffic) {
+  NoFaultMmu mmu;
+  MachineConfig config = MachineConfig::fx8();
+  config.ip.duty = 0.0;
+  Machine machine(config, mmu);
+  workload::KernelTuning tuning;
+  isa::KernelSpec big_code = workload::triad_body(tuning);
+  big_code.code_bytes = 64 * 1024;  // 4x the icache
+  const isa::Program program = one_loop(big_code, 32);
+  machine.cluster().load(&program, 1);
+  std::uint64_t ifetch_cycles = 0;
+  while (machine.cluster().busy()) {
+    machine.tick();
+    for (CeId c = 0; c < 8; ++c) {
+      ifetch_cycles +=
+          machine.ce_bus_op(c) == mem::CeBusOp::kInstrFetch ? 1u : 0u;
+    }
+  }
+  EXPECT_GT(ifetch_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace repro::fx8

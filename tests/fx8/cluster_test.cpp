@@ -1,0 +1,267 @@
+#include "fx8/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <map>
+
+#include "base/expect.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+isa::KernelSpec tiny_kernel() {
+  isa::KernelSpec k;
+  k.steps = 4;
+  k.compute_cycles = 3;
+  k.loads_per_step = 1;
+  k.working_set_bytes = 16 * 1024;
+  return k;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest()
+      : memory_(mem::MainMemoryConfig{}),
+        bus_(mem::MemoryBusConfig{}, memory_),
+        cache_(cache::SharedCacheConfig{}, bus_),
+        cluster_(ClusterConfig{}, cache_, mmu_) {}
+
+  /// Advance machine-style: cluster, then bus, then cache.
+  void step() {
+    cluster_.tick();
+    bus_.tick(now_);
+    cache_.tick();
+    ++now_;
+  }
+
+  Cycle run_job(const isa::Program& prog, Cycle limit = 2'000'000) {
+    cluster_.load(&prog, 1);
+    Cycle used = 0;
+    while (cluster_.busy()) {
+      step();
+      ++used;
+      REPRO_EXPECT(used < limit, "job did not finish in limit");
+    }
+    return used;
+  }
+
+  mem::MainMemory memory_;
+  mem::MemoryBus bus_;
+  cache::SharedCache cache_;
+  NoFaultMmu mmu_;
+  Cluster cluster_;
+  Cycle now_ = 0;
+};
+
+TEST_F(ClusterTest, IdleClusterHasNoActiveCes) {
+  EXPECT_EQ(cluster_.active_mask(), 0u);
+  EXPECT_EQ(cluster_.active_count(), 0u);
+  step();
+  EXPECT_EQ(cluster_.active_mask(), 0u);
+}
+
+TEST_F(ClusterTest, SerialJobUsesExactlyOneCe) {
+  const isa::Program prog =
+      isa::ProgramBuilder("serial").serial(tiny_kernel(), 5).build();
+  cluster_.load(&prog, 1);
+  while (cluster_.busy()) {
+    step();
+    if (cluster_.busy()) {
+      EXPECT_EQ(cluster_.active_count(), 1u);
+    }
+  }
+  EXPECT_EQ(cluster_.stats().serial_reps_completed, 5u);
+  EXPECT_EQ(cluster_.stats().jobs_completed, 1u);
+}
+
+TEST_F(ClusterTest, ConcurrentLoopExecutesEveryIterationOnce) {
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 100;
+  loop.body = tiny_kernel();
+  const isa::Program prog =
+      isa::ProgramBuilder("loop").concurrent_loop(loop).build();
+  (void)run_job(prog);
+  EXPECT_EQ(cluster_.stats().iterations_completed, 100u);
+  EXPECT_EQ(cluster_.stats().loops_completed, 1u);
+}
+
+TEST_F(ClusterTest, ConcurrentLoopReachesFullWidth) {
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 200;
+  loop.body = tiny_kernel();
+  const isa::Program prog =
+      isa::ProgramBuilder("loop").concurrent_loop(loop).build();
+  cluster_.load(&prog, 1);
+  std::uint32_t max_active = 0;
+  while (cluster_.busy()) {
+    step();
+    max_active = std::max(max_active, cluster_.active_count());
+  }
+  EXPECT_EQ(max_active, 8u);
+}
+
+TEST_F(ClusterTest, LoopSpeedsUpOverSerialExecution) {
+  // Same total work as loop iterations vs. serial reps. Compute-heavy so
+  // the memory path is not the bottleneck.
+  isa::KernelSpec heavy = tiny_kernel();
+  heavy.compute_cycles = 20;
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 64;
+  loop.body = heavy;
+  const isa::Program par =
+      isa::ProgramBuilder("par").concurrent_loop(loop).build();
+  const Cycle t_par = run_job(par);
+
+  const isa::Program ser =
+      isa::ProgramBuilder("ser").serial(heavy, 64).build();
+  const Cycle t_ser = run_job(ser);
+
+  const double speedup =
+      static_cast<double>(t_ser) / static_cast<double>(t_par);
+  EXPECT_GT(speedup, 3.0);
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST_F(ClusterTest, SerialAfterLoopContinuesOnLastFinisher) {
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 24;
+  loop.body = tiny_kernel();
+  const isa::Program prog = isa::ProgramBuilder("mix")
+                                .serial(tiny_kernel(), 1)
+                                .concurrent_loop(loop)
+                                .serial(tiny_kernel(), 1)
+                                .build();
+  cluster_.load(&prog, 1);
+  bool saw_loop = false;
+  CeId continuation_during_tail = 0;
+  std::uint32_t tail_active_mask = 0;
+  while (cluster_.busy()) {
+    step();
+    if (cluster_.active_count() > 1) {
+      saw_loop = true;
+    }
+    if (saw_loop && cluster_.busy() && cluster_.active_count() == 1) {
+      continuation_during_tail = cluster_.continuation_ce();
+      tail_active_mask = cluster_.active_mask();
+    }
+  }
+  EXPECT_TRUE(saw_loop);
+  // The tail serial phase ran on the recorded continuation CE.
+  EXPECT_EQ(tail_active_mask, 1u << continuation_during_tail);
+}
+
+TEST_F(ClusterTest, ActiveMaskDrainsThroughTransition) {
+  // With a trip count of 8 and noticeable jitter, the end of the loop must
+  // pass through intermediate active counts rather than jumping 8 -> 0.
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 8 * 6 + 2;
+  loop.body = tiny_kernel();
+  loop.body.compute_jitter = 2;
+  const isa::Program prog =
+      isa::ProgramBuilder("drain").concurrent_loop(loop).build();
+  cluster_.load(&prog, 1);
+  std::map<std::uint32_t, int> active_histogram;
+  while (cluster_.busy()) {
+    step();
+    ++active_histogram[cluster_.active_count()];
+  }
+  EXPECT_GT(active_histogram[8], 0);
+  int intermediate = 0;
+  for (std::uint32_t n = 2; n <= 7; ++n) {
+    intermediate += active_histogram[n];
+  }
+  EXPECT_GT(intermediate, 0);
+}
+
+TEST_F(ClusterTest, DependenceSerializesIterations) {
+  isa::ConcurrentLoopPhase free_loop;
+  free_loop.trip_count = 64;
+  free_loop.body = tiny_kernel();
+  const isa::Program free_prog =
+      isa::ProgramBuilder("free").concurrent_loop(free_loop).build();
+  const Cycle t_free = run_job(free_prog);
+
+  isa::ConcurrentLoopPhase dep_loop = free_loop;
+  dep_loop.dependence_prob = 1.0;  // every iteration awaits its predecessor
+  const isa::Program dep_prog =
+      isa::ProgramBuilder("dep").concurrent_loop(dep_loop).build();
+  const Cycle t_dep = run_job(dep_prog);
+
+  EXPECT_GT(t_dep, 2 * t_free);
+  EXPECT_GT(cluster_.stats().dependence_wait_cycles, 0u);
+}
+
+TEST_F(ClusterTest, LoadWhileBusyIsContractViolation) {
+  const isa::Program prog =
+      isa::ProgramBuilder("p").serial(tiny_kernel(), 100).build();
+  cluster_.load(&prog, 1);
+  EXPECT_THROW(cluster_.load(&prog, 2), ContractViolation);
+}
+
+TEST_F(ClusterTest, MultiPhaseJobRunsAllPhases) {
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 16;
+  loop.body = tiny_kernel();
+  const isa::Program prog = isa::ProgramBuilder("multi")
+                                .serial(tiny_kernel(), 2)
+                                .concurrent_loop(loop)
+                                .serial(tiny_kernel(), 1)
+                                .concurrent_loop(loop)
+                                .build();
+  (void)run_job(prog);
+  EXPECT_EQ(cluster_.stats().loops_completed, 2u);
+  EXPECT_EQ(cluster_.stats().serial_reps_completed, 3u);
+  EXPECT_EQ(cluster_.stats().iterations_completed, 32u);
+}
+
+TEST_F(ClusterTest, RotatingPolicyStillCompletesLoops) {
+  ClusterConfig config;
+  config.policy = ServicePolicy::kRotating;
+  Cluster rotating(config, cache_, mmu_);
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 50;
+  loop.body = tiny_kernel();
+  const isa::Program prog =
+      isa::ProgramBuilder("rot").concurrent_loop(loop).build();
+  rotating.load(&prog, 1);
+  Cycle used = 0;
+  while (rotating.busy()) {
+    rotating.tick();
+    bus_.tick(now_);
+    cache_.tick();
+    ++now_;
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  EXPECT_EQ(rotating.stats().iterations_completed, 50u);
+}
+
+TEST_F(ClusterTest, NarrowClusterWorks) {
+  ClusterConfig config;
+  config.n_ces = 2;
+  config.policy = ServicePolicy::kAscending;
+  Cluster narrow(config, cache_, mmu_);
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = 20;
+  loop.body = tiny_kernel();
+  const isa::Program prog =
+      isa::ProgramBuilder("narrow").concurrent_loop(loop).build();
+  narrow.load(&prog, 1);
+  std::uint32_t max_active = 0;
+  Cycle used = 0;
+  while (narrow.busy()) {
+    narrow.tick();
+    bus_.tick(now_);
+    cache_.tick();
+    ++now_;
+    max_active = std::max(max_active, narrow.active_count());
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  EXPECT_EQ(max_active, 2u);
+  EXPECT_EQ(narrow.stats().iterations_completed, 20u);
+}
+
+}  // namespace
+}  // namespace repro::fx8

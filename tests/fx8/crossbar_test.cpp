@@ -1,0 +1,47 @@
+#include "fx8/crossbar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+TEST(Crossbar, OneGrantPerBankPerCycle) {
+  Crossbar xbar(4);
+  xbar.begin_cycle();
+  EXPECT_TRUE(xbar.try_acquire(0));
+  EXPECT_FALSE(xbar.try_acquire(0));
+  EXPECT_TRUE(xbar.try_acquire(1));
+  EXPECT_EQ(xbar.conflicts(), 1u);
+}
+
+TEST(Crossbar, BeginCycleResetsGrants) {
+  Crossbar xbar(2);
+  xbar.begin_cycle();
+  EXPECT_TRUE(xbar.try_acquire(0));
+  xbar.begin_cycle();
+  EXPECT_TRUE(xbar.try_acquire(0));
+  EXPECT_EQ(xbar.conflicts(), 0u);
+}
+
+TEST(Crossbar, AllBanksIndependent) {
+  Crossbar xbar(4);
+  xbar.begin_cycle();
+  for (std::uint32_t b = 0; b < 4; ++b) {
+    EXPECT_TRUE(xbar.try_acquire(b));
+  }
+}
+
+TEST(Crossbar, RejectsBadBank) {
+  Crossbar xbar(4);
+  xbar.begin_cycle();
+  EXPECT_THROW((void)xbar.try_acquire(4), ContractViolation);
+}
+
+TEST(Crossbar, RejectsZeroBanks) {
+  EXPECT_THROW(Crossbar{0}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::fx8

@@ -1,0 +1,97 @@
+#include "fx8/ip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "mem/main_memory.hpp"
+#include "mem/memory_bus.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+class IpTest : public ::testing::Test {
+ protected:
+  IpTest()
+      : memory_(mem::MainMemoryConfig{}),
+        bus_(mem::MemoryBusConfig{}, memory_),
+        cache_(cache::IpCacheConfig{}, bus_) {}
+
+  mem::MainMemory memory_;
+  mem::MemoryBus bus_;
+  cache::IpCache cache_;
+};
+
+TEST_F(IpTest, GeneratesTrafficAtRoughlyDutyRate) {
+  IpConfig config;
+  config.duty = 0.5;
+  config.access_interval = 4;
+  Ip ip(0, config, 0xE0000000, cache_, 42);
+  constexpr Cycle kN = 400000;
+  for (Cycle c = 0; c < kN; ++c) {
+    ip.tick();
+  }
+  // Expected accesses ~ N * duty / interval = 50000.
+  const double rate = static_cast<double>(ip.accesses_issued()) / kN;
+  EXPECT_NEAR(rate, 0.5 / 4, 0.03);
+}
+
+TEST_F(IpTest, ZeroDutyIsSilent) {
+  IpConfig config;
+  config.duty = 0.0;
+  Ip ip(0, config, 0xE0000000, cache_, 42);
+  for (Cycle c = 0; c < 100000; ++c) {
+    ip.tick();
+  }
+  EXPECT_EQ(ip.accesses_issued(), 0u);
+}
+
+TEST_F(IpTest, FullDutyIsContinuous) {
+  IpConfig config;
+  config.duty = 1.0;
+  config.access_interval = 2;
+  Ip ip(0, config, 0xE0000000, cache_, 42);
+  for (Cycle c = 0; c < 10000; ++c) {
+    ip.tick();
+  }
+  EXPECT_NEAR(static_cast<double>(ip.accesses_issued()), 5000.0, 100.0);
+}
+
+TEST_F(IpTest, MostTrafficAbsorbedByIpCache) {
+  IpConfig config;
+  config.duty = 1.0;
+  config.access_interval = 2;
+  config.jump_prob = 0.05;
+  Ip ip(0, config, 0xE0000000, cache_, 7);
+  for (Cycle c = 0; c < 100000; ++c) {
+    ip.tick();
+  }
+  const auto& stats = cache_.stats();
+  ASSERT_GT(stats.accesses, 0u);
+  const double miss_rate =
+      static_cast<double>(stats.misses) / static_cast<double>(stats.accesses);
+  EXPECT_LT(miss_rate, 0.5);  // streaming 8B steps: ~1/4 line-miss ceiling
+}
+
+TEST_F(IpTest, DeterministicForSeed) {
+  IpConfig config;
+  Ip a(0, config, 0xE0000000, cache_, 99);
+  Ip b(1, config, 0xE0000000, cache_, 99);
+  for (Cycle c = 0; c < 50000; ++c) {
+    a.tick();
+    b.tick();
+  }
+  EXPECT_EQ(a.accesses_issued(), b.accesses_issued());
+}
+
+TEST_F(IpTest, RejectsBadConfig) {
+  IpConfig bad_duty;
+  bad_duty.duty = 1.5;
+  EXPECT_THROW((Ip{0, bad_duty, 0, cache_, 1}), ContractViolation);
+
+  IpConfig bad_interval;
+  bad_interval.access_interval = 0;
+  EXPECT_THROW((Ip{0, bad_interval, 0, cache_, 1}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::fx8

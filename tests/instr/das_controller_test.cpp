@@ -1,0 +1,116 @@
+#include "instr/das_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::instr {
+namespace {
+
+ProbeRecord active_record(std::uint32_t n_active) {
+  ProbeRecord record;
+  record.active_mask = n_active == 0 ? 0 : (1u << n_active) - 1;
+  return record;
+}
+
+TEST(DasController, StartsDisarmed) {
+  DasController das;
+  const auto status = das.command("STATUS");
+  EXPECT_TRUE(status.ok);
+  EXPECT_EQ(status.text, "DISARMED");
+  EXPECT_FALSE(das.on_sample_clock(active_record(8)));
+}
+
+TEST(DasController, StagesTriggerAndDepth) {
+  DasController das;
+  EXPECT_TRUE(das.command("TRIGGER TRANSITION").ok);
+  EXPECT_TRUE(das.command("DEPTH 16").ok);
+  EXPECT_TRUE(das.command("WIDTH 8").ok);
+  EXPECT_EQ(das.staged_config().trigger,
+            TriggerMode::kTransitionFromFull);
+  EXPECT_EQ(das.staged_config().buffer_depth, 16u);
+}
+
+TEST(DasController, ImmediateAcquisitionRoundTrip) {
+  DasController das;
+  EXPECT_TRUE(das.command("TRIGGER IMMEDIATE").ok);
+  EXPECT_TRUE(das.command("DEPTH 4").ok);
+  EXPECT_TRUE(das.command("ARM").ok);
+  EXPECT_EQ(das.command("STATUS").text, "CAPTURING");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(das.on_sample_clock(active_record(3)));
+  }
+  EXPECT_TRUE(das.on_sample_clock(active_record(3)));
+  EXPECT_EQ(das.command("STATUS").text, "COMPLETE");
+  const auto xfer = das.command("XFER");
+  EXPECT_TRUE(xfer.ok);
+  EXPECT_EQ(xfer.text, "ACK 4 RECORDS");
+  ASSERT_TRUE(das.has_transfer());
+  EXPECT_EQ(das.take_transfer().size(), 4u);
+  EXPECT_FALSE(das.has_transfer());
+}
+
+TEST(DasController, TransitionTriggerViaCommands) {
+  DasController das;
+  (void)das.command("TRIGGER TRANSITION");
+  (void)das.command("DEPTH 2");
+  (void)das.command("WIDTH 8");
+  (void)das.command("ARM");
+  EXPECT_FALSE(das.on_sample_clock(active_record(8)));
+  EXPECT_EQ(das.command("STATUS").text, "ARMED");
+  EXPECT_FALSE(das.on_sample_clock(active_record(5)));  // fires, 1st record
+  EXPECT_EQ(das.command("STATUS").text, "CAPTURING");
+  EXPECT_TRUE(das.on_sample_clock(active_record(4)));
+  EXPECT_TRUE(das.acquisition_complete());
+}
+
+TEST(DasController, XferBeforeCompleteNaks) {
+  DasController das;
+  (void)das.command("ARM");
+  const auto response = das.command("XFER");
+  EXPECT_FALSE(response.ok);
+  EXPECT_NE(response.text.find("NAK"), std::string::npos);
+}
+
+TEST(DasController, MalformedCommandsNakWithoutThrowing) {
+  DasController das;
+  EXPECT_FALSE(das.command("").ok);
+  EXPECT_FALSE(das.command("TRIGGER").ok);
+  EXPECT_FALSE(das.command("TRIGGER SOMETIMES").ok);
+  EXPECT_FALSE(das.command("DEPTH zero").ok);
+  EXPECT_FALSE(das.command("DEPTH 0").ok);
+  EXPECT_FALSE(das.command("WIDTH 9").ok);
+  EXPECT_FALSE(das.command("FIRE").ok);
+}
+
+TEST(DasController, CommandsAreCaseInsensitive) {
+  DasController das;
+  EXPECT_TRUE(das.command("trigger immediate").ok);
+  EXPECT_TRUE(das.command("depth 8").ok);
+  EXPECT_TRUE(das.command("arm").ok);
+}
+
+TEST(DasController, ResetDropsEverything) {
+  DasController das;
+  (void)das.command("TRIGGER ALLACTIVE");
+  (void)das.command("DEPTH 4");
+  (void)das.command("ARM");
+  EXPECT_TRUE(das.command("RESET").ok);
+  EXPECT_EQ(das.command("STATUS").text, "DISARMED");
+  EXPECT_EQ(das.staged_config().buffer_depth, 512u);
+  EXPECT_EQ(das.staged_config().trigger, TriggerMode::kImmediate);
+}
+
+TEST(DasController, RearmStartsFreshAcquisition) {
+  DasController das;
+  (void)das.command("DEPTH 2");
+  (void)das.command("ARM");
+  (void)das.on_sample_clock(active_record(1));
+  (void)das.on_sample_clock(active_record(1));
+  (void)das.command("XFER");
+  (void)das.take_transfer();
+  EXPECT_TRUE(das.command("ARM").ok);
+  EXPECT_EQ(das.command("STATUS").text, "CAPTURING");
+  EXPECT_FALSE(das.has_transfer());
+}
+
+}  // namespace
+}  // namespace repro::instr

@@ -1,0 +1,125 @@
+#include "instr/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::instr {
+namespace {
+
+ProbeRecord make_record(std::uint32_t active_mask,
+                        mem::CeBusOp op_for_active) {
+  ProbeRecord record;
+  record.active_mask = active_mask;
+  for (CeId ce = 0; ce < kMaxCes; ++ce) {
+    record.ce_ops[ce] = (active_mask >> ce) & 1u ? op_for_active
+                                                 : mem::CeBusOp::kIdle;
+  }
+  return record;
+}
+
+TEST(Reduction, CountsActiveHistogram) {
+  EventCounts counts;
+  counts.accumulate(make_record(0b11111111, mem::CeBusOp::kRead));
+  counts.accumulate(make_record(0b00000001, mem::CeBusOp::kRead));
+  counts.accumulate(make_record(0b00000000, mem::CeBusOp::kIdle));
+  counts.accumulate(make_record(0b00000011, mem::CeBusOp::kRead));
+  EXPECT_EQ(counts.records, 4u);
+  EXPECT_EQ(counts.num[8], 1u);
+  EXPECT_EQ(counts.num[1], 1u);
+  EXPECT_EQ(counts.num[0], 1u);
+  EXPECT_EQ(counts.num[2], 1u);
+}
+
+TEST(Reduction, CountsPerProcessorActivity) {
+  EventCounts counts;
+  counts.accumulate(make_record(0b10000001, mem::CeBusOp::kRead));
+  counts.accumulate(make_record(0b10000000, mem::CeBusOp::kRead));
+  EXPECT_EQ(counts.proc[0], 1u);
+  EXPECT_EQ(counts.proc[7], 2u);
+  EXPECT_EQ(counts.proc[3], 0u);
+}
+
+TEST(Reduction, MissRateMatchesHandCount) {
+  EventCounts counts;
+  // One record: CE0 read-miss, seven idle -> 1 miss / 8 bus cycles.
+  ProbeRecord record;
+  record.active_mask = 1;
+  record.ce_ops[0] = mem::CeBusOp::kReadMiss;
+  counts.accumulate(record);
+  EXPECT_DOUBLE_EQ(counts.miss_rate(), 1.0 / 8.0);
+}
+
+TEST(Reduction, BusBusyMatchesHandCount) {
+  EventCounts counts;
+  ProbeRecord record;
+  record.active_mask = 0b11;
+  record.ce_ops[0] = mem::CeBusOp::kRead;
+  record.ce_ops[1] = mem::CeBusOp::kWait;
+  counts.accumulate(record);  // 2 busy of 8
+  EXPECT_DOUBLE_EQ(counts.bus_busy(), 0.25);
+}
+
+TEST(Reduction, WaitCyclesAreBusyButNotMisses) {
+  EventCounts counts;
+  ProbeRecord record;
+  record.ce_ops[0] = mem::CeBusOp::kWait;
+  counts.accumulate(record);
+  EXPECT_GT(counts.bus_busy(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.miss_rate(), 0.0);
+}
+
+TEST(Reduction, MemBusOpcodesCounted) {
+  EventCounts counts;
+  ProbeRecord record;
+  record.mem_ops[0] = mem::MemBusOp::kLineFetch;
+  record.mem_ops[1] = mem::MemBusOp::kIdle;
+  counts.accumulate(record);
+  EXPECT_EQ(counts.membop[static_cast<std::size_t>(
+                mem::MemBusOp::kLineFetch)],
+            1u);
+  EXPECT_DOUBLE_EQ(counts.mem_bus_busy(), 0.5);
+}
+
+TEST(Reduction, MergeSumsEverything) {
+  EventCounts a;
+  a.accumulate(make_record(0b1, mem::CeBusOp::kRead));
+  EventCounts b;
+  b.accumulate(make_record(0b11, mem::CeBusOp::kReadMiss));
+  b.accumulate(make_record(0, mem::CeBusOp::kIdle));
+  a.merge(b);
+  EXPECT_EQ(a.records, 3u);
+  EXPECT_EQ(a.ce_bus_cycles, 24u);
+  EXPECT_EQ(a.num[1], 1u);
+  EXPECT_EQ(a.num[2], 1u);
+  EXPECT_EQ(a.num[0], 1u);
+}
+
+TEST(Reduction, EmptyCountsHaveZeroRates) {
+  EventCounts counts;
+  EXPECT_DOUBLE_EQ(counts.miss_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.bus_busy(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.mem_bus_busy(), 0.0);
+}
+
+TEST(Reduction, ReduceProcessesWholeBuffer) {
+  std::vector<ProbeRecord> buffer;
+  for (int i = 0; i < 10; ++i) {
+    buffer.push_back(make_record(0b11111111, mem::CeBusOp::kRead));
+  }
+  const EventCounts counts = reduce(buffer);
+  EXPECT_EQ(counts.records, 10u);
+  EXPECT_EQ(counts.num[8], 10u);
+  EXPECT_DOUBLE_EQ(counts.bus_busy(), 1.0);
+}
+
+TEST(Reduction, RenderMentionsTableSections) {
+  EventCounts counts;
+  counts.accumulate(make_record(0b1, mem::CeBusOp::kRead));
+  const std::string text = counts.render();
+  EXPECT_NE(text.find("num_j"), std::string::npos);
+  EXPECT_NE(text.find("proc_j"), std::string::npos);
+  EXPECT_NE(text.find("ceop_j"), std::string::npos);
+  EXPECT_NE(text.find("membop_j"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::instr

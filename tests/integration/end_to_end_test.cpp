@@ -1,0 +1,126 @@
+// Integration tests across the whole stack: workload -> OS -> machine ->
+// instrumentation -> measures. These are the "does the reproduction hang
+// together" checks: each asserts a behaviour the paper reports, at small
+// scale so the suite stays fast.
+#include <gtest/gtest.h>
+
+#include "core/regression_models.hpp"
+#include "core/study.hpp"
+#include "core/transition.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::core {
+namespace {
+
+StudyConfig small_config() {
+  StudyConfig config;
+  config.samples_per_session = 3;
+  config.sampling.interval_cycles = 25000;
+  config.warmup_cycles = 5000;
+  return config;
+}
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static const StudyResult& study() {
+    static const StudyResult result = [] {
+      const auto mixes = workload::session_presets();
+      return run_study(mixes, small_config());
+    }();
+    return result;
+  }
+};
+
+TEST_F(EndToEnd, ClusterLivesInIdleSerialOrFullConcurrency) {
+  // Paper §4.2: "the CE Cluster spends the majority of its time in one of
+  // three states: full concurrency, serial, or idle."
+  const auto& num = study().totals.num;
+  std::uint64_t corner = num[0] + num[1] + num[8];
+  std::uint64_t middle = 0;
+  for (std::size_t j = 2; j <= 7; ++j) {
+    middle += num[j];
+  }
+  EXPECT_GT(corner, 5 * middle);
+}
+
+TEST_F(EndToEnd, WorkloadConcurrencyInPaperBallpark) {
+  // Paper: Cw = 0.35 overall. Accept a generous band at this tiny scale.
+  EXPECT_GT(study().overall.cw, 0.15);
+  EXPECT_LT(study().overall.cw, 0.60);
+}
+
+TEST_F(EndToEnd, ConcurrentOperationsUseMostProcessors) {
+  // Paper: Pc = 7.66, c(8|c) = 0.93.
+  ASSERT_TRUE(study().overall.pc_defined);
+  EXPECT_GT(study().overall.pc, 6.0);
+  EXPECT_GT(study().overall.c_cond[8], 0.6);
+}
+
+TEST_F(EndToEnd, MissRateRisesWithWorkloadConcurrency) {
+  // Paper §5.1/Table 3: median miss rate increases with Cw.
+  const auto samples = study().all_samples();
+  const MedianModel model =
+      fit_model(samples, SystemMeasure::kMissRate, Regressor::kCw);
+  EXPECT_GT(model.predict(1.0), 2.0 * model.predict(0.3));
+}
+
+TEST_F(EndToEnd, BusBusyRisesWithWorkloadConcurrency) {
+  const auto samples = study().all_samples();
+  const MedianModel model =
+      fit_model(samples, SystemMeasure::kBusBusy, Regressor::kCw);
+  EXPECT_GT(model.predict(1.0), model.predict(0.2));
+  // Bus busy stays physical.
+  EXPECT_LT(model.predict(1.0), 1.0);
+}
+
+TEST_F(EndToEnd, PageFaultsRiseWithWorkloadConcurrency) {
+  const auto samples = study().all_samples();
+  const MedianModel model =
+      fit_model(samples, SystemMeasure::kPageFaultRate, Regressor::kCw);
+  EXPECT_GT(model.predict(1.0), model.predict(0.1));
+}
+
+TEST_F(EndToEnd, SessionsVarySignificantly) {
+  // Paper Appendix A: individual sessions differ widely.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const SessionResult& session : study().sessions) {
+    lo = std::min(lo, session.overall.cw);
+    hi = std::max(hi, session.overall.cw);
+  }
+  EXPECT_GT(hi - lo, 0.2);
+}
+
+TEST(EndToEndTransition, TwoActiveIsTheLeadingTransitionState) {
+  // Paper §4.3 / Figure 6: the 2-active state dominates transitions.
+  TransitionConfig config;
+  config.captures = 12;
+  config.capture_timeout = 400000;
+  const TransitionResult result = run_transition_study(
+      workload::high_concurrency_mix(), config);
+  ASSERT_GT(result.captures_completed, 0u);
+  double max_other = 0.0;
+  for (std::uint32_t j = 3; j < 8; ++j) {
+    max_other = std::max(max_other, result.transition_share(j));
+  }
+  EXPECT_GT(result.transition_share(2), max_other * 0.9);
+}
+
+TEST(EndToEndTransition, OuterProcessorsLingerLongest) {
+  // Paper Figure 7: CEs 7 and 0 more active; CEs 2-4 less. Needs enough
+  // captures for the per-loop variation to average out.
+  TransitionConfig config;
+  config.captures = 50;
+  config.capture_timeout = 400000;
+  const TransitionResult result = run_transition_study(
+      workload::high_concurrency_mix(), config);
+  const auto& proc = result.processor_counts;
+  const double outer =
+      static_cast<double>(proc[7] + proc[0]) / 2.0;
+  const double inner =
+      static_cast<double>(proc[2] + proc[3] + proc[4]) / 3.0;
+  EXPECT_GT(outer, inner);
+}
+
+}  // namespace
+}  // namespace repro::core

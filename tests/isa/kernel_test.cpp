@@ -1,0 +1,79 @@
+#include "isa/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::isa {
+namespace {
+
+KernelSpec valid_kernel() {
+  KernelSpec k;
+  k.name = "t";
+  k.steps = 4;
+  k.compute_cycles = 3;
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  return k;
+}
+
+TEST(KernelSpec, DefaultIsValid) {
+  EXPECT_NO_THROW(KernelSpec{}.validate());
+}
+
+TEST(KernelSpec, ValidSpecPasses) {
+  EXPECT_NO_THROW(valid_kernel().validate());
+}
+
+TEST(KernelSpec, RejectsZeroSteps) {
+  KernelSpec k = valid_kernel();
+  k.steps = 0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, RejectsNoWork) {
+  KernelSpec k = valid_kernel();
+  k.compute_cycles = 0;
+  k.loads_per_step = 0;
+  k.stores_per_step = 0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, RejectsJitterLargerThanMean) {
+  KernelSpec k = valid_kernel();
+  k.compute_jitter = k.compute_cycles + 1;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, RejectsZeroStride) {
+  KernelSpec k = valid_kernel();
+  k.stride_bytes = 0;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, RejectsWorkingSetSmallerThanStride) {
+  KernelSpec k = valid_kernel();
+  k.stride_bytes = 128;
+  k.working_set_bytes = 64;
+  EXPECT_THROW(k.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, RejectsBadProbabilities) {
+  KernelSpec hot = valid_kernel();
+  hot.hot_fraction = 1.5;
+  EXPECT_THROW(hot.validate(), ContractViolation);
+
+  KernelSpec vec = valid_kernel();
+  vec.vector_fraction = -0.1;
+  EXPECT_THROW(vec.validate(), ContractViolation);
+}
+
+TEST(KernelSpec, DescribeMentionsNameAndShape) {
+  const KernelSpec k = valid_kernel();
+  const std::string d = describe(k);
+  EXPECT_NE(d.find("t:"), std::string::npos);
+  EXPECT_NE(d.find("streaming"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::isa

@@ -1,0 +1,69 @@
+#include "isa/listing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/rng.hpp"
+#include "workload/jobs.hpp"
+
+namespace repro::isa {
+namespace {
+
+TEST(Listing, ShowsPhaseStructure) {
+  KernelSpec body;
+  body.name = "inner";
+  body.steps = 4;
+  body.compute_cycles = 2;
+  body.loads_per_step = 1;
+  ConcurrentLoopPhase loop;
+  loop.body = body;
+  loop.trip_count = 66;
+  loop.dependence_prob = 0.1;
+  loop.long_path_prob = 0.2;
+  loop.long_path_extra_steps = 5;
+
+  const Program program = ProgramBuilder("demo")
+                              .data_base(0x1000)
+                              .serial(body, 3)
+                              .concurrent_loop(loop)
+                              .build();
+  const std::string text = listing(program);
+  EXPECT_NE(text.find("program demo"), std::string::npos);
+  EXPECT_NE(text.find("serial"), std::string::npos);
+  EXPECT_NE(text.find("CONCURRENT"), std::string::npos);
+  EXPECT_NE(text.find("x  66"), std::string::npos);
+  EXPECT_NE(text.find("[dep 0.10]"), std::string::npos);
+  EXPECT_NE(text.find("[branchy 0.20 +5 steps]"), std::string::npos);
+  EXPECT_NE(text.find("total concurrent iterations: 66"),
+            std::string::npos);
+}
+
+TEST(Listing, HandlesGeneratedJobs) {
+  Rng rng(3);
+  const os::Job job =
+      workload::make_numeric_job(1, rng, workload::NumericJobParams{}, 0);
+  const std::string text = listing(job.program);
+  EXPECT_NE(text.find("CONCURRENT"), std::string::npos);
+  // One listing line per phase plus header and footer.
+  std::size_t lines = 0;
+  for (const char c : text) {
+    lines += c == '\n';
+  }
+  EXPECT_EQ(lines, job.program.phases.size() + 2);
+}
+
+TEST(Listing, MarksPrivateDataLoops) {
+  KernelSpec body;
+  body.steps = 2;
+  body.compute_cycles = 2;
+  body.loads_per_step = 1;
+  ConcurrentLoopPhase loop;
+  loop.body = body;
+  loop.trip_count = 8;
+  loop.shared_data = false;
+  const Program program =
+      ProgramBuilder("p").concurrent_loop(loop).build();
+  EXPECT_NE(listing(program).find("[private data]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro::isa

@@ -1,0 +1,95 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::isa {
+namespace {
+
+KernelSpec small_kernel() {
+  KernelSpec k;
+  k.steps = 2;
+  k.compute_cycles = 2;
+  k.loads_per_step = 1;
+  return k;
+}
+
+TEST(Program, EmptyProgramInvalid) {
+  Program p;
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(Program, BuilderBuildsSerialAndLoop) {
+  ConcurrentLoopPhase loop;
+  loop.trip_count = 16;
+  loop.body = small_kernel();
+
+  const Program p = ProgramBuilder("job")
+                        .seed(99)
+                        .data_base(0x1000)
+                        .serial(small_kernel(), 3)
+                        .concurrent_loop(loop)
+                        .build();
+  EXPECT_EQ(p.name, "job");
+  EXPECT_EQ(p.seed, 99u);
+  EXPECT_EQ(p.data_base, 0x1000u);
+  ASSERT_EQ(p.phases.size(), 2u);
+  EXPECT_TRUE(std::holds_alternative<SerialPhase>(p.phases[0]));
+  EXPECT_TRUE(std::holds_alternative<ConcurrentLoopPhase>(p.phases[1]));
+}
+
+TEST(Program, TotalConcurrentIterationsSumsLoops) {
+  ConcurrentLoopPhase a;
+  a.trip_count = 10;
+  a.body = small_kernel();
+  ConcurrentLoopPhase b;
+  b.trip_count = 26;
+  b.body = small_kernel();
+  const Program p = ProgramBuilder("j")
+                        .concurrent_loop(a)
+                        .serial(small_kernel())
+                        .concurrent_loop(b)
+                        .build();
+  EXPECT_EQ(p.total_concurrent_iterations(), 36u);
+  EXPECT_TRUE(p.has_concurrency());
+}
+
+TEST(Program, SerialOnlyHasNoConcurrency) {
+  const Program p = ProgramBuilder("s").serial(small_kernel(), 2).build();
+  EXPECT_FALSE(p.has_concurrency());
+  EXPECT_EQ(p.total_concurrent_iterations(), 0u);
+}
+
+TEST(Program, RejectsZeroTripCount) {
+  ConcurrentLoopPhase loop;
+  loop.trip_count = 0;
+  loop.body = small_kernel();
+  Program p;
+  p.phases.push_back(loop);
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(Program, RejectsZeroReps) {
+  Program p;
+  p.phases.push_back(SerialPhase{small_kernel(), 0});
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(Program, RejectsBadLoopProbabilities) {
+  ConcurrentLoopPhase loop;
+  loop.trip_count = 4;
+  loop.body = small_kernel();
+  loop.dependence_prob = 1.5;
+  Program p;
+  p.phases.push_back(loop);
+  EXPECT_THROW(p.validate(), ContractViolation);
+}
+
+TEST(Program, BuilderValidatesOnBuild) {
+  ProgramBuilder builder("empty");
+  EXPECT_THROW((void)builder.build(), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::isa

@@ -1,0 +1,37 @@
+#include "mem/bus_ops.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::mem {
+namespace {
+
+TEST(BusOps, MissClassification) {
+  EXPECT_TRUE(is_miss(CeBusOp::kReadMiss));
+  EXPECT_TRUE(is_miss(CeBusOp::kWriteMiss));
+  EXPECT_FALSE(is_miss(CeBusOp::kRead));
+  EXPECT_FALSE(is_miss(CeBusOp::kWrite));
+  EXPECT_FALSE(is_miss(CeBusOp::kIdle));
+  EXPECT_FALSE(is_miss(CeBusOp::kWait));
+  EXPECT_FALSE(is_miss(CeBusOp::kInstrFetch));
+}
+
+TEST(BusOps, BusyClassification) {
+  EXPECT_FALSE(is_busy(CeBusOp::kIdle));
+  EXPECT_TRUE(is_busy(CeBusOp::kRead));
+  EXPECT_TRUE(is_busy(CeBusOp::kWrite));
+  EXPECT_TRUE(is_busy(CeBusOp::kReadMiss));
+  EXPECT_TRUE(is_busy(CeBusOp::kWriteMiss));
+  EXPECT_TRUE(is_busy(CeBusOp::kWait));
+  EXPECT_TRUE(is_busy(CeBusOp::kInstrFetch));
+}
+
+TEST(BusOps, NamesAreDistinct) {
+  EXPECT_EQ(name(CeBusOp::kIdle), "idle");
+  EXPECT_EQ(name(CeBusOp::kReadMiss), "read-miss");
+  EXPECT_EQ(name(MemBusOp::kLineFetch), "line-fetch");
+  EXPECT_EQ(name(MemBusOp::kIpTraffic), "ip-traffic");
+  EXPECT_NE(name(CeBusOp::kRead), name(CeBusOp::kWrite));
+}
+
+}  // namespace
+}  // namespace repro::mem

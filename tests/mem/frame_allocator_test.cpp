@@ -1,0 +1,88 @@
+#include "mem/frame_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/expect.hpp"
+
+namespace repro::mem {
+namespace {
+
+TEST(FrameAllocator, PoolSizeFromCapacity) {
+  FrameAllocator pool(16 * kPageBytes);
+  EXPECT_EQ(pool.total_frames(), 16u);
+  EXPECT_EQ(pool.free_frames(), 16u);
+  EXPECT_EQ(pool.used_frames(), 0u);
+}
+
+TEST(FrameAllocator, AllocatesDistinctFrames) {
+  FrameAllocator pool(8 * kPageBytes);
+  std::set<FrameId> frames;
+  for (int i = 0; i < 8; ++i) {
+    const auto frame = pool.allocate();
+    ASSERT_TRUE(frame.has_value());
+    EXPECT_TRUE(frames.insert(*frame).second) << "duplicate frame";
+  }
+  EXPECT_EQ(pool.free_frames(), 0u);
+}
+
+TEST(FrameAllocator, ExhaustionReturnsNullopt) {
+  FrameAllocator pool(2 * kPageBytes);
+  (void)pool.allocate();
+  (void)pool.allocate();
+  EXPECT_FALSE(pool.allocate().has_value());
+  EXPECT_EQ(pool.stats().exhaustions, 1u);
+}
+
+TEST(FrameAllocator, FreeMakesFrameReusable) {
+  FrameAllocator pool(2 * kPageBytes);
+  const auto a = pool.allocate();
+  const auto b = pool.allocate();
+  ASSERT_TRUE(a && b);
+  pool.free(*a);
+  EXPECT_EQ(pool.free_frames(), 1u);
+  const auto c = pool.allocate();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+TEST(FrameAllocator, DoubleFreeIsContractViolation) {
+  FrameAllocator pool(2 * kPageBytes);
+  const auto frame = pool.allocate();
+  pool.free(*frame);
+  EXPECT_THROW(pool.free(*frame), ContractViolation);
+  EXPECT_THROW(pool.free(99), ContractViolation);
+}
+
+TEST(FrameAllocator, IsAllocatedTracksState) {
+  FrameAllocator pool(4 * kPageBytes);
+  const auto frame = pool.allocate();
+  EXPECT_TRUE(pool.is_allocated(*frame));
+  pool.free(*frame);
+  EXPECT_FALSE(pool.is_allocated(*frame));
+}
+
+TEST(FrameAllocator, ChurnKeepsAccountingConsistent) {
+  FrameAllocator pool(8 * kPageBytes);
+  std::set<FrameId> live;
+  for (int round = 0; round < 1000; ++round) {
+    if (round % 3 != 0 || live.empty()) {
+      if (const auto frame = pool.allocate()) {
+        live.insert(*frame);
+      }
+    } else {
+      const FrameId victim = *live.begin();
+      pool.free(victim);
+      live.erase(victim);
+    }
+    EXPECT_EQ(pool.used_frames(), live.size());
+  }
+}
+
+TEST(FrameAllocator, RejectsEmptyPool) {
+  EXPECT_THROW(FrameAllocator{0}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::mem

@@ -1,0 +1,63 @@
+#include "mem/main_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::mem {
+namespace {
+
+TEST(MainMemory, BankInterleavesByLine) {
+  MainMemory memory(MainMemoryConfig{});
+  EXPECT_EQ(memory.bank_of(0), 0u);
+  EXPECT_EQ(memory.bank_of(kLineBytes), 1u);
+  EXPECT_EQ(memory.bank_of(2 * kLineBytes), 2u);
+  EXPECT_EQ(memory.bank_of(3 * kLineBytes), 3u);
+  EXPECT_EQ(memory.bank_of(4 * kLineBytes), 0u);
+  // Same line, same bank regardless of offset within the line.
+  EXPECT_EQ(memory.bank_of(kLineBytes + 17), 1u);
+}
+
+TEST(MainMemory, IdleBankStartsImmediately) {
+  MainMemory memory(MainMemoryConfig{});
+  EXPECT_EQ(memory.earliest_start(0, 100), 100u);
+}
+
+TEST(MainMemory, BusyBankDelaysNextAccess) {
+  MainMemoryConfig config;
+  config.bank_busy_cycles = 4;
+  MainMemory memory(config);
+  const Cycle done = memory.begin_access(0, 10);
+  EXPECT_EQ(done, 14u);
+  EXPECT_EQ(memory.earliest_start(0, 11), 14u);
+  // A different bank is unaffected.
+  EXPECT_EQ(memory.earliest_start(kLineBytes, 11), 11u);
+}
+
+TEST(MainMemory, AccessesToDistinctBanksOverlap) {
+  MainMemory memory(MainMemoryConfig{});
+  (void)memory.begin_access(0 * kLineBytes, 0);
+  (void)memory.begin_access(1 * kLineBytes, 0);
+  (void)memory.begin_access(2 * kLineBytes, 0);
+  (void)memory.begin_access(3 * kLineBytes, 0);
+  EXPECT_EQ(memory.access_count(), 4u);
+}
+
+TEST(MainMemory, SchedulingIntoBusyBankIsContractViolation) {
+  MainMemory memory(MainMemoryConfig{});
+  (void)memory.begin_access(0, 0);
+  EXPECT_THROW((void)memory.begin_access(0, 1), ContractViolation);
+}
+
+TEST(MainMemory, RejectsBadConfig) {
+  MainMemoryConfig zero_interleave;
+  zero_interleave.interleave = 0;
+  EXPECT_THROW(MainMemory{zero_interleave}, ContractViolation);
+
+  MainMemoryConfig zero_busy;
+  zero_busy.bank_busy_cycles = 0;
+  EXPECT_THROW(MainMemory{zero_busy}, ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::mem

@@ -1,0 +1,116 @@
+#include "mem/memory_bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "mem/main_memory.hpp"
+
+namespace repro::mem {
+namespace {
+
+MemoryBusConfig four_cycle_config() {
+  MemoryBusConfig config;
+  config.transfer_cycles = 4;  // Pinned: tests below count exact cycles.
+  return config;
+}
+
+class MemoryBusTest : public ::testing::Test {
+ protected:
+  MemoryBusTest()
+      : memory_(MainMemoryConfig{}), bus_(four_cycle_config(), memory_) {}
+
+  void run_cycles(int n) {
+    for (int i = 0; i < n; ++i) {
+      bus_.tick(now_++);
+    }
+  }
+
+  MainMemory memory_;
+  MemoryBus bus_;
+  Cycle now_ = 0;
+};
+
+TEST_F(MemoryBusTest, IdleWhenNothingSubmitted) {
+  run_cycles(3);
+  EXPECT_EQ(bus_.op_on(0), MemBusOp::kIdle);
+  EXPECT_EQ(bus_.op_on(1), MemBusOp::kIdle);
+  EXPECT_EQ(bus_.op_cycles(0, MemBusOp::kIdle), 3u);
+}
+
+TEST_F(MemoryBusTest, LineFetchOccupiesTransferCycles) {
+  const TxnId id = bus_.submit(0, MemBusOp::kLineFetch, 0x100);
+  run_cycles(1);
+  EXPECT_EQ(bus_.op_on(0), MemBusOp::kLineFetch);
+  EXPECT_FALSE(bus_.take_finished(id));
+  run_cycles(3);  // transfer_cycles == 4 total
+  EXPECT_TRUE(bus_.take_finished(id));
+  // A consumed completion is gone.
+  EXPECT_FALSE(bus_.take_finished(id));
+  run_cycles(1);
+  EXPECT_EQ(bus_.op_on(0), MemBusOp::kIdle);
+}
+
+TEST_F(MemoryBusTest, SecondBusIndependent) {
+  (void)bus_.submit(0, MemBusOp::kLineFetch, 0x100);
+  run_cycles(1);
+  EXPECT_EQ(bus_.op_on(0), MemBusOp::kLineFetch);
+  EXPECT_EQ(bus_.op_on(1), MemBusOp::kIdle);
+}
+
+TEST_F(MemoryBusTest, QueuedTransactionsServeInOrder) {
+  const TxnId a = bus_.submit(0, MemBusOp::kLineFetch, 0 * kLineBytes);
+  const TxnId b = bus_.submit(0, MemBusOp::kWriteBack, 1 * kLineBytes);
+  EXPECT_EQ(bus_.queue_depth(0), 2u);
+  run_cycles(4);
+  EXPECT_TRUE(bus_.take_finished(a));
+  EXPECT_FALSE(bus_.take_finished(b));
+  run_cycles(4);
+  EXPECT_TRUE(bus_.take_finished(b));
+}
+
+TEST_F(MemoryBusTest, InvalidateIsShort) {
+  const TxnId id = bus_.submit(1, MemBusOp::kInvalidate, 0);
+  run_cycles(1);
+  EXPECT_TRUE(bus_.take_finished(id));
+  EXPECT_EQ(bus_.op_cycles(1, MemBusOp::kInvalidate), 1u);
+}
+
+TEST_F(MemoryBusTest, BankConflictStallsBus) {
+  // Two fetches to the same bank back to back: the second waits for the
+  // bank to free even though the bus is idle.
+  MainMemoryConfig mc;
+  mc.bank_busy_cycles = 10;  // Longer than the bus transfer.
+  MainMemory slow_memory(mc);
+  MemoryBus bus(four_cycle_config(), slow_memory);
+  const TxnId a = bus.submit(0, MemBusOp::kLineFetch, 0);
+  const TxnId b = bus.submit(0, MemBusOp::kLineFetch, 4 * kLineBytes);
+  Cycle now = 0;
+  for (int i = 0; i < 4; ++i) {
+    bus.tick(now++);
+  }
+  EXPECT_TRUE(bus.take_finished(a));
+  // Bank is busy until cycle 10; bus idles in between.
+  int idle_cycles = 0;
+  while (!bus.take_finished(b)) {
+    bus.tick(now++);
+    idle_cycles += bus.op_on(0) == MemBusOp::kIdle ? 1 : 0;
+    ASSERT_LT(now, 100u);
+  }
+  EXPECT_GT(idle_cycles, 0);
+}
+
+TEST_F(MemoryBusTest, RejectsBadSubmissions) {
+  EXPECT_THROW((void)bus_.submit(9, MemBusOp::kLineFetch, 0),
+               ContractViolation);
+  EXPECT_THROW((void)bus_.submit(0, MemBusOp::kIdle, 0), ContractViolation);
+}
+
+TEST_F(MemoryBusTest, OpCycleCountsAccumulate) {
+  (void)bus_.submit(0, MemBusOp::kLineFetch, 0);
+  run_cycles(6);
+  EXPECT_EQ(bus_.op_cycles(0, MemBusOp::kLineFetch), 4u);
+  EXPECT_EQ(bus_.op_cycles(0, MemBusOp::kIdle), 2u);
+}
+
+}  // namespace
+}  // namespace repro::mem

@@ -1,0 +1,44 @@
+#include "os/kernel_counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::os {
+namespace {
+
+TEST(KernelCounters, StartAtZero) {
+  KernelCounters counters;
+  for (std::size_t i = 0; i < kNumKernelCounters; ++i) {
+    EXPECT_EQ(counters.read(static_cast<KernelCounter>(i)), 0u);
+  }
+}
+
+TEST(KernelCounters, IncrementAccumulates) {
+  KernelCounters counters;
+  counters.increment(KernelCounter::kJobsCompleted);
+  counters.increment(KernelCounter::kJobsCompleted, 4);
+  EXPECT_EQ(counters.read(KernelCounter::kJobsCompleted), 5u);
+}
+
+TEST(KernelCounters, CePageFaultsSumsUserAndSystem) {
+  KernelCounters counters;
+  counters.increment(KernelCounter::kCePageFaultsUser, 10);
+  counters.increment(KernelCounter::kCePageFaultsSystem, 3);
+  EXPECT_EQ(counters.ce_page_faults(), 13u);
+}
+
+TEST(KernelCounters, SnapshotIsConsistent) {
+  KernelCounters counters;
+  counters.increment(KernelCounter::kContextSwitches, 7);
+  const auto snap = counters.snapshot();
+  EXPECT_EQ(snap[static_cast<std::size_t>(KernelCounter::kContextSwitches)],
+            7u);
+}
+
+TEST(KernelCounters, NamesAreDistinct) {
+  EXPECT_NE(name(KernelCounter::kCePageFaultsUser),
+            name(KernelCounter::kCePageFaultsSystem));
+  EXPECT_EQ(name(KernelCounter::kJobsCompleted), "jobs-completed");
+}
+
+}  // namespace
+}  // namespace repro::os

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "os/system.hpp"
+#include "workload/kernels.hpp"
+
+namespace repro::os {
+namespace {
+
+isa::Program serial_program() {
+  workload::KernelTuning tuning;
+  return isa::ProgramBuilder("serial")
+      .data_base(0x01000000)
+      .serial(workload::editor_body(tuning), 1)
+      .build();
+}
+
+isa::Program cluster_program() {
+  workload::KernelTuning tuning;
+  isa::ConcurrentLoopPhase loop;
+  loop.body = workload::triad_body(tuning);
+  loop.trip_count = 16;
+  return isa::ProgramBuilder("cluster")
+      .data_base(0x02000000)
+      .concurrent_loop(loop)
+      .build();
+}
+
+Job make_job(JobId id, JobClass cls) {
+  Job job;
+  job.id = id;
+  job.cls = cls;
+  job.program = cls == JobClass::kCluster ? cluster_program()
+                                          : serial_program();
+  return job;
+}
+
+TEST(SchedulerPolicy, ConcurrentFirstRunsClusterJobsFirst) {
+  SystemConfig config;
+  config.scheduling = SchedulingPolicy::kConcurrentFirst;
+  System system{config};
+  system.scheduler().submit(make_job(1, JobClass::kSerialDetached));
+  system.scheduler().submit(make_job(2, JobClass::kCluster));
+  // Nothing has started; first tick should pick the cluster job.
+  system.tick();
+  EXPECT_TRUE(system.scheduler().job_running());
+  // Drain; the serial job must still complete.
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 2'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().cluster_jobs_completed, 1u);
+  EXPECT_EQ(system.scheduler().stats().serial_jobs_completed, 1u);
+}
+
+TEST(SchedulerPolicy, SerialFirstPrefersDetachedJobs) {
+  SystemConfig config;
+  config.scheduling = SchedulingPolicy::kSerialFirst;
+  System system{config};
+  system.scheduler().submit(make_job(1, JobClass::kCluster));
+  system.scheduler().submit(make_job(2, JobClass::kSerialDetached));
+  system.tick();
+  // The serial job jumped the queue: the cluster runs 1-active.
+  EXPECT_LE(system.machine().cluster().active_count(), 1u);
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 2'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().jobs_completed, 2u);
+}
+
+TEST(SchedulerPolicy, FifoPreservesSubmissionOrder) {
+  SystemConfig config;
+  config.scheduling = SchedulingPolicy::kFifo;
+  System system{config};
+  for (JobId id = 1; id <= 4; ++id) {
+    system.scheduler().submit(
+        make_job(id, id % 2 ? JobClass::kSerialDetached
+                            : JobClass::kCluster));
+  }
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 2'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().jobs_completed, 4u);
+}
+
+TEST(SchedulerPolicy, WaitCyclesAccumulate) {
+  System system{SystemConfig{}};
+  system.scheduler().submit(make_job(1, JobClass::kCluster));
+  system.scheduler().submit(make_job(2, JobClass::kCluster));
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 2'000'000u);
+  }
+  // Job 2 waited for job 1.
+  EXPECT_GT(system.scheduler().stats().total_wait_cycles, 0u);
+}
+
+TEST(SchedulerPolicy, PolicyIsReported) {
+  SystemConfig config;
+  config.scheduling = SchedulingPolicy::kConcurrentFirst;
+  System system{config};
+  EXPECT_EQ(system.scheduler().policy(),
+            SchedulingPolicy::kConcurrentFirst);
+}
+
+}  // namespace
+}  // namespace repro::os

@@ -1,0 +1,80 @@
+#include "os/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "os/system.hpp"
+#include "workload/kernels.hpp"
+
+namespace repro::os {
+namespace {
+
+isa::Program small_program(const char* name) {
+  workload::KernelTuning tuning;
+  return isa::ProgramBuilder(name)
+      .data_base(0x01000000)
+      .serial(workload::editor_body(tuning), 1)
+      .build();
+}
+
+Job make_job(JobId id, JobClass cls) {
+  Job job;
+  job.id = id;
+  job.cls = cls;
+  job.program = small_program("job");
+  return job;
+}
+
+TEST(Scheduler, StartsIdle) {
+  System system{SystemConfig{}};
+  EXPECT_TRUE(system.scheduler().idle());
+  EXPECT_FALSE(system.scheduler().job_running());
+}
+
+TEST(Scheduler, RunsOneJobToCompletion) {
+  System system{SystemConfig{}};
+  system.scheduler().submit(make_job(1, JobClass::kSerialDetached));
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().jobs_completed, 1u);
+  EXPECT_EQ(system.scheduler().stats().serial_jobs_completed, 1u);
+  EXPECT_EQ(system.counters().read(KernelCounter::kJobsCompleted), 1u);
+}
+
+TEST(Scheduler, FifoOrderAcrossJobs) {
+  System system{SystemConfig{}};
+  system.scheduler().submit(make_job(1, JobClass::kCluster));
+  system.scheduler().submit(make_job(2, JobClass::kCluster));
+  system.scheduler().submit(make_job(3, JobClass::kCluster));
+  EXPECT_EQ(system.scheduler().queue_depth(), 3u);
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().jobs_completed, 3u);
+  EXPECT_EQ(system.counters().read(KernelCounter::kContextSwitches), 3u);
+}
+
+TEST(Scheduler, ReleasesJobPagesOnCompletion) {
+  System system{SystemConfig{}};
+  system.scheduler().submit(make_job(42, JobClass::kSerialDetached));
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  EXPECT_EQ(system.vm().resident_pages(42), 0u);
+}
+
+TEST(Scheduler, CountsSubmissions) {
+  System system{SystemConfig{}};
+  system.scheduler().submit(make_job(1, JobClass::kCluster));
+  system.scheduler().submit(make_job(2, JobClass::kSerialDetached));
+  EXPECT_EQ(system.counters().read(KernelCounter::kJobsSubmitted), 2u);
+}
+
+}  // namespace
+}  // namespace repro::os

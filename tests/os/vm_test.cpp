@@ -1,0 +1,152 @@
+#include "os/vm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::os {
+namespace {
+
+class VmTest : public ::testing::Test {
+ protected:
+  VmTest() : vm_(VmConfig{}, counters_) {}
+
+  KernelCounters counters_;
+  VirtualMemory vm_;
+};
+
+TEST_F(VmTest, FirstTouchFaultsSecondDoesNot) {
+  EXPECT_GT(vm_.touch(1, 0, 0x1000), 0u);
+  EXPECT_EQ(vm_.touch(1, 0, 0x1000), 0u);
+  EXPECT_EQ(vm_.touch(1, 0, 0x1FFF), 0u);  // same page
+  EXPECT_GT(vm_.touch(1, 0, 0x2000), 0u);  // next page
+}
+
+TEST_F(VmTest, FaultServiceTimeMatchesConfig) {
+  VmConfig config;
+  config.fault_service_cycles = 321;
+  VirtualMemory vm(config, counters_);
+  EXPECT_EQ(vm.touch(1, 0, 0x0), 321u);
+}
+
+TEST_F(VmTest, JobsHaveSeparateAddressSpaces) {
+  (void)vm_.touch(1, 0, 0x1000);
+  EXPECT_GT(vm_.touch(2, 0, 0x1000), 0u);  // job 2 faults independently
+}
+
+TEST_F(VmTest, CountersTrackUserAndSystemFaults) {
+  for (Addr page = 0; page < 200; ++page) {
+    (void)vm_.touch(1, 0, page * kPageBytes);
+  }
+  const std::uint64_t user =
+      counters_.read(KernelCounter::kCePageFaultsUser);
+  const std::uint64_t system =
+      counters_.read(KernelCounter::kCePageFaultsSystem);
+  EXPECT_EQ(user + system, 200u);
+  EXPECT_GT(user, system);  // system fraction is 0.2
+  EXPECT_GT(system, 0u);
+  EXPECT_EQ(counters_.ce_page_faults(), 200u);
+}
+
+TEST_F(VmTest, ReleaseJobDropsResidentSet) {
+  (void)vm_.touch(1, 0, 0x1000);
+  EXPECT_EQ(vm_.resident_pages(1), 1u);
+  vm_.release_job(1);
+  EXPECT_EQ(vm_.resident_pages(1), 0u);
+  EXPECT_GT(vm_.touch(1, 0, 0x1000), 0u);  // re-faults after release
+}
+
+TEST_F(VmTest, ResidentLimitEvictsFifo) {
+  VmConfig config;
+  config.resident_limit_pages = 4;
+  VirtualMemory vm(config, counters_);
+  for (Addr page = 0; page < 6; ++page) {
+    (void)vm.touch(1, 0, page * kPageBytes);
+  }
+  EXPECT_EQ(vm.resident_pages(1), 4u);
+  EXPECT_EQ(vm.stats().evictions, 2u);
+  // Page 0 was evicted; touching it faults again.
+  EXPECT_GT(vm.touch(1, 0, 0), 0u);
+  // Page 5 is still resident.
+  EXPECT_EQ(vm.touch(1, 0, 5 * kPageBytes), 0u);
+}
+
+TEST_F(VmTest, AddressBeyondSegmentedSpaceIsContractViolation) {
+  const Addr beyond = 1024ULL * 1024 * kPageBytes;
+  EXPECT_THROW((void)vm_.touch(1, 0, beyond), ContractViolation);
+}
+
+TEST_F(VmTest, RejectsBadConfig) {
+  VmConfig config;
+  config.system_fault_fraction = 2.0;
+  EXPECT_THROW((VirtualMemory{config, counters_}), ContractViolation);
+}
+
+TEST_F(VmTest, FaultClassificationIsDeterministic) {
+  KernelCounters counters_a;
+  KernelCounters counters_b;
+  VirtualMemory vm_a(VmConfig{}, counters_a);
+  VirtualMemory vm_b(VmConfig{}, counters_b);
+  for (Addr page = 0; page < 100; ++page) {
+    (void)vm_a.touch(7, 2, page * kPageBytes);
+    (void)vm_b.touch(7, 2, page * kPageBytes);
+  }
+  EXPECT_EQ(counters_a.read(KernelCounter::kCePageFaultsSystem),
+            counters_b.read(KernelCounter::kCePageFaultsSystem));
+}
+
+TEST_F(VmTest, PhysicalExhaustionReclaimsGlobally) {
+  VmConfig config;
+  config.physical_bytes = 4 * kPageBytes;  // four frames total
+  config.resident_limit_pages = 0;         // no per-job cap
+  VirtualMemory vm(config, counters_);
+  // Two jobs map two pages each: pool full.
+  (void)vm.touch(1, 0, 0 * kPageBytes);
+  (void)vm.touch(1, 0, 1 * kPageBytes);
+  (void)vm.touch(2, 0, 0 * kPageBytes);
+  (void)vm.touch(2, 0, 1 * kPageBytes);
+  EXPECT_EQ(vm.frames().free_frames(), 0u);
+  // A fifth page forces a global reclaim of the oldest mapping (job 1,
+  // page 0), which then re-faults.
+  EXPECT_GT(vm.touch(2, 0, 2 * kPageBytes), 0u);
+  EXPECT_EQ(vm.stats().global_reclaims, 1u);
+  EXPECT_EQ(vm.resident_pages(1), 1u);
+  EXPECT_GT(vm.touch(1, 0, 0 * kPageBytes), 0u);  // re-fault
+}
+
+TEST_F(VmTest, ReleaseReturnsFramesToThePool) {
+  VmConfig config;
+  config.physical_bytes = 2 * kPageBytes;
+  VirtualMemory vm(config, counters_);
+  (void)vm.touch(1, 0, 0);
+  (void)vm.touch(1, 0, kPageBytes);
+  EXPECT_EQ(vm.frames().free_frames(), 0u);
+  vm.release_job(1);
+  EXPECT_EQ(vm.frames().free_frames(), 2u);
+}
+
+TEST_F(VmTest, FramesNeverLeakUnderChurn) {
+  VmConfig config;
+  config.physical_bytes = 64 * kPageBytes;
+  config.resident_limit_pages = 8;
+  VirtualMemory vm(config, counters_);
+  for (JobId job = 1; job <= 5; ++job) {
+    for (Addr page = 0; page < 40; ++page) {
+      (void)vm.touch(job, 0, page * kPageBytes);
+    }
+  }
+  // Per-job caps kept residency at 8 pages/job.
+  std::uint64_t resident = 0;
+  for (JobId job = 1; job <= 5; ++job) {
+    resident += vm.resident_pages(job);
+  }
+  EXPECT_EQ(resident, 40u);
+  EXPECT_EQ(vm.frames().used_frames(), resident);
+  for (JobId job = 1; job <= 5; ++job) {
+    vm.release_job(job);
+  }
+  EXPECT_EQ(vm.frames().used_frames(), 0u);
+}
+
+}  // namespace
+}  // namespace repro::os

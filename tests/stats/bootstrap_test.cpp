@@ -1,0 +1,95 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+#include "stats/descriptive.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Bootstrap, PointEstimateMatchesStatistic) {
+  const std::vector<double> values = {1, 2, 3, 4, 5};
+  Rng rng(1);
+  const ConfidenceInterval ci = bootstrap_mean_ci(values, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 3.0);
+  EXPECT_LE(ci.lo, ci.point);
+  EXPECT_GE(ci.hi, ci.point);
+}
+
+TEST(Bootstrap, IntervalCoversTrueMeanForNormalData) {
+  Rng data_rng(5);
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(data_rng.normal(10.0, 2.0));
+  }
+  Rng rng(7);
+  const ConfidenceInterval ci = bootstrap_mean_ci(values, rng);
+  EXPECT_LT(ci.lo, 10.0 + 0.5);
+  EXPECT_GT(ci.hi, 10.0 - 0.5);
+  // Width should be roughly 4*sigma/sqrt(n) ~ 0.55.
+  EXPECT_LT(ci.hi - ci.lo, 1.2);
+  EXPECT_GT(ci.hi - ci.lo, 0.2);
+}
+
+TEST(Bootstrap, WiderLevelGivesWiderInterval) {
+  Rng data_rng(9);
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) {
+    values.push_back(data_rng.uniform01());
+  }
+  Rng rng_a(11);
+  Rng rng_b(11);
+  const ConfidenceInterval narrow =
+      bootstrap_mean_ci(values, rng_a, 0.80);
+  const ConfidenceInterval wide = bootstrap_mean_ci(values, rng_b, 0.99);
+  EXPECT_LT(narrow.hi - narrow.lo, wide.hi - wide.lo);
+}
+
+TEST(Bootstrap, MedianCiOnSkewedData) {
+  // Heavily skewed: median is robust, CI should sit near the bulk.
+  std::vector<double> values;
+  for (int i = 0; i < 99; ++i) {
+    values.push_back(1.0);
+  }
+  values.push_back(1000.0);
+  Rng rng(13);
+  const ConfidenceInterval ci = bootstrap_median_ci(values, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 1.0);
+  EXPECT_LT(ci.hi, 10.0);
+}
+
+TEST(Bootstrap, CustomStatisticWorks) {
+  const std::vector<double> values = {1, 2, 3, 4, 100};
+  Rng rng(17);
+  const ConfidenceInterval ci = bootstrap_ci(
+      values, [](std::span<const double> v) { return max_of(v); }, rng);
+  EXPECT_DOUBLE_EQ(ci.point, 100.0);
+  EXPECT_LE(ci.hi, 100.0);
+}
+
+TEST(Bootstrap, RejectsBadArguments) {
+  const std::vector<double> values = {1.0, 2.0};
+  const std::vector<double> empty;
+  Rng rng(1);
+  EXPECT_THROW((void)bootstrap_mean_ci(empty, rng), ContractViolation);
+  EXPECT_THROW((void)bootstrap_mean_ci(values, rng, 1.5),
+               ContractViolation);
+  EXPECT_THROW((void)bootstrap_mean_ci(values, rng, 0.95, 10),
+               ContractViolation);
+}
+
+TEST(Bootstrap, DeterministicForSeed) {
+  const std::vector<double> values = {3, 1, 4, 1, 5, 9, 2, 6};
+  Rng rng_a(42);
+  Rng rng_b(42);
+  const ConfidenceInterval a = bootstrap_mean_ci(values, rng_a);
+  const ConfidenceInterval b = bootstrap_mean_ci(values, rng_b);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,83 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  Rng rng(5);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.uniform01());
+    y.push_back(rng.uniform01());
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(Pearson, RejectsDegenerateInput) {
+  const std::vector<double> constant = {3, 3, 3};
+  const std::vector<double> varying = {1, 2, 3};
+  EXPECT_THROW((void)pearson(constant, varying), ContractViolation);
+  const std::vector<double> one = {1};
+  EXPECT_THROW((void)pearson(one, one), ContractViolation);
+  const std::vector<double> two = {1, 2};
+  const std::vector<double> three = {1, 2, 3};
+  EXPECT_THROW((void)pearson(two, three), ContractViolation);
+}
+
+TEST(Spearman, MonotoneNonlinearIsPerfect) {
+  // y = x^3 is nonlinear but monotone: Spearman 1, Pearson < 1.
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(static_cast<double>(i) * i * i);
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  const std::vector<double> x = {1, 2, 2, 3};
+  const std::vector<double> y = {10, 20, 20, 30};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationMatrix, RendersSymmetricMatrix) {
+  std::vector<Series> series = {
+      {"cw", {0.1, 0.5, 0.9, 0.3}},
+      {"miss", {0.001, 0.01, 0.02, 0.004}},
+      {"pc", {7.0, 7.5, 7.9, 7.2}},
+  };
+  const std::string text = render_correlation_matrix(series);
+  EXPECT_NE(text.find("cw"), std::string::npos);
+  EXPECT_NE(text.find("miss"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);  // diagonal
+}
+
+TEST(CorrelationMatrix, NeedsTwoSeries) {
+  std::vector<Series> one = {{"x", {1, 2, 3}}};
+  EXPECT_THROW((void)render_correlation_matrix(one), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::stats

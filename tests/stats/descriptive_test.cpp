@@ -1,0 +1,66 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Descriptive, Mean) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Descriptive, MeanOfEmptyThrows) {
+  const std::vector<double> v;
+  EXPECT_THROW((void)mean(v), ContractViolation);
+}
+
+TEST(Descriptive, VarianceAndStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(v), 4.571428, 1e-5);
+  EXPECT_NEAR(stddev(v), 2.13809, 1e-4);
+}
+
+TEST(Descriptive, VarianceOfSingletonIsZero) {
+  const std::vector<double> v = {42.0};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  const std::vector<double> odd = {3, 1, 2};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even = {4, 1, 3, 2};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  const std::vector<double> v = {0, 10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.125), 5.0);
+}
+
+TEST(Descriptive, QuantileRejectsBadQ) {
+  const std::vector<double> v = {1.0};
+  EXPECT_THROW((void)quantile(v, 1.5), ContractViolation);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> v = {3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(min_of(v), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(v), 7.0);
+}
+
+TEST(Descriptive, QuantileDoesNotMutateInput) {
+  const std::vector<double> v = {3, 1, 2};
+  (void)median(v);
+  EXPECT_EQ(v[0], 3.0);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,84 @@
+#include "stats/freq_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(FreqTable, NearestMidpointPicksClosest) {
+  const std::vector<double> mids = {0.0, 0.5, 1.0};
+  EXPECT_EQ(nearest_midpoint(0.1, mids), 0u);
+  EXPECT_EQ(nearest_midpoint(0.4, mids), 1u);
+  EXPECT_EQ(nearest_midpoint(0.9, mids), 2u);
+  EXPECT_EQ(nearest_midpoint(-5.0, mids), 0u);
+  EXPECT_EQ(nearest_midpoint(5.0, mids), 2u);
+}
+
+TEST(FreqTable, FromValuesBinsAndCumulates) {
+  const std::vector<double> values = {0.0, 0.05, 0.48, 0.52, 1.0};
+  const std::vector<double> mids = {0.0, 0.5, 1.0};
+  const FreqTable table = FreqTable::from_values(values, mids, 1);
+  ASSERT_EQ(table.rows().size(), 3u);
+  EXPECT_EQ(table.rows()[0].freq, 2u);
+  EXPECT_EQ(table.rows()[1].freq, 2u);
+  EXPECT_EQ(table.rows()[2].freq, 1u);
+  EXPECT_EQ(table.rows()[2].cum_freq, 5u);
+  EXPECT_DOUBLE_EQ(table.rows()[0].percent, 40.0);
+  EXPECT_DOUBLE_EQ(table.rows()[2].cum_percent, 100.0);
+  EXPECT_EQ(table.total(), 5u);
+}
+
+TEST(FreqTable, FromCountsKeepsLabels) {
+  const std::vector<std::uint64_t> counts = {5, 0, 3};
+  const std::vector<std::string> labels = {"8", "7", "6"};
+  const FreqTable table = FreqTable::from_counts(counts, labels);
+  EXPECT_EQ(table.rows()[0].label, "8");
+  EXPECT_EQ(table.rows()[1].freq, 0u);
+  EXPECT_EQ(table.total(), 8u);
+}
+
+TEST(FreqTable, MedianRowFindsMiddleMass) {
+  const std::vector<std::uint64_t> counts = {1, 1, 10, 1};
+  const std::vector<std::string> labels = {"a", "b", "c", "d"};
+  const FreqTable table = FreqTable::from_counts(counts, labels);
+  EXPECT_EQ(table.median_row(), 2u);
+}
+
+TEST(FreqTable, MedianRowOfEmptyThrows) {
+  const std::vector<std::uint64_t> counts = {0, 0};
+  const std::vector<std::string> labels = {"a", "b"};
+  const FreqTable table = FreqTable::from_counts(counts, labels);
+  EXPECT_THROW((void)table.median_row(), ContractViolation);
+}
+
+TEST(FreqTable, RenderHasBarsAndColumns) {
+  const std::vector<std::uint64_t> counts = {4, 2};
+  const std::vector<std::string> labels = {"hi", "lo"};
+  const std::string text =
+      FreqTable::from_counts(counts, labels).render(10);
+  EXPECT_NE(text.find("**********"), std::string::npos);  // full bar
+  EXPECT_NE(text.find("*****"), std::string::npos);       // half bar
+  EXPECT_NE(text.find("FREQ"), std::string::npos);
+  EXPECT_NE(text.find("CUM.PCT"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL: 6"), std::string::npos);
+}
+
+TEST(FreqTable, RenderOfEmptyTableIsSafe) {
+  const std::vector<std::uint64_t> counts = {0};
+  const std::vector<std::string> labels = {"x"};
+  EXPECT_NO_THROW((void)FreqTable::from_counts(counts, labels).render());
+}
+
+TEST(FreqTable, MismatchedCountsAndLabelsThrow) {
+  const std::vector<std::uint64_t> counts = {1, 2};
+  const std::vector<std::string> labels = {"only-one"};
+  EXPECT_THROW((void)FreqTable::from_counts(counts, labels),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::stats

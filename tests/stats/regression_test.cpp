@@ -1,0 +1,145 @@
+#include "stats/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(SolveLinear, SolvesKnownSystem) {
+  // 2x + y = 5; x + 3y = 10  ->  x = 1, y = 3.
+  const std::vector<double> a = {2, 1, 1, 3};
+  const std::vector<double> b = {5, 10};
+  const auto z = solve_linear(a, b);
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_NEAR(z[0], 1.0, 1e-12);
+  EXPECT_NEAR(z[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinear, PivotsForStability) {
+  // Leading zero forces a row swap.
+  const std::vector<double> a = {0, 1, 1, 0};
+  const std::vector<double> b = {2, 3};
+  const auto z = solve_linear(a, b);
+  EXPECT_NEAR(z[0], 3.0, 1e-12);
+  EXPECT_NEAR(z[1], 2.0, 1e-12);
+}
+
+TEST(SolveLinear, SingularMatrixThrows) {
+  const std::vector<double> a = {1, 2, 2, 4};
+  const std::vector<double> b = {1, 2};
+  EXPECT_THROW((void)solve_linear(a, b), ContractViolation);
+}
+
+TEST(FitPolynomial, RecoversExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};  // y = 1 + 2x
+  const PolyFit fit = fit_polynomial(x, y, 1);
+  EXPECT_NEAR(fit.coeffs[0], 1.0, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(FitPolynomial, RecoversExactQuadratic) {
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i <= 10; ++i) {
+    const double xi = i / 10.0;
+    x.push_back(xi);
+    y.push_back(0.5 - 1.5 * xi + 2.0 * xi * xi);
+  }
+  const PolyFit fit = fit_polynomial(x, y, 2);
+  EXPECT_NEAR(fit.coeffs[0], 0.5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[1], -1.5, 1e-9);
+  EXPECT_NEAR(fit.coeffs[2], 2.0, 1e-9);
+}
+
+TEST(FitPolynomial, NoisyQuadraticGetsGoodR2) {
+  Rng rng(17);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double xi = rng.uniform01();
+    x.push_back(xi);
+    y.push_back(3.0 * xi * xi + rng.normal(0.0, 0.05));
+  }
+  const PolyFit fit = fit_polynomial(x, y, 2);
+  EXPECT_GT(fit.r_squared, 0.9);
+  EXPECT_NEAR(fit.coeffs[2], 3.0, 0.3);
+}
+
+TEST(FitPolynomial, PureNoiseGetsLowR2) {
+  Rng rng(19);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(rng.uniform01());
+    y.push_back(rng.normal(0.0, 1.0));
+  }
+  const PolyFit fit = fit_polynomial(x, y, 2);
+  EXPECT_LT(fit.r_squared, 0.1);
+}
+
+TEST(FitPolynomial, EvaluateMatchesCoefficients) {
+  PolyFit fit;
+  fit.coeffs = {1.0, -2.0, 0.5};
+  EXPECT_DOUBLE_EQ(fit(2.0), 1.0 - 4.0 + 2.0);
+}
+
+TEST(FitPolynomial, TooFewPointsThrow) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2};
+  EXPECT_THROW((void)fit_polynomial(x, y, 2), ContractViolation);
+}
+
+TEST(MedianByMidpoint, BinsAndTakesMedians) {
+  const std::vector<double> x = {0.0, 0.05, 0.1, 0.9, 1.0};
+  const std::vector<double> y = {1.0, 3.0, 2.0, 10.0, 20.0};
+  const std::vector<double> mids = {0.0, 0.5, 1.0};
+  const auto medians = median_by_midpoint(x, y, mids);
+  // Bin 0.0 holds {1,3,2} -> 2; bin 0.5 empty (skipped); bin 1.0 -> 15.
+  ASSERT_EQ(medians.size(), 2u);
+  EXPECT_DOUBLE_EQ(medians[0].first, 0.0);
+  EXPECT_DOUBLE_EQ(medians[0].second, 2.0);
+  EXPECT_DOUBLE_EQ(medians[1].first, 1.0);
+  EXPECT_DOUBLE_EQ(medians[1].second, 15.0);
+}
+
+TEST(FitMedianModel, PipelineMatchesPaperShape) {
+  // A synthetic "miss rate" rising quadratically with Cw plus outliers;
+  // the median binning suppresses the outliers.
+  Rng rng(23);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 400; ++i) {
+    const double cw = rng.uniform01();
+    double miss = 0.002 + 0.02 * cw * cw + rng.normal(0.0, 0.001);
+    if (rng.bernoulli(0.05)) {
+      miss += 0.1;  // outlier
+    }
+    x.push_back(cw);
+    y.push_back(miss);
+  }
+  std::vector<double> mids;
+  for (int i = 0; i <= 10; ++i) {
+    mids.push_back(i / 10.0);
+  }
+  const PolyFit fit = fit_median_model(x, y, mids);
+  EXPECT_NEAR(fit.coeffs[2], 0.02, 0.01);
+  EXPECT_GT(fit.r_squared, 0.85);
+}
+
+TEST(FitMedianModel, TooFewBinsThrow) {
+  const std::vector<double> x = {0.0, 0.0, 1.0};
+  const std::vector<double> y = {1.0, 2.0, 3.0};
+  const std::vector<double> mids = {0.0, 1.0};
+  EXPECT_THROW((void)fit_median_model(x, y, mids), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,103 @@
+#include "stats/scatter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+
+namespace repro::stats {
+namespace {
+
+TEST(Scatter, SinglePointRendersAsA) {
+  const std::vector<double> x = {0.5};
+  const std::vector<double> y = {0.5};
+  ScatterOptions options;
+  const std::string plot = render_scatter(x, y, options);
+  EXPECT_NE(plot.find('A'), std::string::npos);
+  EXPECT_EQ(plot.find('B'), std::string::npos);
+}
+
+TEST(Scatter, CoincidentPointsEscalateLetters) {
+  const std::vector<double> x = {0.5, 0.5, 0.5};
+  const std::vector<double> y = {0.5, 0.5, 0.5};
+  ScatterOptions options;
+  options.x_min = 0.0;
+  options.x_max = 1.0;
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  const std::string plot = render_scatter(x, y, options);
+  EXPECT_NE(plot.find('C'), std::string::npos);  // 3 observations
+  EXPECT_EQ(plot.find('A'), std::string::npos);
+}
+
+TEST(Scatter, PointsOutsideFixedBoundsDropped) {
+  const std::vector<double> x = {0.5, 5.0};
+  const std::vector<double> y = {0.5, 5.0};
+  ScatterOptions options;
+  options.x_min = 0.0;
+  options.x_max = 1.0;
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  const std::string plot = render_scatter(x, y, options);
+  // Only one in-bounds point: exactly one 'A'.
+  std::size_t count = 0;
+  for (const char c : plot) {
+    count += c == 'A';
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(Scatter, TitleAndLabelsAppear) {
+  const std::vector<double> x = {0.1};
+  const std::vector<double> y = {0.2};
+  ScatterOptions options;
+  options.title = "Missrate vs Cw";
+  options.x_label = "Cw";
+  options.y_label = "missrate";
+  const std::string plot = render_scatter(x, y, options);
+  EXPECT_NE(plot.find("Missrate vs Cw"), std::string::npos);
+  EXPECT_NE(plot.find("Cw"), std::string::npos);
+  EXPECT_NE(plot.find("missrate"), std::string::npos);
+}
+
+TEST(Scatter, EmptyInputGivesEmptyFrame) {
+  const std::vector<double> none;
+  ScatterOptions options;
+  EXPECT_NO_THROW((void)render_scatter(none, none, options));
+}
+
+TEST(Scatter, MismatchedSizesThrow) {
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_THROW((void)render_scatter(x, y, ScatterOptions{}),
+               ContractViolation);
+}
+
+TEST(Scatter, DegenerateAreaThrows) {
+  const std::vector<double> x = {1.0};
+  ScatterOptions options;
+  options.width = 2;
+  EXPECT_THROW((void)render_scatter(x, x, options), ContractViolation);
+}
+
+TEST(Curve, RendersMonotoneCurve) {
+  ScatterOptions options;
+  options.title = "model";
+  const std::string plot =
+      render_curve(0.0, 1.0, 20, [](double x) { return x * x; }, options);
+  EXPECT_NE(plot.find('A'), std::string::npos);
+  EXPECT_NE(plot.find("model"), std::string::npos);
+}
+
+TEST(Curve, RejectsBadRange) {
+  EXPECT_THROW((void)render_curve(1.0, 1.0, 10, [](double) { return 0.0; },
+                                  ScatterOptions{}),
+               ContractViolation);
+  EXPECT_THROW((void)render_curve(0.0, 1.0, 1, [](double) { return 0.0; },
+                                  ScatterOptions{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::stats

@@ -1,0 +1,117 @@
+#include "workload/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::workload {
+namespace {
+
+TEST(WorkloadGenerator, FeedsAnIdleSystem) {
+  os::System system{os::SystemConfig{}};
+  WorkloadMix mix;
+  mix.mean_idle_cycles = 0;  // always refill immediately
+  WorkloadGenerator generator(mix, 11);
+  for (Cycle c = 0; c < 50000; ++c) {
+    generator.tick(system);
+    system.tick();
+  }
+  EXPECT_GT(generator.jobs_generated(), 0u);
+  EXPECT_GT(system.scheduler().stats().jobs_completed, 0u);
+}
+
+TEST(WorkloadGenerator, IdleGapsLeaveTheMachineIdle) {
+  os::System system{os::SystemConfig{}};
+  WorkloadMix mix;
+  mix.mean_idle_cycles = 1e9;  // effectively never after the first burst
+  WorkloadGenerator generator(mix, 11);
+  Cycle idle_cycles = 0;
+  for (Cycle c = 0; c < 200000; ++c) {
+    generator.tick(system);
+    system.tick();
+    idle_cycles += system.scheduler().idle() ? 1u : 0u;
+  }
+  EXPECT_GT(idle_cycles, 100000u);
+}
+
+TEST(WorkloadGenerator, ConcurrentFractionZeroMakesOnlySerialJobs) {
+  os::System system{os::SystemConfig{}};
+  WorkloadMix mix;
+  mix.concurrent_job_fraction = 0.0;
+  mix.mean_idle_cycles = 0;
+  WorkloadGenerator generator(mix, 13);
+  for (Cycle c = 0; c < 100000; ++c) {
+    generator.tick(system);
+    system.tick();
+  }
+  EXPECT_GT(system.scheduler().stats().serial_jobs_completed, 0u);
+  EXPECT_EQ(system.scheduler().stats().cluster_jobs_completed, 0u);
+}
+
+TEST(WorkloadGenerator, ConcurrentFractionOneMakesOnlyClusterJobs) {
+  os::System system{os::SystemConfig{}};
+  WorkloadMix mix;
+  mix.concurrent_job_fraction = 1.0;
+  mix.mean_idle_cycles = 0;
+  WorkloadGenerator generator(mix, 13);
+  for (Cycle c = 0; c < 100000; ++c) {
+    generator.tick(system);
+    system.tick();
+  }
+  EXPECT_GT(system.scheduler().stats().cluster_jobs_completed, 0u);
+  EXPECT_EQ(system.scheduler().stats().serial_jobs_completed, 0u);
+}
+
+TEST(WorkloadGenerator, DeterministicForSeed) {
+  auto run = [] {
+    os::System system{os::SystemConfig{}};
+    WorkloadGenerator generator(WorkloadMix{}, 99);
+    for (Cycle c = 0; c < 100000; ++c) {
+      generator.tick(system);
+      system.tick();
+    }
+    return std::pair{generator.jobs_generated(),
+                     system.scheduler().stats().jobs_completed};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WorkloadGenerator, RejectsBadMix) {
+  WorkloadMix bad;
+  bad.concurrent_job_fraction = 1.5;
+  EXPECT_THROW((WorkloadGenerator{bad, 1}), ContractViolation);
+
+  WorkloadMix burst;
+  burst.mean_burst_jobs = 0.5;
+  EXPECT_THROW((WorkloadGenerator{burst, 1}), ContractViolation);
+}
+
+TEST(Presets, NineSessionsAllValid) {
+  const auto sessions = session_presets();
+  ASSERT_EQ(sessions.size(), 9u);
+  for (const WorkloadMix& mix : sessions) {
+    EXPECT_NO_THROW(mix.validate()) << mix.name;
+  }
+}
+
+TEST(Presets, SessionsSpanConcurrencyRange) {
+  const auto sessions = session_presets();
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const WorkloadMix& mix : sessions) {
+    lo = std::min(lo, mix.concurrent_job_fraction);
+    hi = std::max(hi, mix.concurrent_job_fraction);
+  }
+  EXPECT_LT(lo, 0.3);
+  EXPECT_GT(hi, 0.7);
+}
+
+TEST(Presets, SpecialMixesValidate) {
+  EXPECT_NO_THROW(high_concurrency_mix().validate());
+  EXPECT_NO_THROW(equal_locality_mix().validate());
+  EXPECT_EQ(high_concurrency_mix().numeric.trip_law.weight_narrow, 0.0);
+}
+
+}  // namespace
+}  // namespace repro::workload

@@ -1,0 +1,102 @@
+#include "workload/jobs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+namespace repro::workload {
+namespace {
+
+TEST(Jobs, NumericJobAlternatesSerialAndLoops) {
+  Rng rng(1);
+  const os::Job job = make_numeric_job(1, rng, NumericJobParams{}, 0);
+  EXPECT_EQ(job.cls, os::JobClass::kCluster);
+  EXPECT_NO_THROW(job.program.validate());
+  EXPECT_TRUE(job.program.has_concurrency());
+  // First and last phases are serial (setup / teardown).
+  EXPECT_TRUE(
+      std::holds_alternative<isa::SerialPhase>(job.program.phases.front()));
+  EXPECT_TRUE(
+      std::holds_alternative<isa::SerialPhase>(job.program.phases.back()));
+}
+
+TEST(Jobs, NumericJobLoopCountRespectsParams) {
+  NumericJobParams params;
+  params.min_loops = 2;
+  params.max_loops = 5;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const os::Job job = make_numeric_job(static_cast<JobId>(i), rng,
+                                         params, 0);
+    std::size_t loops = 0;
+    for (const isa::Phase& phase : job.program.phases) {
+      loops += std::holds_alternative<isa::ConcurrentLoopPhase>(phase);
+    }
+    EXPECT_GE(loops, 2u);
+    EXPECT_LE(loops, 5u);
+  }
+}
+
+TEST(Jobs, SerialJobHasNoConcurrency) {
+  Rng rng(3);
+  const os::Job job = make_serial_job(7, rng, SerialJobParams{}, 100);
+  EXPECT_EQ(job.cls, os::JobClass::kSerialDetached);
+  EXPECT_FALSE(job.program.has_concurrency());
+  EXPECT_EQ(job.submitted_at, 100u);
+}
+
+TEST(Jobs, DataBasesAreDisjointForNearbyJobs) {
+  const Addr a = job_data_base(1);
+  const Addr b = job_data_base(2);
+  EXPECT_NE(a, b);
+  EXPECT_GE(b > a ? b - a : a - b, 0x01000000u);
+}
+
+TEST(Jobs, DataBasesStayBelowIpRegions) {
+  for (JobId id = 0; id < 1000; ++id) {
+    EXPECT_LT(job_data_base(id) + 0x01000000ULL, 0xE0000000ULL);
+  }
+}
+
+TEST(Jobs, NarrowLoopsGetScaledBodies) {
+  NumericJobParams params;
+  params.trip_law.weight_multiple_of_width = 0.0;
+  params.trip_law.weight_two_leftover = 0.0;
+  params.trip_law.weight_uniform = 0.0;
+  params.trip_law.weight_narrow = 1.0;
+  Rng rng(4);
+  const os::Job job = make_numeric_job(1, rng, params, 0);
+  const isa::KernelSpec wide_body = matmul_row_body(params.tuning);
+  for (const isa::Phase& phase : job.program.phases) {
+    if (const auto* loop = std::get_if<isa::ConcurrentLoopPhase>(&phase)) {
+      EXPECT_LT(loop->trip_count, 8u);
+      // Narrow iterations carry a whole batch's work.
+      EXPECT_GE(loop->body.steps, wide_body.steps);
+    }
+  }
+}
+
+TEST(Jobs, SolverLoopsCarryMoreDependence) {
+  NumericJobParams params;
+  params.dependence_prob = 0.1;
+  Rng rng(5);
+  bool saw_solver = false;
+  for (int i = 0; i < 100 && !saw_solver; ++i) {
+    const os::Job job =
+        make_numeric_job(static_cast<JobId>(i), rng, params, 0);
+    for (const isa::Phase& phase : job.program.phases) {
+      if (const auto* loop = std::get_if<isa::ConcurrentLoopPhase>(&phase)) {
+        if (loop->body.name == "solver-sweep") {
+          saw_solver = true;
+          EXPECT_GT(loop->dependence_prob, params.dependence_prob);
+        } else {
+          EXPECT_DOUBLE_EQ(loop->dependence_prob, params.dependence_prob);
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_solver);
+}
+
+}  // namespace
+}  // namespace repro::workload

@@ -1,0 +1,76 @@
+#include "workload/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::workload {
+namespace {
+
+TEST(Kernels, AllPaletteEntriesValidate) {
+  const KernelTuning tuning;
+  for (const isa::KernelSpec& spec : concurrent_palette(tuning)) {
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+  }
+  for (const isa::KernelSpec& spec : serial_palette(tuning)) {
+    EXPECT_NO_THROW(spec.validate()) << spec.name;
+  }
+}
+
+TEST(Kernels, ConcurrentBodiesAreStreaming) {
+  const KernelTuning tuning;
+  for (const isa::KernelSpec& spec : concurrent_palette(tuning)) {
+    EXPECT_EQ(spec.pattern, isa::AccessPattern::kStreaming) << spec.name;
+    EXPECT_GT(spec.loads_per_step, 0u) << spec.name;
+  }
+}
+
+TEST(Kernels, SerialBodiesHaveLocality) {
+  const KernelTuning tuning;
+  for (const isa::KernelSpec& spec : serial_palette(tuning)) {
+    EXPECT_EQ(spec.pattern, isa::AccessPattern::kHotCold) << spec.name;
+    EXPECT_GT(spec.hot_fraction, 0.5) << spec.name;
+  }
+}
+
+TEST(Kernels, CompilerSpillsTheIcache) {
+  const KernelTuning tuning;
+  EXPECT_GT(compiler_body(tuning).code_bytes, 16u * 1024);
+  EXPECT_LE(editor_body(tuning).code_bytes, 16u * 1024);
+}
+
+TEST(Kernels, ConcurrentBodiesRunUniformIterations) {
+  // §4.3 mechanics depend on vectorized loop bodies having no data-
+  // independent jitter; variability comes from branching (long paths).
+  const KernelTuning tuning;
+  EXPECT_EQ(matmul_row_body(tuning).compute_jitter, 0u);
+  EXPECT_EQ(jacobi_row_body(tuning).compute_jitter, 0u);
+  EXPECT_EQ(triad_body(tuning).compute_jitter, 0u);
+}
+
+TEST(Kernels, TuningControlsDataIntensity) {
+  KernelTuning light;
+  light.concurrent_compute_cycles = 20;
+  KernelTuning heavy;
+  heavy.concurrent_compute_cycles = 2;
+  EXPECT_GT(matmul_row_body(light).compute_cycles,
+            matmul_row_body(heavy).compute_cycles);
+}
+
+TEST(Kernels, DrawCoversPalette) {
+  const KernelTuning tuning;
+  const auto palette = concurrent_palette(tuning);
+  Rng rng(9);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(draw(palette, rng).name);
+  }
+  EXPECT_EQ(seen.size(), palette.size());
+}
+
+TEST(Kernels, DrawFromEmptyPaletteIsContractViolation) {
+  Rng rng(1);
+  const std::vector<isa::KernelSpec> empty;
+  EXPECT_THROW((void)draw(empty, rng), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::workload

@@ -1,0 +1,85 @@
+#include "workload/mix_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::workload {
+namespace {
+
+TEST(MixIo, RoundTripsDefaults) {
+  const WorkloadMix original;
+  const WorkloadMix parsed = parse_mix(mix_to_text(original));
+  EXPECT_EQ(parsed.name, original.name);
+  EXPECT_DOUBLE_EQ(parsed.concurrent_job_fraction,
+                   original.concurrent_job_fraction);
+  EXPECT_DOUBLE_EQ(parsed.mean_idle_cycles, original.mean_idle_cycles);
+  EXPECT_EQ(parsed.numeric.trip_law.max_batches,
+            original.numeric.trip_law.max_batches);
+  EXPECT_EQ(parsed.numeric.tuning.concurrent_working_set,
+            original.numeric.tuning.concurrent_working_set);
+}
+
+TEST(MixIo, RoundTripsEveryPreset) {
+  for (const WorkloadMix& mix : session_presets()) {
+    const WorkloadMix parsed = parse_mix(mix_to_text(mix));
+    EXPECT_EQ(parsed.name, mix.name);
+    EXPECT_DOUBLE_EQ(parsed.concurrent_job_fraction,
+                     mix.concurrent_job_fraction);
+    EXPECT_DOUBLE_EQ(parsed.numeric.trip_law.weight_narrow,
+                     mix.numeric.trip_law.weight_narrow);
+    EXPECT_DOUBLE_EQ(parsed.numeric.dependence_prob,
+                     mix.numeric.dependence_prob);
+  }
+  const WorkloadMix high = high_concurrency_mix();
+  const WorkloadMix parsed = parse_mix(mix_to_text(high));
+  EXPECT_EQ(parsed.numeric.tuning.concurrent_steps_scale,
+            high.numeric.tuning.concurrent_steps_scale);
+}
+
+TEST(MixIo, CommentsAndBlanksIgnored) {
+  const WorkloadMix parsed = parse_mix(
+      "# a comment\n"
+      "\n"
+      "name = commented-mix\n"
+      "   # indented comment\n"
+      "concurrent_job_fraction = 0.25\n");
+  EXPECT_EQ(parsed.name, "commented-mix");
+  EXPECT_DOUBLE_EQ(parsed.concurrent_job_fraction, 0.25);
+}
+
+TEST(MixIo, UnknownKeyThrows) {
+  EXPECT_THROW((void)parse_mix("bogus_key = 1\n"), ContractViolation);
+}
+
+TEST(MixIo, MalformedLinesThrow) {
+  EXPECT_THROW((void)parse_mix("concurrent_job_fraction 0.5\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_mix("concurrent_job_fraction = \n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_mix("mean_idle_cycles = fast\n"),
+               ContractViolation);
+  EXPECT_THROW((void)parse_mix("trip.min_batches = -3\n"),
+               ContractViolation);
+}
+
+TEST(MixIo, ParsedMixIsValidated) {
+  // A fraction above 1 parses numerically but fails validation.
+  EXPECT_THROW((void)parse_mix("concurrent_job_fraction = 1.5\n"),
+               ContractViolation);
+}
+
+TEST(MixIo, ParsedMixDrivesAGenerator) {
+  const WorkloadMix mix = parse_mix(mix_to_text(session_presets()[2]));
+  os::System system{os::SystemConfig{}};
+  WorkloadGenerator generator(mix, 99);
+  for (Cycle c = 0; c < 30000; ++c) {
+    generator.tick(system);
+    system.tick();
+  }
+  EXPECT_GT(generator.jobs_generated(), 0u);
+}
+
+}  // namespace
+}  // namespace repro::workload

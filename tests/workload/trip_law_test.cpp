@@ -1,0 +1,116 @@
+#include "workload/trip_law.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/expect.hpp"
+
+namespace repro::workload {
+namespace {
+
+TEST(TripLaw, DefaultIsValid) { EXPECT_NO_THROW(TripLaw{}.validate()); }
+
+TEST(TripLaw, MultipleOfWidthMode) {
+  TripLaw law;
+  law.weight_multiple_of_width = 1.0;
+  law.weight_two_leftover = 0.0;
+  law.weight_uniform = 0.0;
+  law.weight_narrow = 0.0;
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t trip = law.sample(rng);
+    EXPECT_EQ(trip % 8, 0u);
+    EXPECT_GE(trip, 8u * law.min_batches);
+    EXPECT_LE(trip, 8u * law.max_batches);
+  }
+}
+
+TEST(TripLaw, TwoLeftoverMode) {
+  TripLaw law;
+  law.weight_multiple_of_width = 0.0;
+  law.weight_two_leftover = 1.0;
+  law.weight_uniform = 0.0;
+  law.weight_narrow = 0.0;
+  Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(law.sample(rng) % 8, 2u);
+  }
+}
+
+TEST(TripLaw, NarrowModeStaysBelowWidth) {
+  TripLaw law;
+  law.weight_multiple_of_width = 0.0;
+  law.weight_two_leftover = 0.0;
+  law.weight_uniform = 0.0;
+  law.weight_narrow = 1.0;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t trip = law.sample(rng);
+    EXPECT_GE(trip, 2u);
+    EXPECT_LT(trip, 8u);
+    EXPECT_TRUE(law.is_narrow(trip));
+  }
+}
+
+TEST(TripLaw, UniformModeInRange) {
+  TripLaw law;
+  law.weight_multiple_of_width = 0.0;
+  law.weight_two_leftover = 0.0;
+  law.weight_uniform = 1.0;
+  law.weight_narrow = 0.0;
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t trip = law.sample(rng);
+    EXPECT_GE(trip, 8u * law.min_batches);
+    EXPECT_LE(trip, 8u * law.max_batches + 7);
+    EXPECT_FALSE(law.is_narrow(trip));
+  }
+}
+
+TEST(TripLaw, MixedModesAllAppear) {
+  TripLaw law;  // defaults include every mode
+  Rng rng(5);
+  bool saw_multiple = false;
+  bool saw_leftover = false;
+  bool saw_narrow = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t trip = law.sample(rng);
+    saw_multiple |= trip >= 8 && trip % 8 == 0;
+    saw_leftover |= trip >= 8 && trip % 8 == 2;
+    saw_narrow |= trip < 8;
+  }
+  EXPECT_TRUE(saw_multiple);
+  EXPECT_TRUE(saw_leftover);
+  EXPECT_TRUE(saw_narrow);
+}
+
+TEST(TripLaw, RejectsDegenerateWeights) {
+  TripLaw law;
+  law.weight_multiple_of_width = 0.0;
+  law.weight_two_leftover = 0.0;
+  law.weight_uniform = 0.0;
+  law.weight_narrow = 0.0;
+  EXPECT_THROW(law.validate(), ContractViolation);
+
+  TripLaw negative;
+  negative.weight_uniform = -0.5;
+  EXPECT_THROW(negative.validate(), ContractViolation);
+
+  TripLaw bad_range;
+  bad_range.min_batches = 10;
+  bad_range.max_batches = 5;
+  EXPECT_THROW(bad_range.validate(), ContractViolation);
+}
+
+TEST(TripLaw, WidthOneDegeneratesGracefully) {
+  TripLaw law;
+  law.width = 1;
+  law.weight_multiple_of_width = 0.0;
+  law.weight_two_leftover = 0.0;
+  law.weight_uniform = 0.0;
+  law.weight_narrow = 1.0;
+  Rng rng(6);
+  EXPECT_EQ(law.sample(rng), 1u);
+}
+
+}  // namespace
+}  // namespace repro::workload
