@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_service_order.dir/bench/bench_ablation_service_order.cpp.o"
+  "CMakeFiles/bench_ablation_service_order.dir/bench/bench_ablation_service_order.cpp.o.d"
+  "bench/bench_ablation_service_order"
+  "bench/bench_ablation_service_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_service_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_vector_traffic.dir/bench/bench_ablation_vector_traffic.cpp.o"
+  "CMakeFiles/bench_ablation_vector_traffic.dir/bench/bench_ablation_vector_traffic.cpp.o.d"
+  "bench/bench_ablation_vector_traffic"
+  "bench/bench_ablation_vector_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vector_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_b_busbusy.dir/bench/bench_appendix_b_busbusy.cpp.o"
+  "CMakeFiles/bench_appendix_b_busbusy.dir/bench/bench_appendix_b_busbusy.cpp.o.d"
+  "bench/bench_appendix_b_busbusy"
+  "bench/bench_appendix_b_busbusy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_b_busbusy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_b_pagefault.dir/bench/bench_appendix_b_pagefault.cpp.o"
+  "CMakeFiles/bench_appendix_b_pagefault.dir/bench/bench_appendix_b_pagefault.cpp.o.d"
+  "bench/bench_appendix_b_pagefault"
+  "bench/bench_appendix_b_pagefault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_b_pagefault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_correlation_matrix.dir/bench/bench_correlation_matrix.cpp.o"
+  "CMakeFiles/bench_correlation_matrix.dir/bench/bench_correlation_matrix.cpp.o.d"
+  "bench/bench_correlation_matrix"
+  "bench/bench_correlation_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_correlation_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

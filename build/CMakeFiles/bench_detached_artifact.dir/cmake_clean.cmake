@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_detached_artifact.dir/bench/bench_detached_artifact.cpp.o"
+  "CMakeFiles/bench_detached_artifact.dir/bench/bench_detached_artifact.cpp.o.d"
+  "bench/bench_detached_artifact"
+  "bench/bench_detached_artifact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_detached_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

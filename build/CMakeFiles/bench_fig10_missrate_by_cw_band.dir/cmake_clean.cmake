@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_missrate_by_cw_band.dir/bench/bench_fig10_missrate_by_cw_band.cpp.o"
+  "CMakeFiles/bench_fig10_missrate_by_cw_band.dir/bench/bench_fig10_missrate_by_cw_band.cpp.o.d"
+  "bench/bench_fig10_missrate_by_cw_band"
+  "bench/bench_fig10_missrate_by_cw_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_missrate_by_cw_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

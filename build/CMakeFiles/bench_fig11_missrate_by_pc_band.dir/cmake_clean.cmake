@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_missrate_by_pc_band.dir/bench/bench_fig11_missrate_by_pc_band.cpp.o"
+  "CMakeFiles/bench_fig11_missrate_by_pc_band.dir/bench/bench_fig11_missrate_by_pc_band.cpp.o.d"
+  "bench/bench_fig11_missrate_by_pc_band"
+  "bench/bench_fig11_missrate_by_pc_band.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_missrate_by_pc_band.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

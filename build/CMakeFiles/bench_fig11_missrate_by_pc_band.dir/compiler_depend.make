@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_missrate_by_pc_band.
+# This may be replaced when dependencies are built.

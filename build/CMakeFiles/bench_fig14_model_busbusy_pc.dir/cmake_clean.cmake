@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_model_busbusy_pc.dir/bench/bench_fig14_model_busbusy_pc.cpp.o"
+  "CMakeFiles/bench_fig14_model_busbusy_pc.dir/bench/bench_fig14_model_busbusy_pc.cpp.o.d"
+  "bench/bench_fig14_model_busbusy_pc"
+  "bench/bench_fig14_model_busbusy_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_model_busbusy_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_transition_by_processor.dir/bench/bench_fig7_transition_by_processor.cpp.o"
+  "CMakeFiles/bench_fig7_transition_by_processor.dir/bench/bench_fig7_transition_by_processor.cpp.o.d"
+  "bench/bench_fig7_transition_by_processor"
+  "bench/bench_fig7_transition_by_processor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_transition_by_processor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_transition_by_processor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_transition_by_processor.
+# This may be replaced when dependencies are built.

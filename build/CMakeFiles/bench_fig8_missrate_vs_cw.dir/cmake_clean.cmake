@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_missrate_vs_cw.dir/bench/bench_fig8_missrate_vs_cw.cpp.o"
+  "CMakeFiles/bench_fig8_missrate_vs_cw.dir/bench/bench_fig8_missrate_vs_cw.cpp.o.d"
+  "bench/bench_fig8_missrate_vs_cw"
+  "bench/bench_fig8_missrate_vs_cw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_missrate_vs_cw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_missrate_vs_pc.dir/bench/bench_fig9_missrate_vs_pc.cpp.o"
+  "CMakeFiles/bench_fig9_missrate_vs_pc.dir/bench/bench_fig9_missrate_vs_pc.cpp.o.d"
+  "bench/bench_fig9_missrate_vs_pc"
+  "bench/bench_fig9_missrate_vs_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_missrate_vs_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_high_concurrency_captures.dir/bench/bench_high_concurrency_captures.cpp.o"
+  "CMakeFiles/bench_high_concurrency_captures.dir/bench/bench_high_concurrency_captures.cpp.o.d"
+  "bench/bench_high_concurrency_captures"
+  "bench/bench_high_concurrency_captures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_high_concurrency_captures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_high_concurrency_captures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_high_concurrency_captures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_simulator.dir/bench/bench_perf_simulator.cpp.o"
+  "CMakeFiles/bench_perf_simulator.dir/bench/bench_perf_simulator.cpp.o.d"
+  "bench/bench_perf_simulator"
+  "bench/bench_perf_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

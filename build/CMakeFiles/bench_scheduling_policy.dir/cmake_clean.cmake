@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduling_policy.dir/bench/bench_scheduling_policy.cpp.o"
+  "CMakeFiles/bench_scheduling_policy.dir/bench/bench_scheduling_policy.cpp.o.d"
+  "bench/bench_scheduling_policy"
+  "bench/bench_scheduling_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduling_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

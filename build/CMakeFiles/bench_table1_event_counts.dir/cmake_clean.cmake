@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_event_counts.dir/bench/bench_table1_event_counts.cpp.o"
+  "CMakeFiles/bench_table1_event_counts.dir/bench/bench_table1_event_counts.cpp.o.d"
+  "bench/bench_table1_event_counts"
+  "bench/bench_table1_event_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_event_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

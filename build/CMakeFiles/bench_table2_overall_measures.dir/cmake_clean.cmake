@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_overall_measures.dir/bench/bench_table2_overall_measures.cpp.o"
+  "CMakeFiles/bench_table2_overall_measures.dir/bench/bench_table2_overall_measures.cpp.o.d"
+  "bench/bench_table2_overall_measures"
+  "bench/bench_table2_overall_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_overall_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

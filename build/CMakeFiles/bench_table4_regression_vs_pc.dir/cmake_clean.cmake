@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_regression_vs_pc.dir/bench/bench_table4_regression_vs_pc.cpp.o"
+  "CMakeFiles/bench_table4_regression_vs_pc.dir/bench/bench_table4_regression_vs_pc.cpp.o.d"
+  "bench/bench_table4_regression_vs_pc"
+  "bench/bench_table4_regression_vs_pc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_regression_vs_pc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_vs_sampling.dir/bench/bench_trace_vs_sampling.cpp.o"
+  "CMakeFiles/bench_trace_vs_sampling.dir/bench/bench_trace_vs_sampling.cpp.o.d"
+  "bench/bench_trace_vs_sampling"
+  "bench/bench_trace_vs_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_vs_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

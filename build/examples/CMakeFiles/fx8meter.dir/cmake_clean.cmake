@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fx8meter.dir/fx8meter.cpp.o"
+  "CMakeFiles/fx8meter.dir/fx8meter.cpp.o.d"
+  "fx8meter"
+  "fx8meter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fx8meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

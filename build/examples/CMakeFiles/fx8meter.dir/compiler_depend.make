@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fx8meter.
+# This may be replaced when dependencies are built.

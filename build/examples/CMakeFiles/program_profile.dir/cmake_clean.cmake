@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_profile.dir/program_profile.cpp.o"
+  "CMakeFiles/program_profile.dir/program_profile.cpp.o.d"
+  "program_profile"
+  "program_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regression_models.dir/regression_models.cpp.o"
+  "CMakeFiles/regression_models.dir/regression_models.cpp.o.d"
+  "regression_models"
+  "regression_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regression_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_efficiency.dir/speedup_efficiency.cpp.o"
+  "CMakeFiles/speedup_efficiency.dir/speedup_efficiency.cpp.o.d"
+  "speedup_efficiency"
+  "speedup_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

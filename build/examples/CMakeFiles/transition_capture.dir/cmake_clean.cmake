@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_capture.dir/transition_capture.cpp.o"
+  "CMakeFiles/transition_capture.dir/transition_capture.cpp.o.d"
+  "transition_capture"
+  "transition_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

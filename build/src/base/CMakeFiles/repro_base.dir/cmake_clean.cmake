@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_base.dir/expect.cpp.o"
+  "CMakeFiles/repro_base.dir/expect.cpp.o.d"
+  "CMakeFiles/repro_base.dir/rng.cpp.o"
+  "CMakeFiles/repro_base.dir/rng.cpp.o.d"
+  "CMakeFiles/repro_base.dir/text.cpp.o"
+  "CMakeFiles/repro_base.dir/text.cpp.o.d"
+  "librepro_base.a"
+  "librepro_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_cache.dir/icache.cpp.o"
+  "CMakeFiles/repro_cache.dir/icache.cpp.o.d"
+  "CMakeFiles/repro_cache.dir/ip_cache.cpp.o"
+  "CMakeFiles/repro_cache.dir/ip_cache.cpp.o.d"
+  "CMakeFiles/repro_cache.dir/shared_cache.cpp.o"
+  "CMakeFiles/repro_cache.dir/shared_cache.cpp.o.d"
+  "librepro_cache.a"
+  "librepro_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/export.cpp" "src/core/CMakeFiles/repro_core.dir/export.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/export.cpp.o.d"
+  "/root/repo/src/core/measures.cpp" "src/core/CMakeFiles/repro_core.dir/measures.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/measures.cpp.o.d"
+  "/root/repo/src/core/regression_models.cpp" "src/core/CMakeFiles/repro_core.dir/regression_models.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/regression_models.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/repro_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sample.cpp" "src/core/CMakeFiles/repro_core.dir/sample.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/sample.cpp.o.d"
+  "/root/repo/src/core/speedup.cpp" "src/core/CMakeFiles/repro_core.dir/speedup.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/speedup.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/repro_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/transition.cpp" "src/core/CMakeFiles/repro_core.dir/transition.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/transition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx8/CMakeFiles/repro_fx8.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/repro_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/repro_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/export.cpp.o"
+  "CMakeFiles/repro_core.dir/export.cpp.o.d"
+  "CMakeFiles/repro_core.dir/measures.cpp.o"
+  "CMakeFiles/repro_core.dir/measures.cpp.o.d"
+  "CMakeFiles/repro_core.dir/regression_models.cpp.o"
+  "CMakeFiles/repro_core.dir/regression_models.cpp.o.d"
+  "CMakeFiles/repro_core.dir/report.cpp.o"
+  "CMakeFiles/repro_core.dir/report.cpp.o.d"
+  "CMakeFiles/repro_core.dir/sample.cpp.o"
+  "CMakeFiles/repro_core.dir/sample.cpp.o.d"
+  "CMakeFiles/repro_core.dir/speedup.cpp.o"
+  "CMakeFiles/repro_core.dir/speedup.cpp.o.d"
+  "CMakeFiles/repro_core.dir/study.cpp.o"
+  "CMakeFiles/repro_core.dir/study.cpp.o.d"
+  "CMakeFiles/repro_core.dir/transition.cpp.o"
+  "CMakeFiles/repro_core.dir/transition.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

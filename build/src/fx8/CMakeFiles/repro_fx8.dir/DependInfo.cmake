@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fx8/ccb.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/ccb.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/ccb.cpp.o.d"
+  "/root/repo/src/fx8/ce.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/ce.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/ce.cpp.o.d"
+  "/root/repo/src/fx8/cluster.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/cluster.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/cluster.cpp.o.d"
+  "/root/repo/src/fx8/crossbar.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/crossbar.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/crossbar.cpp.o.d"
+  "/root/repo/src/fx8/ip.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/ip.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/ip.cpp.o.d"
+  "/root/repo/src/fx8/machine.cpp" "src/fx8/CMakeFiles/repro_fx8.dir/machine.cpp.o" "gcc" "src/fx8/CMakeFiles/repro_fx8.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_fx8.dir/ccb.cpp.o"
+  "CMakeFiles/repro_fx8.dir/ccb.cpp.o.d"
+  "CMakeFiles/repro_fx8.dir/ce.cpp.o"
+  "CMakeFiles/repro_fx8.dir/ce.cpp.o.d"
+  "CMakeFiles/repro_fx8.dir/cluster.cpp.o"
+  "CMakeFiles/repro_fx8.dir/cluster.cpp.o.d"
+  "CMakeFiles/repro_fx8.dir/crossbar.cpp.o"
+  "CMakeFiles/repro_fx8.dir/crossbar.cpp.o.d"
+  "CMakeFiles/repro_fx8.dir/ip.cpp.o"
+  "CMakeFiles/repro_fx8.dir/ip.cpp.o.d"
+  "CMakeFiles/repro_fx8.dir/machine.cpp.o"
+  "CMakeFiles/repro_fx8.dir/machine.cpp.o.d"
+  "librepro_fx8.a"
+  "librepro_fx8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_fx8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

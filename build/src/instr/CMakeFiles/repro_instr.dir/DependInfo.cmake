@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/instr/buffer_io.cpp" "src/instr/CMakeFiles/repro_instr.dir/buffer_io.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/buffer_io.cpp.o.d"
+  "/root/repo/src/instr/das_controller.cpp" "src/instr/CMakeFiles/repro_instr.dir/das_controller.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/das_controller.cpp.o.d"
+  "/root/repo/src/instr/logic_analyzer.cpp" "src/instr/CMakeFiles/repro_instr.dir/logic_analyzer.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/logic_analyzer.cpp.o.d"
+  "/root/repo/src/instr/reduction.cpp" "src/instr/CMakeFiles/repro_instr.dir/reduction.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/reduction.cpp.o.d"
+  "/root/repo/src/instr/session_controller.cpp" "src/instr/CMakeFiles/repro_instr.dir/session_controller.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/session_controller.cpp.o.d"
+  "/root/repo/src/instr/signals.cpp" "src/instr/CMakeFiles/repro_instr.dir/signals.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/signals.cpp.o.d"
+  "/root/repo/src/instr/software_sampler.cpp" "src/instr/CMakeFiles/repro_instr.dir/software_sampler.cpp.o" "gcc" "src/instr/CMakeFiles/repro_instr.dir/software_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx8/CMakeFiles/repro_fx8.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/repro_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_instr.dir/buffer_io.cpp.o"
+  "CMakeFiles/repro_instr.dir/buffer_io.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/das_controller.cpp.o"
+  "CMakeFiles/repro_instr.dir/das_controller.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/logic_analyzer.cpp.o"
+  "CMakeFiles/repro_instr.dir/logic_analyzer.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/reduction.cpp.o"
+  "CMakeFiles/repro_instr.dir/reduction.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/session_controller.cpp.o"
+  "CMakeFiles/repro_instr.dir/session_controller.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/signals.cpp.o"
+  "CMakeFiles/repro_instr.dir/signals.cpp.o.d"
+  "CMakeFiles/repro_instr.dir/software_sampler.cpp.o"
+  "CMakeFiles/repro_instr.dir/software_sampler.cpp.o.d"
+  "librepro_instr.a"
+  "librepro_instr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

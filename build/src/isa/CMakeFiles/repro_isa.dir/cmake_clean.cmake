@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_isa.dir/kernel.cpp.o"
+  "CMakeFiles/repro_isa.dir/kernel.cpp.o.d"
+  "CMakeFiles/repro_isa.dir/listing.cpp.o"
+  "CMakeFiles/repro_isa.dir/listing.cpp.o.d"
+  "CMakeFiles/repro_isa.dir/program.cpp.o"
+  "CMakeFiles/repro_isa.dir/program.cpp.o.d"
+  "librepro_isa.a"
+  "librepro_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus_ops.cpp" "src/mem/CMakeFiles/repro_mem.dir/bus_ops.cpp.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/bus_ops.cpp.o.d"
+  "/root/repo/src/mem/frame_allocator.cpp" "src/mem/CMakeFiles/repro_mem.dir/frame_allocator.cpp.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/frame_allocator.cpp.o.d"
+  "/root/repo/src/mem/main_memory.cpp" "src/mem/CMakeFiles/repro_mem.dir/main_memory.cpp.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/main_memory.cpp.o.d"
+  "/root/repo/src/mem/memory_bus.cpp" "src/mem/CMakeFiles/repro_mem.dir/memory_bus.cpp.o" "gcc" "src/mem/CMakeFiles/repro_mem.dir/memory_bus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_mem.dir/bus_ops.cpp.o"
+  "CMakeFiles/repro_mem.dir/bus_ops.cpp.o.d"
+  "CMakeFiles/repro_mem.dir/frame_allocator.cpp.o"
+  "CMakeFiles/repro_mem.dir/frame_allocator.cpp.o.d"
+  "CMakeFiles/repro_mem.dir/main_memory.cpp.o"
+  "CMakeFiles/repro_mem.dir/main_memory.cpp.o.d"
+  "CMakeFiles/repro_mem.dir/memory_bus.cpp.o"
+  "CMakeFiles/repro_mem.dir/memory_bus.cpp.o.d"
+  "librepro_mem.a"
+  "librepro_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

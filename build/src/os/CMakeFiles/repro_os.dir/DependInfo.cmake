@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/kernel_counters.cpp" "src/os/CMakeFiles/repro_os.dir/kernel_counters.cpp.o" "gcc" "src/os/CMakeFiles/repro_os.dir/kernel_counters.cpp.o.d"
+  "/root/repo/src/os/scheduler.cpp" "src/os/CMakeFiles/repro_os.dir/scheduler.cpp.o" "gcc" "src/os/CMakeFiles/repro_os.dir/scheduler.cpp.o.d"
+  "/root/repo/src/os/system.cpp" "src/os/CMakeFiles/repro_os.dir/system.cpp.o" "gcc" "src/os/CMakeFiles/repro_os.dir/system.cpp.o.d"
+  "/root/repo/src/os/vm.cpp" "src/os/CMakeFiles/repro_os.dir/vm.cpp.o" "gcc" "src/os/CMakeFiles/repro_os.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx8/CMakeFiles/repro_fx8.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_os.dir/kernel_counters.cpp.o"
+  "CMakeFiles/repro_os.dir/kernel_counters.cpp.o.d"
+  "CMakeFiles/repro_os.dir/scheduler.cpp.o"
+  "CMakeFiles/repro_os.dir/scheduler.cpp.o.d"
+  "CMakeFiles/repro_os.dir/system.cpp.o"
+  "CMakeFiles/repro_os.dir/system.cpp.o.d"
+  "CMakeFiles/repro_os.dir/vm.cpp.o"
+  "CMakeFiles/repro_os.dir/vm.cpp.o.d"
+  "librepro_os.a"
+  "librepro_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/repro_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/correlation.cpp.o"
+  "CMakeFiles/repro_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/repro_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/freq_table.cpp.o"
+  "CMakeFiles/repro_stats.dir/freq_table.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/regression.cpp.o"
+  "CMakeFiles/repro_stats.dir/regression.cpp.o.d"
+  "CMakeFiles/repro_stats.dir/scatter.cpp.o"
+  "CMakeFiles/repro_stats.dir/scatter.cpp.o.d"
+  "librepro_stats.a"
+  "librepro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_trace.dir/profile.cpp.o"
+  "CMakeFiles/repro_trace.dir/profile.cpp.o.d"
+  "CMakeFiles/repro_trace.dir/timeline.cpp.o"
+  "CMakeFiles/repro_trace.dir/timeline.cpp.o.d"
+  "CMakeFiles/repro_trace.dir/tracer.cpp.o"
+  "CMakeFiles/repro_trace.dir/tracer.cpp.o.d"
+  "librepro_trace.a"
+  "librepro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

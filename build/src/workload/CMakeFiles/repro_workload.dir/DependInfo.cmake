@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/repro_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/jobs.cpp" "src/workload/CMakeFiles/repro_workload.dir/jobs.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/jobs.cpp.o.d"
+  "/root/repo/src/workload/kernels.cpp" "src/workload/CMakeFiles/repro_workload.dir/kernels.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/kernels.cpp.o.d"
+  "/root/repo/src/workload/mix_io.cpp" "src/workload/CMakeFiles/repro_workload.dir/mix_io.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/mix_io.cpp.o.d"
+  "/root/repo/src/workload/presets.cpp" "src/workload/CMakeFiles/repro_workload.dir/presets.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/presets.cpp.o.d"
+  "/root/repo/src/workload/trip_law.cpp" "src/workload/CMakeFiles/repro_workload.dir/trip_law.cpp.o" "gcc" "src/workload/CMakeFiles/repro_workload.dir/trip_law.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/repro_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx8/CMakeFiles/repro_fx8.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_workload.dir/generator.cpp.o"
+  "CMakeFiles/repro_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/jobs.cpp.o"
+  "CMakeFiles/repro_workload.dir/jobs.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/kernels.cpp.o"
+  "CMakeFiles/repro_workload.dir/kernels.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/mix_io.cpp.o"
+  "CMakeFiles/repro_workload.dir/mix_io.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/presets.cpp.o"
+  "CMakeFiles/repro_workload.dir/presets.cpp.o.d"
+  "CMakeFiles/repro_workload.dir/trip_law.cpp.o"
+  "CMakeFiles/repro_workload.dir/trip_law.cpp.o.d"
+  "librepro_workload.a"
+  "librepro_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

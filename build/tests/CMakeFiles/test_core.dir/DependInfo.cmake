@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/export_test.cpp" "tests/CMakeFiles/test_core.dir/core/export_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/export_test.cpp.o.d"
+  "/root/repo/tests/core/measures_test.cpp" "tests/CMakeFiles/test_core.dir/core/measures_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/measures_test.cpp.o.d"
+  "/root/repo/tests/core/regression_models_test.cpp" "tests/CMakeFiles/test_core.dir/core/regression_models_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/regression_models_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/core/sample_test.cpp" "tests/CMakeFiles/test_core.dir/core/sample_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sample_test.cpp.o.d"
+  "/root/repo/tests/core/speedup_test.cpp" "tests/CMakeFiles/test_core.dir/core/speedup_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/speedup_test.cpp.o.d"
+  "/root/repo/tests/core/study_test.cpp" "tests/CMakeFiles/test_core.dir/core/study_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/study_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/repro_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/instr/CMakeFiles/repro_instr.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/repro_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/repro_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/fx8/CMakeFiles/repro_fx8.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/repro_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/repro_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/repro_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/repro_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/repro_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

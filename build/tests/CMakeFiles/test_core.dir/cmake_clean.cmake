@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/export_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/export_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/measures_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/measures_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/regression_models_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/regression_models_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/report_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sample_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sample_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/speedup_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/speedup_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/study_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/study_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

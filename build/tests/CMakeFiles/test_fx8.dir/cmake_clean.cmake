@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fx8.dir/fx8/appendix_c_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/appendix_c_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/ccb_chunked_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/ccb_chunked_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/ccb_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/ccb_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/ce_accounting_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/ce_accounting_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/ce_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/ce_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/cluster_property_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/cluster_property_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/cluster_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/cluster_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/crossbar_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/crossbar_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/detached_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/detached_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/ip_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/ip_test.cpp.o.d"
+  "CMakeFiles/test_fx8.dir/fx8/machine_test.cpp.o"
+  "CMakeFiles/test_fx8.dir/fx8/machine_test.cpp.o.d"
+  "test_fx8"
+  "test_fx8.pdb"
+  "test_fx8[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fx8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

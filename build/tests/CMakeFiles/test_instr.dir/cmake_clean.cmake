@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_instr.dir/instr/buffer_io_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/buffer_io_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/das_controller_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/das_controller_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/logic_analyzer_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/logic_analyzer_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/reduction_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/reduction_test.cpp.o.d"
+  "CMakeFiles/test_instr.dir/instr/session_controller_test.cpp.o"
+  "CMakeFiles/test_instr.dir/instr/session_controller_test.cpp.o.d"
+  "test_instr"
+  "test_instr.pdb"
+  "test_instr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_instr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

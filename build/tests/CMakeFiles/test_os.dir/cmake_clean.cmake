@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_os.dir/os/kernel_counters_test.cpp.o"
+  "CMakeFiles/test_os.dir/os/kernel_counters_test.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/scheduler_policy_test.cpp.o"
+  "CMakeFiles/test_os.dir/os/scheduler_policy_test.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/scheduler_test.cpp.o"
+  "CMakeFiles/test_os.dir/os/scheduler_test.cpp.o.d"
+  "CMakeFiles/test_os.dir/os/vm_test.cpp.o"
+  "CMakeFiles/test_os.dir/os/vm_test.cpp.o.d"
+  "test_os"
+  "test_os.pdb"
+  "test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
