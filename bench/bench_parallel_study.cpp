@@ -1,0 +1,124 @@
+// Parallel study engine throughput: serial vs thread-pooled sessions.
+//
+// The nine measurement sessions are independent simulations, so the
+// study pipeline parallelizes across them (docs/parallel_execution.md).
+// This bench runs the same default study with threads=1 and threads=N,
+// verifies the results are bit-identical, and reports simulated
+// cycles/sec plus the wall-clock speedup as JSON — both to stdout and to
+// BENCH_parallel_study.json — so perf regressions in the simulator tick
+// or the pool show up as a datapoint, not an anecdote.
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "base/thread_pool.hpp"
+#include "common.hpp"
+#include "core/regression_models.hpp"
+#include "core/study.hpp"
+
+namespace {
+
+using namespace repro;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Bit-exact equality of everything a study reports: aggregate counts,
+/// per-session measures, and the Table 3/4 regression coefficients.
+bool identical(const core::StudyResult& a, const core::StudyResult& b) {
+  if (a.totals.num != b.totals.num || a.totals.proc != b.totals.proc ||
+      a.totals.ceop != b.totals.ceop || a.totals.membop != b.totals.membop ||
+      a.overall.cw != b.overall.cw || a.overall.pc != b.overall.pc ||
+      a.sessions.size() != b.sessions.size()) {
+    return false;
+  }
+  for (std::size_t s = 0; s < a.sessions.size(); ++s) {
+    const core::SessionResult& sa = a.sessions[s];
+    const core::SessionResult& sb = b.sessions[s];
+    if (sa.name != sb.name || sa.totals.num != sb.totals.num ||
+        sa.overall.cw != sb.overall.cw || sa.overall.pc != sb.overall.pc ||
+        sa.samples.size() != sb.samples.size()) {
+      return false;
+    }
+  }
+  const auto models_a = core::fit_all_models(a.all_samples());
+  const auto models_b = core::fit_all_models(b.all_samples());
+  if (models_a.size() != models_b.size()) {
+    return false;
+  }
+  for (std::size_t m = 0; m < models_a.size(); ++m) {
+    if (models_a[m].fit.coeffs != models_b[m].fit.coeffs) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "PERF — parallel study engine (thread-pooled sessions)",
+      "nine independent sampling sessions ran the study (§3.5); they are "
+      "embarrassingly parallel and must stay bit-reproducible");
+
+  core::StudyConfig config = bench::study_config();
+  config.samples_per_session = 6;
+  config.sampling.interval_cycles = 40000;
+  config.warmup_cycles = 10000;
+
+  const std::size_t sessions = workload::session_presets().size();
+  const double cycles_per_session = static_cast<double>(
+      config.warmup_cycles +
+      static_cast<Cycle>(config.samples_per_session) *
+          config.sampling.interval_cycles);
+  const double total_cycles =
+      cycles_per_session * static_cast<double>(sessions);
+
+  config.threads = 1;
+  const auto serial_start = std::chrono::steady_clock::now();
+  const core::StudyResult serial = core::run_default_study(config);
+  const double serial_seconds = seconds_since(serial_start);
+
+  config.threads = 0;  // auto: FX8_THREADS or hardware_concurrency
+  const std::uint32_t threads = core::resolve_threads(config);
+  config.threads = threads;
+  const auto parallel_start = std::chrono::steady_clock::now();
+  const core::StudyResult parallel = core::run_default_study(config);
+  const double parallel_seconds = seconds_since(parallel_start);
+
+  const bool bit_identical = identical(serial, parallel);
+  const double speedup =
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0;
+
+  char json[1024];
+  std::snprintf(
+      json, sizeof(json),
+      "{\"bench\": \"parallel_study\", \"sessions\": %zu, "
+      "\"threads\": %u, \"total_cycles\": %.0f, "
+      "\"serial_seconds\": %.4f, \"parallel_seconds\": %.4f, "
+      "\"serial_cycles_per_sec\": %.0f, \"parallel_cycles_per_sec\": %.0f, "
+      "\"speedup\": %.3f, \"bit_identical\": %s}",
+      sessions, threads, total_cycles, serial_seconds, parallel_seconds,
+      serial_seconds > 0.0 ? total_cycles / serial_seconds : 0.0,
+      parallel_seconds > 0.0 ? total_cycles / parallel_seconds : 0.0,
+      speedup, bit_identical ? "true" : "false");
+
+  std::printf("%s\n", json);
+  if (std::FILE* out = std::fopen("BENCH_parallel_study.json", "w")) {
+    std::fprintf(out, "%s\n", json);
+    std::fclose(out);
+    std::printf("\nwrote BENCH_parallel_study.json\n");
+  }
+
+  if (!bit_identical) {
+    std::fprintf(stderr,
+                 "FAIL: threads=%u study differs from the serial study\n",
+                 threads);
+    return 1;
+  }
+  return 0;
+}

@@ -5,9 +5,13 @@
 // applied to other parallel processing systems" (§6). The Alliant line
 // itself spanned FX/1 (1 CE) to FX/8 (8 CEs, Appendix C); this bench
 // runs the same workload on every width and reports the measures.
+#include <algorithm>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "base/text.hpp"
+#include "base/thread_pool.hpp"
 #include "common.hpp"
 #include "core/sample.hpp"
 #include "instr/session_controller.hpp"
@@ -15,42 +19,69 @@
 #include "workload/generator.hpp"
 #include "workload/presets.hpp"
 
+namespace {
+
+using namespace repro;
+
+struct WidthRow {
+  core::ConcurrencyMeasures measures;
+  double miss_rate = 0.0;
+  double bus_busy = 0.0;
+};
+
+WidthRow run_width(std::uint32_t width) {
+  os::SystemConfig config;
+  config.machine.cluster.n_ces = width;
+  if (width != kMaxCes) {
+    config.machine.cluster.policy = fx8::ServicePolicy::kAscending;
+  }
+  os::System system{config};
+  workload::WorkloadMix mix = workload::session_presets()[2];
+  // Trip law widths follow the machine.
+  mix.numeric.trip_law.width = width;
+  workload::WorkloadGenerator generator(mix, 0x81D5);
+  instr::SamplingConfig sampling;
+  sampling.interval_cycles = 50000;
+  instr::SessionController controller(system, generator, sampling, 0x81D5);
+
+  instr::EventCounts totals;
+  for (const instr::SampleRecord& record : controller.run_session(5)) {
+    totals.merge(record.hw);
+  }
+  WidthRow row;
+  row.measures = core::ConcurrencyMeasures::from_counts(
+      std::span(totals.num).first(width + 1));
+  row.miss_rate = totals.miss_rate();
+  row.bus_busy = totals.bus_busy();
+  return row;
+}
+
+}  // namespace
+
 int main() {
-  using namespace repro;
   bench::print_header(
       "EXTENSION — concurrency measures across FX/1..FX/8 widths",
       "the measures generalize to any cluster width (§4.1); Pc is bounded "
       "by the width and Cw needs at least two CEs");
 
+  // Each width is an independent simulation with its own fixed seed, so
+  // the sweep fans out over the pool and prints in width order.
+  base::ThreadPool pool(
+      std::min<std::size_t>(base::ThreadPool::resolve_workers(0), 8));
+  std::vector<std::future<WidthRow>> rows;
+  for (std::uint32_t width = 1; width <= 8; ++width) {
+    rows.push_back(pool.submit([width] { return run_width(width); }));
+  }
+
   std::printf("  %-6s %8s %8s %10s %10s\n", "CEs", "Cw", "Pc", "missrate",
               "busbusy");
   for (std::uint32_t width = 1; width <= 8; ++width) {
-    os::SystemConfig config;
-    config.machine.cluster.n_ces = width;
-    if (width != kMaxCes) {
-      config.machine.cluster.policy = fx8::ServicePolicy::kAscending;
-    }
-    os::System system{config};
-    workload::WorkloadMix mix = workload::session_presets()[2];
-    // Trip law widths follow the machine.
-    mix.numeric.trip_law.width = width;
-    workload::WorkloadGenerator generator(mix, 0x81D5);
-    instr::SamplingConfig sampling;
-    sampling.interval_cycles = 50000;
-    instr::SessionController controller(system, generator, sampling,
-                                        0x81D5);
-
-    instr::EventCounts totals;
-    for (const instr::SampleRecord& record : controller.run_session(5)) {
-      totals.merge(record.hw);
-    }
-    const auto measures = core::ConcurrencyMeasures::from_counts(
-        std::span(totals.num).first(width + 1));
-    std::printf("  %-6u %8.4f %8s %10.4f %10.4f\n", width, measures.cw,
-                measures.pc_defined
-                    ? repro::fixed(measures.pc, 2).c_str()
+    const WidthRow row = rows[width - 1].get();
+    std::printf("  %-6u %8.4f %8s %10.4f %10.4f\n", width, row.measures.cw,
+                row.measures.pc_defined
+                    ? repro::fixed(row.measures.pc, 2).c_str()
                     : "n/a",
-                totals.miss_rate(), totals.bus_busy());
+                row.miss_rate, row.bus_busy);
   }
   std::printf(
       "\n(a 1-CE machine can have no workload concurrency by definition;\n"

@@ -7,7 +7,11 @@
 //   fx8meter [--sessions N] [--samples M] [--interval CYCLES]
 //            [--mix 0..8|high|presets] [--mix-file FILE]
 //            [--policy fifo|concurrent|serial] [--seed S]
-//            [--report table2|models|histogram|all] [--csv FILE]
+//            [--threads N] [--report table2|models|histogram|all]
+//            [--csv FILE]
+//
+// --threads 0 (the default) picks FX8_THREADS or the hardware
+// concurrency; results are bit-identical for every thread count.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -37,6 +41,7 @@ struct Options {
   std::string mix_file;
   std::string csv_file;
   std::uint64_t seed = 0x19870301;
+  std::uint32_t threads = 0;
 };
 
 bool parse(int argc, char** argv, Options& options) {
@@ -69,6 +74,11 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (!v) return false;
       options.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      options.threads =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--report") {
       const char* v = next();
       if (!v) return false;
@@ -102,7 +112,8 @@ int main(int argc, char** argv) {
         "usage: fx8meter [--sessions N] [--samples M] [--interval CYCLES]\n"
         "                [--mix 0..8|high|presets] [--policy "
         "fifo|concurrent|serial]\n"
-        "                [--seed S] [--report table2|models|histogram|all]\n");
+        "                [--seed S] [--threads N]\n"
+        "                [--report table2|models|histogram|all]\n");
     return 2;
   }
 
@@ -146,6 +157,7 @@ int main(int argc, char** argv) {
   config.samples_per_session = options.samples;
   config.sampling.interval_cycles = options.interval;
   config.seed = options.seed;
+  config.threads = options.threads;
   if (options.policy == "concurrent") {
     config.system.scheduling = os::SchedulingPolicy::kConcurrentFirst;
   } else if (options.policy == "serial") {
@@ -156,11 +168,12 @@ int main(int argc, char** argv) {
   }
 
   std::printf("fx8meter: %zu session(s), %u sample(s) x %llu cycles, "
-              "policy %s, seed %#llx\n\n",
+              "policy %s, seed %#llx, %u thread(s)\n\n",
               mixes.size(), options.samples,
               static_cast<unsigned long long>(options.interval),
               options.policy.c_str(),
-              static_cast<unsigned long long>(options.seed));
+              static_cast<unsigned long long>(options.seed),
+              core::resolve_threads(config));
 
   const core::StudyResult study = core::run_study(mixes, config);
 

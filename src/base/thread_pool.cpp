@@ -1,0 +1,59 @@
+#include "base/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace repro::base {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  workers_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+std::size_t ThreadPool::resolve_workers(std::size_t requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  if (const char* env = std::getenv("FX8_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return hardware_workers();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // stopping_ and nothing left to run
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace repro::base

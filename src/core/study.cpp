@@ -1,15 +1,29 @@
 #include "core/study.hpp"
 
+#include <algorithm>
+#include <future>
+
 #include "base/rng.hpp"
+#include "base/thread_pool.hpp"
 
 namespace repro::core {
 
 std::vector<AnalyzedSample> StudyResult::all_samples() const {
+  std::size_t total = 0;
+  for (const SessionResult& session : sessions) {
+    total += session.samples.size();
+  }
   std::vector<AnalyzedSample> all;
+  all.reserve(total);
   for (const SessionResult& session : sessions) {
     all.insert(all.end(), session.samples.begin(), session.samples.end());
   }
   return all;
+}
+
+std::uint32_t resolve_threads(const StudyConfig& config) {
+  return static_cast<std::uint32_t>(
+      base::ThreadPool::resolve_workers(config.threads));
 }
 
 SessionResult run_session(const workload::WorkloadMix& mix,
@@ -30,8 +44,9 @@ SessionResult run_session(const workload::WorkloadMix& mix,
   result.name = mix.name;
   const std::uint32_t width = system.machine().cluster().width();
   const auto records = controller.run_session(config.samples_per_session);
-  result.samples = analyze_all(records, width);
+  result.samples.reserve(records.size());
   for (const instr::SampleRecord& record : records) {
+    result.samples.push_back(analyze(record, width));
     result.totals.merge(record.hw);
   }
   result.overall = ConcurrencyMeasures::from_counts(
@@ -42,11 +57,39 @@ SessionResult run_session(const workload::WorkloadMix& mix,
 StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
                       const StudyConfig& config) {
   StudyResult study;
+  // Session seeds are derived serially, in mix order, *before* any
+  // dispatch: the seed stream is identical however many workers run.
   std::uint64_t seed_state = config.seed;
-  for (const workload::WorkloadMix& mix : mixes) {
-    const std::uint64_t session_seed = splitmix64(seed_state);
-    study.sessions.push_back(run_session(mix, config, session_seed));
-    study.totals.merge(study.sessions.back().totals);
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(mixes.size());
+  for (std::size_t i = 0; i < mixes.size(); ++i) {
+    seeds.push_back(splitmix64(seed_state));
+  }
+
+  study.sessions.reserve(mixes.size());
+  const std::uint32_t threads = resolve_threads(config);
+  if (threads <= 1 || mixes.size() <= 1) {
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+      study.sessions.push_back(run_session(mixes[i], config, seeds[i]));
+    }
+  } else {
+    // Each session owns an independent os::System; the only shared state
+    // is the read-only mixes/config, so sessions run concurrently and are
+    // merged back in mix order below.
+    base::ThreadPool pool(std::min<std::size_t>(threads, mixes.size()));
+    std::vector<std::future<SessionResult>> futures;
+    futures.reserve(mixes.size());
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+      futures.push_back(pool.submit([&mixes, &config, &seeds, i] {
+        return run_session(mixes[i], config, seeds[i]);
+      }));
+    }
+    for (std::future<SessionResult>& future : futures) {
+      study.sessions.push_back(future.get());
+    }
+  }
+  for (const SessionResult& session : study.sessions) {
+    study.totals.merge(session.totals);
   }
   const std::uint32_t width =
       study.sessions.empty() ? kMaxCes

@@ -29,7 +29,16 @@ struct StudyConfig {
   /// Warm-up cycles before sampling starts (machine reaches steady state).
   Cycle warmup_cycles = 20000;
   std::uint64_t seed = 0x19870301;
+  /// Worker threads for the per-mix sessions. 0 = auto (the FX8_THREADS
+  /// environment variable if set, else hardware_concurrency); 1 = the
+  /// serial code path. Results are bit-identical for every value — see
+  /// docs/parallel_execution.md for the seeding contract.
+  std::uint32_t threads = 0;
 };
+
+/// The worker count a config resolves to: `threads` if nonzero, else
+/// FX8_THREADS from the environment, else hardware_concurrency.
+[[nodiscard]] std::uint32_t resolve_threads(const StudyConfig& config);
 
 struct SessionResult {
   std::string name;

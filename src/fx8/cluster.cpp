@@ -1,5 +1,6 @@
 #include "fx8/cluster.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "base/expect.hpp"
@@ -56,6 +57,20 @@ Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
   ces_.reserve(config.n_ces);
   for (CeId c = 0; c < config.n_ces; ++c) {
     ces_.emplace_back(c, cache, crossbar_, mmu, config.icache_bytes);
+  }
+  service_count_ = static_cast<std::uint32_t>(base_order_.size());
+  std::copy(base_order_.begin(), base_order_.end(), service_order_.begin());
+}
+
+void Cluster::refresh_service_order() {
+  // Non-rotating policies keep the constructor's copy; only kRotating
+  // re-derives the order, once per cycle instead of once per CE visit.
+  if (config_.policy != ServicePolicy::kRotating || service_count_ == 0) {
+    return;
+  }
+  const auto rot = static_cast<std::uint32_t>(rotation_ % service_count_);
+  for (std::uint32_t i = 0; i < service_count_; ++i) {
+    service_order_[i] = base_order_[(i + rot) % service_count_];
   }
 }
 
@@ -253,12 +268,8 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
   // Service CEs in priority order: completions first so freed iterations
   // unblock dependants within the same cycle, then dependence releases,
   // then dispatch (one CCB grant per cycle).
-  const std::uint64_t rot = config_.policy == ServicePolicy::kRotating
-                                ? rotation_
-                                : 0;
-  const auto order_size = static_cast<std::uint32_t>(base_order_.size());
-  for (std::uint32_t i = 0; i < order_size; ++i) {
-    const CeId c = base_order_[(i + rot) % order_size];
+  for (std::uint32_t i = 0; i < service_count_; ++i) {
+    const CeId c = service_order_[i];
     Ce& ce = ces_[c];
     if (worker_[c] == WorkerState::kExecuting && ce.done()) {
       ce.take_completed();
@@ -321,6 +332,7 @@ void Cluster::advance_control() {
 }
 
 void Cluster::tick() {
+  refresh_service_order();
   crossbar_.begin_cycle();
   if (in_loop_) {
     ccb_.begin_cycle();
@@ -329,11 +341,8 @@ void Cluster::tick() {
   for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
     run_detached(slot);
   }
-  const std::uint64_t rot =
-      config_.policy == ServicePolicy::kRotating ? rotation_ : 0;
-  const auto order_size = static_cast<std::uint32_t>(base_order_.size());
-  for (std::uint32_t i = 0; i < order_size; ++i) {
-    ces_[base_order_[(i + rot) % order_size]].tick();
+  for (std::uint32_t i = 0; i < service_count_; ++i) {
+    ces_[service_order_[i]].tick();
   }
   for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
     ces_[detached_ce(slot)].tick();

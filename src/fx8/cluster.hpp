@@ -144,6 +144,7 @@ class Cluster {
   };
 
   void advance_control();
+  void refresh_service_order();
   void run_detached(std::uint32_t slot);
   void run_serial_phase(const isa::SerialPhase& phase);
   void run_concurrent_phase(const isa::ConcurrentLoopPhase& phase);
@@ -162,6 +163,11 @@ class Cluster {
   std::vector<Ce> ces_;
   std::vector<CeId> base_order_;
   std::uint64_t rotation_ = 0;
+  /// This cycle's service order (base_order_ rotated for kRotating;
+  /// refreshed once per tick so the hot loops index a flat array instead
+  /// of recomputing the rotation per CE).
+  std::array<CeId, kMaxCes> service_order_{};
+  std::uint32_t service_count_ = 0;
 
   const isa::Program* program_ = nullptr;
   JobId job_ = 0;

@@ -1,26 +1,22 @@
 #include "fx8/crossbar.hpp"
 
-#include <algorithm>
-
 #include "base/expect.hpp"
 
 namespace repro::fx8 {
 
-Crossbar::Crossbar(std::uint32_t banks) : bank_taken_(banks, 0) {
+Crossbar::Crossbar(std::uint32_t banks) : banks_(banks) {
   REPRO_EXPECT(banks > 0, "crossbar needs at least one bank");
-}
-
-void Crossbar::begin_cycle() {
-  std::fill(bank_taken_.begin(), bank_taken_.end(), std::uint8_t{0});
+  REPRO_EXPECT(banks <= 64, "grant bitmask holds at most 64 banks");
 }
 
 bool Crossbar::try_acquire(std::uint32_t bank) {
-  REPRO_EXPECT(bank < bank_taken_.size(), "bank index out of range");
-  if (bank_taken_[bank]) {
+  REPRO_EXPECT(bank < banks_, "bank index out of range");
+  const std::uint64_t bit = std::uint64_t{1} << bank;
+  if (taken_ & bit) {
     ++conflicts_;
     return false;
   }
-  bank_taken_[bank] = 1;
+  taken_ |= bit;
   return true;
 }
 

@@ -9,7 +9,6 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "base/types.hpp"
 
@@ -20,7 +19,9 @@ class Crossbar {
   explicit Crossbar(std::uint32_t banks);
 
   /// Reset per-cycle grants. Call once per machine cycle before CEs act.
-  void begin_cycle();
+  /// Grants live in one bitmask so the per-cycle reset is a single store
+  /// (this runs every machine cycle of every session).
+  void begin_cycle() { taken_ = 0; }
 
   /// Try to route an access to `bank` this cycle; true on success.
   [[nodiscard]] bool try_acquire(std::uint32_t bank);
@@ -29,7 +30,8 @@ class Crossbar {
   [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
 
  private:
-  std::vector<std::uint8_t> bank_taken_;
+  std::uint32_t banks_;
+  std::uint64_t taken_ = 0;
   std::uint64_t conflicts_ = 0;
 };
 

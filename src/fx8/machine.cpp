@@ -51,8 +51,20 @@ void Machine::tick() {
 }
 
 void Machine::run(Cycle cycles) {
+  // Hoist the owning-pointer hops out of the loop: the components are
+  // fixed for the machine's lifetime, so the per-cycle path needs no
+  // re-deref of the unique_ptr members.
+  Cluster& cluster = *cluster_;
+  mem::MemoryBus& membus = *membus_;
+  cache::SharedCache& shared_cache = *shared_cache_;
   for (Cycle i = 0; i < cycles; ++i) {
-    tick();
+    cluster.tick();
+    for (Ip& ip : ips_) {
+      ip.tick();
+    }
+    membus.tick(now_);
+    shared_cache.tick();
+    ++now_;
   }
 }
 

@@ -26,6 +26,7 @@ SessionController::SessionController(os::System& system,
                    config.snapshots_per_sample * config.buffer_depth,
                "interval too short for the requested acquisitions");
   REPRO_EXPECT(config.snapshots_per_sample > 0, "need at least one snapshot");
+  starts_scratch_.reserve(config.snapshots_per_sample);
 }
 
 void SessionController::step() {
@@ -38,11 +39,13 @@ SampleRecord SessionController::take_sample() {
   const std::uint32_t n_buses = system_.machine().config().membus.bus_count;
 
   // Choose snapshot start offsets within the interval, far enough apart
-  // that acquisitions never overlap.
+  // that acquisitions never overlap. The offsets live in a member scratch
+  // buffer reused across samples, so the per-sample path does not
+  // allocate.
   const Cycle slot =
       config_.interval_cycles / config_.snapshots_per_sample;
-  std::vector<Cycle> starts;
-  starts.reserve(config_.snapshots_per_sample);
+  std::vector<Cycle>& starts = starts_scratch_;
+  starts.clear();
   for (std::uint32_t s = 0; s < config_.snapshots_per_sample; ++s) {
     const Cycle jitter_room = slot - config_.buffer_depth;
     const Cycle jitter = jitter_room == 0 ? 0 : rng_.uniform(jitter_room);

@@ -67,6 +67,8 @@ class SessionController {
   SamplingConfig config_;
   Rng rng_;
   std::uint64_t next_index_ = 0;
+  /// Snapshot start offsets, reused across take_sample calls.
+  std::vector<Cycle> starts_scratch_;
 };
 
 }  // namespace repro::instr

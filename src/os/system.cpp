@@ -15,8 +15,11 @@ void System::tick() {
 }
 
 void System::run(Cycle cycles) {
+  Scheduler& scheduler = *scheduler_;
+  fx8::Machine& machine = *machine_;
   for (Cycle i = 0; i < cycles; ++i) {
-    tick();
+    scheduler.tick(machine.now());
+    machine.tick();
   }
 }
 

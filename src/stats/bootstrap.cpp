@@ -1,17 +1,49 @@
 #include "stats/bootstrap.hpp"
 
 #include <algorithm>
+#include <future>
 #include <vector>
 
 #include "base/expect.hpp"
+#include "base/thread_pool.hpp"
 #include "stats/descriptive.hpp"
 
 namespace repro::stats {
 
+namespace {
+
+/// RNG for one replicate: an independent stream split from the base
+/// seed, so replicate r draws the same values no matter which worker
+/// (or how many workers) computes it.
+Rng replicate_rng(std::uint64_t base_seed, std::size_t replicate) {
+  return Rng(mix64(base_seed +
+                   0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(
+                                               replicate) +
+                                           1)));
+}
+
+/// Compute replicate statistics [begin, end) into stats.
+void run_replicates(std::span<const double> values,
+                    const std::function<double(std::span<const double>)>&
+                        statistic,
+                    std::uint64_t base_seed, std::size_t begin,
+                    std::size_t end, std::span<double> stats) {
+  std::vector<double> resample(values.size());
+  for (std::size_t r = begin; r < end; ++r) {
+    Rng rng = replicate_rng(base_seed, r);
+    for (double& v : resample) {
+      v = values[rng.uniform(values.size())];
+    }
+    stats[r] = statistic(resample);
+  }
+}
+
+}  // namespace
+
 ConfidenceInterval bootstrap_ci(
     std::span<const double> values,
     const std::function<double(std::span<const double>)>& statistic,
-    Rng& rng, double level, std::size_t resamples) {
+    Rng& rng, double level, std::size_t resamples, std::uint32_t threads) {
   REPRO_EXPECT(!values.empty(), "bootstrap needs data");
   REPRO_EXPECT(level > 0.0 && level < 1.0, "level must be in (0,1)");
   REPRO_EXPECT(resamples >= 100, "too few resamples for stable quantiles");
@@ -20,14 +52,30 @@ ConfidenceInterval bootstrap_ci(
   ci.level = level;
   ci.point = statistic(values);
 
-  std::vector<double> stats;
-  stats.reserve(resamples);
-  std::vector<double> resample(values.size());
-  for (std::size_t r = 0; r < resamples; ++r) {
-    for (double& v : resample) {
-      v = values[rng.uniform(values.size())];
+  // One draw from the caller's stream seeds every replicate stream;
+  // replicate r is a deterministic function of (base_seed, r) alone.
+  const std::uint64_t base_seed = rng.next();
+  std::vector<double> stats(resamples);
+  const std::size_t workers = std::min<std::size_t>(
+      base::ThreadPool::resolve_workers(threads), resamples);
+  if (workers <= 1) {
+    run_replicates(values, statistic, base_seed, 0, resamples, stats);
+  } else {
+    base::ThreadPool pool(workers);
+    std::vector<std::future<void>> futures;
+    futures.reserve(workers);
+    const std::size_t chunk = (resamples + workers - 1) / workers;
+    for (std::size_t begin = 0; begin < resamples; begin += chunk) {
+      const std::size_t end = std::min(begin + chunk, resamples);
+      futures.push_back(pool.submit(
+          [&values, &statistic, base_seed, begin, end, &stats] {
+            run_replicates(values, statistic, base_seed, begin, end,
+                           stats);
+          }));
     }
-    stats.push_back(statistic(resample));
+    for (std::future<void>& future : futures) {
+      future.get();
+    }
   }
   const double alpha = (1.0 - level) / 2.0;
   ci.lo = quantile(stats, alpha);
@@ -37,18 +85,20 @@ ConfidenceInterval bootstrap_ci(
 
 ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
                                      Rng& rng, double level,
-                                     std::size_t resamples) {
+                                     std::size_t resamples,
+                                     std::uint32_t threads) {
   return bootstrap_ci(
       values, [](std::span<const double> v) { return mean(v); }, rng,
-      level, resamples);
+      level, resamples, threads);
 }
 
 ConfidenceInterval bootstrap_median_ci(std::span<const double> values,
                                        Rng& rng, double level,
-                                       std::size_t resamples) {
+                                       std::size_t resamples,
+                                       std::uint32_t threads) {
   return bootstrap_ci(
       values, [](std::span<const double> v) { return median(v); }, rng,
-      level, resamples);
+      level, resamples, threads);
 }
 
 }  // namespace repro::stats

@@ -5,6 +5,11 @@
 // uncertainty is material. Percentile-bootstrap intervals quantify it:
 // resample the sample set with replacement, recompute the statistic, and
 // take the empirical quantiles.
+//
+// Replicates run in parallel: one draw from the caller's Rng seeds an
+// independent per-replicate stream, so the interval is a deterministic
+// function of (data, rng state, resamples) — identical for any worker
+// count, including the serial path (docs/parallel_execution.md).
 #pragma once
 
 #include <functional>
@@ -22,20 +27,24 @@ struct ConfidenceInterval {
 };
 
 /// Percentile bootstrap for an arbitrary statistic of a double sample.
-/// `statistic` must accept any non-empty sample. `resamples` >= 100.
+/// `statistic` must accept any non-empty sample and be safe to invoke
+/// concurrently (a pure function of its argument). `resamples` >= 100.
+/// `threads`: 0 = auto (FX8_THREADS env var, else hardware
+/// concurrency), 1 = serial; the result is bit-identical either way.
 [[nodiscard]] ConfidenceInterval bootstrap_ci(
     std::span<const double> values,
     const std::function<double(std::span<const double>)>& statistic,
-    Rng& rng, double level = 0.95, std::size_t resamples = 1000);
+    Rng& rng, double level = 0.95, std::size_t resamples = 1000,
+    std::uint32_t threads = 0);
 
 /// Convenience: bootstrap CI of the mean.
 [[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
     std::span<const double> values, Rng& rng, double level = 0.95,
-    std::size_t resamples = 1000);
+    std::size_t resamples = 1000, std::uint32_t threads = 0);
 
 /// Convenience: bootstrap CI of the median.
 [[nodiscard]] ConfidenceInterval bootstrap_median_ci(
     std::span<const double> values, Rng& rng, double level = 0.95,
-    std::size_t resamples = 1000);
+    std::size_t resamples = 1000, std::uint32_t threads = 0);
 
 }  // namespace repro::stats

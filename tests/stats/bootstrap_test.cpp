@@ -91,5 +91,40 @@ TEST(Bootstrap, DeterministicForSeed) {
   EXPECT_DOUBLE_EQ(a.hi, b.hi);
 }
 
+TEST(Bootstrap, BitIdenticalAcrossThreadCounts) {
+  // Replicate streams split from the base seed: the interval cannot
+  // depend on how many workers computed the replicates.
+  Rng data_rng(21);
+  std::vector<double> values;
+  for (int i = 0; i < 150; ++i) {
+    values.push_back(data_rng.normal(5.0, 1.5));
+  }
+  Rng rng_serial(42);
+  Rng rng_pooled(42);
+  Rng rng_wide(42);
+  const ConfidenceInterval serial =
+      bootstrap_mean_ci(values, rng_serial, 0.95, 1000, 1);
+  const ConfidenceInterval pooled =
+      bootstrap_mean_ci(values, rng_pooled, 0.95, 1000, 4);
+  const ConfidenceInterval wide =
+      bootstrap_mean_ci(values, rng_wide, 0.95, 1000, 16);
+  EXPECT_EQ(serial.lo, pooled.lo);
+  EXPECT_EQ(serial.hi, pooled.hi);
+  EXPECT_EQ(serial.lo, wide.lo);
+  EXPECT_EQ(serial.hi, wide.hi);
+}
+
+TEST(Bootstrap, MedianBitIdenticalAcrossThreadCounts) {
+  const std::vector<double> values = {3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5};
+  Rng rng_serial(7);
+  Rng rng_pooled(7);
+  const ConfidenceInterval serial =
+      bootstrap_median_ci(values, rng_serial, 0.9, 500, 1);
+  const ConfidenceInterval pooled =
+      bootstrap_median_ci(values, rng_pooled, 0.9, 500, 8);
+  EXPECT_EQ(serial.lo, pooled.lo);
+  EXPECT_EQ(serial.hi, pooled.hi);
+}
+
 }  // namespace
 }  // namespace repro::stats
