@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <cstdlib>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace repro::base {
+
+namespace {
+
+/// Cores this process may actually run on. hardware_concurrency()
+/// reports the host's core count even inside a container or cpuset that
+/// pins the process to fewer — oversubscribing those time-slices one
+/// core and turns the "parallel" path into pure overhead (the PR-1
+/// speedup-below-1 regression). The affinity mask is the truth.
+std::size_t usable_cores() {
+  const std::size_t advertised =
+      std::max(1u, std::thread::hardware_concurrency());
+#if defined(__linux__)
+  cpu_set_t set;
+  if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+    const int allowed = CPU_COUNT(&set);
+    if (allowed > 0) {
+      return std::min<std::size_t>(advertised,
+                                   static_cast<std::size_t>(allowed));
+    }
+  }
+#endif
+  return advertised;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   workers_.reserve(workers);
@@ -23,9 +52,7 @@ ThreadPool::~ThreadPool() {
   }
 }
 
-std::size_t ThreadPool::hardware_workers() {
-  return std::max(1u, std::thread::hardware_concurrency());
-}
+std::size_t ThreadPool::hardware_workers() { return usable_cores(); }
 
 std::size_t ThreadPool::resolve_workers(std::size_t requested) {
   if (requested > 0) {

@@ -39,7 +39,9 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
 
-  /// std::thread::hardware_concurrency with a floor of 1.
+  /// Usable cores with a floor of 1: hardware_concurrency clamped to the
+  /// process CPU-affinity mask, so auto-sized pools never oversubscribe a
+  /// container/cpuset that pins the process to fewer cores.
   [[nodiscard]] static std::size_t hardware_workers();
 
   /// Worker count a `requested` value resolves to: `requested` if

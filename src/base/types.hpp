@@ -31,4 +31,9 @@ inline constexpr std::uint64_t kPageBytes = 4096;
 /// Cache line size used by the shared CE cache model.
 inline constexpr std::uint64_t kLineBytes = 32;
 
+/// Horizon sentinel for the event-horizon fast-forward: a component whose
+/// state can never change without external input reports this from its
+/// quiet_horizon() (docs/parallel_execution.md).
+inline constexpr Cycle kHorizonNever = ~static_cast<Cycle>(0);
+
 }  // namespace repro

@@ -73,6 +73,19 @@ class SharedCache {
   /// True while the CE has a miss outstanding.
   [[nodiscard]] bool miss_outstanding(CeId ce) const;
 
+  /// Event-horizon fast-forward: always kHorizonNever. tick() only
+  /// polls in-flight fills against the memory bus, and a fill can only
+  /// complete on a bus-completion tick — which the bus's own horizon
+  /// already forces to run naively. The cache keeps no per-cycle
+  /// counters, so there is nothing to skip.
+  [[nodiscard]] Cycle quiet_horizon() const { return kHorizonNever; }
+
+  /// True while CE `ce` has a completed fill waiting to be consumed by
+  /// take_fill_ready (const peek for the CE's quiet horizon).
+  [[nodiscard]] bool fill_ready(CeId ce) const {
+    return fill_ready_[ce] != 0;
+  }
+
   /// Coherence request from the IP side: drop any copy of this line.
   void snoop_invalidate(Addr addr);
 

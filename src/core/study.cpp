@@ -2,11 +2,103 @@
 
 #include <algorithm>
 #include <future>
+#include <utility>
 
 #include "base/rng.hpp"
 #include "base/thread_pool.hpp"
 
 namespace repro::core {
+
+namespace {
+
+/// One replicate's share of a session: the task unit of the parallel
+/// study engine (docs/parallel_execution.md). Splitting sessions into
+/// replicates turns 9 coarse tasks into 9*R finer ones, which is what
+/// keeps every worker busy through the tail of the run.
+struct SessionPart {
+  std::vector<AnalyzedSample> samples;
+  instr::EventCounts totals;
+  std::uint32_t width = kMaxCes;
+};
+
+/// Replicate count a config resolves to (always >= 1, never more than
+/// one replicate per sample).
+std::uint32_t resolve_replicates(const StudyConfig& config) {
+  const std::uint32_t requested = std::max(1u, config.replicates_per_session);
+  return std::min(requested, std::max(1u, config.samples_per_session));
+}
+
+/// Seed for replicate `r` of a session. Replicate 0 consumes the session
+/// seed unchanged, so replicates_per_session=1 reproduces the classic
+/// single-system session stream bit-for-bit.
+std::uint64_t replicate_seed(std::uint64_t session_seed,
+                             std::uint32_t replicate) {
+  return replicate == 0
+             ? session_seed
+             : mix64(session_seed ^ (0xFA57F00DULL + replicate));
+}
+
+/// Samples replicate `r` takes: an even split, earlier replicates taking
+/// the remainder.
+std::uint32_t replicate_samples(const StudyConfig& config,
+                                std::uint32_t replicate,
+                                std::uint32_t replicates) {
+  return config.samples_per_session / replicates +
+         (replicate < config.samples_per_session % replicates ? 1 : 0);
+}
+
+/// Run one replicate: its own system, generator, and controller, warmed
+/// up and sampled. A pure function of (mix, config, seed, n_samples).
+SessionPart run_replicate(const workload::WorkloadMix& mix,
+                          const StudyConfig& config, std::uint64_t seed,
+                          std::uint32_t n_samples) {
+  os::System system(config.system);
+  workload::WorkloadGenerator generator(mix, mix64(seed ^ 0xABCD));
+  instr::SamplingConfig sampling = config.sampling;
+  sampling.fast_forward = sampling.fast_forward && config.fast_forward;
+  instr::SessionController controller(system, generator, sampling,
+                                      mix64(seed ^ 0x5A5A));
+
+  // Warm up: let the workload reach steady state before sampling.
+  controller.advance(config.warmup_cycles);
+
+  SessionPart part;
+  part.width = system.machine().cluster().width();
+  const auto records = controller.run_session(n_samples);
+  part.samples.reserve(records.size());
+  for (const instr::SampleRecord& record : records) {
+    part.samples.push_back(analyze(record, part.width));
+    part.totals.merge(record.hw);
+  }
+  return part;
+}
+
+/// Fold a session's replicate parts, in replicate order, into the
+/// SessionResult — the same arithmetic whether the parts were computed
+/// serially or on the pool.
+SessionResult merge_parts(const workload::WorkloadMix& mix,
+                          std::vector<SessionPart> parts) {
+  SessionResult result;
+  result.name = mix.name;
+  std::uint32_t width = kMaxCes;
+  std::size_t total = 0;
+  for (const SessionPart& part : parts) {
+    total += part.samples.size();
+  }
+  result.samples.reserve(total);
+  for (SessionPart& part : parts) {
+    width = part.width;
+    result.samples.insert(result.samples.end(),
+                          std::make_move_iterator(part.samples.begin()),
+                          std::make_move_iterator(part.samples.end()));
+    result.totals.merge(part.totals);
+  }
+  result.overall = ConcurrencyMeasures::from_counts(
+      std::span(result.totals.num).first(width + 1));
+  return result;
+}
+
+}  // namespace
 
 std::vector<AnalyzedSample> StudyResult::all_samples() const {
   std::size_t total = 0;
@@ -29,29 +121,15 @@ std::uint32_t resolve_threads(const StudyConfig& config) {
 SessionResult run_session(const workload::WorkloadMix& mix,
                           const StudyConfig& config,
                           std::uint64_t session_seed) {
-  os::System system(config.system);
-  workload::WorkloadGenerator generator(mix, mix64(session_seed ^ 0xABCD));
-  instr::SessionController controller(system, generator, config.sampling,
-                                      mix64(session_seed ^ 0x5A5A));
-
-  // Warm up: let the workload reach steady state before sampling.
-  for (Cycle c = 0; c < config.warmup_cycles; ++c) {
-    generator.tick(system);
-    system.tick();
+  const std::uint32_t replicates = resolve_replicates(config);
+  std::vector<SessionPart> parts;
+  parts.reserve(replicates);
+  for (std::uint32_t r = 0; r < replicates; ++r) {
+    parts.push_back(run_replicate(mix, config,
+                                  replicate_seed(session_seed, r),
+                                  replicate_samples(config, r, replicates)));
   }
-
-  SessionResult result;
-  result.name = mix.name;
-  const std::uint32_t width = system.machine().cluster().width();
-  const auto records = controller.run_session(config.samples_per_session);
-  result.samples.reserve(records.size());
-  for (const instr::SampleRecord& record : records) {
-    result.samples.push_back(analyze(record, width));
-    result.totals.merge(record.hw);
-  }
-  result.overall = ConcurrencyMeasures::from_counts(
-      std::span(result.totals.num).first(width + 1));
-  return result;
+  return merge_parts(mix, std::move(parts));
 }
 
 StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
@@ -67,25 +145,38 @@ StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
   }
 
   study.sessions.reserve(mixes.size());
+  const std::uint32_t replicates = resolve_replicates(config);
+  const std::size_t tasks = mixes.size() * replicates;
   const std::uint32_t threads = resolve_threads(config);
-  if (threads <= 1 || mixes.size() <= 1) {
+  if (threads <= 1 || tasks <= 1) {
     for (std::size_t i = 0; i < mixes.size(); ++i) {
       study.sessions.push_back(run_session(mixes[i], config, seeds[i]));
     }
   } else {
-    // Each session owns an independent os::System; the only shared state
-    // is the read-only mixes/config, so sessions run concurrently and are
-    // merged back in mix order below.
-    base::ThreadPool pool(std::min<std::size_t>(threads, mixes.size()));
-    std::vector<std::future<SessionResult>> futures;
-    futures.reserve(mixes.size());
+    // Each (session, replicate) task owns an independent os::System; the
+    // only shared state is the read-only mixes/config. Futures are
+    // collected in (mix, replicate) order, so the merge arithmetic — and
+    // therefore every bit of the result — matches the serial path.
+    base::ThreadPool pool(std::min<std::size_t>(threads, tasks));
+    std::vector<std::future<SessionPart>> futures;
+    futures.reserve(tasks);
     for (std::size_t i = 0; i < mixes.size(); ++i) {
-      futures.push_back(pool.submit([&mixes, &config, &seeds, i] {
-        return run_session(mixes[i], config, seeds[i]);
-      }));
+      for (std::uint32_t r = 0; r < replicates; ++r) {
+        futures.push_back(pool.submit([&mixes, &config, &seeds, i, r,
+                                       replicates] {
+          return run_replicate(mixes[i], config,
+                               replicate_seed(seeds[i], r),
+                               replicate_samples(config, r, replicates));
+        }));
+      }
     }
-    for (std::future<SessionResult>& future : futures) {
-      study.sessions.push_back(future.get());
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+      std::vector<SessionPart> parts;
+      parts.reserve(replicates);
+      for (std::uint32_t r = 0; r < replicates; ++r) {
+        parts.push_back(futures[i * replicates + r].get());
+      }
+      study.sessions.push_back(merge_parts(mixes[i], std::move(parts)));
     }
   }
   for (const SessionResult& session : study.sessions) {

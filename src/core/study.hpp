@@ -30,10 +30,23 @@ struct StudyConfig {
   Cycle warmup_cycles = 20000;
   std::uint64_t seed = 0x19870301;
   /// Worker threads for the per-mix sessions. 0 = auto (the FX8_THREADS
-  /// environment variable if set, else hardware_concurrency); 1 = the
+  /// environment variable if set, else the usable-core count); 1 = the
   /// serial code path. Results are bit-identical for every value — see
   /// docs/parallel_execution.md for the seeding contract.
   std::uint32_t threads = 0;
+  /// Event-horizon fast-forward: advance deterministic quiet stretches
+  /// of the simulation in one jump instead of cycle-by-cycle. Results
+  /// are bit-identical either way; false forces the naive path
+  /// (differential testing). See docs/parallel_execution.md.
+  bool fast_forward = true;
+  /// Independent simulator replicates per session; each replicate warms
+  /// up its own os::System and takes an even share of the session's
+  /// samples. 1 = the classic single-system session. Higher values give
+  /// the thread pool finer tasks (9 sessions become 9*R units) at the
+  /// cost of extra warmups. The decomposition — and therefore the sample
+  /// population — is a pure function of this config value, never of the
+  /// thread count, so bit-identity across thread counts is preserved.
+  std::uint32_t replicates_per_session = 1;
 };
 
 /// The worker count a config resolves to: `threads` if nonzero, else

@@ -35,6 +35,49 @@ void Ce::start(const KernelInstance& inst) {
   pending_addr_ = 0;
 }
 
+Cycle Ce::quiet_horizon() const {
+  switch (phase_) {
+    case Phase::kIdle:
+    case Phase::kDone:
+      return kHorizonNever;
+    case Phase::kCompute:
+      // Each of the next compute_left_ ticks burns one bus-idle compute
+      // cycle; the tick after that enters kAccess.
+      return compute_left_;
+    case Phase::kFaultWait:
+      // The tick that drops fault_left_ to zero also transitions phases,
+      // so it must run naively: skip at most fault_left_ - 1.
+      return fault_left_ - 1;
+    case Phase::kMissWait:
+      // Waiting on a line fill: the shared cache flags readiness on a
+      // bus-completion tick, which the bus horizon already forces to be
+      // naive. Until the flag is up every wait tick is a pure repeat;
+      // the pick-up tick itself must run naively.
+      return cache_.fill_ready(id_) ? 0 : kHorizonNever;
+    default:
+      return 0;
+  }
+}
+
+void Ce::skip(Cycle cycles) {
+  if (phase_ == Phase::kIdle || phase_ == Phase::kDone) {
+    return;
+  }
+  REPRO_EXPECT(cycles <= quiet_horizon(), "CE skip beyond its horizon");
+  bus_op_ = mem::CeBusOp::kIdle;
+  stats_.busy_cycles += cycles;
+  if (phase_ == Phase::kCompute) {
+    compute_left_ -= static_cast<std::uint32_t>(cycles);
+    stats_.compute_cycles += cycles;
+  } else if (phase_ == Phase::kMissWait) {
+    bus_op_ = mem::CeBusOp::kWait;  // What each skipped tick would latch.
+    stats_.miss_wait_cycles += cycles;
+  } else {  // kFaultWait
+    fault_left_ -= cycles;
+    stats_.fault_wait_cycles += cycles;
+  }
+}
+
 void Ce::take_completed() {
   REPRO_EXPECT(done(), "CE has not completed its instance");
   phase_ = Phase::kIdle;

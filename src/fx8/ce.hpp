@@ -83,6 +83,17 @@ class Ce {
   /// latch kIdle.
   [[nodiscard]] mem::CeBusOp bus_op() const { return bus_op_; }
 
+  // --- Event-horizon fast-forward -------------------------------------
+  /// Cycles for which this CE's behaviour is a pure repeat that skip()
+  /// can bulk-apply: an idle/done CE reports kHorizonNever, a computing
+  /// CE its remaining compute budget, a fault-stalled CE its remaining
+  /// service (minus the transition cycle). 0 means the next tick can
+  /// change machine-visible state and must run naively.
+  [[nodiscard]] Cycle quiet_horizon() const;
+  /// Bulk-apply `cycles` ticks of the current uniform behaviour.
+  /// Requires cycles <= quiet_horizon(); bit-identical to ticking.
+  void skip(Cycle cycles);
+
   [[nodiscard]] const CeStats& stats() const { return stats_; }
 
  private:

@@ -60,6 +60,8 @@ Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
   }
   service_count_ = static_cast<std::uint32_t>(base_order_.size());
   std::copy(base_order_.begin(), base_order_.end(), service_order_.begin());
+  rotating_ = config.policy == ServicePolicy::kRotating;
+  has_detached_ = config.detached_ces != 0;
 }
 
 void Cluster::refresh_service_order() {
@@ -332,23 +334,107 @@ void Cluster::advance_control() {
 }
 
 void Cluster::tick() {
-  refresh_service_order();
+  if (rotating_) {
+    refresh_service_order();
+  }
   crossbar_.begin_cycle();
   if (in_loop_) {
     ccb_.begin_cycle();
   }
   advance_control();
-  for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
-    run_detached(slot);
+  if (has_detached_) {
+    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+      run_detached(slot);
+    }
   }
   for (std::uint32_t i = 0; i < service_count_; ++i) {
     ces_[service_order_[i]].tick();
   }
-  for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
-    ces_[detached_ce(slot)].tick();
+  if (has_detached_) {
+    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+      ces_[detached_ce(slot)].tick();
+    }
   }
   ++rotation_;
   ++now_;
+}
+
+Cycle Cluster::quiet_horizon() const {
+  Cycle horizon = kHorizonNever;
+  if (busy()) {
+    const isa::Phase& phase = program_->phases[phase_idx_];
+    if (std::holds_alternative<isa::SerialPhase>(phase)) {
+      // Serial control acts at phase entry and whenever the continuation
+      // CE drains; in between it only watches the CE execute.
+      if (!in_serial_phase_) {
+        return 0;
+      }
+      const Ce& ce = ces_[serial_ce_];
+      if (ce.done() || ce.idle()) {
+        return 0;
+      }
+      horizon = std::min(horizon, ce.quiet_horizon());
+    } else {
+      if (!in_loop_) {
+        return 0;  // Loop entry (CCB start_loop) happens next tick.
+      }
+      for (CeId c = 0; c < cluster_width(); ++c) {
+        switch (worker_[c]) {
+          case WorkerState::kExecuting: {
+            const Ce& ce = ces_[c];
+            if (ce.done()) {
+              return 0;  // Completion to reap (and maybe a loop to end).
+            }
+            horizon = std::min(horizon, ce.quiet_horizon());
+            break;
+          }
+          case WorkerState::kAwaitingDep:
+            if (ccb_.predecessor_complete(worker_iter_[c])) {
+              return 0;  // Dependence released; the CE starts next tick.
+            }
+            break;
+          case WorkerState::kNone:
+            if (!ccb_.all_dispatched()) {
+              return 0;  // A CCB grant is due next tick.
+            }
+            break;
+        }
+      }
+    }
+  }
+  if (has_detached_) {
+    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+      if (detached_[slot].program == nullptr) {
+        continue;
+      }
+      const Ce& ce = ces_[detached_ce(slot)];
+      if (ce.done() || ce.idle()) {
+        return 0;  // Detached control reaps/starts a repetition.
+      }
+      horizon = std::min(horizon, ce.quiet_horizon());
+    }
+  }
+  return horizon;
+}
+
+void Cluster::skip(Cycle cycles) {
+  for (Ce& ce : ces_) {
+    ce.skip(cycles);
+  }
+  if (busy() && in_loop_) {
+    // Naive ticks bump the dependence-wait counter once per waiting CE
+    // per cycle; a quiet stretch cannot release a dependence, so the
+    // waiter set is constant across it.
+    std::uint64_t waiting = 0;
+    for (CeId c = 0; c < cluster_width(); ++c) {
+      if (worker_[c] == WorkerState::kAwaitingDep) {
+        ++waiting;
+      }
+    }
+    stats_.dependence_wait_cycles += waiting * cycles;
+  }
+  rotation_ += cycles;
+  now_ += cycles;
 }
 
 std::uint32_t Cluster::active_mask() const {

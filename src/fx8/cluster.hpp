@@ -96,6 +96,18 @@ class Cluster {
   /// Advance one cycle (program control, CCB, crossbar, all CEs).
   void tick();
 
+  // --- Event-horizon fast-forward -------------------------------------
+  /// Cycles for which the whole cluster (program control, CCB, detached
+  /// slots, every CE) is guaranteed to repeat its current behaviour:
+  /// the minimum of the member CE horizons, 0 whenever control would act
+  /// (a completion to reap, an iteration to dispatch, a dependence to
+  /// release, a phase to start). See docs/parallel_execution.md.
+  [[nodiscard]] Cycle quiet_horizon() const;
+  /// Bulk-apply `cycles` ticks of quiet behaviour: advances every CE,
+  /// accumulates dependence-wait cycles, the rotation counter, and the
+  /// cluster clock. Requires cycles <= quiet_horizon().
+  void skip(Cycle cycles);
+
   /// Bitmask of CEs "active" in the paper's CCB-probe sense: executing
   /// serial code, or participating in a concurrent operation (holding an
   /// iteration, awaiting a dependence, or contending for one while
@@ -161,6 +173,11 @@ class Cluster {
   Crossbar crossbar_;
   ConcurrencyControlBus ccb_;
   std::vector<Ce> ces_;
+  /// Hoisted feature flags so tick() skips whole branches when a feature
+  /// is off (kRotating service order, detached slots) instead of
+  /// re-deriving the answer every cycle.
+  bool rotating_ = false;
+  bool has_detached_ = false;
   std::vector<CeId> base_order_;
   std::uint64_t rotation_ = 0;
   /// This cycle's service order (base_order_ rotated for kRotating;

@@ -39,6 +39,26 @@ void Ip::enter_burst() {
   access_countdown_ = config_.access_interval;
 }
 
+Cycle Ip::quiet_horizon() const {
+  if (state_left_ == 0) {
+    return 0;  // Period transition (an RNG draw) happens next tick.
+  }
+  if (!bursting_) {
+    return state_left_;
+  }
+  // Bursting: the access_countdown_'th tick from now issues an access
+  // (RNG draws, a cache touch), so stop one short of it.
+  return std::min<Cycle>(state_left_, access_countdown_ - 1);
+}
+
+void Ip::skip(Cycle cycles) {
+  REPRO_EXPECT(cycles <= quiet_horizon(), "IP skip beyond its horizon");
+  state_left_ -= cycles;
+  if (bursting_) {
+    access_countdown_ -= static_cast<std::uint32_t>(cycles);
+  }
+}
+
 void Ip::tick() {
   if (state_left_ == 0) {
     if (bursting_ || config_.duty <= 0.0) {

@@ -44,6 +44,14 @@ class Ip {
   /// Advance one cycle.
   void tick();
 
+  /// Event-horizon fast-forward: cycles until this IP can next touch the
+  /// machine (its cache/bus) or draw randomness — the rest of an idle
+  /// period, or the gap to the next in-burst access. 0 = tick naively.
+  [[nodiscard]] Cycle quiet_horizon() const;
+  /// Bulk-apply `cycles` quiet ticks (countdown bookkeeping only).
+  /// Requires cycles <= quiet_horizon().
+  void skip(Cycle cycles);
+
   [[nodiscard]] std::uint64_t accesses_issued() const { return accesses_; }
 
  private:

@@ -1,5 +1,7 @@
 #include "fx8/machine.hpp"
 
+#include <algorithm>
+
 #include "base/expect.hpp"
 #include "base/rng.hpp"
 
@@ -48,6 +50,34 @@ void Machine::tick() {
   membus_->tick(now_);
   shared_cache_->tick();
   ++now_;
+}
+
+Cycle Machine::quiet_horizon() const {
+  Cycle horizon = cluster_->quiet_horizon();
+  if (horizon == 0) {
+    return 0;
+  }
+  horizon = std::min(horizon, membus_->quiet_horizon(now_));
+  if (horizon == 0) {
+    return 0;
+  }
+  horizon = std::min(horizon, shared_cache_->quiet_horizon());
+  for (const Ip& ip : ips_) {
+    horizon = std::min(horizon, ip.quiet_horizon());
+    if (horizon == 0) {
+      return 0;
+    }
+  }
+  return horizon;
+}
+
+void Machine::skip(Cycle cycles) {
+  cluster_->skip(cycles);
+  for (Ip& ip : ips_) {
+    ip.skip(cycles);
+  }
+  membus_->skip(cycles);
+  now_ += cycles;
 }
 
 void Machine::run(Cycle cycles) {

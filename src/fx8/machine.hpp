@@ -49,6 +49,15 @@ class Machine {
   /// Convenience: tick `cycles` times.
   void run(Cycle cycles);
 
+  // --- Event-horizon fast-forward -------------------------------------
+  /// Minimum quiet horizon across the cluster, the IPs, the memory buses,
+  /// and the shared cache: the machine's externally visible behaviour is
+  /// a pure repeat for this many cycles (docs/parallel_execution.md).
+  [[nodiscard]] Cycle quiet_horizon() const;
+  /// Bulk-advance `cycles` quiet cycles; bit-identical to run(cycles).
+  /// Requires cycles <= quiet_horizon().
+  void skip(Cycle cycles);
+
   [[nodiscard]] Cycle now() const { return now_; }
 
   [[nodiscard]] Cluster& cluster() { return *cluster_; }

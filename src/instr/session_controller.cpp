@@ -1,6 +1,7 @@
 #include "instr/session_controller.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "base/expect.hpp"
 #include "instr/das_controller.hpp"
@@ -14,6 +15,17 @@ void must_ack(DasController& das, const std::string& line) {
   const DasController::Response response = das.command(line);
   REPRO_ENSURE(response.ok, "DAS rejected: " + line + " -> " + response.text);
 }
+
+/// Shortest horizon worth taking as a bulk jump. skip() walks every
+/// component just like a tick does, so jumping 2 or 3 cycles costs more
+/// than ticking them; below this, run the stretch naively instead.
+constexpr Cycle kMinProfitableSkip = 16;
+
+/// Cap on the adaptive naive-run length. While horizons stay short the
+/// controller re-checks them only every `stride` ticks (doubling up to
+/// this cap), so horizon arithmetic amortizes away on busy stretches; a
+/// long skip opportunity is noticed at most kMaxStride - 1 ticks late.
+constexpr Cycle kMaxStride = 64;
 
 }  // namespace
 
@@ -32,6 +44,49 @@ SessionController::SessionController(os::System& system,
 void SessionController::step() {
   workload_.tick(system_);
   system_.tick();
+}
+
+Cycle SessionController::quiet_horizon() const {
+  const Cycle workload = workload_.quiet_horizon(system_);
+  if (workload == 0) {
+    return 0;
+  }
+  return std::min(workload, system_.quiet_horizon());
+}
+
+void SessionController::advance(Cycle cycles) {
+  if (!config_.fast_forward) {
+    for (Cycle c = 0; c < cycles; ++c) {
+      step();
+    }
+    ff_stats_.naive_cycles += cycles;
+    return;
+  }
+  Cycle c = 0;
+  Cycle stride = 1;
+  while (c < cycles) {
+    const Cycle horizon = std::min(quiet_horizon(), cycles - c);
+    if (horizon >= kMinProfitableSkip) {
+      system_.skip(horizon);
+      c += horizon;
+      ff_stats_.skipped_cycles += horizon;
+      ++ff_stats_.jumps;
+      stride = 1;
+      continue;
+    }
+    // Short horizon: the next `horizon` ticks are pure repeats and the
+    // tick after that is an event — cheaper to run all of them naively
+    // than to bulk-jump. The stride pads the run so horizon arithmetic
+    // is paid once per run, not once per cycle.
+    const Cycle naive =
+        std::min(std::max(horizon + 1, stride), cycles - c);
+    for (Cycle i = 0; i < naive; ++i) {
+      step();
+    }
+    c += naive;
+    ff_stats_.naive_cycles += naive;
+    stride = std::min(stride * 2, kMaxStride);
+  }
 }
 
 SampleRecord SessionController::take_sample() {
@@ -65,12 +120,39 @@ SampleRecord SessionController::take_sample() {
 
   std::size_t next_snapshot = 0;
   bool acquiring = false;
-  for (Cycle c = 0; c < config_.interval_cycles; ++c) {
+  Cycle naive_budget = 0;
+  Cycle stride = 1;
+  for (Cycle c = 0; c < config_.interval_cycles;) {
     if (next_snapshot < starts.size() && c == starts[next_snapshot]) {
       must_ack(das, "ARM");
       acquiring = true;
     }
+    if (config_.fast_forward && !acquiring && naive_budget == 0) {
+      // Between acquisitions the probe is not latched, so quiet stretches
+      // can advance in one jump — clamped to the next snapshot start so
+      // the ARM lands on exactly the naive cycle. Short horizons run as
+      // naive bursts instead (see advance() for the stride rationale).
+      const Cycle bound = next_snapshot < starts.size()
+                              ? starts[next_snapshot]
+                              : config_.interval_cycles;
+      const Cycle horizon = std::min(quiet_horizon(), bound - c);
+      if (horizon >= kMinProfitableSkip) {
+        system_.skip(horizon);
+        c += horizon;
+        ff_stats_.skipped_cycles += horizon;
+        ++ff_stats_.jumps;
+        stride = 1;
+        continue;
+      }
+      naive_budget = std::min(std::max(horizon + 1, stride), bound - c);
+      stride = std::min(stride * 2, kMaxStride);
+    }
+    if (naive_budget > 0) {
+      --naive_budget;
+    }
     step();
+    ++c;
+    ++ff_stats_.naive_cycles;
     if (acquiring &&
         das.on_sample_clock(latch(system_.machine()))) {
       must_ack(das, "XFER");

@@ -32,6 +32,12 @@ struct SamplingConfig {
   /// Acquisitions grouped into one sample.
   std::uint32_t snapshots_per_sample = 5;
   std::size_t buffer_depth = 512;
+  /// Event-horizon fast-forward: while no acquisition is armed, quiet
+  /// stretches advance in one bulk jump clamped to the next snapshot
+  /// start, so every probe latch happens on a naively ticked cycle.
+  /// Bit-identical to cycle-by-cycle stepping; false forces the naive
+  /// path (differential testing). See docs/parallel_execution.md.
+  bool fast_forward = true;
 };
 
 struct SampleRecord {
@@ -41,10 +47,23 @@ struct SampleRecord {
   SoftwareSample sw;
 };
 
+/// Where the controller's cycles went: bulk-jumped vs naively ticked.
+/// Pure bookkeeping — identical simulation state either way.
+struct FastForwardStats {
+  Cycle skipped_cycles = 0;  ///< Advanced via system skip jumps.
+  Cycle naive_cycles = 0;    ///< Advanced tick-by-tick.
+  std::uint64_t jumps = 0;   ///< Number of bulk jumps taken.
+};
+
 class SessionController {
  public:
   SessionController(os::System& system, workload::WorkloadGenerator& workload,
                     const SamplingConfig& config, std::uint64_t seed);
+
+  /// Advance the system `cycles` cycles with no acquisition armed
+  /// (warmup, gaps between measurements). Fast-forwards quiet stretches
+  /// when the config enables it; bit-identical to naive stepping.
+  void advance(Cycle cycles);
 
   /// Run one sample interval and return its record.
   [[nodiscard]] SampleRecord take_sample();
@@ -59,14 +78,23 @@ class SessionController {
   [[nodiscard]] std::optional<std::vector<ProbeRecord>> capture_triggered(
       TriggerMode trigger, Cycle timeout);
 
+  /// Cumulative fast-forward accounting for this controller.
+  [[nodiscard]] const FastForwardStats& ff_stats() const {
+    return ff_stats_;
+  }
+
  private:
   void step();
+  /// Quiet horizon across the workload generator and the system: cycles
+  /// of guaranteed repetition the controller may skip in one jump.
+  [[nodiscard]] Cycle quiet_horizon() const;
 
   os::System& system_;
   workload::WorkloadGenerator& workload_;
   SamplingConfig config_;
   Rng rng_;
   std::uint64_t next_index_ = 0;
+  FastForwardStats ff_stats_;
   /// Snapshot start offsets, reused across take_sample calls.
   std::vector<Cycle> starts_scratch_;
 };

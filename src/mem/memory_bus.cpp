@@ -59,6 +59,50 @@ void MemoryBus::tick(Cycle now) {
   }
 }
 
+Cycle MemoryBus::quiet_horizon(Cycle now) const {
+  Cycle horizon = kHorizonNever;
+  for (const BusState& bus : buses_) {
+    if (bus.remaining > 0) {
+      // Counting down an active transaction is a pure repeat of the same
+      // opcode; the tick that completes it (inserting into finished_ and
+      // starting the next queued txn) must run naively.
+      horizon = std::min<Cycle>(horizon, bus.remaining - 1);
+    } else if (!bus.queue.empty()) {
+      const PendingTxn& head = bus.queue.front();
+      if (head.op == MemBusOp::kInvalidate) {
+        return 0;  // Starts unconditionally on the next tick.
+      }
+      // Head is blocked on its memory bank: the bus idles until the
+      // bank frees, and the tick that can start it must run naively.
+      const Cycle start = memory_.earliest_start(head.addr, now);
+      if (start <= now) {
+        return 0;
+      }
+      horizon = std::min(horizon, start - now);
+    }
+    if (horizon == 0) {
+      return 0;
+    }
+  }
+  return horizon;
+}
+
+void MemoryBus::skip(Cycle cycles) {
+  for (BusState& bus : buses_) {
+    if (bus.remaining > 0) {
+      REPRO_EXPECT(cycles < bus.remaining,
+                   "memory bus skip past a transaction completion");
+      bus.current_op = bus.active.op;
+      bus.remaining -= static_cast<std::uint32_t>(cycles);
+      bus.op_cycle_counts[static_cast<std::size_t>(bus.active.op)] += cycles;
+    } else {
+      bus.current_op = MemBusOp::kIdle;
+      bus.op_cycle_counts[static_cast<std::size_t>(MemBusOp::kIdle)] +=
+          cycles;
+    }
+  }
+}
+
 bool MemoryBus::take_finished(TxnId id) {
   const auto it = finished_.find(id);
   if (it == finished_.end()) {

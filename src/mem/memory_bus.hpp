@@ -44,6 +44,16 @@ class MemoryBus {
   /// True (and consumes the completion) if the transaction has finished.
   [[nodiscard]] bool take_finished(TxnId id);
 
+  /// Event-horizon fast-forward: cycles of guaranteed pure repetition.
+  /// An idle bus contributes kHorizonNever; an active transaction
+  /// contributes remaining - 1 (its completion tick must run naively); a
+  /// bank-blocked queue head contributes the wait until its bank frees.
+  [[nodiscard]] Cycle quiet_horizon(Cycle now) const;
+  /// Bulk-apply `cycles` quiet ticks: idle buses book idle opcode
+  /// cycles, active transactions count down without completing.
+  /// Requires cycles <= quiet_horizon(now).
+  void skip(Cycle cycles);
+
   /// Opcode a probe on bus `bus` would latch for the cycle just ticked.
   [[nodiscard]] MemBusOp op_on(std::uint32_t bus) const;
 

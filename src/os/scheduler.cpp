@@ -96,6 +96,32 @@ void Scheduler::tick(Cycle now) {
   }
 }
 
+Cycle Scheduler::quiet_horizon() const {
+  if (running_ && !machine_.cluster().busy()) {
+    return 0;  // A cluster job to reap.
+  }
+  if (!running_ && !queue_.empty()) {
+    return 0;  // A job to start.
+  }
+  bool free_slot = false;
+  for (std::uint32_t slot = 0; slot < detached_running_.size(); ++slot) {
+    if (detached_running_[slot]) {
+      if (!machine_.cluster().detached_busy(slot)) {
+        return 0;  // A detached job to reap.
+      }
+    } else {
+      free_slot = true;
+    }
+  }
+  if (free_slot && !queue_.empty() &&
+      std::any_of(queue_.begin(), queue_.end(), [](const Job& job) {
+        return job.cls == JobClass::kSerialDetached;
+      })) {
+    return 0;  // A serial job to route onto a free detached CE.
+  }
+  return kHorizonNever;
+}
+
 bool Scheduler::idle() const {
   if (running_ || !queue_.empty()) {
     return false;

@@ -54,6 +54,12 @@ class Scheduler {
   /// True when nothing is running and nothing is queued.
   [[nodiscard]] bool idle() const;
 
+  /// Event-horizon fast-forward: 0 when the next tick would reap or
+  /// start a job, kHorizonNever otherwise (the scheduler only reacts to
+  /// cluster state, whose changes the cluster horizon already bounds).
+  /// The scheduler keeps no per-cycle counters, so there is no skip().
+  [[nodiscard]] Cycle quiet_horizon() const;
+
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
   [[nodiscard]] bool job_running() const { return running_.has_value(); }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }

@@ -22,20 +22,25 @@ Rng replicate_rng(std::uint64_t base_seed, std::size_t replicate) {
                                            1)));
 }
 
-/// Compute replicate statistics [begin, end) into stats.
-void run_replicates(std::span<const double> values,
-                    const std::function<double(std::span<const double>)>&
-                        statistic,
-                    std::uint64_t base_seed, std::size_t begin,
-                    std::size_t end, std::span<double> stats) {
+/// Compute replicate statistics [begin, end) into a task-local buffer.
+/// Workers never write a shared array: adjacent chunks' slots would sit
+/// on the same cache line and false-share; instead each task returns its
+/// chunk and the caller copies them back in deterministic chunk order.
+std::vector<double> run_replicates(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    std::uint64_t base_seed, std::size_t begin, std::size_t end) {
+  std::vector<double> chunk;
+  chunk.reserve(end - begin);
   std::vector<double> resample(values.size());
   for (std::size_t r = begin; r < end; ++r) {
     Rng rng = replicate_rng(base_seed, r);
     for (double& v : resample) {
       v = values[rng.uniform(values.size())];
     }
-    stats[r] = statistic(resample);
+    chunk.push_back(statistic(resample));
   }
+  return chunk;
 }
 
 }  // namespace
@@ -55,26 +60,31 @@ ConfidenceInterval bootstrap_ci(
   // One draw from the caller's stream seeds every replicate stream;
   // replicate r is a deterministic function of (base_seed, r) alone.
   const std::uint64_t base_seed = rng.next();
-  std::vector<double> stats(resamples);
+  std::vector<double> stats;
+  stats.reserve(resamples);
   const std::size_t workers = std::min<std::size_t>(
       base::ThreadPool::resolve_workers(threads), resamples);
   if (workers <= 1) {
-    run_replicates(values, statistic, base_seed, 0, resamples, stats);
+    stats = run_replicates(values, statistic, base_seed, 0, resamples);
   } else {
+    // Finer-than-worker chunks keep the pool busy when statistic costs
+    // vary; results concatenate in chunk order, which is replicate
+    // order, so quantiles see the serial sequence exactly.
     base::ThreadPool pool(workers);
-    std::vector<std::future<void>> futures;
-    futures.reserve(workers);
-    const std::size_t chunk = (resamples + workers - 1) / workers;
-    for (std::size_t begin = 0; begin < resamples; begin += chunk) {
-      const std::size_t end = std::min(begin + chunk, resamples);
-      futures.push_back(pool.submit(
-          [&values, &statistic, base_seed, begin, end, &stats] {
-            run_replicates(values, statistic, base_seed, begin, end,
-                           stats);
+    const std::size_t chunks = std::min(resamples, workers * 4);
+    const std::size_t per_chunk = (resamples + chunks - 1) / chunks;
+    std::vector<std::future<std::vector<double>>> futures;
+    futures.reserve(chunks);
+    for (std::size_t begin = 0; begin < resamples; begin += per_chunk) {
+      const std::size_t end = std::min(begin + per_chunk, resamples);
+      futures.push_back(
+          pool.submit([&values, &statistic, base_seed, begin, end] {
+            return run_replicates(values, statistic, base_seed, begin, end);
           }));
     }
-    for (std::future<void>& future : futures) {
-      future.get();
+    for (std::future<std::vector<double>>& future : futures) {
+      const std::vector<double> chunk = future.get();
+      stats.insert(stats.end(), chunk.begin(), chunk.end());
     }
   }
   const double alpha = (1.0 - level) / 2.0;

@@ -40,6 +40,19 @@ void WorkloadGenerator::submit_burst(os::System& system) {
   }
 }
 
+Cycle WorkloadGenerator::quiet_horizon(const os::System& system) const {
+  if (!system.scheduler().idle()) {
+    // Busy system: ticks are no-ops once the drain flag is latched (the
+    // first busy tick must run naively to latch it).
+    return waiting_for_drain_ ? kHorizonNever : 0;
+  }
+  if (waiting_for_drain_) {
+    return 0;  // The idle-gap draw (an RNG call) happens next tick.
+  }
+  const Cycle now = system.now();
+  return now < next_arrival_ ? next_arrival_ - now : 0;
+}
+
 void WorkloadGenerator::tick(os::System& system) {
   if (!system.scheduler().idle()) {
     waiting_for_drain_ = true;

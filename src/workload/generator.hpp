@@ -40,6 +40,12 @@ class WorkloadGenerator {
   /// machine has drained and the idle gap has elapsed.
   void tick(os::System& system);
 
+  /// Event-horizon fast-forward: cycles for which tick(system) is
+  /// guaranteed to be a no-op — forever while the system is busy (the
+  /// system horizon bounds the drain), the rest of the idle gap while it
+  /// is drained. 0 = the next tick may draw randomness or submit.
+  [[nodiscard]] Cycle quiet_horizon(const os::System& system) const;
+
   [[nodiscard]] std::uint64_t jobs_generated() const { return next_job_id_; }
   [[nodiscard]] const WorkloadMix& mix() const { return mix_; }
 
