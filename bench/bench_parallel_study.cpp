@@ -28,9 +28,10 @@
 #include <utility>
 
 #include "base/thread_pool.hpp"
-#include "common.hpp"
+#include "core/presets.hpp"
 #include "core/regression_models.hpp"
 #include "core/study.hpp"
+#include "workload/presets.hpp"
 
 namespace {
 
@@ -108,15 +109,16 @@ int main(int argc, char** argv) {
   const bool baseline_only =
       argc > 1 && std::strcmp(argv[1], "--baseline") == 0;
 
-  bench::print_header(
-      "PERF — study engine (event-horizon fast-forward + thread pool)",
-      "nine independent sampling sessions ran the study (§3.5); they are "
-      "embarrassingly parallel and must stay bit-reproducible");
+  std::printf(
+      "=============================================================\n"
+      "PERF — study engine (event-horizon fast-forward + thread pool)\n"
+      "Paper: nine independent sampling sessions ran the study (§3.5); "
+      "they are\nembarrassingly parallel and must stay bit-reproducible\n"
+      "=============================================================\n\n");
 
-  core::StudyConfig config = bench::study_config();
-  config.samples_per_session = 6;
-  config.sampling.interval_cycles = 40000;
-  config.warmup_cycles = 10000;
+  // The CI-scale study population (core/presets.hpp) — big enough to
+  // time, small enough for the perf-smoke job.
+  core::StudyConfig config = core::presets::quick_study();
 
   const std::size_t sessions = workload::session_presets().size();
   const double cycles_per_session = static_cast<double>(

@@ -5,6 +5,7 @@
 // way Figure 12 does.
 #include <cstdio>
 
+#include "core/presets.hpp"
 #include "core/regression_models.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
@@ -13,9 +14,7 @@
 int main() {
   using namespace repro;
 
-  core::StudyConfig config;
-  config.samples_per_session = 6;
-  config.sampling.interval_cycles = 60000;
+  const core::StudyConfig config = core::presets::example_study();
 
   std::printf("Gathering samples across the nine sessions...\n\n");
   const core::StudyResult study = core::run_default_study(config);

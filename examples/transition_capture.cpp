@@ -6,6 +6,7 @@
 // statistics.
 #include <cstdio>
 
+#include "core/presets.hpp"
 #include "core/report.hpp"
 #include "core/transition.hpp"
 #include "workload/presets.hpp"
@@ -13,8 +14,8 @@
 int main() {
   using namespace repro;
 
-  core::TransitionConfig config;
-  config.captures = 25;  // keep the example snappy
+  // The snappy example-scale capture count (core/presets.hpp).
+  const core::TransitionConfig config = core::presets::example_transition();
 
   std::printf("Capturing 8-active -> lower transitions...\n\n");
   const core::TransitionResult result = core::run_transition_study(

@@ -3,6 +3,7 @@
 // Table A.1, and the Figure 3/4/5 distributions.
 #include <cstdio>
 
+#include "core/presets.hpp"
 #include "core/report.hpp"
 #include "core/study.hpp"
 #include "stats/freq_table.hpp"
@@ -10,9 +11,8 @@
 int main() {
   using namespace repro;
 
-  core::StudyConfig config;
-  config.samples_per_session = 6;  // keep the example snappy
-  config.sampling.interval_cycles = 60000;
+  // The snappy example-scale population (core/presets.hpp).
+  const core::StudyConfig config = core::presets::example_study();
 
   std::printf("Running the nine measurement sessions...\n\n");
   const core::StudyResult study = core::run_default_study(config);

@@ -1,0 +1,64 @@
+#include "artifacts/inputs.hpp"
+
+#include "base/expect.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::artifacts {
+
+Inputs::Inputs(bool quick)
+    : quick_(quick),
+      study_config_(quick ? core::presets::quick_study()
+                          : core::presets::bench_study()),
+      transition_config_(quick ? core::presets::quick_transition()
+                               : core::presets::bench_transition()) {}
+
+const core::StudyResult& Inputs::study() {
+  if (!study_) {
+    study_ = core::run_default_study(study_config_);
+    ++counts_.study_runs;
+  }
+  return *study_;
+}
+
+const std::vector<core::AnalyzedSample>& Inputs::samples() {
+  if (!samples_) {
+    samples_ = study().all_samples();
+  }
+  return *samples_;
+}
+
+const std::vector<core::AnalyzedSample>& Inputs::samples_with_pc() {
+  if (!samples_with_pc_) {
+    samples_with_pc_ = core::with_defined_pc(samples());
+  }
+  return *samples_with_pc_;
+}
+
+const std::vector<core::MedianModel>& Inputs::models() {
+  if (!models_) {
+    models_ = core::fit_all_models(samples());
+  }
+  return *models_;
+}
+
+const core::MedianModel& Inputs::model(core::SystemMeasure measure,
+                                       core::Regressor regressor) {
+  for (const core::MedianModel& model : models()) {
+    if (model.measure == measure && model.regressor == regressor) {
+      return model;
+    }
+  }
+  REPRO_EXPECT(false, "no fitted model for the requested measure/regressor");
+}
+
+const core::TransitionResult& Inputs::transition() {
+  if (!transition_) {
+    transition_ = core::run_transition_study(
+        workload::high_concurrency_mix(), transition_config_,
+        instr::TriggerMode::kTransitionFromFull);
+    ++counts_.transition_runs;
+  }
+  return *transition_;
+}
+
+}  // namespace repro::artifacts

@@ -1,0 +1,98 @@
+// The shared study cache behind the artifact pipeline.
+//
+// Sixteen of the paper's artifacts read the same nine-session
+// random-sampling study and two read the same triggered transition
+// study; the old one-shot bench binaries re-ran them once each (~20
+// study runs per full reproduction). Inputs memoizes each experiment
+// the first time an artifact asks for it and hands every later artifact
+// the cached result — the experiments run *at most once* per fx8bench
+// invocation, which `run_counts()` makes auditable in the JSON report.
+//
+// Derived views (the flattened sample population, the Pc-defined subset,
+// the six fitted regression models) are memoized too, since half the
+// artifacts recompute them from the same study.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/regression_models.hpp"
+#include "core/sample.hpp"
+#include "core/study.hpp"
+#include "core/transition.hpp"
+
+namespace repro::artifacts {
+
+struct RunCounts {
+  int study_runs = 0;       ///< Shared nine-session studies executed.
+  int transition_runs = 0;  ///< Shared transition studies executed.
+  int private_runs = 0;     ///< Artifact-private simulations executed.
+};
+
+class Inputs {
+ public:
+  /// `quick` swaps the paper-scale populations for the CI-scale presets
+  /// (core::presets::quick_*) and tells artifact-private simulations to
+  /// shrink via scaled().
+  explicit Inputs(bool quick = false);
+
+  [[nodiscard]] bool quick() const { return quick_; }
+  [[nodiscard]] const core::StudyConfig& study_config() const {
+    return study_config_;
+  }
+  [[nodiscard]] const core::TransitionConfig& transition_config() const {
+    return transition_config_;
+  }
+
+  /// The shared nine-session study (memoized; runs on first call).
+  const core::StudyResult& study();
+
+  /// study().all_samples(), flattened once.
+  const std::vector<core::AnalyzedSample>& samples();
+
+  /// The Pc-defined subset of samples(), filtered once.
+  const std::vector<core::AnalyzedSample>& samples_with_pc();
+
+  /// The six Table 3/4 median models over samples(), fitted once.
+  const std::vector<core::MedianModel>& models();
+
+  /// One fitted model out of models().
+  const core::MedianModel& model(core::SystemMeasure measure,
+                                 core::Regressor regressor);
+
+  /// The shared 8-active -> lower transition study (memoized).
+  const core::TransitionResult& transition();
+
+  /// The cached study if some artifact already forced it, else nullptr
+  /// (for reporting — never triggers a run).
+  [[nodiscard]] const core::StudyResult* study_if_run() const {
+    return study_ ? &*study_ : nullptr;
+  }
+
+  /// Scale an artifact-private population: `full` normally, `quick`
+  /// under --quick. Call note_private_run() next to the simulation so
+  /// the run accounting stays honest.
+  [[nodiscard]] std::uint32_t scaled(std::uint32_t full,
+                                     std::uint32_t quick) const {
+    return quick_ ? quick : full;
+  }
+
+  void note_private_run() { ++counts_.private_runs; }
+
+  [[nodiscard]] const RunCounts& run_counts() const { return counts_; }
+
+ private:
+  bool quick_;
+  core::StudyConfig study_config_;
+  core::TransitionConfig transition_config_;
+  std::optional<core::StudyResult> study_;
+  std::optional<std::vector<core::AnalyzedSample>> samples_;
+  std::optional<std::vector<core::AnalyzedSample>> samples_with_pc_;
+  std::optional<std::vector<core::MedianModel>> models_;
+  std::optional<core::TransitionResult> transition_;
+  RunCounts counts_;
+};
+
+}  // namespace repro::artifacts

@@ -1,0 +1,29 @@
+#include "artifacts/registry.hpp"
+
+namespace repro::artifacts {
+
+const std::vector<ArtifactDef>& catalog() {
+  static const std::vector<ArtifactDef> all = [] {
+    std::vector<ArtifactDef> defs;
+    register_tables(defs);
+    register_study_figures(defs);
+    register_transition_figures(defs);
+    register_model_figures(defs);
+    register_appendices(defs);
+    register_ablations(defs);
+    register_extensions(defs);
+    return defs;
+  }();
+  return all;
+}
+
+const ArtifactDef* find_artifact(const std::string& id) {
+  for (const ArtifactDef& def : catalog()) {
+    if (def.id == id) {
+      return &def;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace repro::artifacts

@@ -1,0 +1,31 @@
+// The artifact catalog: every paper table/figure/appendix plus the
+// design ablations and §6 extensions, in paper order.
+//
+// Registration is explicit (no static-initializer tricks that a static
+// library's linker could drop): registry.cpp calls each group's
+// register_* function once, and the catalog order is the paper's order.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artifacts/artifact.hpp"
+
+namespace repro::artifacts {
+
+/// Every registered artifact, in catalog (paper) order.
+[[nodiscard]] const std::vector<ArtifactDef>& catalog();
+
+/// Lookup by id; nullptr when unknown.
+[[nodiscard]] const ArtifactDef* find_artifact(const std::string& id);
+
+// Group registrars (one per artifacts/*.cpp registration file).
+void register_tables(std::vector<ArtifactDef>& catalog);
+void register_study_figures(std::vector<ArtifactDef>& catalog);
+void register_transition_figures(std::vector<ArtifactDef>& catalog);
+void register_model_figures(std::vector<ArtifactDef>& catalog);
+void register_appendices(std::vector<ArtifactDef>& catalog);
+void register_ablations(std::vector<ArtifactDef>& catalog);
+void register_extensions(std::vector<ArtifactDef>& catalog);
+
+}  // namespace repro::artifacts

@@ -1,0 +1,199 @@
+#include "artifacts/runner.hpp"
+
+#include <chrono>
+#include <exception>
+
+#include "artifacts/registry.hpp"
+#include "core/study.hpp"
+
+namespace repro::artifacts {
+
+namespace {
+
+constexpr const char* kRule =
+    "=============================================================";
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return std::chrono::duration<double>(elapsed).count();
+}
+
+core::Json check_json(const Check& check) {
+  core::Json object = core::Json::object();
+  object.set("name", check.name);
+  object.set("measured", check.measured);
+  object.set("paper", check.paper);
+  object.set("lo", check.lo);
+  object.set("hi", check.hi);
+  object.set("pass", check.pass);
+  object.set("enforced", check.enforced);
+  return object;
+}
+
+core::Json result_json(const ArtifactResult& result,
+                       const ArtifactDef* def) {
+  core::Json object = core::Json::object();
+  object.set("id", result.id);
+  if (def != nullptr) {
+    object.set("kind", to_string(def->kind));
+    object.set("paper_ref", def->paper_ref);
+    object.set("title", def->title);
+    object.set("paper_claim", def->paper_claim);
+  }
+  object.set("status", to_string(result.status));
+  if (!result.error.empty()) {
+    object.set("error", result.error);
+  }
+  object.set("seconds", result.seconds);
+  core::Json metrics = core::Json::object();
+  for (const Metric& metric : result.metrics) {
+    metrics.set(metric.name, metric.value);
+  }
+  object.set("metrics", metrics);
+  core::Json checks = core::Json::array();
+  for (const Check& check : result.checks) {
+    checks.push_back(check_json(check));
+  }
+  object.set("checks", checks);
+  return object;
+}
+
+}  // namespace
+
+int RunReport::exit_code() const {
+  if (errors > 0) {
+    return 2;
+  }
+  return tolerance_failed > 0 ? 1 : 0;
+}
+
+std::string render_header(const ArtifactDef& def) {
+  std::string header;
+  header += kRule;
+  header += '\n';
+  header += def.title;
+  header += "\nPaper: ";
+  header += def.paper_claim;
+  header += '\n';
+  header += kRule;
+  header += "\n\n";
+  return header;
+}
+
+ArtifactResult run_artifact(const ArtifactDef& def, Inputs& inputs) {
+  Context ctx(inputs);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    def.render(ctx);
+  } catch (const std::exception& error) {
+    ctx.fail(error.what());
+  } catch (...) {
+    ctx.fail("unknown exception");
+  }
+  ArtifactResult result = ctx.take();
+  result.id = def.id;
+  result.seconds = seconds_since(start);
+  return result;
+}
+
+RunReport run_artifacts(const std::vector<const ArtifactDef*>& defs,
+                        Inputs& inputs) {
+  RunReport report;
+  const auto start = std::chrono::steady_clock::now();
+  for (const ArtifactDef* def : defs) {
+    ArtifactResult result = run_artifact(*def, inputs);
+    switch (result.status) {
+      case ArtifactStatus::kOk:
+        ++report.ok;
+        break;
+      case ArtifactStatus::kToleranceFailed:
+        ++report.tolerance_failed;
+        break;
+      case ArtifactStatus::kError:
+        ++report.errors;
+        break;
+    }
+    report.results.push_back(std::move(result));
+  }
+  report.run_counts = inputs.run_counts();
+  report.total_seconds = seconds_since(start);
+  return report;
+}
+
+core::Json build_report_json(const RunReport& report, const Inputs& inputs,
+                             const core::StudyResult* study) {
+  core::Json root = core::Json::object();
+  root.set("schema", "fx8bench-report/1");
+  root.set("paper",
+           "McGuire 1987, A Measurement-Based Study of Concurrency in a "
+           "Multiprocessor");
+  root.set("quick", inputs.quick());
+
+  core::Json config = core::Json::object();
+  {
+    const core::StudyConfig& sc = inputs.study_config();
+    core::Json study_config = core::Json::object();
+    study_config.set("samples_per_session",
+                     static_cast<std::uint64_t>(sc.samples_per_session));
+    study_config.set("interval_cycles",
+                     static_cast<std::uint64_t>(sc.sampling.interval_cycles));
+    study_config.set("warmup_cycles",
+                     static_cast<std::uint64_t>(sc.warmup_cycles));
+    study_config.set("seed", static_cast<std::uint64_t>(sc.seed));
+    config.set("study", study_config);
+
+    const core::TransitionConfig& tc = inputs.transition_config();
+    core::Json transition_config = core::Json::object();
+    transition_config.set("captures",
+                          static_cast<std::uint64_t>(tc.captures));
+    transition_config.set(
+        "capture_timeout",
+        static_cast<std::uint64_t>(tc.capture_timeout));
+    transition_config.set("seed", static_cast<std::uint64_t>(tc.seed));
+    config.set("transition", transition_config);
+  }
+  root.set("config", config);
+
+  core::Json runs = core::Json::object();
+  runs.set("study_runs", report.run_counts.study_runs);
+  runs.set("transition_runs", report.run_counts.transition_runs);
+  runs.set("private_runs", report.run_counts.private_runs);
+  root.set("experiment_runs", runs);
+
+  if (study != nullptr) {
+    core::Json engine = core::Json::object();
+    engine.set("threads",
+               static_cast<std::uint64_t>(
+                   core::resolve_threads(inputs.study_config())));
+    engine.set("ff_skipped_cycles",
+               static_cast<std::uint64_t>(study->ff.skipped_cycles));
+    engine.set("ff_naive_cycles",
+               static_cast<std::uint64_t>(study->ff.naive_cycles));
+    engine.set("ff_jumps", static_cast<std::uint64_t>(study->ff.jumps));
+    const double total = static_cast<double>(study->ff.skipped_cycles +
+                                             study->ff.naive_cycles);
+    engine.set("ff_skipped_share",
+               total > 0.0
+                   ? static_cast<double>(study->ff.skipped_cycles) / total
+                   : 0.0);
+    root.set("study_engine", engine);
+  }
+
+  core::Json summary = core::Json::object();
+  summary.set("artifacts", static_cast<std::uint64_t>(report.results.size()));
+  summary.set("ok", report.ok);
+  summary.set("tolerance_failed", report.tolerance_failed);
+  summary.set("errors", report.errors);
+  summary.set("total_seconds", report.total_seconds);
+  summary.set("exit_code", report.exit_code());
+  root.set("summary", summary);
+
+  core::Json artifacts = core::Json::array();
+  for (const ArtifactResult& result : report.results) {
+    artifacts.push_back(result_json(result, find_artifact(result.id)));
+  }
+  root.set("artifacts", artifacts);
+  return root;
+}
+
+}  // namespace repro::artifacts

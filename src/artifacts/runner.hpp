@@ -1,0 +1,45 @@
+// The artifact runner: executes a selection of the catalog against one
+// shared input cache, times each render, and assembles the structured
+// JSON report fx8bench emits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "artifacts/artifact.hpp"
+#include "artifacts/inputs.hpp"
+#include "core/json.hpp"
+
+namespace repro::artifacts {
+
+struct RunReport {
+  std::vector<ArtifactResult> results;
+  RunCounts run_counts;
+  double total_seconds = 0.0;
+  int ok = 0;
+  int tolerance_failed = 0;
+  int errors = 0;
+
+  /// 0 when every artifact is kOk; 1 on any tolerance failure; 2 on any
+  /// render error.
+  [[nodiscard]] int exit_code() const;
+};
+
+/// The ===== header the old one-shot benches printed, off the def.
+[[nodiscard]] std::string render_header(const ArtifactDef& def);
+
+/// Render one artifact: wall-time the render, convert exceptions into
+/// kError results.
+[[nodiscard]] ArtifactResult run_artifact(const ArtifactDef& def,
+                                          Inputs& inputs);
+
+/// Run the given defs in catalog order against one shared cache.
+[[nodiscard]] RunReport run_artifacts(
+    const std::vector<const ArtifactDef*>& defs, Inputs& inputs);
+
+/// The fx8bench JSON document (schema: docs/benchmarks.md).
+[[nodiscard]] core::Json build_report_json(const RunReport& report,
+                                           const Inputs& inputs,
+                                           const core::StudyResult* study);
+
+}  // namespace repro::artifacts

@@ -1,0 +1,174 @@
+#include "core/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/expect.hpp"
+
+namespace repro::core {
+
+Json Json::array() {
+  Json value;
+  value.kind_ = Kind::kArray;
+  return value;
+}
+
+Json Json::object() {
+  Json value;
+  value.kind_ = Kind::kObject;
+  return value;
+}
+
+void Json::push_back(Json value) {
+  REPRO_EXPECT(kind_ == Kind::kArray, "push_back on a non-array Json value");
+  children_.emplace_back(std::string(), std::move(value));
+}
+
+void Json::set(const std::string& key, Json value) {
+  REPRO_EXPECT(kind_ == Kind::kObject, "set on a non-object Json value");
+  for (auto& [existing, child] : children_) {
+    if (existing == key) {
+      child = std::move(value);
+      return;
+    }
+  }
+  children_.emplace_back(key, std::move(value));
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) {
+    return nullptr;
+  }
+  for (const auto& [existing, child] : children_) {
+    if (existing == key) {
+      return &child;
+    }
+  }
+  return nullptr;
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string number_repr(double value) {
+  if (!std::isfinite(value)) {
+    return "null";  // NaN/inf are not representable in JSON.
+  }
+  // Integers print exactly; everything else gets a round-trippable %.12g.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+  const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+  const char* newline = indent > 0 ? "\n" : "";
+  const char* key_sep = indent > 0 ? ": " : ":";
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += number_repr(number_);
+      break;
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      break;
+    case Kind::kArray: {
+      if (children_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += newline;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += pad;
+        children_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < children_.size()) {
+          out += ',';
+        }
+        out += newline;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (children_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += newline;
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        out += pad;
+        out += '"';
+        out += json_escape(children_[i].first);
+        out += '"';
+        out += key_sep;
+        children_[i].second.dump_to(out, indent, depth + 1);
+        if (i + 1 < children_.size()) {
+          out += ',';
+        }
+        out += newline;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+}  // namespace repro::core

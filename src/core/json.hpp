@@ -1,0 +1,73 @@
+// Minimal structured-JSON writer for the export surface.
+//
+// The artifact suite emits one machine-readable document per run
+// (fx8bench --json); the CSV exporter next door covers per-sample data.
+// This is a writer, not a parser: ordered objects, arrays, strings,
+// numbers, booleans, null. Non-finite numbers serialize as null so the
+// document stays valid JSON even when a metric is undefined (NaN metrics
+// additionally fail their artifact's checks — see artifacts/artifact.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace repro::core {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}  // NOLINT
+  Json(int value) : Json(static_cast<double>(value)) {}  // NOLINT
+  Json(std::uint64_t value)  // NOLINT
+      : Json(static_cast<double>(value)) {}
+  Json(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}  // NOLINT
+
+  [[nodiscard]] static Json array();
+  [[nodiscard]] static Json object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  /// Append to an array (kind must be kArray).
+  void push_back(Json value);
+  /// Set a key on an object (kind must be kObject). Keys keep insertion
+  /// order; setting an existing key overwrites in place.
+  void set(const std::string& key, Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& items()
+      const {
+    return children_;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return number_; }
+  [[nodiscard]] const std::string& as_string() const { return string_; }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  /// Array elements carry empty keys; object entries carry their key.
+  std::vector<std::pair<std::string, Json>> children_;
+};
+
+/// JSON string escaping (quotes not included).
+[[nodiscard]] std::string json_escape(const std::string& raw);
+
+}  // namespace repro::core

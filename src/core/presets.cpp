@@ -1,0 +1,74 @@
+#include "core/presets.hpp"
+
+namespace repro::core::presets {
+
+StudyConfig bench_study() {
+  StudyConfig config;
+  config.samples_per_session = 12;
+  config.sampling.interval_cycles = 80000;
+  config.warmup_cycles = 20000;
+  config.seed = 0x19870301;
+  return config;
+}
+
+StudyConfig quick_study() {
+  StudyConfig config = bench_study();
+  config.samples_per_session = 6;
+  config.sampling.interval_cycles = 40000;
+  config.warmup_cycles = 10000;
+  return config;
+}
+
+TransitionConfig bench_transition() {
+  TransitionConfig config;
+  config.captures = 60;
+  config.capture_timeout = 400000;
+  config.warmup_cycles = 20000;
+  config.seed = 0x19870402;
+  return config;
+}
+
+TransitionConfig quick_transition() {
+  TransitionConfig config = bench_transition();
+  config.captures = 20;
+  return config;
+}
+
+StudyConfig example_study() {
+  StudyConfig config;
+  config.samples_per_session = 6;
+  config.sampling.interval_cycles = 60000;
+  return config;
+}
+
+TransitionConfig example_transition() {
+  TransitionConfig config;
+  config.captures = 25;
+  return config;
+}
+
+StudyConfig small_study() {
+  StudyConfig config;
+  config.samples_per_session = 3;
+  config.sampling.interval_cycles = 25000;
+  config.warmup_cycles = 5000;
+  return config;
+}
+
+StudyConfig tiny_study() {
+  StudyConfig config;
+  config.samples_per_session = 2;
+  config.sampling.interval_cycles = 15000;
+  config.warmup_cycles = 3000;
+  return config;
+}
+
+TransitionConfig tiny_transition() {
+  TransitionConfig config;
+  config.captures = 3;
+  config.capture_timeout = 300000;
+  config.warmup_cycles = 3000;
+  return config;
+}
+
+}  // namespace repro::core::presets

@@ -1,0 +1,54 @@
+// Canonical experiment configurations (one source of truth).
+//
+// Every consumer of the study/transition engines — the fx8bench artifact
+// suite, the examples, and the integration tests — used to copy-paste its
+// own seed/sample-count/warmup literals. They live here now, at three
+// scales:
+//
+//   bench_*   — the paper-scale populations the artifact suite and
+//               EXPERIMENTS.md numbers are produced from,
+//   example_* — reduced counts that keep the example binaries snappy,
+//   small_* / tiny_* — integration- and unit-test scales.
+//
+// `quick` variants shrink the populations for CI (fx8bench --quick);
+// they keep the same seeds so the workload mixture is unchanged, only
+// the sample/capture counts drop.
+#pragma once
+
+#include "core/study.hpp"
+#include "core/transition.hpp"
+
+namespace repro::core::presets {
+
+/// The nine-session random-sampling study used by every Table/Figure
+/// artifact (larger than the examples for stabler medians).
+[[nodiscard]] StudyConfig bench_study();
+
+/// CI-scale variant of `bench_study()`: same seed and mixes, half the
+/// samples over shorter intervals (fx8bench --quick).
+[[nodiscard]] StudyConfig quick_study();
+
+/// The triggered-capture configuration for the transition artifacts
+/// (Figures 6/7 and the service-order ablation).
+[[nodiscard]] TransitionConfig bench_transition();
+
+/// CI-scale variant of `bench_transition()`.
+[[nodiscard]] TransitionConfig quick_transition();
+
+/// Example-binary scale (examples/workload_study, regression_models).
+[[nodiscard]] StudyConfig example_study();
+
+/// Example-binary scale (examples/transition_capture).
+[[nodiscard]] TransitionConfig example_transition();
+
+/// Integration-test scale (tests/integration/end_to_end_test).
+[[nodiscard]] StudyConfig small_study();
+
+/// Unit-test scale (tests/core/*): two samples per session, short
+/// intervals — just enough signal to assert structure.
+[[nodiscard]] StudyConfig tiny_study();
+
+/// Unit-test transition scale (tests/core/study_test).
+[[nodiscard]] TransitionConfig tiny_transition();
+
+}  // namespace repro::core::presets

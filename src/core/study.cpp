@@ -18,6 +18,7 @@ namespace {
 struct SessionPart {
   std::vector<AnalyzedSample> samples;
   instr::EventCounts totals;
+  instr::FastForwardStats ff;
   std::uint32_t width = kMaxCes;
 };
 
@@ -70,6 +71,7 @@ SessionPart run_replicate(const workload::WorkloadMix& mix,
     part.samples.push_back(analyze(record, part.width));
     part.totals.merge(record.hw);
   }
+  part.ff = controller.ff_stats();
   return part;
 }
 
@@ -92,6 +94,9 @@ SessionResult merge_parts(const workload::WorkloadMix& mix,
                           std::make_move_iterator(part.samples.begin()),
                           std::make_move_iterator(part.samples.end()));
     result.totals.merge(part.totals);
+    result.ff.skipped_cycles += part.ff.skipped_cycles;
+    result.ff.naive_cycles += part.ff.naive_cycles;
+    result.ff.jumps += part.ff.jumps;
   }
   result.overall = ConcurrencyMeasures::from_counts(
       std::span(result.totals.num).first(width + 1));
@@ -181,6 +186,9 @@ StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
   }
   for (const SessionResult& session : study.sessions) {
     study.totals.merge(session.totals);
+    study.ff.skipped_cycles += session.ff.skipped_cycles;
+    study.ff.naive_cycles += session.ff.naive_cycles;
+    study.ff.jumps += session.ff.jumps;
   }
   const std::uint32_t width =
       study.sessions.empty() ? kMaxCes

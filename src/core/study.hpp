@@ -60,12 +60,16 @@ struct SessionResult {
   instr::EventCounts totals;
   /// Measures over the session totals.
   ConcurrencyMeasures overall;
+  /// Fast-forward accounting summed over the session's replicates
+  /// (bookkeeping only — identical simulation state either way).
+  instr::FastForwardStats ff;
 };
 
 struct StudyResult {
   std::vector<SessionResult> sessions;
   instr::EventCounts totals;        ///< All-session aggregate.
   ConcurrencyMeasures overall;      ///< Table 2.
+  instr::FastForwardStats ff;       ///< All-session fast-forward totals.
 
   /// Every analyzed sample across all sessions.
   [[nodiscard]] std::vector<AnalyzedSample> all_samples() const;

@@ -30,7 +30,7 @@ struct SchedulerStats {
 /// Run-queue discipline. The paper's closing chapter flags "the
 /// relationship of concurrency and software-level parameters (such as
 /// those related to job scheduling)" as future work (§6); the
-/// non-FIFO policies let that experiment run (bench_scheduling_policy).
+/// non-FIFO policies let that experiment run (scheduling_policy).
 enum class SchedulingPolicy : std::uint8_t {
   kFifo,             ///< Arrival order (the baseline everywhere else).
   kConcurrentFirst,  ///< Cluster (concurrent) jobs preempt queue order.

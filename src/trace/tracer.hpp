@@ -7,7 +7,7 @@
 // code insertion in programs [and] is difficult to apply to the
 // observation of a real workload" — here it serves as ground truth
 // against which the sampling methodology can be validated (see
-// bench_trace_vs_sampling).
+// trace_vs_sampling).
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,139 @@
+// Runner semantics with synthetic artifacts: status propagation, NaN
+// handling, exit codes, and the structure of the JSON report. No
+// simulation runs here — renders are stubs.
+#include "artifacts/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "artifacts/registry.hpp"
+
+namespace repro::artifacts {
+namespace {
+
+ArtifactDef stub(const std::string& id,
+                 std::function<void(Context&)> render) {
+  ArtifactDef def;
+  def.id = id;
+  def.kind = ArtifactKind::kFigure;
+  def.paper_ref = "Figure 0";
+  def.title = "STUB — " + id;
+  def.paper_claim = "synthetic";
+  def.render = std::move(render);
+  return def;
+}
+
+TEST(Runner, PassingChecksYieldOk) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("ok_artifact", [](Context& ctx) {
+    ctx.printf("body %d\n", 7);
+    EXPECT_TRUE(ctx.check("metric", 0.35, 0.35, 0.2, 0.5));
+  });
+  const ArtifactResult result = run_artifact(def, inputs);
+  EXPECT_EQ(result.status, ArtifactStatus::kOk);
+  EXPECT_EQ(result.text, "body 7\n");
+  ASSERT_EQ(result.checks.size(), 1u);
+  EXPECT_TRUE(result.checks[0].pass);
+  EXPECT_TRUE(result.checks[0].enforced);
+  // check() records the metric too.
+  ASSERT_EQ(result.metrics.size(), 1u);
+  EXPECT_EQ(result.metrics[0].name, "metric");
+}
+
+TEST(Runner, OutOfBandCheckFailsTheArtifact) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("bad_artifact", [](Context& ctx) {
+    EXPECT_FALSE(ctx.check("metric", 0.9, 0.35, 0.2, 0.5));
+  });
+  EXPECT_EQ(run_artifact(def, inputs).status,
+            ArtifactStatus::kToleranceFailed);
+}
+
+TEST(Runner, NanNeverPasses) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("nan_artifact", [](Context& ctx) {
+    EXPECT_FALSE(ctx.check("metric", std::nan(""), 0.35, 0.0, 1.0));
+  });
+  EXPECT_EQ(run_artifact(def, inputs).status,
+            ArtifactStatus::kToleranceFailed);
+}
+
+TEST(Runner, NotesNeverFailTheArtifact) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("noted_artifact", [](Context& ctx) {
+    EXPECT_FALSE(ctx.note("shape", 99.0, 0.0, -1.0, 1.0));
+  });
+  const ArtifactResult result = run_artifact(def, inputs);
+  EXPECT_EQ(result.status, ArtifactStatus::kOk);
+  ASSERT_EQ(result.checks.size(), 1u);
+  EXPECT_FALSE(result.checks[0].pass);
+  EXPECT_FALSE(result.checks[0].enforced);
+}
+
+TEST(Runner, ThrowingRenderBecomesError) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("throwing_artifact", [](Context&) {
+    throw std::runtime_error("degenerate fit");
+  });
+  const ArtifactResult result = run_artifact(def, inputs);
+  EXPECT_EQ(result.status, ArtifactStatus::kError);
+  EXPECT_EQ(result.error, "degenerate fit");
+}
+
+TEST(Runner, ExplicitFailBecomesError) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef def = stub("failing_artifact", [](Context& ctx) {
+    ctx.fail("no captures completed");
+  });
+  const ArtifactResult result = run_artifact(def, inputs);
+  EXPECT_EQ(result.status, ArtifactStatus::kError);
+  EXPECT_EQ(result.error, "no captures completed");
+}
+
+TEST(Runner, ExitCodesRankErrorsAboveTolerance) {
+  RunReport report;
+  EXPECT_EQ(report.exit_code(), 0);
+  report.tolerance_failed = 1;
+  EXPECT_EQ(report.exit_code(), 1);
+  report.errors = 1;
+  EXPECT_EQ(report.exit_code(), 2);
+}
+
+TEST(Runner, RunArtifactsAggregates) {
+  Inputs inputs(/*quick=*/true);
+  const ArtifactDef good = stub("good", [](Context& ctx) {
+    ctx.check("m", 1.0, 1.0, 0.5, 1.5);
+  });
+  const ArtifactDef bad = stub("bad", [](Context& ctx) {
+    ctx.check("m", 9.0, 1.0, 0.5, 1.5);
+  });
+  const ArtifactDef broken =
+      stub("broken", [](Context&) { throw std::runtime_error("boom"); });
+  const RunReport report =
+      run_artifacts({&good, &bad, &broken}, inputs);
+  EXPECT_EQ(report.ok, 1);
+  EXPECT_EQ(report.tolerance_failed, 1);
+  EXPECT_EQ(report.errors, 1);
+  EXPECT_EQ(report.exit_code(), 2);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.results[0].id, "good");
+  EXPECT_GE(report.results[0].seconds, 0.0);
+}
+
+TEST(Runner, HeaderMatchesTheOldBenchFormat) {
+  ArtifactDef def = stub("x", [](Context&) {});
+  def.title = "TABLE 2 — Overall Concurrency Measures";
+  def.paper_claim = "Cw = 0.35";
+  const std::string header = render_header(def);
+  EXPECT_EQ(header,
+            "=============================================================\n"
+            "TABLE 2 — Overall Concurrency Measures\n"
+            "Paper: Cw = 0.35\n"
+            "=============================================================\n"
+            "\n");
+}
+
+}  // namespace
+}  // namespace repro::artifacts

@@ -1,0 +1,64 @@
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace repro::core {
+namespace {
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json().dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-3).dump(), "-3");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesPrintExact) {
+  EXPECT_EQ(Json(12.0).dump(), "12");
+  EXPECT_EQ(Json(1e6).dump(), "1000000");
+  EXPECT_EQ(Json(std::uint64_t{400000}).dump(), "400000");
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n").dump(), "\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, ObjectKeepsInsertionOrderAndOverwritesInPlace) {
+  Json object = Json::object();
+  object.set("b", 1);
+  object.set("a", 2);
+  object.set("b", 3);
+  EXPECT_EQ(object.dump(), "{\"b\":3,\"a\":2}");
+  ASSERT_NE(object.find("b"), nullptr);
+  EXPECT_EQ(object.find("b")->as_number(), 3.0);
+  EXPECT_EQ(object.find("missing"), nullptr);
+}
+
+TEST(Json, ArraysNest) {
+  Json array = Json::array();
+  array.push_back(1);
+  Json inner = Json::object();
+  inner.set("k", "v");
+  array.push_back(inner);
+  EXPECT_EQ(array.dump(), "[1,{\"k\":\"v\"}]");
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json object = Json::object();
+  object.set("k", 1);
+  EXPECT_EQ(object.dump(2), "{\n  \"k\": 1\n}");
+  EXPECT_EQ(Json::object().dump(2), "{}");
+}
+
+}  // namespace
+}  // namespace repro::core

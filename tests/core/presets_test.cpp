@@ -1,0 +1,54 @@
+// The canonical configuration presets: every bench/example/test scale
+// lives in core/presets.hpp, so these assertions pin the study contract
+// (seeds and populations) that the artifact tolerances are calibrated
+// against.
+#include "core/presets.hpp"
+
+#include <gtest/gtest.h>
+
+namespace repro::core::presets {
+namespace {
+
+TEST(Presets, BenchStudyIsThePaperScalePopulation) {
+  const StudyConfig config = bench_study();
+  EXPECT_EQ(config.samples_per_session, 12u);
+  EXPECT_EQ(config.sampling.interval_cycles, 80000u);
+  EXPECT_EQ(config.warmup_cycles, 20000u);
+  EXPECT_EQ(config.seed, 0x19870301u);
+}
+
+TEST(Presets, QuickStudyKeepsTheSeed) {
+  const StudyConfig config = quick_study();
+  EXPECT_EQ(config.seed, bench_study().seed);
+  EXPECT_LT(config.samples_per_session, bench_study().samples_per_session);
+  EXPECT_LT(config.sampling.interval_cycles,
+            bench_study().sampling.interval_cycles);
+}
+
+TEST(Presets, BenchTransitionIsThePaperScaleCaptureSet) {
+  const TransitionConfig config = bench_transition();
+  EXPECT_EQ(config.captures, 60u);
+  EXPECT_EQ(config.capture_timeout, 400000u);
+  EXPECT_EQ(config.seed, 0x19870402u);
+}
+
+TEST(Presets, QuickTransitionShrinksOnlyTheCaptureCount) {
+  const TransitionConfig quick = quick_transition();
+  const TransitionConfig full = bench_transition();
+  EXPECT_LT(quick.captures, full.captures);
+  EXPECT_EQ(quick.capture_timeout, full.capture_timeout);
+  EXPECT_EQ(quick.seed, full.seed);
+}
+
+TEST(Presets, TestScalesAreStrictlySmallerThanBenchScales) {
+  EXPECT_LT(example_study().samples_per_session,
+            bench_study().samples_per_session);
+  EXPECT_LT(small_study().samples_per_session,
+            quick_study().samples_per_session);
+  EXPECT_LT(tiny_study().samples_per_session,
+            small_study().samples_per_session);
+  EXPECT_LT(tiny_transition().captures, quick_transition().captures);
+}
+
+}  // namespace
+}  // namespace repro::core::presets

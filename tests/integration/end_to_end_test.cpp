@@ -4,6 +4,7 @@
 // scale so the suite stays fast.
 #include <gtest/gtest.h>
 
+#include "core/presets.hpp"
 #include "core/regression_models.hpp"
 #include "core/study.hpp"
 #include "core/transition.hpp"
@@ -12,20 +13,12 @@
 namespace repro::core {
 namespace {
 
-StudyConfig small_config() {
-  StudyConfig config;
-  config.samples_per_session = 3;
-  config.sampling.interval_cycles = 25000;
-  config.warmup_cycles = 5000;
-  return config;
-}
-
 class EndToEnd : public ::testing::Test {
  protected:
   static const StudyResult& study() {
     static const StudyResult result = [] {
       const auto mixes = workload::session_presets();
-      return run_study(mixes, small_config());
+      return run_study(mixes, presets::small_study());
     }();
     return result;
   }
@@ -93,9 +86,8 @@ TEST_F(EndToEnd, SessionsVarySignificantly) {
 
 TEST(EndToEndTransition, TwoActiveIsTheLeadingTransitionState) {
   // Paper §4.3 / Figure 6: the 2-active state dominates transitions.
-  TransitionConfig config;
-  config.captures = 12;
-  config.capture_timeout = 400000;
+  TransitionConfig config = presets::bench_transition();
+  config.captures = 12;  // enough for the dominant state, fast
   const TransitionResult result = run_transition_study(
       workload::high_concurrency_mix(), config);
   ASSERT_GT(result.captures_completed, 0u);
@@ -109,9 +101,8 @@ TEST(EndToEndTransition, TwoActiveIsTheLeadingTransitionState) {
 TEST(EndToEndTransition, OuterProcessorsLingerLongest) {
   // Paper Figure 7: CEs 7 and 0 more active; CEs 2-4 less. Needs enough
   // captures for the per-loop variation to average out.
-  TransitionConfig config;
+  TransitionConfig config = presets::bench_transition();
   config.captures = 50;
-  config.capture_timeout = 400000;
   const TransitionResult result = run_transition_study(
       workload::high_concurrency_mix(), config);
   const auto& proc = result.processor_counts;
