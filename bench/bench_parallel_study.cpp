@@ -21,11 +21,13 @@
 // With --baseline, only run 1 executes (no comparisons): a self-check
 // mode for measuring the naive path alone, e.g. before/after a horizon
 // change, writing the same JSON shape with the other fields zeroed.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "base/thread_pool.hpp"
 #include "core/presets.hpp"
@@ -103,6 +105,23 @@ double rate(double cycles, double seconds) {
   return seconds > 0.0 ? cycles / seconds : 0.0;
 }
 
+/// Serial fast-forward cycles/sec of one session, best of `reps` (the
+/// per-session numbers that make the fused-kernel gain on the saturated
+/// presets a datapoint rather than an anecdote).
+double session_rate(const workload::WorkloadMix& mix,
+                    const core::StudyConfig& config, double session_cycles,
+                    int reps = 3) {
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const core::SessionResult result = core::run_session(mix, config, 12345);
+    const double seconds = seconds_since(start);
+    (void)result;
+    best = std::max(best, rate(session_cycles, seconds));
+  }
+  return best;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,15 +183,34 @@ int main(int argc, char** argv) {
                     identical(reference, parallel.result);
   }
 
+  // Per-session serial fast-forward rates (the fused-kernel headline:
+  // concurrency-saturated sessions 3 and 6 are the slowest per cycle).
+  core::StudyConfig per_session = config;
+  per_session.threads = 1;
+  per_session.fast_forward = true;
+  per_session.replicates_per_session = 1;
+  std::string session_json;
+  if (!baseline_only) {
+    const auto mixes = workload::session_presets();
+    for (std::size_t m = 0; m < mixes.size(); ++m) {
+      const double cps =
+          session_rate(mixes[m], per_session, cycles_per_session);
+      char entry[160];
+      std::snprintf(entry, sizeof(entry), "%s\"%s\": %.0f",
+                    m == 0 ? "" : ", ", mixes[m].name.c_str(), cps);
+      session_json += entry;
+    }
+  }
+
   const double ff_speedup =
       !baseline_only && ff.seconds > 0.0 ? naive.seconds / ff.seconds : 0.0;
   const double parallel_speedup = !baseline_only && parallel.seconds > 0.0
                                       ? ff.seconds / parallel.seconds
                                       : 0.0;
 
-  char json[1536];
+  char head[1536];
   std::snprintf(
-      json, sizeof(json),
+      head, sizeof(head),
       "{\"bench\": \"parallel_study\", \"sessions\": %zu, "
       "\"threads\": %u, \"replicates\": %u, \"total_cycles\": %.0f, "
       "\"baseline_only\": %s, "
@@ -181,17 +219,23 @@ int main(int argc, char** argv) {
       "\"ff_off_seconds\": %.4f, \"ff_on_seconds\": %.4f, "
       "\"ff_off_cycles_per_sec\": %.0f, \"ff_on_cycles_per_sec\": %.0f, "
       "\"ff_speedup\": %.3f, \"speedup\": %.3f, "
-      "\"bit_identical\": %s}",
+      "\"ff_skipped_cycles\": %llu, \"ff_block_cycles\": %llu, "
+      "\"ff_naive_cycles\": %llu, "
+      "\"bit_identical\": %s, \"session_cycles_per_sec\": {",
       sessions, threads, replicates, total_cycles,
       baseline_only ? "true" : "false", ff.seconds, parallel.seconds,
       rate(total_cycles, ff.seconds), rate(total_cycles, parallel.seconds),
       naive.seconds, ff.seconds, rate(total_cycles, naive.seconds),
       rate(total_cycles, ff.seconds), ff_speedup, parallel_speedup,
+      static_cast<unsigned long long>(ff.result.ff.skipped_cycles),
+      static_cast<unsigned long long>(ff.result.ff.block_cycles),
+      static_cast<unsigned long long>(ff.result.ff.naive_cycles),
       bit_identical ? "true" : "false");
+  const std::string json = std::string(head) + session_json + "}}";
 
-  std::printf("%s\n", json);
+  std::printf("%s\n", json.c_str());
   if (std::FILE* out = std::fopen("BENCH_parallel_study.json", "w")) {
-    std::fprintf(out, "%s\n", json);
+    std::fprintf(out, "%s\n", json.c_str());
     std::fclose(out);
     std::printf("\nwrote BENCH_parallel_study.json\n");
   }

@@ -1,0 +1,88 @@
+// Fused hot-tick kernel microbenchmarks (google-benchmark).
+//
+// The per-cycle simulation path is the floor under every study's runtime:
+// concurrency-saturated sessions have 0-3 cycle horizons, so nearly every
+// cycle runs through Machine::tick() or its fused batch form
+// Machine::tick_block(n). These benchmarks pin the cost of both on a
+// machine held in the saturated steady state (eight CEs contending mid
+// concurrent loop) so a regression in the lane kernel, the hot-state
+// layout, or the block loop shows up as items/sec, not as a slow CI run.
+#include <benchmark/benchmark.h>
+
+#include "fx8/machine.hpp"
+#include "fx8/mmu.hpp"
+#include "isa/program.hpp"
+#include "workload/kernels.hpp"
+
+namespace {
+
+using namespace repro;
+
+/// A machine mid concurrent loop with all eight CEs holding iterations —
+/// the saturated state sessions 3 and 6 spend most of their time in.
+struct SaturatedMachine {
+  fx8::NoFaultMmu mmu;
+  fx8::Machine machine;
+  isa::Program program;
+
+  SaturatedMachine() : machine(fx8::MachineConfig::fx8(), mmu) {
+    workload::KernelTuning tuning;
+    isa::ConcurrentLoopPhase loop;
+    loop.body = workload::matmul_row_body(tuning);
+    loop.trip_count = 1u << 20;  // effectively endless for the bench
+    program = isa::ProgramBuilder("bench")
+                  .data_base(0x01000000)
+                  .concurrent_loop(loop)
+                  .build();
+    machine.cluster().load(&program, 1);
+    machine.run(2000);  // past dispatch ramp-up, into the steady state
+  }
+};
+
+void BM_SaturatedNaiveTick(benchmark::State& state) {
+  SaturatedMachine s;
+  for (auto _ : state) {
+    s.machine.tick();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SaturatedNaiveTick);
+
+void BM_SaturatedTickBlock(benchmark::State& state) {
+  SaturatedMachine s;
+  const auto block = static_cast<Cycle>(state.range(0));
+  Cycle cycles = 0;
+  while (state.KeepRunningBatch(static_cast<benchmark::IterationCount>(
+      block))) {
+    Cycle done = 0;
+    while (done < block) {
+      done += s.machine.tick_block(block - done);
+    }
+    cycles += done;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+// Block sizes bracketing the controller's kBlockChunk cap (256): the gap
+// between n=1 and large n is the per-call overhead the fusion removes.
+BENCHMARK(BM_SaturatedTickBlock)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_IdleTickBlock(benchmark::State& state) {
+  fx8::NoFaultMmu mmu;
+  fx8::MachineConfig config = fx8::MachineConfig::fx8();
+  config.ip.duty = 0.0;
+  fx8::Machine machine(config, mmu);
+  const Cycle block = 4096;
+  Cycle cycles = 0;
+  while (state.KeepRunningBatch(static_cast<benchmark::IterationCount>(
+      block))) {
+    Cycle done = 0;
+    while (done < block) {
+      done += machine.tick_block(block - done);
+    }
+    cycles += done;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_IdleTickBlock);
+
+}  // namespace

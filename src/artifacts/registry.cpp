@@ -12,6 +12,7 @@ const std::vector<ArtifactDef>& catalog() {
     register_appendices(defs);
     register_ablations(defs);
     register_extensions(defs);
+    register_perf(defs);
     return defs;
   }();
   return all;

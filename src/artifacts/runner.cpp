@@ -169,9 +169,12 @@ core::Json build_report_json(const RunReport& report, const Inputs& inputs,
                static_cast<std::uint64_t>(study->ff.skipped_cycles));
     engine.set("ff_naive_cycles",
                static_cast<std::uint64_t>(study->ff.naive_cycles));
+    engine.set("ff_block_cycles",
+               static_cast<std::uint64_t>(study->ff.block_cycles));
     engine.set("ff_jumps", static_cast<std::uint64_t>(study->ff.jumps));
     const double total = static_cast<double>(study->ff.skipped_cycles +
-                                             study->ff.naive_cycles);
+                                             study->ff.naive_cycles +
+                                             study->ff.block_cycles);
     engine.set("ff_skipped_share",
                total > 0.0
                    ? static_cast<double>(study->ff.skipped_cycles) / total

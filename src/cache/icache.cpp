@@ -27,7 +27,10 @@ double InstructionCache::spill_fraction(std::uint64_t code_bytes) const {
 
 bool InstructionCache::spills(std::uint64_t key,
                               std::uint64_t code_bytes) const {
-  const double frac = spill_fraction(code_bytes);
+  return spills_at(spill_fraction(code_bytes), key);
+}
+
+bool InstructionCache::spills_at(double frac, std::uint64_t key) {
   if (frac <= 0.0) {
     return false;
   }

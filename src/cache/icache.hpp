@@ -36,6 +36,11 @@ class InstructionCache {
   /// against the spill fraction so replays are reproducible.)
   [[nodiscard]] bool spills(std::uint64_t key, std::uint64_t code_bytes) const;
 
+  /// The same decision against a precomputed spill fraction. Lets a CE
+  /// evaluate spill_fraction() once per kernel instance (the footprint is
+  /// fixed for its lifetime) instead of once per step.
+  [[nodiscard]] static bool spills_at(double frac, std::uint64_t key);
+
  private:
   std::uint64_t capacity_;
 };

@@ -36,7 +36,7 @@ bool IpCache::access(Addr addr, bool is_write) {
   }
   ++stats_.misses;
   tags_[slot] = stored;
-  (void)bus_.submit(config_.bus, mem::MemBusOp::kIpTraffic, line);
+  bus_.submit_untracked(config_.bus, mem::MemBusOp::kIpTraffic, line);
   return false;
 }
 

@@ -40,9 +40,10 @@ class IpCache {
   /// Register the hook invoked when an IP write must revoke CE copies.
   void set_snoop_hook(SnoopHook hook);
 
-  /// Present an access; returns true on hit. Misses queue kIpTraffic on
-  /// the memory bus (fire-and-forget: IPs are not the measured resource,
-  /// so we model their bus load, not their stall time).
+  /// Present an access; returns true on hit. Misses queue untracked
+  /// kIpTraffic on the memory bus (fire-and-forget: IPs are not the
+  /// measured resource, so we model their bus load, not their stall
+  /// time).
   bool access(Addr addr, bool is_write);
 
   [[nodiscard]] const IpCacheStats& stats() const { return stats_; }

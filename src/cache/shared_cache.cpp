@@ -5,7 +5,7 @@
 namespace repro::cache {
 
 SharedCache::SharedCache(const SharedCacheConfig& config, mem::MemoryBus& bus)
-    : config_(config), bus_(bus), fill_ready_(config.max_ces, 0) {
+    : config_(config), bus_(bus) {
   REPRO_EXPECT(config.banks > 0 && config.modules > 0 && config.ways > 0,
                "cache geometry must be positive");
   REPRO_EXPECT(config.banks % config.modules == 0,
@@ -17,14 +17,23 @@ SharedCache::SharedCache(const SharedCacheConfig& config, mem::MemoryBus& bus)
                "cache size must factor into banks*ways*sets");
   sets_per_bank_ = total_lines / (config.banks * config.ways);
   lines_.resize(total_lines);
+  if (std::has_single_bit(config.banks)) {
+    bank_mask_ = config.banks - 1;
+    bank_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.banks));
+  }
+  if (std::has_single_bit(sets_per_bank_)) {
+    sets_pow2_ = true;
+    set_mask_ = sets_per_bank_ - 1;
+  }
+}
+
+void SharedCache::bind_hot(SharedCacheHot& hot) {
+  hot = *hot_;
+  hot_ = &hot;
 }
 
 Addr SharedCache::line_addr(Addr addr) const {
-  return addr / kLineBytes * kLineBytes;
-}
-
-std::uint32_t SharedCache::bank_of(Addr addr) const {
-  return static_cast<std::uint32_t>((addr / kLineBytes) % config_.banks);
+  return addr >> kLineShift << kLineShift;
 }
 
 std::uint32_t SharedCache::module_of_bank(std::uint32_t bank) const {
@@ -34,9 +43,15 @@ std::uint32_t SharedCache::module_of_bank(std::uint32_t bank) const {
 
 std::size_t SharedCache::set_index(Addr addr) const {
   const std::uint32_t bank = bank_of(addr);
-  const std::size_t set_in_bank =
-      static_cast<std::size_t>(addr / kLineBytes / config_.banks) %
-      sets_per_bank_;
+  std::size_t set_in_bank;
+  if (bank_mask_ != 0 && sets_pow2_) {
+    set_in_bank =
+        static_cast<std::size_t>(addr >> kLineShift >> bank_shift_) &
+        set_mask_;
+  } else {
+    set_in_bank = static_cast<std::size_t>(addr / kLineBytes / config_.banks) %
+                  sets_per_bank_;
+  }
   return (static_cast<std::size_t>(bank) * sets_per_bank_ + set_in_bank) *
          config_.ways;
 }
@@ -77,18 +92,18 @@ AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
   REPRO_EXPECT(!miss_outstanding(ce),
                "CE presented an access with a miss already outstanding");
   ++stats_.accesses;
-  ++use_clock_;
+  ++hot_->use_clock;
   const Addr tag = line_addr(addr);
 
   if (Line* line = find_line(addr)) {
     // Present. Writes need a unique copy; upgrading costs an invalidate
     // broadcast but the data is already here, so the CE is not stalled.
-    line->last_use = use_clock_;
+    line->last_use = hot_->use_clock;
     if (type == AccessType::kWrite) {
       if (line->state == LineState::kShared) {
         ++stats_.write_upgrades;
         const std::uint32_t module = module_of_bank(bank_of(addr));
-        (void)bus_.submit(module, mem::MemBusOp::kInvalidate, tag);
+        bus_.submit_untracked(module, mem::MemBusOp::kInvalidate, tag);
         line->state = LineState::kUnique;
       }
       line->dirty = true;
@@ -98,6 +113,7 @@ AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
 
   ++stats_.misses;
   const std::uint32_t ce_bit = 1u << ce;
+  hot_->miss_outstanding_mask |= ce_bit;
 
   // Merge with an in-flight fill of the same line if one exists: the
   // cross-CE sharing path.
@@ -116,7 +132,7 @@ AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
   return AccessOutcome::kMissStarted;
 }
 
-void SharedCache::tick() {
+void SharedCache::drain_fills() {
   for (auto it = fills_.begin(); it != fills_.end();) {
     if (!bus_.take_finished(it->second.txn)) {
       ++it;
@@ -127,42 +143,27 @@ void SharedCache::tick() {
     Line& line = victim_for(it->first);
     if (line.state != LineState::kInvalid && line.dirty) {
       ++stats_.write_backs;
-      (void)bus_.submit(module_of_bank(bank_of(line.tag)),
-                        mem::MemBusOp::kWriteBack, line.tag);
+      bus_.submit_untracked(module_of_bank(bank_of(line.tag)),
+                            mem::MemBusOp::kWriteBack, line.tag);
     }
     line.tag = it->first;
     line.state =
         it->second.want_unique ? LineState::kUnique : LineState::kShared;
     line.dirty = it->second.want_unique;
-    line.last_use = ++use_clock_;
-    for (std::uint32_t ce = 0; ce < config_.max_ces; ++ce) {
-      if (it->second.waiters & (1u << ce)) {
-        fill_ready_[ce] = 1;
-      }
-    }
+    line.last_use = ++hot_->use_clock;
+    hot_->fill_ready_mask |= it->second.waiters;
     it = fills_.erase(it);
   }
+  seen_epoch_ = bus_.completion_epoch();
 }
 
 bool SharedCache::take_fill_ready(CeId ce) {
   REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
-  if (fill_ready_[ce]) {
-    fill_ready_[ce] = 0;
-    return true;
-  }
-  return false;
-}
-
-bool SharedCache::miss_outstanding(CeId ce) const {
-  REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
-  if (fill_ready_[ce]) {
-    return true;  // Filled but not yet consumed by the CE.
-  }
   const std::uint32_t ce_bit = 1u << ce;
-  for (const auto& [addr, fill] : fills_) {
-    if (fill.waiters & ce_bit) {
-      return true;
-    }
+  if (hot_->fill_ready_mask & ce_bit) {
+    hot_->fill_ready_mask &= ~ce_bit;
+    hot_->miss_outstanding_mask &= ~ce_bit;
+    return true;
   }
   return false;
 }
@@ -173,8 +174,8 @@ void SharedCache::snoop_invalidate(Addr addr) {
     // A dirty victim would be written back by hardware; account for it.
     if (line->dirty) {
       ++stats_.write_backs;
-      (void)bus_.submit(module_of_bank(bank_of(line->tag)),
-                        mem::MemBusOp::kWriteBack, line->tag);
+      bus_.submit_untracked(module_of_bank(bank_of(line->tag)),
+                            mem::MemBusOp::kWriteBack, line->tag);
     }
     line->state = LineState::kInvalid;
     line->dirty = false;

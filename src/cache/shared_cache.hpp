@@ -13,12 +13,15 @@
 // being insensitive to Mean Concurrency Level (§5.1, §5.3).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
+#include "base/expect.hpp"
 #include "base/types.hpp"
+#include "cache/hot.hpp"
 #include "mem/bus_ops.hpp"
 #include "mem/memory_bus.hpp"
 
@@ -64,14 +67,24 @@ class SharedCache {
   AccessOutcome access(CeId ce, Addr addr, AccessType type);
 
   /// Progress outstanding fills; call once per machine cycle after the
-  /// memory bus has ticked.
-  void tick();
+  /// memory bus has ticked. A fill can only complete on a tick where a
+  /// tracked bus transaction finished, so the poll loop is gated on the
+  /// bus completion epoch: the common cycle is two loads and a compare.
+  void tick() {
+    if (fills_.empty() || bus_.completion_epoch() == seen_epoch_) {
+      return;
+    }
+    drain_fills();
+  }
 
   /// True (consuming the flag) once the CE's outstanding miss has filled.
   [[nodiscard]] bool take_fill_ready(CeId ce);
 
   /// True while the CE has a miss outstanding.
-  [[nodiscard]] bool miss_outstanding(CeId ce) const;
+  [[nodiscard]] bool miss_outstanding(CeId ce) const {
+    REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
+    return (hot_->miss_outstanding_mask >> ce) & 1u;
+  }
 
   /// Event-horizon fast-forward: always kHorizonNever. tick() only
   /// polls in-flight fills against the memory bus, and a fill can only
@@ -83,14 +96,21 @@ class SharedCache {
   /// True while CE `ce` has a completed fill waiting to be consumed by
   /// take_fill_ready (const peek for the CE's quiet horizon).
   [[nodiscard]] bool fill_ready(CeId ce) const {
-    return fill_ready_[ce] != 0;
+    return (hot_->fill_ready_mask >> ce) & 1u;
   }
 
   /// Coherence request from the IP side: drop any copy of this line.
   void snoop_invalidate(Addr addr);
 
-  /// Bank serving an address (crossbar arbitration needs this).
-  [[nodiscard]] std::uint32_t bank_of(Addr addr) const;
+  /// Bank serving an address (crossbar arbitration needs this). Banks are
+  /// a power of two in every real configuration, so the modulo reduces to
+  /// a shift-and-mask (this runs several times per machine cycle).
+  [[nodiscard]] std::uint32_t bank_of(Addr addr) const {
+    if (bank_mask_ != 0 || config_.banks == 1) {
+      return static_cast<std::uint32_t>(addr >> kLineShift) & bank_mask_;
+    }
+    return static_cast<std::uint32_t>((addr / kLineBytes) % config_.banks);
+  }
   /// Module (and hence memory bus) behind a bank.
   [[nodiscard]] std::uint32_t module_of_bank(std::uint32_t bank) const;
 
@@ -98,6 +118,10 @@ class SharedCache {
 
   /// True if the line holding `addr` is present (tests).
   [[nodiscard]] bool contains(Addr addr) const;
+
+  /// Re-point the hot fields at an externally owned block (the machine's
+  /// contiguous hot-state). Copies the current values across.
+  void bind_hot(SharedCacheHot& hot);
 
  private:
   struct Line {
@@ -112,20 +136,34 @@ class SharedCache {
     bool want_unique = false;   ///< Fill triggered by a write.
   };
 
+  static constexpr std::uint32_t kLineShift =
+      std::countr_zero(static_cast<std::uint32_t>(kLineBytes));
+
   [[nodiscard]] Addr line_addr(Addr addr) const;
   [[nodiscard]] std::size_t set_index(Addr addr) const;
   [[nodiscard]] Line* find_line(Addr addr);
   [[nodiscard]] const Line* find_line(Addr addr) const;
   Line& victim_for(Addr addr);
+  /// The poll loop tick() guards: install completed fills, wake waiters.
+  void drain_fills();
 
   SharedCacheConfig config_;
   mem::MemoryBus& bus_;
   std::vector<Line> lines_;          ///< sets_ * ways_, bank-major layout.
   std::size_t sets_per_bank_ = 0;
+  /// Pow-2 fast-path masks; 0 disables (non-pow-2 geometry falls back to
+  /// division). bank_mask_ doubles as the pow-2 flag for bank_of.
+  std::uint32_t bank_mask_ = 0;
+  std::uint32_t bank_shift_ = 0;
+  std::size_t set_mask_ = 0;
+  bool sets_pow2_ = false;
   std::unordered_map<Addr, Fill> fills_;  ///< Keyed by line address.
-  std::vector<std::uint8_t> fill_ready_;  ///< Per-CE completion flags.
+  /// Bus completion epoch at the last drain; unchanged epoch = no fill
+  /// can have completed.
+  std::uint64_t seen_epoch_ = 0;
   SharedCacheStats stats_;
-  std::uint64_t use_clock_ = 0;
+  SharedCacheHot own_hot_;
+  SharedCacheHot* hot_ = &own_hot_;
 };
 
 }  // namespace repro::cache

@@ -96,6 +96,7 @@ SessionResult merge_parts(const workload::WorkloadMix& mix,
     result.totals.merge(part.totals);
     result.ff.skipped_cycles += part.ff.skipped_cycles;
     result.ff.naive_cycles += part.ff.naive_cycles;
+    result.ff.block_cycles += part.ff.block_cycles;
     result.ff.jumps += part.ff.jumps;
   }
   result.overall = ConcurrencyMeasures::from_counts(
@@ -188,6 +189,7 @@ StudyResult run_study(std::span<const workload::WorkloadMix> mixes,
     study.totals.merge(session.totals);
     study.ff.skipped_cycles += session.ff.skipped_cycles;
     study.ff.naive_cycles += session.ff.naive_cycles;
+    study.ff.block_cycles += session.ff.block_cycles;
     study.ff.jumps += session.ff.jumps;
   }
   const std::uint32_t width =

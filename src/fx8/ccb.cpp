@@ -35,14 +35,14 @@ void ConcurrencyControlBus::start_loop(std::uint64_t trip_count,
   }
   // The starting cycle gets a full grant budget so dispatch can begin in
   // the same cycle the cstart instruction executes.
-  grants_left_ = kGrantsPerCycle;
+  *grants_left_ = kGrantsPerCycle;
 }
 
-void ConcurrencyControlBus::begin_cycle() { grants_left_ = kGrantsPerCycle; }
+void ConcurrencyControlBus::begin_cycle() { *grants_left_ = kGrantsPerCycle; }
 
 std::optional<std::uint64_t> ConcurrencyControlBus::try_dispatch(CeId ce) {
   REPRO_EXPECT(active_, "no loop being dispatched");
-  if (grants_left_ == 0) {
+  if (*grants_left_ == 0) {
     return std::nullopt;
   }
   if (policy_ == DispatchPolicy::kStaticChunked) {
@@ -50,14 +50,14 @@ std::optional<std::uint64_t> ConcurrencyControlBus::try_dispatch(CeId ce) {
     if (chunk_next_[ce] >= chunk_end_[ce]) {
       return std::nullopt;
     }
-    --grants_left_;
+    --*grants_left_;
     ++dispatched_count_;
     return chunk_next_[ce]++;
   }
   if (next_iter_ >= trip_) {
     return std::nullopt;
   }
-  --grants_left_;
+  --*grants_left_;
   ++dispatched_count_;
   return next_iter_++;
 }
@@ -70,23 +70,6 @@ void ConcurrencyControlBus::mark_complete(std::uint64_t iter) {
   ++completed_count_;
 }
 
-bool ConcurrencyControlBus::predecessor_complete(std::uint64_t iter) const {
-  REPRO_EXPECT(active_, "no loop being dispatched");
-  if (iter == 0) {
-    return true;
-  }
-  return complete_[iter - 1] != 0;
-}
-
-bool ConcurrencyControlBus::all_dispatched() const {
-  REPRO_EXPECT(active_, "no loop being dispatched");
-  return dispatched_count_ >= trip_;
-}
-
-bool ConcurrencyControlBus::all_complete() const {
-  REPRO_EXPECT(active_, "no loop being dispatched");
-  return completed_count_ >= trip_;
-}
 
 void ConcurrencyControlBus::end_loop() {
   REPRO_EXPECT(active_ && all_complete(), "loop not drained");

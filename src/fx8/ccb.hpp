@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/expect.hpp"
 #include "base/types.hpp"
 
 namespace repro::fx8 {
@@ -51,11 +52,24 @@ class ConcurrencyControlBus {
 
   /// Dependence check: can iteration `iter` begin its body? True when it
   /// has no predecessor or the predecessor has completed.
-  [[nodiscard]] bool predecessor_complete(std::uint64_t iter) const;
+  [[nodiscard]] bool predecessor_complete(std::uint64_t iter) const {
+    REPRO_EXPECT(active_, "no loop being dispatched");
+    if (iter == 0) {
+      return true;
+    }
+    return complete_[iter - 1] != 0;
+  }
 
   [[nodiscard]] bool loop_active() const { return active_; }
-  [[nodiscard]] bool all_dispatched() const;
-  [[nodiscard]] bool all_complete() const;
+  // The cluster's per-cycle control scan polls these; keep them inline.
+  [[nodiscard]] bool all_dispatched() const {
+    REPRO_EXPECT(active_, "no loop being dispatched");
+    return dispatched_count_ >= trip_;
+  }
+  [[nodiscard]] bool all_complete() const {
+    REPRO_EXPECT(active_, "no loop being dispatched");
+    return completed_count_ >= trip_;
+  }
   [[nodiscard]] std::uint64_t trip_count() const { return trip_; }
   [[nodiscard]] std::uint64_t dispatched() const { return dispatched_count_; }
   [[nodiscard]] std::uint64_t completed() const { return completed_count_; }
@@ -63,6 +77,13 @@ class ConcurrencyControlBus {
 
   /// Close out a drained loop; requires all_complete().
   void end_loop();
+
+  /// Re-point the per-cycle grant budget at an externally owned slot
+  /// (the machine's contiguous hot-state). Copies the current value.
+  void bind_hot(std::uint32_t& grants_left) {
+    grants_left = *grants_left_;
+    grants_left_ = &grants_left;
+  }
 
  private:
   bool active_ = false;
@@ -75,7 +96,8 @@ class ConcurrencyControlBus {
   /// Chunked mode: per-CE [next, end) block cursors.
   std::array<std::uint64_t, kMaxCes> chunk_next_{};
   std::array<std::uint64_t, kMaxCes> chunk_end_{};
-  std::uint32_t grants_left_ = 0;
+  std::uint32_t own_grants_left_ = 0;
+  std::uint32_t* grants_left_ = &own_grants_left_;
   static constexpr std::uint32_t kGrantsPerCycle = 1;
 };
 

@@ -15,83 +15,86 @@ double hash_frac(std::uint64_t h) {
 Ce::Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
        std::uint64_t icache_bytes)
     : id_(id), cache_(cache), crossbar_(crossbar), mmu_(mmu),
-      icache_(icache_bytes) {}
+      icache_(icache_bytes) {
+  REPRO_EXPECT(id < kMaxCes, "CE id out of hot-lane range");
+}
+
+void Ce::bind_hot(CeHot& hot) {
+  hot.phase[id_] = hot_->phase[id_];
+  hot.bus_op[id_] = hot_->bus_op[id_];
+  hot.compute_left[id_] = hot_->compute_left[id_];
+  hot.fault_left[id_] = hot_->fault_left[id_];
+  hot.busy_cycles[id_] = hot_->busy_cycles[id_];
+  hot.compute_cycles[id_] = hot_->compute_cycles[id_];
+  hot.miss_wait_cycles[id_] = hot_->miss_wait_cycles[id_];
+  hot.fault_wait_cycles[id_] = hot_->fault_wait_cycles[id_];
+  const std::uint32_t bit = 1u << id_;
+  hot.done_mask = (hot.done_mask & ~bit) | (hot_->done_mask & bit);
+  hot_ = &hot;
+}
 
 void Ce::start(const KernelInstance& inst) {
   REPRO_EXPECT(idle(), "CE already has an instance loaded");
   REPRO_EXPECT(inst.spec != nullptr, "instance needs a kernel spec");
   inst_ = inst;
-  phase_ = Phase::kStepSetup;
+  set_phase(Phase::kStepSetup);
   resume_phase_ = Phase::kStepSetup;
   step_ = 0;
   total_steps_ = inst.spec->steps + inst.extra_steps;
-  compute_left_ = 0;
+  compute_left() = 0;
   loads_left_ = 0;
   stores_left_ = 0;
   accesses_done_ = 0;
+  const isa::KernelSpec& k = *inst.spec;
+  const std::uint64_t step_bytes =
+      inst.stream_step_bytes == 0 ? k.stride_bytes : inst.stream_step_bytes;
+  if (k.working_set_bytes > 0) {
+    stream_cursor_ = inst.stream_start % k.working_set_bytes;
+    stream_step_mod_ = step_bytes % k.working_set_bytes;
+  } else {
+    stream_cursor_ = 0;  // Kernel issues no streamed accesses.
+    stream_step_mod_ = 0;
+  }
   last_load_addr_ = 0;
-  fault_left_ = 0;
+  fault_left() = 0;
+  spill_frac_ = icache_.spill_fraction(inst.spec->code_bytes);
   pending_translated_ = false;
   pending_addr_ = 0;
 }
 
-Cycle Ce::quiet_horizon() const {
-  switch (phase_) {
-    case Phase::kIdle:
-    case Phase::kDone:
-      return kHorizonNever;
-    case Phase::kCompute:
-      // Each of the next compute_left_ ticks burns one bus-idle compute
-      // cycle; the tick after that enters kAccess.
-      return compute_left_;
-    case Phase::kFaultWait:
-      // The tick that drops fault_left_ to zero also transitions phases,
-      // so it must run naively: skip at most fault_left_ - 1.
-      return fault_left_ - 1;
-    case Phase::kMissWait:
-      // Waiting on a line fill: the shared cache flags readiness on a
-      // bus-completion tick, which the bus horizon already forces to be
-      // naive. Until the flag is up every wait tick is a pure repeat;
-      // the pick-up tick itself must run naively.
-      return cache_.fill_ready(id_) ? 0 : kHorizonNever;
-    default:
-      return 0;
-  }
-}
-
 void Ce::skip(Cycle cycles) {
-  if (phase_ == Phase::kIdle || phase_ == Phase::kDone) {
+  const Phase p = phase();
+  if (p == Phase::kIdle || p == Phase::kDone) {
     return;
   }
   REPRO_EXPECT(cycles <= quiet_horizon(), "CE skip beyond its horizon");
-  bus_op_ = mem::CeBusOp::kIdle;
-  stats_.busy_cycles += cycles;
-  if (phase_ == Phase::kCompute) {
-    compute_left_ -= static_cast<std::uint32_t>(cycles);
-    stats_.compute_cycles += cycles;
-  } else if (phase_ == Phase::kMissWait) {
-    bus_op_ = mem::CeBusOp::kWait;  // What each skipped tick would latch.
-    stats_.miss_wait_cycles += cycles;
+  set_bus_op(mem::CeBusOp::kIdle);
+  hot_->busy_cycles[id_] += cycles;
+  if (p == Phase::kCompute) {
+    compute_left() -= static_cast<std::uint32_t>(cycles);
+    hot_->compute_cycles[id_] += cycles;
+  } else if (p == Phase::kMissWait) {
+    set_bus_op(mem::CeBusOp::kWait);  // What each skipped tick would latch.
+    hot_->miss_wait_cycles[id_] += cycles;
   } else {  // kFaultWait
-    fault_left_ -= cycles;
-    stats_.fault_wait_cycles += cycles;
+    fault_left() -= cycles;
+    hot_->fault_wait_cycles[id_] += cycles;
   }
 }
 
 void Ce::take_completed() {
   REPRO_EXPECT(done(), "CE has not completed its instance");
-  phase_ = Phase::kIdle;
+  set_phase(Phase::kIdle);
 }
 
 void Ce::setup_step() {
   const isa::KernelSpec& k = *inst_.spec;
   const std::uint64_t h =
       mix64(inst_.key + 0x9E3779B97F4A7C15ULL * (step_ + 1));
-  compute_left_ = k.compute_cycles;
+  std::uint32_t compute = k.compute_cycles;
   if (k.compute_jitter > 0) {
-    compute_left_ = k.compute_cycles - k.compute_jitter +
-                    static_cast<std::uint32_t>(
-                        h % (2ULL * k.compute_jitter + 1));
+    compute = k.compute_cycles - k.compute_jitter +
+              static_cast<std::uint32_t>(h % (2ULL * k.compute_jitter + 1));
   }
   // Vector steps sit at fixed positions in the compiled code, so the
   // decision hashes the phase's code image and step index — identical for
@@ -100,8 +103,9 @@ void Ce::setup_step() {
   if (k.vector_fraction > 0.0 &&
       hash_frac(mix64(inst_.code_base + 0x9E3779B97F4A7C15ULL * step_)) <
           k.vector_fraction) {
-    compute_left_ += k.vector_cycles;
+    compute += k.vector_cycles;
   }
+  compute_left() = compute;
   loads_left_ = k.loads_per_step;
   stores_left_ = k.stores_per_step;
 }
@@ -113,20 +117,25 @@ Addr Ce::next_data_addr(bool is_store) {
     // they nearly always hit (possibly upgrading Shared -> Unique).
     return last_load_addr_;
   }
-  const std::uint64_t step_bytes =
-      inst_.stream_step_bytes == 0 ? k.stride_bytes : inst_.stream_step_bytes;
   const std::uint64_t idx = accesses_done_++;
+  // The streaming offset equals (stream_start + idx*step) % working_set;
+  // the cursor carries it incrementally (one add + conditional subtract),
+  // and advances on every draw — the hot/cold split below only decides
+  // which address family this particular draw uses.
+  const std::uint64_t offset = stream_cursor_;
+  stream_cursor_ += stream_step_mod_;
+  if (stream_cursor_ >= k.working_set_bytes) {
+    stream_cursor_ -= k.working_set_bytes;
+  }
   if (k.pattern == isa::AccessPattern::kHotCold) {
     const std::uint64_t h = mix64(inst_.key ^ (0x5eed0000ULL + idx));
     if (hash_frac(h) < k.hot_fraction) {
       // Hot set lives at the base of the data region, 8B-aligned slots.
       return inst_.data_base + mix64(h) % k.hot_set_bytes / 8 * 8;
     }
-    return inst_.data_base + k.hot_set_bytes +
-           (inst_.stream_start + idx * step_bytes) % k.working_set_bytes;
+    return inst_.data_base + k.hot_set_bytes + offset;
   }
-  return inst_.data_base +
-         (inst_.stream_start + idx * step_bytes) % k.working_set_bytes;
+  return inst_.data_base + offset;
 }
 
 void Ce::issue_access(cache::AccessType type, Addr addr) {
@@ -137,53 +146,54 @@ void Ce::issue_access(cache::AccessType type, Addr addr) {
     case cache::AccessOutcome::kHit:
       switch (type) {
         case cache::AccessType::kRead:
-          bus_op_ = mem::CeBusOp::kRead;
+          set_bus_op(mem::CeBusOp::kRead);
           break;
         case cache::AccessType::kWrite:
-          bus_op_ = mem::CeBusOp::kWrite;
+          set_bus_op(mem::CeBusOp::kWrite);
           break;
         case cache::AccessType::kInstrFetch:
-          bus_op_ = mem::CeBusOp::kInstrFetch;
+          set_bus_op(mem::CeBusOp::kInstrFetch);
           break;
       }
       return;
     case cache::AccessOutcome::kMissStarted:
       // This CE's lookup initiated the line fetch: a miss on its bus.
-      bus_op_ = is_store ? mem::CeBusOp::kWriteMiss : mem::CeBusOp::kReadMiss;
-      phase_ = Phase::kMissWait;
+      set_bus_op(is_store ? mem::CeBusOp::kWriteMiss
+                          : mem::CeBusOp::kReadMiss);
+      set_phase(Phase::kMissWait);
       return;
     case cache::AccessOutcome::kMissMerged:
       // Another CE's fill is already in flight; this bus just waits on it
       // (a hit-in-flight, not a second miss — the cross-CE sharing path
       // of paper §5.1).
-      bus_op_ = mem::CeBusOp::kWait;
-      phase_ = Phase::kMissWait;
+      set_bus_op(mem::CeBusOp::kWait);
+      set_phase(Phase::kMissWait);
       return;
   }
 }
 
-void Ce::tick() {
-  bus_op_ = mem::CeBusOp::kIdle;
-  if (phase_ == Phase::kIdle || phase_ == Phase::kDone) {
+void Ce::tick_slow() {
+  set_bus_op(mem::CeBusOp::kIdle);
+  if (phase() == Phase::kIdle || phase() == Phase::kDone) {
     return;
   }
-  ++stats_.busy_cycles;
+  ++hot_->busy_cycles[id_];
 
-  if (phase_ == Phase::kFaultWait) {
-    ++stats_.fault_wait_cycles;
-    if (--fault_left_ == 0) {
-      phase_ = resume_phase_;
+  if (phase() == Phase::kFaultWait) {
+    ++hot_->fault_wait_cycles[id_];
+    if (--fault_left() == 0) {
+      set_phase(resume_phase_);
     }
     return;
   }
 
-  if (phase_ == Phase::kMissWait) {
-    ++stats_.miss_wait_cycles;
-    bus_op_ = mem::CeBusOp::kWait;
+  if (phase() == Phase::kMissWait) {
+    ++hot_->miss_wait_cycles[id_];
+    set_bus_op(mem::CeBusOp::kWait);
     if (cache_.take_fill_ready(id_)) {
       // The stalled access completes with this fill.
       if (pending_is_ifetch_) {
-        phase_ = Phase::kCompute;
+        set_phase(Phase::kCompute);
       } else {
         if (pending_is_store_) {
           --stores_left_;
@@ -191,7 +201,7 @@ void Ce::tick() {
           --loads_left_;
           last_load_addr_ = pending_addr_;
         }
-        phase_ = Phase::kAccess;
+        set_phase(Phase::kAccess);
       }
       pending_translated_ = false;
     }
@@ -200,57 +210,57 @@ void Ce::tick() {
 
   // Control phases are combinational; loop until a cycle is consumed.
   for (;;) {
-    switch (phase_) {
+    switch (phase()) {
       case Phase::kStepSetup: {
         if (step_ >= total_steps_) {
-          phase_ = Phase::kDone;
+          set_phase(Phase::kDone);
           ++stats_.instances_completed;
-          --stats_.busy_cycles;  // This cycle did no work.
+          --hot_->busy_cycles[id_];  // This cycle did no work.
           return;
         }
         setup_step();
-        if (icache_.spills(inst_.key ^ (0xF00DULL + step_),
-                           inst_.spec->code_bytes)) {
+        if (cache::InstructionCache::spills_at(
+                spill_frac_, inst_.key ^ (0xF00DULL + step_))) {
           pending_is_ifetch_ = true;
           pending_addr_ = inst_.code_base +
                           (static_cast<std::uint64_t>(step_) * 64) %
                               inst_.spec->code_bytes;
           pending_translated_ = false;
-          phase_ = Phase::kIFetch;
+          set_phase(Phase::kIFetch);
         } else {
-          phase_ = Phase::kCompute;
+          set_phase(Phase::kCompute);
         }
         continue;
       }
       case Phase::kCompute: {
-        if (compute_left_ > 0) {
-          --compute_left_;
-          ++stats_.compute_cycles;
+        if (compute_left() > 0) {
+          --compute_left();
+          ++hot_->compute_cycles[id_];
           return;  // Bus idle this cycle.
         }
-        phase_ = Phase::kAccess;
+        set_phase(Phase::kAccess);
         continue;
       }
       case Phase::kIFetch: {
         if (!pending_translated_) {
-          const Cycle fault = mmu_.touch(inst_.job, id_, pending_addr_);
+          const Cycle fault = mmu_.translate(inst_.job, id_, pending_addr_);
           pending_translated_ = true;
           if (fault > 0) {
-            fault_left_ = fault;
+            fault_left() = fault;
             resume_phase_ = Phase::kIFetch;
-            ++stats_.fault_wait_cycles;
-            phase_ = Phase::kFaultWait;
+            ++hot_->fault_wait_cycles[id_];
+            set_phase(Phase::kFaultWait);
             return;
           }
         }
         if (!crossbar_.try_acquire(cache_.bank_of(pending_addr_))) {
-          bus_op_ = mem::CeBusOp::kWait;
+          set_bus_op(mem::CeBusOp::kWait);
           ++stats_.xbar_conflict_cycles;
           return;
         }
         issue_access(cache::AccessType::kInstrFetch, pending_addr_);
-        if (phase_ != Phase::kMissWait) {
-          phase_ = Phase::kCompute;
+        if (phase() != Phase::kMissWait) {
+          set_phase(Phase::kCompute);
           pending_translated_ = false;
         }
         return;
@@ -258,32 +268,32 @@ void Ce::tick() {
       case Phase::kAccess: {
         if (loads_left_ == 0 && stores_left_ == 0) {
           ++step_;
-          phase_ = Phase::kStepSetup;
+          set_phase(Phase::kStepSetup);
           continue;
         }
         pending_is_ifetch_ = false;
         if (!pending_translated_) {
           pending_is_store_ = loads_left_ == 0;
           pending_addr_ = next_data_addr(pending_is_store_);
-          const Cycle fault = mmu_.touch(inst_.job, id_, pending_addr_);
+          const Cycle fault = mmu_.translate(inst_.job, id_, pending_addr_);
           pending_translated_ = true;
           if (fault > 0) {
-            fault_left_ = fault;
+            fault_left() = fault;
             resume_phase_ = Phase::kAccess;
-            ++stats_.fault_wait_cycles;
-            phase_ = Phase::kFaultWait;
+            ++hot_->fault_wait_cycles[id_];
+            set_phase(Phase::kFaultWait);
             return;
           }
         }
         if (!crossbar_.try_acquire(cache_.bank_of(pending_addr_))) {
-          bus_op_ = mem::CeBusOp::kWait;
+          set_bus_op(mem::CeBusOp::kWait);
           ++stats_.xbar_conflict_cycles;
           return;
         }
         issue_access(pending_is_store_ ? cache::AccessType::kWrite
                                        : cache::AccessType::kRead,
                      pending_addr_);
-        if (phase_ != Phase::kMissWait) {
+        if (phase() != Phase::kMissWait) {
           if (pending_is_store_) {
             --stores_left_;
           } else {

@@ -7,6 +7,12 @@
 // on an outstanding miss (bus wait), or stalls for page-fault service
 // (bus idle — the fault is handled by the OS). The per-cycle bus opcode is
 // what the logic-analyzer probe on this CE's cache bus latches.
+//
+// The per-tick hot state (phase, bus opcode, stall countdowns) lives in a
+// CeHot lane block (fx8/hot_state.hpp) so the machine's fused kernel
+// walks one contiguous array for all eight CEs; the three steady-state
+// behaviours (compute burn, miss wait, fault wait) run as an inlined fast
+// path and everything else drops to tick_slow().
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include "cache/icache.hpp"
 #include "cache/shared_cache.hpp"
 #include "fx8/crossbar.hpp"
+#include "fx8/hot_state.hpp"
 #include "fx8/mmu.hpp"
 #include "isa/kernel.hpp"
 #include "mem/bus_ops.hpp"
@@ -67,21 +74,59 @@ class Ce {
 
   /// True when no instance is loaded (fresh, or the last one completed and
   /// take_completed() was called).
-  [[nodiscard]] bool idle() const { return phase_ == Phase::kIdle; }
+  [[nodiscard]] bool idle() const { return phase() == Phase::kIdle; }
 
   /// True when the loaded instance has finished.
-  [[nodiscard]] bool done() const { return phase_ == Phase::kDone; }
+  [[nodiscard]] bool done() const { return phase() == Phase::kDone; }
 
   /// Acknowledge completion, returning the CE to idle.
   void take_completed();
 
   /// Advance one cycle (only meaningful while an instance is loaded).
   /// Must be called after Crossbar::begin_cycle() for this cycle.
-  void tick();
+  /// The steady-state behaviours are inlined; control transitions
+  /// (step setup, access issue, stall pick-up) run in tick_slow().
+  void tick() {
+    CeHot& hot = *hot_;
+    const Phase p = static_cast<Phase>(hot.phase[id_]);
+    hot.bus_op[id_] = mem::CeBusOp::kIdle;
+    switch (p) {
+      case Phase::kIdle:
+      case Phase::kDone:
+        return;
+      case Phase::kCompute:
+        if (hot.compute_left[id_] > 0) {
+          --hot.compute_left[id_];
+          ++hot.busy_cycles[id_];
+          ++hot.compute_cycles[id_];
+          return;
+        }
+        break;
+      case Phase::kMissWait:
+        if (!cache_.fill_ready(id_)) {
+          hot.bus_op[id_] = mem::CeBusOp::kWait;
+          ++hot.busy_cycles[id_];
+          ++hot.miss_wait_cycles[id_];
+          return;
+        }
+        break;
+      case Phase::kFaultWait:
+        if (hot.fault_left[id_] > 1) {
+          --hot.fault_left[id_];
+          ++hot.busy_cycles[id_];
+          ++hot.fault_wait_cycles[id_];
+          return;
+        }
+        break;
+      default:
+        break;
+    }
+    tick_slow();
+  }
 
   /// Bus opcode latched by a probe for the cycle just ticked. Idle CEs
   /// latch kIdle.
-  [[nodiscard]] mem::CeBusOp bus_op() const { return bus_op_; }
+  [[nodiscard]] mem::CeBusOp bus_op() const { return hot_->bus_op[id_]; }
 
   // --- Event-horizon fast-forward -------------------------------------
   /// Cycles for which this CE's behaviour is a pure repeat that skip()
@@ -89,25 +134,75 @@ class Ce {
   /// CE its remaining compute budget, a fault-stalled CE its remaining
   /// service (minus the transition cycle). 0 means the next tick can
   /// change machine-visible state and must run naively.
-  [[nodiscard]] Cycle quiet_horizon() const;
+  [[nodiscard]] Cycle quiet_horizon() const {
+    switch (static_cast<Phase>(hot_->phase[id_])) {
+      case Phase::kIdle:
+      case Phase::kDone:
+        return kHorizonNever;
+      case Phase::kCompute:
+        // Each of the next compute_left ticks burns one bus-idle compute
+        // cycle; the tick after that enters kAccess.
+        return hot_->compute_left[id_];
+      case Phase::kFaultWait:
+        // The tick that drops fault_left to zero also transitions phases,
+        // so it must run naively: skip at most fault_left - 1.
+        return hot_->fault_left[id_] - 1;
+      case Phase::kMissWait:
+        // Waiting on a line fill: the shared cache flags readiness on a
+        // bus-completion tick, which the bus horizon already forces to be
+        // naive. Until the flag is up every wait tick is a pure repeat;
+        // the pick-up tick itself must run naively.
+        return cache_.fill_ready(id_) ? 0 : kHorizonNever;
+      default:
+        return 0;
+    }
+  }
   /// Bulk-apply `cycles` ticks of the current uniform behaviour.
   /// Requires cycles <= quiet_horizon(); bit-identical to ticking.
   void skip(Cycle cycles);
 
-  [[nodiscard]] const CeStats& stats() const { return stats_; }
+  /// Assembled from the cold counters kept here and the four per-cycle
+  /// counters that live in the hot lanes.
+  [[nodiscard]] CeStats stats() const {
+    CeStats s = stats_;
+    s.busy_cycles = hot_->busy_cycles[id_];
+    s.compute_cycles = hot_->compute_cycles[id_];
+    s.miss_wait_cycles = hot_->miss_wait_cycles[id_];
+    s.fault_wait_cycles = hot_->fault_wait_cycles[id_];
+    return s;
+  }
+
+  /// Re-point this CE's hot lanes at an externally owned block (the
+  /// machine's contiguous hot-state). Copies only this CE's slots, so
+  /// sibling CEs already bound to the block are untouched.
+  void bind_hot(CeHot& hot);
 
  private:
-  enum class Phase : std::uint8_t {
-    kIdle,
-    kStepSetup,   ///< Derive compute/access budget for the next step.
-    kIFetch,      ///< Issue a spilled instruction fetch.
-    kCompute,     ///< Burn compute cycles.
-    kAccess,      ///< Issue data accesses.
-    kMissWait,    ///< Outstanding shared-cache miss.
-    kFaultWait,   ///< Page-fault service stall.
-    kDone,
-  };
+  /// The cluster's fused lane kernel mirrors tick()'s fast path over the
+  /// shared CeHot block and drops into tick_slow() here.
+  friend class Cluster;
 
+  using Phase = CePhase;
+
+  [[nodiscard]] Phase phase() const {
+    return static_cast<Phase>(hot_->phase[id_]);
+  }
+  void set_phase(Phase p) {
+    hot_->phase[id_] = static_cast<std::uint8_t>(p);
+    const std::uint32_t bit = 1u << id_;
+    if (p == Phase::kDone) {
+      hot_->done_mask |= bit;
+    } else {
+      hot_->done_mask &= ~bit;
+    }
+  }
+  [[nodiscard]] std::uint32_t& compute_left() {
+    return hot_->compute_left[id_];
+  }
+  [[nodiscard]] Cycle& fault_left() { return hot_->fault_left[id_]; }
+  void set_bus_op(mem::CeBusOp op) { hot_->bus_op[id_] = op; }
+
+  void tick_slow();
   void setup_step();
   void issue_access(cache::AccessType type, Addr addr);
   [[nodiscard]] Addr next_data_addr(bool is_store);
@@ -119,23 +214,33 @@ class Ce {
   cache::InstructionCache icache_;
 
   KernelInstance inst_;
-  Phase phase_ = Phase::kIdle;
   Phase resume_phase_ = Phase::kIdle;  ///< Where to return after a stall.
   std::uint32_t step_ = 0;
   std::uint32_t total_steps_ = 0;
-  std::uint32_t compute_left_ = 0;
   std::uint32_t loads_left_ = 0;
   std::uint32_t stores_left_ = 0;
-  std::uint64_t accesses_done_ = 0;  ///< Streaming-cursor position.
+  std::uint64_t accesses_done_ = 0;  ///< Streaming access count.
+  /// Incremental streaming cursor: (stream_start + accesses_done_ *
+  /// step_bytes) % working_set_bytes, maintained by one add and one
+  /// conditional subtract per access instead of a 64-bit modulo (working
+  /// sets are not powers of two).
+  std::uint64_t stream_cursor_ = 0;
+  /// step_bytes % working_set_bytes, fixed per instance.
+  std::uint64_t stream_step_mod_ = 0;
   Addr last_load_addr_ = 0;          ///< Stores are read-modify-write.
-  Cycle fault_left_ = 0;
+  /// Icache spill fraction of the loaded instance's code footprint,
+  /// computed once at start() instead of per step.
+  double spill_frac_ = 0.0;
   bool pending_is_store_ = false;    ///< What the stalled access was.
   bool pending_is_ifetch_ = false;
   Addr pending_addr_ = 0;
   bool pending_translated_ = false;  ///< Fault check already done.
 
-  mem::CeBusOp bus_op_ = mem::CeBusOp::kIdle;
+  /// Cold counters only (accesses, conflicts, completions); the four
+  /// per-cycle counters live in the CeHot lanes. stats() merges them.
   CeStats stats_;
+  CeHot own_hot_;
+  CeHot* hot_ = &own_hot_;
 };
 
 }  // namespace repro::fx8

@@ -62,6 +62,12 @@ Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
   std::copy(base_order_.begin(), base_order_.end(), service_order_.begin());
   rotating_ = config.policy == ServicePolicy::kRotating;
   has_detached_ = config.detached_ces != 0;
+  for (const CeId c : base_order_) {
+    service_lane_mask_ |= 1u << c;
+  }
+  for (Ce& ce : ces_) {
+    ce.bind_hot(own_ce_hot_);
+  }
 }
 
 void Cluster::refresh_service_order() {
@@ -118,6 +124,7 @@ void Cluster::run_detached(std::uint32_t slot) {
     if (detached.phase_idx >= detached.program->phases.size()) {
       detached.program = nullptr;
       ++stats_.jobs_completed;
+      ++*events_;
       return;
     }
   }
@@ -149,6 +156,7 @@ void Cluster::load(const isa::Program* program, JobId job) {
   in_loop_ = false;
   in_serial_phase_ = false;
   worker_.fill(WorkerState::kNone);
+  deps_waiting_ = 0;
   if (observer_) {
     observer_->on_job_start(job_, now_);
   }
@@ -165,6 +173,17 @@ Addr Cluster::code_base_for_phase() const {
          static_cast<Addr>(phase_idx_) * 0x100000ULL;
 }
 
+void Cluster::bind_hot(HotState& hot) {
+  crossbar_.bind_hot(hot.crossbar_taken);
+  ccb_.bind_hot(hot.ccb_grants_left);
+  for (Ce& ce : ces_) {
+    ce.bind_hot(hot.ce);
+  }
+  ce_hot_ = &hot.ce;
+  hot.cluster_events = *events_;
+  events_ = &hot.cluster_events;
+}
+
 void Cluster::finish_job() {
   if (observer_) {
     observer_->on_job_end(job_, now_);
@@ -172,6 +191,7 @@ void Cluster::finish_job() {
   program_ = nullptr;
   job_ = 0;
   ++stats_.jobs_completed;
+  ++*events_;
 }
 
 void Cluster::run_serial_phase(const isa::SerialPhase& phase) {
@@ -261,6 +281,7 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
     ccb_.start_loop(phase.trip_count, config_.dispatch, cluster_width());
     in_loop_ = true;
     worker_.fill(WorkerState::kNone);
+    deps_waiting_ = 0;
     if (observer_) {
       observer_->on_loop_start(job_, static_cast<std::uint32_t>(phase_idx_),
                                phase.trip_count, now_);
@@ -272,6 +293,14 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
   // then dispatch (one CCB grant per cycle).
   for (std::uint32_t i = 0; i < service_count_; ++i) {
     const CeId c = service_order_[i];
+    // A lane still executing its iteration (done bit clear) can need
+    // nothing from this scan: reap, release, and dispatch all start from
+    // another worker state. Skipping it preserves the service order for
+    // every lane that does get serviced.
+    if (worker_[c] == WorkerState::kExecuting &&
+        ((ce_hot_->done_mask >> c) & 1u) == 0) {
+      continue;
+    }
     Ce& ce = ces_[c];
     if (worker_[c] == WorkerState::kExecuting && ce.done()) {
       ce.take_completed();
@@ -290,6 +319,7 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
       if (ccb_.predecessor_complete(worker_iter_[c])) {
         start_iteration(c, phase, worker_iter_[c]);
         worker_[c] = WorkerState::kExecuting;
+        --deps_waiting_;
       }
     }
     if (worker_[c] == WorkerState::kNone && !ccb_.all_dispatched()) {
@@ -298,6 +328,7 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
         if (iteration_has_dependence(phase, *iter) &&
             !ccb_.predecessor_complete(*iter)) {
           worker_[c] = WorkerState::kAwaitingDep;
+          ++deps_waiting_;
         } else {
           start_iteration(c, phase, *iter);
           worker_[c] = WorkerState::kExecuting;
@@ -325,12 +356,59 @@ void Cluster::advance_control() {
   if (!busy()) {
     return;
   }
+  // Steady-state gate: mid-loop, with every iteration dispatched, nobody
+  // awaiting a dependence, and no completion to reap, the concurrent
+  // control scan provably does nothing — worker transitions only follow
+  // a CE reaching kDone (tracked by the shared done mask), a dependence
+  // release (only after a completion), or an undispatched iteration.
+  if (in_loop_ && deps_waiting_ == 0 &&
+      (ce_hot_->done_mask & service_lane_mask_) == 0 &&
+      ccb_.all_dispatched()) {
+    return;
+  }
   const isa::Phase& phase = program_->phases[phase_idx_];
   if (const auto* serial = std::get_if<isa::SerialPhase>(&phase)) {
     run_serial_phase(*serial);
   } else {
     run_concurrent_phase(std::get<isa::ConcurrentLoopPhase>(phase));
   }
+}
+
+inline void Cluster::tick_lane(CeHot& hot, CeId c) {
+  const CePhase p = static_cast<CePhase>(hot.phase[c]);
+  hot.bus_op[c] = mem::CeBusOp::kIdle;
+  switch (p) {
+    case CePhase::kIdle:
+    case CePhase::kDone:
+      return;
+    case CePhase::kCompute:
+      if (hot.compute_left[c] > 0) {
+        --hot.compute_left[c];
+        ++hot.busy_cycles[c];
+        ++hot.compute_cycles[c];
+        return;
+      }
+      break;
+    case CePhase::kMissWait:
+      if (!cache_.fill_ready(c)) {
+        hot.bus_op[c] = mem::CeBusOp::kWait;
+        ++hot.busy_cycles[c];
+        ++hot.miss_wait_cycles[c];
+        return;
+      }
+      break;
+    case CePhase::kFaultWait:
+      if (hot.fault_left[c] > 1) {
+        --hot.fault_left[c];
+        ++hot.busy_cycles[c];
+        ++hot.fault_wait_cycles[c];
+        return;
+      }
+      break;
+    default:
+      break;
+  }
+  ces_[c].tick_slow();
 }
 
 void Cluster::tick() {
@@ -347,12 +425,13 @@ void Cluster::tick() {
       run_detached(slot);
     }
   }
+  CeHot& hot = *ce_hot_;
   for (std::uint32_t i = 0; i < service_count_; ++i) {
-    ces_[service_order_[i]].tick();
+    tick_lane(hot, service_order_[i]);
   }
   if (has_detached_) {
     for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
-      ces_[detached_ce(slot)].tick();
+      tick_lane(hot, detached_ce(slot));
     }
   }
   ++rotation_;

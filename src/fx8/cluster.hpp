@@ -23,6 +23,7 @@
 #include "fx8/ccb.hpp"
 #include "fx8/ce.hpp"
 #include "fx8/crossbar.hpp"
+#include "fx8/hot_state.hpp"
 #include "fx8/mmu.hpp"
 #include "isa/program.hpp"
 
@@ -129,6 +130,16 @@ class Cluster {
   /// observer must outlive the cluster or be detached first.
   void set_observer(ClusterObserver* observer) { observer_ = observer; }
 
+  /// Re-point the cluster's hot state (crossbar grant mask, CCB grant
+  /// budget, every CE's lanes, the control-event counter) at the
+  /// machine's contiguous hot-state block. Copies current values.
+  void bind_hot(HotState& hot);
+
+  /// Monotone count of control events the OS layer can react to: a
+  /// cluster job or a detached job completing. Machine::tick_block stops
+  /// at the end of the cycle that bumps this (see fx8/hot_state.hpp).
+  [[nodiscard]] std::uint64_t control_events() const { return *events_; }
+
   // --- Detached CEs ---------------------------------------------------
   /// CEs participating in cluster (loop) execution.
   [[nodiscard]] std::uint32_t cluster_width() const {
@@ -156,6 +167,11 @@ class Cluster {
   };
 
   void advance_control();
+  /// The fused per-lane fast path — the lane-resident mirror of
+  /// Ce::tick(). Steady-state lanes touch only the shared CeHot block
+  /// (plus the cache's fill-ready word); transitions drop into the
+  /// owning Ce's tick_slow(). Defined inline in cluster.cpp.
+  void tick_lane(CeHot& hot, CeId c);
   void refresh_service_order();
   void run_detached(std::uint32_t slot);
   void run_serial_phase(const isa::SerialPhase& phase);
@@ -199,6 +215,21 @@ class Cluster {
   std::array<DetachedJob, kMaxCes> detached_{};
 
   ClusterStats stats_;
+  /// The cluster's CEs always share one CeHot block (the constructor
+  /// binds them to own_ce_hot_; Machine::bind_hot re-points them at the
+  /// machine block), so control can poll the shared done_mask instead of
+  /// every CE.
+  CeHot own_ce_hot_;
+  CeHot* ce_hot_ = &own_ce_hot_;
+  /// Bitmask of the lanes participating in cluster (non-detached) work.
+  std::uint32_t service_lane_mask_ = 0;
+  /// Workers currently in WorkerState::kAwaitingDep. Together with the
+  /// done mask and the CCB dispatch cursor this tells the concurrent
+  /// control scan when it has provably nothing to do this cycle.
+  std::uint32_t deps_waiting_ = 0;
+  /// Control-event counter; points into HotState once bound.
+  std::uint64_t own_events_ = 0;
+  std::uint64_t* events_ = &own_events_;
   ClusterObserver* observer_ = nullptr;
   /// Cluster-local clock; advances with tick() and timestamps marker
   /// events (equals Machine::now() when ticked by the machine).

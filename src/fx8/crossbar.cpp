@@ -9,15 +9,5 @@ Crossbar::Crossbar(std::uint32_t banks) : banks_(banks) {
   REPRO_EXPECT(banks <= 64, "grant bitmask holds at most 64 banks");
 }
 
-bool Crossbar::try_acquire(std::uint32_t bank) {
-  REPRO_EXPECT(bank < banks_, "bank index out of range");
-  const std::uint64_t bit = std::uint64_t{1} << bank;
-  if (taken_ & bit) {
-    ++conflicts_;
-    return false;
-  }
-  taken_ |= bit;
-  return true;
-}
 
 }  // namespace repro::fx8

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "base/expect.hpp"
 #include "base/types.hpp"
 
 namespace repro::fx8 {
@@ -21,17 +22,35 @@ class Crossbar {
   /// Reset per-cycle grants. Call once per machine cycle before CEs act.
   /// Grants live in one bitmask so the per-cycle reset is a single store
   /// (this runs every machine cycle of every session).
-  void begin_cycle() { taken_ = 0; }
+  void begin_cycle() { *taken_ = 0; }
 
   /// Try to route an access to `bank` this cycle; true on success.
-  [[nodiscard]] bool try_acquire(std::uint32_t bank);
+  /// Inline: this sits on the per-access hot path of every CE.
+  [[nodiscard]] bool try_acquire(std::uint32_t bank) {
+    REPRO_EXPECT(bank < banks_, "bank index out of range");
+    const std::uint64_t bit = std::uint64_t{1} << bank;
+    if (*taken_ & bit) {
+      ++conflicts_;
+      return false;
+    }
+    *taken_ |= bit;
+    return true;
+  }
 
   /// Lifetime count of rejected (conflicted) acquisitions.
   [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
 
+  /// Re-point the grant mask at an externally owned slot (the machine's
+  /// contiguous hot-state). Copies the current value across.
+  void bind_hot(std::uint64_t& taken) {
+    taken = *taken_;
+    taken_ = &taken;
+  }
+
  private:
   std::uint32_t banks_;
-  std::uint64_t taken_ = 0;
+  std::uint64_t own_taken_ = 0;
+  std::uint64_t* taken_ = &own_taken_;
   std::uint64_t conflicts_ = 0;
 };
 

@@ -1,0 +1,81 @@
+// The machine's contiguous per-tick hot-state block.
+//
+// Everything the per-cycle simulation path mutates every machine cycle —
+// the CE state lanes, the crossbar grant mask, the CCB grant budget, the
+// shared-cache miss/fill masks, and the memory-bus countdowns — lives in
+// this one structure-of-arrays block instead of being scattered across
+// the component objects. The components keep their cold state (queues,
+// line arrays, configs, lifetime counters) and hold a pointer into their
+// slice of this block, so the fused tick kernel (Machine::tick_block)
+// walks a few adjacent cache lines per cycle instead of eight-plus
+// objects.
+//
+// Components constructed standalone (unit tests) fall back to a private
+// instance of their hot struct; Machine::bind_hot re-points every member
+// at this block right after construction. Binding copies the current
+// values, so it is transparent at any point in a component's life.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hpp"
+#include "cache/hot.hpp"
+#include "mem/bus_ops.hpp"
+#include "mem/hot.hpp"
+
+namespace repro::fx8 {
+
+/// The CE execution phases. Lives here (not in Ce) so the cluster's
+/// fused lane kernel can interpret the phase lanes directly.
+enum class CePhase : std::uint8_t {
+  kIdle,
+  kStepSetup,   ///< Derive compute/access budget for the next step.
+  kIFetch,      ///< Issue a spilled instruction fetch.
+  kCompute,     ///< Burn compute cycles.
+  kAccess,      ///< Issue data accesses.
+  kMissWait,    ///< Outstanding shared-cache miss.
+  kFaultWait,   ///< Page-fault service stall.
+  kDone,
+};
+
+/// Per-CE state lanes, one slot per CE id (SoA). The values are the hot
+/// subset of Ce: the phase discriminant the cluster polls, the bus opcode
+/// the probe latches, and the countdowns the three stall fast paths
+/// decrement. Stats and the streaming/pending cold state stay in Ce.
+struct CeHot {
+  std::array<std::uint8_t, kMaxCes> phase{};     ///< CePhase values.
+  std::array<mem::CeBusOp, kMaxCes> bus_op{};
+  std::array<std::uint32_t, kMaxCes> compute_left{};
+  std::array<Cycle, kMaxCes> fault_left{};
+  /// The four per-cycle CeStats counters. They live in lanes so a
+  /// steady-state tick touches only this block — the Ce object itself
+  /// stays untouched on the fast path.
+  std::array<std::uint64_t, kMaxCes> busy_cycles{};
+  std::array<std::uint64_t, kMaxCes> compute_cycles{};
+  std::array<std::uint64_t, kMaxCes> miss_wait_cycles{};
+  std::array<std::uint64_t, kMaxCes> fault_wait_cycles{};
+  /// One bit per CE, set while that CE's phase is kDone. Maintained by
+  /// Ce::set_phase so the cluster's control scan can test "any completion
+  /// to reap?" in O(1) instead of polling every CE every cycle.
+  std::uint32_t done_mask = 0;
+};
+
+struct HotState {
+  CeHot ce;
+  /// Crossbar: banks granted this cycle (one bit per bank).
+  std::uint64_t crossbar_taken = 0;
+  /// CCB: iteration-dispatch grants left this cycle.
+  std::uint32_t ccb_grants_left = 0;
+  cache::SharedCacheHot cache;
+  mem::BusHot bus;
+  /// Monotone count of cluster control events (job / detached-job
+  /// completions) — everything the OS layer can react to. tick_block
+  /// stops at the end of the cycle that bumps this so the scheduler's
+  /// next tick runs naively, exactly as lockstep ticking would.
+  std::uint64_t cluster_events = 0;
+  /// The machine clock (Machine::now()).
+  Cycle now = 0;
+};
+
+}  // namespace repro::fx8

@@ -59,7 +59,7 @@ void Ip::skip(Cycle cycles) {
   }
 }
 
-void Ip::tick() {
+void Ip::tick_slow() {
   if (state_left_ == 0) {
     if (bursting_ || config_.duty <= 0.0) {
       enter_idle();

@@ -41,8 +41,19 @@ class Ip {
 
   [[nodiscard]] IpId id() const { return id_; }
 
-  /// Advance one cycle.
-  void tick();
+  /// Advance one cycle. The steady-state behaviours (idle countdown,
+  /// in-burst gap between accesses) are inlined; period transitions and
+  /// access issue drop to tick_slow().
+  void tick() {
+    if (state_left_ > 0 && (!bursting_ || access_countdown_ > 1)) {
+      --state_left_;
+      if (bursting_) {
+        --access_countdown_;
+      }
+      return;
+    }
+    tick_slow();
+  }
 
   /// Event-horizon fast-forward: cycles until this IP can next touch the
   /// machine (its cache/bus) or draw randomness — the rest of an idle
@@ -55,6 +66,7 @@ class Ip {
   [[nodiscard]] std::uint64_t accesses_issued() const { return accesses_; }
 
  private:
+  void tick_slow();
   void enter_idle();
   void enter_burst();
 

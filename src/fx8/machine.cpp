@@ -40,6 +40,12 @@ Machine::Machine(const MachineConfig& config, Mmu& mmu) : config_(config) {
     ips_.emplace_back(ip, config.ip, region, *ip_cache, splitmix64(seed));
     ip_caches_.push_back(std::move(ip_cache));
   }
+
+  // Pack every component's per-tick hot state into the machine's
+  // contiguous block (fx8/hot_state.hpp).
+  membus_->bind_hot(hot_state_.bus);
+  shared_cache_->bind_hot(hot_state_.cache);
+  cluster_->bind_hot(hot_state_);
 }
 
 void Machine::tick() {
@@ -47,9 +53,9 @@ void Machine::tick() {
   for (Ip& ip : ips_) {
     ip.tick();
   }
-  membus_->tick(now_);
+  membus_->tick(hot_state_.now);
   shared_cache_->tick();
-  ++now_;
+  ++hot_state_.now;
 }
 
 Cycle Machine::quiet_horizon() const {
@@ -57,7 +63,7 @@ Cycle Machine::quiet_horizon() const {
   if (horizon == 0) {
     return 0;
   }
-  horizon = std::min(horizon, membus_->quiet_horizon(now_));
+  horizon = std::min(horizon, membus_->quiet_horizon(hot_state_.now));
   if (horizon == 0) {
     return 0;
   }
@@ -77,7 +83,7 @@ void Machine::skip(Cycle cycles) {
     ip.skip(cycles);
   }
   membus_->skip(cycles);
-  now_ += cycles;
+  hot_state_.now += cycles;
 }
 
 void Machine::run(Cycle cycles) {
@@ -87,15 +93,41 @@ void Machine::run(Cycle cycles) {
   Cluster& cluster = *cluster_;
   mem::MemoryBus& membus = *membus_;
   cache::SharedCache& shared_cache = *shared_cache_;
+  Cycle& now = hot_state_.now;
   for (Cycle i = 0; i < cycles; ++i) {
     cluster.tick();
     for (Ip& ip : ips_) {
       ip.tick();
     }
-    membus.tick(now_);
+    membus.tick(now);
     shared_cache.tick();
-    ++now_;
+    ++now;
   }
+}
+
+Cycle Machine::tick_block(Cycle max_cycles) {
+  Cluster& cluster = *cluster_;
+  mem::MemoryBus& membus = *membus_;
+  cache::SharedCache& shared_cache = *shared_cache_;
+  HotState& hot = hot_state_;
+  const std::uint64_t events_at_entry = hot.cluster_events;
+  Cycle done = 0;
+  while (done < max_cycles) {
+    cluster.tick();
+    for (Ip& ip : ips_) {
+      ip.tick();
+    }
+    membus.tick(hot.now);
+    shared_cache.tick();
+    ++hot.now;
+    ++done;
+    if (hot.cluster_events != events_at_entry) {
+      // A job or detached job completed this cycle: stop so the OS layer
+      // ticks naively next cycle, exactly as lockstep ticking would.
+      break;
+    }
+  }
+  return done;
 }
 
 }  // namespace repro::fx8

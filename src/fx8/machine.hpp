@@ -17,6 +17,7 @@
 #include "cache/ip_cache.hpp"
 #include "cache/shared_cache.hpp"
 #include "fx8/cluster.hpp"
+#include "fx8/hot_state.hpp"
 #include "fx8/ip.hpp"
 #include "fx8/mmu.hpp"
 #include "mem/main_memory.hpp"
@@ -49,6 +50,16 @@ class Machine {
   /// Convenience: tick `cycles` times.
   void run(Cycle cycles);
 
+  // --- Fused hot-tick kernel ------------------------------------------
+  /// Advance up to `max_cycles` cycles through the fused per-cycle loop,
+  /// stopping early at the end of the cycle that completes a cluster or
+  /// detached job (a control event the OS layer reacts to). Returns the
+  /// number of cycles actually advanced (>= 1 when max_cycles >= 1).
+  /// Bit-identical to calling tick() that many times; the caller must
+  /// guarantee no OS/workload action is due during the block, exactly as
+  /// for the cycles a SessionController runs between probe latch points.
+  Cycle tick_block(Cycle max_cycles);
+
   // --- Event-horizon fast-forward -------------------------------------
   /// Minimum quiet horizon across the cluster, the IPs, the memory buses,
   /// and the shared cache: the machine's externally visible behaviour is
@@ -58,7 +69,7 @@ class Machine {
   /// Requires cycles <= quiet_horizon().
   void skip(Cycle cycles);
 
-  [[nodiscard]] Cycle now() const { return now_; }
+  [[nodiscard]] Cycle now() const { return hot_state_.now; }
 
   [[nodiscard]] Cluster& cluster() { return *cluster_; }
   [[nodiscard]] const Cluster& cluster() const { return *cluster_; }
@@ -91,7 +102,9 @@ class Machine {
   std::unique_ptr<Cluster> cluster_;
   std::vector<std::unique_ptr<cache::IpCache>> ip_caches_;
   std::vector<Ip> ips_;
-  Cycle now_ = 0;
+  /// Contiguous per-tick hot state; every component's hot slice points in
+  /// here after the constructor binds them (fx8/hot_state.hpp).
+  HotState hot_state_;
 };
 
 }  // namespace repro::fx8

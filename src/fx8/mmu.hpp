@@ -9,6 +9,8 @@
 // paper collected (§3.3).
 #pragma once
 
+#include <array>
+
 #include "base/types.hpp"
 
 namespace repro::fx8 {
@@ -17,11 +19,44 @@ class Mmu {
  public:
   virtual ~Mmu() = default;
 
+  /// The CE-facing entry point: touch `addr` on behalf of `job` from
+  /// processor `ce`. A per-CE single-entry memo of the last resident
+  /// (job, page) skips the virtual touch() call entirely for the
+  /// within-page streaming accesses that dominate saturated sessions;
+  /// implementations must call invalidate_translations() whenever any
+  /// mapping is removed. The memo works at kPageBytes granularity — the
+  /// system page size every Mmu implementation shares.
+  Cycle translate(JobId job, CeId ce, Addr addr) {
+    Memo& memo = memo_[ce];
+    const Addr page = addr / kPageBytes;
+    if (memo.epoch == epoch_ && memo.page == page && memo.job == job) {
+      return 0;
+    }
+    const Cycle stall = touch(job, ce, addr);
+    // A non-zero return maps the page (see touch), so the page is
+    // resident either way and the memo entry is valid.
+    memo = {epoch_, job, page};
+    return stall;
+  }
+
   /// Touch `addr` on behalf of `job` from processor `ce`. Returns the
   /// number of cycles the access must stall for fault service (0 when the
   /// page is already mapped). A non-zero return maps the page, so the
   /// retried access will not fault again.
   virtual Cycle touch(JobId job, CeId ce, Addr addr) = 0;
+
+ protected:
+  /// Drop every memoized translation (some mapping was removed).
+  void invalidate_translations() { ++epoch_; }
+
+ private:
+  struct Memo {
+    std::uint64_t epoch = 0;
+    JobId job = 0;
+    Addr page = 0;
+  };
+  std::array<Memo, kMaxCes> memo_{};
+  std::uint64_t epoch_ = 1;
 };
 
 /// MMU that never faults; used by unit tests of the bare machine.

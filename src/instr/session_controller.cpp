@@ -17,15 +17,17 @@ void must_ack(DasController& das, const std::string& line) {
 }
 
 /// Shortest horizon worth taking as a bulk jump. skip() walks every
-/// component just like a tick does, so jumping 2 or 3 cycles costs more
-/// than ticking them; below this, run the stretch naively instead.
-constexpr Cycle kMinProfitableSkip = 16;
+/// component once, which costs a handful of fused ticks; the horizon
+/// arithmetic itself is already paid by the time the choice is made, so
+/// the bar is low — only 1-3 cycle stretches tick through the kernel.
+constexpr Cycle kMinProfitableSkip = 4;
 
-/// Cap on the adaptive naive-run length. While horizons stay short the
-/// controller re-checks them only every `stride` ticks (doubling up to
-/// this cap), so horizon arithmetic amortizes away on busy stretches; a
-/// long skip opportunity is noticed at most kMaxStride - 1 ticks late.
-constexpr Cycle kMaxStride = 64;
+/// Cap on one fused-kernel burst. tick_block stops on its own at cluster
+/// control events; this cap bounds how stale the controller's bulk-jump
+/// check can get on busy stretches — a skip opportunity that opens up
+/// mid-block is noticed at most kBlockChunk - 1 cycles late, each of
+/// which was only a cheap fused tick.
+constexpr Cycle kBlockChunk = 256;
 
 }  // namespace
 
@@ -54,6 +56,26 @@ Cycle SessionController::quiet_horizon() const {
   return std::min(workload, system_.quiet_horizon());
 }
 
+Cycle SessionController::quiet_burst(Cycle budget) {
+  const Cycle workload = workload_.quiet_horizon(system_);
+  if (workload == 0 || system_.scheduler().quiet_horizon() == 0) {
+    // An OS-layer action is due next tick (burst submission, gap draw,
+    // job reap/dispatch): run it in lockstep so the scheduler and the
+    // workload generator see exactly the states they would naively.
+    step();
+    ++ff_stats_.naive_cycles;
+    return 1;
+  }
+  // Neither can act for `workload` cycles (the scheduler's horizon is
+  // unbounded until the next cluster control event, where tick_block
+  // stops on its own), so their per-cycle ticks are provably no-ops:
+  // advance the machine alone through the fused kernel.
+  const Cycle block = system_.machine().tick_block(
+      std::min(std::min(workload, budget), kBlockChunk));
+  ff_stats_.block_cycles += block;
+  return block;
+}
+
 void SessionController::advance(Cycle cycles) {
   if (!config_.fast_forward) {
     for (Cycle c = 0; c < cycles; ++c) {
@@ -63,7 +85,6 @@ void SessionController::advance(Cycle cycles) {
     return;
   }
   Cycle c = 0;
-  Cycle stride = 1;
   while (c < cycles) {
     const Cycle horizon = std::min(quiet_horizon(), cycles - c);
     if (horizon >= kMinProfitableSkip) {
@@ -71,21 +92,11 @@ void SessionController::advance(Cycle cycles) {
       c += horizon;
       ff_stats_.skipped_cycles += horizon;
       ++ff_stats_.jumps;
-      stride = 1;
       continue;
     }
-    // Short horizon: the next `horizon` ticks are pure repeats and the
-    // tick after that is an event — cheaper to run all of them naively
-    // than to bulk-jump. The stride pads the run so horizon arithmetic
-    // is paid once per run, not once per cycle.
-    const Cycle naive =
-        std::min(std::max(horizon + 1, stride), cycles - c);
-    for (Cycle i = 0; i < naive; ++i) {
-      step();
-    }
-    c += naive;
-    ff_stats_.naive_cycles += naive;
-    stride = std::min(stride * 2, kMaxStride);
+    // Short horizon: too busy to bulk-jump. Advance through the fused
+    // kernel (or one lockstep step when the OS layer is due to act).
+    c += quiet_burst(cycles - c);
   }
 }
 
@@ -120,46 +131,47 @@ SampleRecord SessionController::take_sample() {
 
   std::size_t next_snapshot = 0;
   bool acquiring = false;
-  Cycle naive_budget = 0;
-  Cycle stride = 1;
   for (Cycle c = 0; c < config_.interval_cycles;) {
     if (next_snapshot < starts.size() && c == starts[next_snapshot]) {
       must_ack(das, "ARM");
       acquiring = true;
     }
-    if (config_.fast_forward && !acquiring && naive_budget == 0) {
-      // Between acquisitions the probe is not latched, so quiet stretches
-      // can advance in one jump — clamped to the next snapshot start so
-      // the ARM lands on exactly the naive cycle. Short horizons run as
-      // naive bursts instead (see advance() for the stride rationale).
-      const Cycle bound = next_snapshot < starts.size()
-                              ? starts[next_snapshot]
-                              : config_.interval_cycles;
-      const Cycle horizon = std::min(quiet_horizon(), bound - c);
-      if (horizon >= kMinProfitableSkip) {
-        system_.skip(horizon);
-        c += horizon;
-        ff_stats_.skipped_cycles += horizon;
-        ++ff_stats_.jumps;
-        stride = 1;
-        continue;
+    if (acquiring) {
+      // The probe latches this CE-bus cycle: acquisitions always run as
+      // real single ticks.
+      step();
+      ++c;
+      ++ff_stats_.naive_cycles;
+      if (das.on_sample_clock(latch(system_.machine()))) {
+        must_ack(das, "XFER");
+        record.hw.merge(reduce(das.take_transfer(), n_ces, n_buses));
+        acquiring = false;
+        ++next_snapshot;
       }
-      naive_budget = std::min(std::max(horizon + 1, stride), bound - c);
-      stride = std::min(stride * 2, kMaxStride);
+      continue;
     }
-    if (naive_budget > 0) {
-      --naive_budget;
+    if (!config_.fast_forward) {
+      step();
+      ++c;
+      ++ff_stats_.naive_cycles;
+      continue;
     }
-    step();
-    ++c;
-    ++ff_stats_.naive_cycles;
-    if (acquiring &&
-        das.on_sample_clock(latch(system_.machine()))) {
-      must_ack(das, "XFER");
-      record.hw.merge(reduce(das.take_transfer(), n_ces, n_buses));
-      acquiring = false;
-      ++next_snapshot;
+    // Between acquisitions the probe is not latched, so quiet stretches
+    // can advance in one jump — clamped to the next snapshot start so
+    // the ARM lands on exactly the naive cycle. Busy stretches advance
+    // through the fused kernel under the same clamp.
+    const Cycle bound = next_snapshot < starts.size()
+                            ? starts[next_snapshot]
+                            : config_.interval_cycles;
+    const Cycle horizon = std::min(quiet_horizon(), bound - c);
+    if (horizon >= kMinProfitableSkip) {
+      system_.skip(horizon);
+      c += horizon;
+      ff_stats_.skipped_cycles += horizon;
+      ++ff_stats_.jumps;
+      continue;
     }
+    c += quiet_burst(bound - c);
   }
   // sw counters are read "at the time that the hardware sample was
   // stored" — here, at interval close.

@@ -47,11 +47,13 @@ struct SampleRecord {
   SoftwareSample sw;
 };
 
-/// Where the controller's cycles went: bulk-jumped vs naively ticked.
-/// Pure bookkeeping — identical simulation state either way.
+/// Where the controller's cycles went: bulk-jumped, block-ticked through
+/// the fused kernel, or naively lockstep-ticked. Pure bookkeeping —
+/// identical simulation state any way.
 struct FastForwardStats {
   Cycle skipped_cycles = 0;  ///< Advanced via system skip jumps.
-  Cycle naive_cycles = 0;    ///< Advanced tick-by-tick.
+  Cycle naive_cycles = 0;    ///< Advanced tick-by-tick (lockstep).
+  Cycle block_cycles = 0;    ///< Advanced via Machine::tick_block.
   std::uint64_t jumps = 0;   ///< Number of bulk jumps taken.
 };
 
@@ -88,6 +90,14 @@ class SessionController {
   /// Quiet horizon across the workload generator and the system: cycles
   /// of guaranteed repetition the controller may skip in one jump.
   [[nodiscard]] Cycle quiet_horizon() const;
+  /// Advance up to `budget` cycles without bulk-jumping and with no
+  /// acquisition armed: a cycle on which the OS layer (scheduler or
+  /// workload generator) is due to act runs as one lockstep step();
+  /// everything else goes through the fused Machine::tick_block kernel,
+  /// which stops at cluster control events so the scheduler's reaction
+  /// cycle is lockstep-ticked exactly as naive stepping would. Returns
+  /// cycles advanced (>= 1 when budget >= 1). Bit-identical to stepping.
+  Cycle quiet_burst(Cycle budget);
 
   os::System& system_;
   workload::WorkloadGenerator& workload_;

@@ -1,0 +1,34 @@
+// Memory-bus per-tick hot state.
+//
+// The fields the per-cycle path reads and writes every machine cycle,
+// split out of MemoryBus so the machine can pack them into its contiguous
+// hot-state block (fx8/hot_state.hpp) next to the other components' hot
+// lanes. A standalone MemoryBus (unit tests) binds to a private instance;
+// inside a Machine every component's hot struct shares one allocation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.hpp"
+#include "mem/bus_ops.hpp"
+
+namespace repro::mem {
+
+/// Hard cap on modelled buses (the FX/8 has two; FX/1 one). Bounds the
+/// hot arrays so the block's size is a compile-time constant.
+inline constexpr std::uint32_t kMaxMemBuses = 4;
+
+struct BusHot {
+  /// Bus cycles left on each bus's active transaction (0 = idle).
+  std::array<std::uint32_t, kMaxMemBuses> remaining{};
+  /// Opcode a probe would latch on each bus for the cycle just ticked.
+  std::array<MemBusOp, kMaxMemBuses> current_op{};
+  /// Monotone count of *tracked* transaction completions. Consumers that
+  /// poll take_finished() (the shared cache) can skip their poll loop
+  /// entirely while this is unchanged: no tracked transaction can have
+  /// finished in between.
+  std::uint64_t completion_epoch = 0;
+};
+
+}  // namespace repro::mem

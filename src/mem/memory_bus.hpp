@@ -5,15 +5,22 @@
 // bus for a fixed transfer time once its memory bank is free; queued
 // transactions wait. Each cycle every bus exposes the opcode a probe
 // would latch, which is what membop_j in Table 1 counts.
+//
+// Transactions come in two flavours: *tracked* ones (cache-line fills)
+// whose requester polls take_finished(), and *untracked* fire-and-forget
+// ones (invalidate broadcasts, write-backs, IP traffic) that only load
+// the bus. Keeping the flavours apart keeps the finished set small and
+// lets take_finished() consumers gate on the completion epoch instead of
+// polling every cycle.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <unordered_set>
 #include <vector>
 
 #include "base/types.hpp"
 #include "mem/bus_ops.hpp"
+#include "mem/hot.hpp"
 #include "mem/main_memory.hpp"
 
 namespace repro::mem {
@@ -32,10 +39,16 @@ class MemoryBus {
 
   [[nodiscard]] const MemoryBusConfig& config() const { return config_; }
 
-  /// Queue a transaction on bus `bus`. Returns a token to poll with
-  /// take_finished(). `addr` selects the memory bank for ops that touch
-  /// memory (fetch, write-back, IP traffic); ignored for invalidates.
+  /// Queue a tracked transaction on bus `bus`. Returns a token to poll
+  /// with take_finished(). `addr` selects the memory bank for ops that
+  /// touch memory (fetch, write-back, IP traffic); ignored for
+  /// invalidates.
   TxnId submit(std::uint32_t bus, MemBusOp op, Addr addr);
+
+  /// Queue a fire-and-forget transaction: occupies the bus and books its
+  /// opcode cycles exactly like submit(), but completion is dropped on
+  /// the floor (no token, no epoch bump). For traffic nobody stalls on.
+  void submit_untracked(std::uint32_t bus, MemBusOp op, Addr addr);
 
   /// Advance one cycle. Must be called exactly once per machine cycle with
   /// a strictly increasing `now`.
@@ -43,6 +56,12 @@ class MemoryBus {
 
   /// True (and consumes the completion) if the transaction has finished.
   [[nodiscard]] bool take_finished(TxnId id);
+
+  /// Monotone count of tracked completions (see mem/hot.hpp). While this
+  /// is unchanged, every take_finished() call would return false.
+  [[nodiscard]] std::uint64_t completion_epoch() const {
+    return hot_->completion_epoch;
+  }
 
   /// Event-horizon fast-forward: cycles of guaranteed pure repetition.
   /// An idle bus contributes kHorizonNever; an active transaction
@@ -63,28 +82,43 @@ class MemoryBus {
   /// Lifetime opcode-cycle counts per bus (op indexed by MemBusOp value).
   [[nodiscard]] std::uint64_t op_cycles(std::uint32_t bus, MemBusOp op) const;
 
+  /// Re-point the hot fields at an externally owned block (the machine's
+  /// contiguous hot-state). Copies the current values across, so binding
+  /// is transparent at any point in the bus's life.
+  void bind_hot(BusHot& hot);
+
  private:
   struct PendingTxn {
-    TxnId id = 0;
+    TxnId id = 0;  ///< 0 = untracked (fire-and-forget).
     MemBusOp op = MemBusOp::kIdle;
     Addr addr = 0;
   };
   struct BusState {
     std::deque<PendingTxn> queue;
     PendingTxn active;
-    std::uint32_t remaining = 0;  ///< Bus cycles left on the active txn.
-    MemBusOp current_op = MemBusOp::kIdle;
     std::vector<std::uint64_t> op_cycle_counts =
         std::vector<std::uint64_t>(kNumMemBusOps, 0);
   };
 
-  void start_next(BusState& bus, Cycle now);
+  void start_next(BusState& bus, std::uint32_t index, Cycle now);
 
   MemoryBusConfig config_;
   MainMemory& memory_;
   std::vector<BusState> buses_;
-  std::unordered_set<TxnId> finished_;
+  /// Outstanding tracked completions. A plain vector: at most one fill
+  /// per CE can be in flight, so the set stays tiny and a linear scan
+  /// beats hashing (and never grows unboundedly the way a set fed by
+  /// fire-and-forget traffic did).
+  std::vector<TxnId> finished_;
   TxnId next_id_ = 1;
+  /// True when the last tick left every bus idle with an empty queue:
+  /// until the next submit, a tick can only book one idle cycle per bus.
+  /// Those cycles accumulate here and are folded into op_cycles() on
+  /// read, turning the (dominant) fully-idle tick into a single branch.
+  bool quiescent_ = false;
+  Cycle quiescent_ticks_ = 0;
+  BusHot own_hot_;
+  BusHot* hot_ = &own_hot_;
 };
 
 }  // namespace repro::mem

@@ -11,6 +11,7 @@
 // page-fault rate a system measure.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
@@ -66,6 +67,22 @@ class VirtualMemory final : public fx8::Mmu {
 
   /// Unmap one page of one job, returning its frame to the pool.
   void unmap(JobPages& pages, Addr page);
+  /// Invalidate the translation memos — both the VM-side slots and the
+  /// Mmu base's per-CE fast-path memo (any unmap or job release could
+  /// remove the memoized pages).
+  void drop_memo() {
+    invalidate_translations();
+    for (auto& lanes : memo_valid_) {
+      lanes.fill(false);
+    }
+  }
+  /// Install (job, page) into `ce`'s memo slot for that page.
+  void remember(CeId ce, JobId job, Addr page) {
+    const std::size_t slot = page & (kMemoSlots - 1);
+    memo_job_[ce][slot] = job;
+    memo_page_[ce][slot] = page;
+    memo_valid_[ce][slot] = true;
+  }
   /// Global FIFO reclaim of one page from any job; false if none left.
   bool reclaim_one();
 
@@ -76,6 +93,16 @@ class VirtualMemory final : public fx8::Mmu {
   /// Global mapping order for exhaustion reclaim (entries may be stale;
   /// validated lazily).
   std::deque<std::pair<JobId, Addr>> global_fifo_;
+  /// Per-CE translation memo: recent (job, page) pairs that resolved
+  /// resident for that CE, direct-mapped by the page's low bits (one
+  /// compare per lookup). CEs stream within a page for many consecutive
+  /// accesses and interleave a handful of hot-set pages, so four slots
+  /// short-circuit the hash lookup on the hot path. Invalidated
+  /// wholesale on any unmap or job release.
+  static constexpr std::size_t kMemoSlots = 4;
+  std::array<std::array<JobId, kMemoSlots>, kMaxCes> memo_job_{};
+  std::array<std::array<Addr, kMemoSlots>, kMaxCes> memo_page_{};
+  std::array<std::array<bool, kMemoSlots>, kMaxCes> memo_valid_{};
   VmStats stats_;
 };
 

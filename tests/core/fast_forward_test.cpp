@@ -180,8 +180,16 @@ TEST_P(FastForwardDifferential, BitIdenticalToNaiveTickLoop) {
 
 std::vector<FfParam> sweep_params() {
   std::vector<FfParam> params;
-  const std::array<std::string, 3> mixes = {
-      "session-2-mixed", "session-6-batch-numeric", "session-9-serial-day"};
+  // Every session preset from the paper's measurement campaign, so the
+  // fused kernel and the bulk jumps are pinned against each workload
+  // shape (interactive, numeric, batch, serial, idle) at every cluster
+  // width and detached split.
+  const std::array<std::string, 9> mixes = {
+      "session-1-light-interactive", "session-2-mixed",
+      "session-3-numeric-heavy",     "session-4-idle-morning",
+      "session-5-steady-dev",        "session-6-batch-numeric",
+      "session-7-compile-test",      "session-8-mixed-busy",
+      "session-9-serial-day"};
   for (const std::string& mix : mixes) {
     for (const std::uint32_t width : {1u, 2u, 4u, 8u}) {
       for (const std::uint32_t detached : {0u, 2u}) {
