@@ -8,10 +8,16 @@
 //            [--mix 0..8|high|presets] [--mix-file FILE]
 //            [--policy fifo|concurrent|serial] [--seed S]
 //            [--threads N] [--report table2|models|histogram|all]
-//            [--csv FILE]
+//            [--csv FILE] [--checkpoint FILE] [--resume FILE]
 //
 // --threads 0 (the default) picks FX8_THREADS or the hardware
 // concurrency; results are bit-identical for every thread count.
+//
+// --checkpoint FILE writes a sealed state capsule after every completed
+// sample; --resume FILE continues a run from such a capsule. Both
+// restrict the run to one session (the capsule holds one measurement
+// rig) and produce output bit-identical to an uninterrupted run — see
+// docs/checkpointing.md.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,6 +26,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "base/capsule.hpp"
+#include "base/rng.hpp"
+#include "core/checkpoint.hpp"
 #include "core/export.hpp"
 #include "core/regression_models.hpp"
 #include "core/report.hpp"
@@ -40,6 +49,8 @@ struct Options {
   std::string report = "all";
   std::string mix_file;
   std::string csv_file;
+  std::string checkpoint_file;
+  std::string resume_file;
   std::uint64_t seed = 0x19870301;
   std::uint32_t threads = 0;
 };
@@ -91,6 +102,14 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (!v) return false;
       options.csv_file = v;
+    } else if (arg == "--checkpoint") {
+      const char* v = next();
+      if (!v) return false;
+      options.checkpoint_file = v;
+    } else if (arg == "--resume") {
+      const char* v = next();
+      if (!v) return false;
+      options.resume_file = v;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -100,6 +119,80 @@ bool parse(int argc, char** argv, Options& options) {
   }
   return options.sessions > 0 && options.samples > 0 &&
          options.interval >= 5 * 512;
+}
+
+/// Single-session run with sample-granular checkpointing: the rig is
+/// capsuled after every completed sample, and a resumed run continues
+/// the stream bit-identically. Mirrors the seeding of core::run_study
+/// with one session so the output matches the uninterrupted engine run.
+int run_checkpointed(const Options& options, const workload::WorkloadMix& mix,
+                     const core::StudyConfig& config,
+                     core::StudyResult& study) {
+  std::uint64_t seed_state = config.seed;
+  const std::uint64_t session_seed = splitmix64(seed_state);
+
+  os::System system(config.system);
+  workload::WorkloadGenerator generator(mix, mix64(session_seed ^ 0xABCD));
+  instr::SamplingConfig sampling = config.sampling;
+  sampling.fast_forward = sampling.fast_forward && config.fast_forward;
+  instr::SessionController controller(system, generator, sampling,
+                                      mix64(session_seed ^ 0x5A5A));
+
+  core::StudyCheckpoint progress;
+  progress.samples_total = config.samples_per_session;
+  if (!options.resume_file.empty()) {
+    try {
+      progress = core::load_study_checkpoint(
+          capsule::read_file(options.resume_file), system, generator,
+          controller);
+    } catch (const capsule::CapsuleError& error) {
+      std::fprintf(stderr, "fx8meter: cannot resume: %s\n", error.what());
+      return 2;
+    }
+    // The capsule pins the system config; the sample target is the
+    // user's call (the same --samples resumes, a larger one extends).
+    progress.samples_total = config.samples_per_session;
+    std::printf("resumed from %s at sample %u/%u\n\n",
+                options.resume_file.c_str(), progress.samples_done,
+                progress.samples_total);
+  } else {
+    controller.advance(config.warmup_cycles);
+  }
+
+  while (progress.samples_done < progress.samples_total) {
+    const auto records = controller.run_session(1);
+    progress.records.push_back(records.front());
+    ++progress.samples_done;
+    if (!options.checkpoint_file.empty()) {
+      try {
+        capsule::write_file(options.checkpoint_file,
+                            core::save_study_checkpoint(progress, system,
+                                                        generator,
+                                                        controller));
+      } catch (const capsule::CapsuleError& error) {
+        std::fprintf(stderr, "fx8meter: cannot checkpoint: %s\n",
+                     error.what());
+        return 2;
+      }
+    }
+  }
+
+  core::SessionResult session;
+  session.name = mix.name;
+  const std::uint32_t width = system.machine().cluster().width();
+  session.samples.reserve(progress.records.size());
+  for (const instr::SampleRecord& record : progress.records) {
+    session.samples.push_back(core::analyze(record, width));
+    session.totals.merge(record.hw);
+  }
+  session.ff = controller.ff_stats();
+  session.overall = core::ConcurrencyMeasures::from_counts(
+      std::span(session.totals.num).first(width + 1));
+  study.totals = session.totals;
+  study.overall = session.overall;
+  study.ff = session.ff;
+  study.sessions.push_back(std::move(session));
+  return 0;
 }
 
 }  // namespace
@@ -113,7 +206,8 @@ int main(int argc, char** argv) {
         "                [--mix 0..8|high|presets] [--policy "
         "fifo|concurrent|serial]\n"
         "                [--seed S] [--threads N]\n"
-        "                [--report table2|models|histogram|all]\n");
+        "                [--report table2|models|histogram|all]\n"
+        "                [--checkpoint FILE] [--resume FILE]\n");
     return 2;
   }
 
@@ -175,7 +269,21 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(options.seed),
               core::resolve_threads(config));
 
-  const core::StudyResult study = core::run_study(mixes, config);
+  core::StudyResult study;
+  if (!options.checkpoint_file.empty() || !options.resume_file.empty()) {
+    if (mixes.size() != 1) {
+      std::fprintf(stderr,
+                   "fx8meter: --checkpoint/--resume hold one measurement "
+                   "rig; run with --sessions 1\n");
+      return 2;
+    }
+    const int rc = run_checkpointed(options, mixes[0], config, study);
+    if (rc != 0) {
+      return rc;
+    }
+  } else {
+    study = core::run_study(mixes, config);
+  }
 
   const bool all = options.report == "all";
   if (all || options.report == "table2") {

@@ -6,6 +6,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -288,8 +289,14 @@ void render_correlation_matrix(Context& ctx) {
              stats::render_correlation_matrix(series, /*rank=*/true)
                  .c_str());
 
-  const double r_cw = stats::pearson(series[0].values, series[2].values);
-  const double r_pc = stats::pearson(series[1].values, series[2].values);
+  // A degenerate (constant) series leaves r undefined; NaN flows into
+  // the tolerance checks as an out-of-band verdict and into the JSON
+  // report as null, instead of crashing the run.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double r_cw =
+      stats::pearson(series[0].values, series[2].values).value_or(kNan);
+  const double r_pc =
+      stats::pearson(series[1].values, series[2].values).value_or(kNan);
   ctx.printf("missrate correlation: with Cw %.3f vs with Pc %.3f "
              "(paper: the former dominates)\n",
              r_cw, r_pc);

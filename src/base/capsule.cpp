@@ -1,0 +1,162 @@
+#include "base/capsule.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+namespace repro::capsule {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'X', '8', 'C', 'A', 'P', 'S', '\0'};
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+
+std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n,
+                    std::uint64_t acc = kFnvOffset) {
+  for (std::size_t i = 0; i < n; ++i) {
+    acc = (acc ^ p[i]) * kFnvPrime;
+  }
+  return acc;
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void Io::f64(double& v) {
+  auto bits = std::bit_cast<std::uint64_t>(v);
+  u64(bits);
+  v = std::bit_cast<double>(bits);
+}
+
+void Io::str(std::string& v) {
+  auto n = static_cast<std::uint64_t>(v.size());
+  u64(n);
+  if (loading()) {
+    if (n > buf_.size() - cursor_) {
+      throw CapsuleError("capsule: string extends past payload end");
+    }
+    v.assign(reinterpret_cast<const char*>(buf_.data() + cursor_),
+             static_cast<std::size_t>(n));
+    cursor_ += static_cast<std::size_t>(n);
+    return;
+  }
+  put(reinterpret_cast<const std::uint8_t*>(v.data()), v.size());
+}
+
+void Io::put(const std::uint8_t* p, std::size_t n) {
+  digest_ = fnv1a(p, n, digest_);
+  if (mode_ == Mode::kSave) {
+    buf_.insert(buf_.end(), p, p + n);
+  }
+}
+
+void Io::get(std::uint8_t* p, std::size_t n) {
+  if (n > buf_.size() - cursor_) {
+    throw CapsuleError("capsule: payload truncated");
+  }
+  std::memcpy(p, buf_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+std::vector<std::uint8_t> seal(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(sizeof(kMagic) + 4 + 8 + payload.size() + 8);
+  for (const char c : kMagic) {
+    out.push_back(static_cast<std::uint8_t>(c));
+  }
+  append_u32(out, kFormatVersion);
+  append_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_u64(out, fnv1a(payload.data(), payload.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> unseal(const std::vector<std::uint8_t>& sealed) {
+  constexpr std::size_t kHeader = sizeof(kMagic) + 4 + 8;
+  if (sealed.size() < kHeader + 8) {
+    throw CapsuleError("capsule: file shorter than envelope header");
+  }
+  if (std::memcmp(sealed.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw CapsuleError("capsule: bad magic (not a capsule file)");
+  }
+  const std::uint32_t version = read_u32(sealed.data() + sizeof(kMagic));
+  if (version != kFormatVersion) {
+    throw CapsuleError("capsule: format version " + std::to_string(version) +
+                       " (this build reads version " +
+                       std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint64_t size = read_u64(sealed.data() + sizeof(kMagic) + 4);
+  if (size != sealed.size() - kHeader - 8) {
+    throw CapsuleError("capsule: payload size mismatch (truncated file?)");
+  }
+  const std::uint64_t stored = read_u64(sealed.data() + kHeader + size);
+  const std::uint64_t actual =
+      fnv1a(sealed.data() + kHeader, static_cast<std::size_t>(size));
+  if (stored != actual) {
+    throw CapsuleError("capsule: payload digest mismatch (corrupt file)");
+  }
+  return {sealed.begin() + static_cast<std::ptrdiff_t>(kHeader),
+          sealed.begin() + static_cast<std::ptrdiff_t>(kHeader + size)};
+}
+
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& sealed) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    throw CapsuleError("capsule: cannot open " + path + " for writing");
+  }
+  const std::size_t wrote = std::fwrite(sealed.data(), 1, sealed.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (wrote != sealed.size() || !closed) {
+    throw CapsuleError("capsule: short write to " + path);
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw CapsuleError("capsule: cannot open " + path);
+  }
+  std::vector<std::uint8_t> out;
+  std::uint8_t chunk[4096];
+  std::size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    out.insert(out.end(), chunk, chunk + got);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) {
+    throw CapsuleError("capsule: read error on " + path);
+  }
+  return out;
+}
+
+}  // namespace repro::capsule

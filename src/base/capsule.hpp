@@ -1,0 +1,162 @@
+// State capsules: one serialization walk, three uses.
+//
+// Every deterministic component exposes `void serialize(capsule::Io&)`
+// that visits its state through the same sequence of primitive calls
+// whatever the mode. In kSave mode the walk encodes the state into a
+// byte stream; in kLoad mode the identical walk decodes it back; in
+// kDigest mode it folds the encoded bytes into a 64-bit FNV-1a digest
+// without storing them. Because save and digest see the same byte
+// stream, the digest of a saved capsule always equals the digest
+// computed in place — bit-identity between two machines can therefore
+// be asserted by comparing two 8-byte values instead of replaying
+// traces (see docs/checkpointing.md).
+//
+// Capsule files wrap the payload in a sealed envelope (magic, format
+// version, payload size, trailing digest). Unsealing validates all
+// four and throws CapsuleError — a *recoverable* error, unlike
+// ContractViolation — on any mismatch, so a stale or truncated
+// checkpoint is rejected instead of loading garbage state.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace repro::capsule {
+
+/// Recoverable capsule failure: bad magic, version skew, truncation,
+/// digest mismatch, config fingerprint mismatch, unreadable file.
+class CapsuleError : public std::runtime_error {
+ public:
+  explicit CapsuleError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Capsule payload format version. Bump on any change to a serialize()
+/// walk; unseal() rejects every other version.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class Mode : std::uint8_t { kSave, kLoad, kDigest };
+
+class Io {
+ public:
+  /// Walk state into an internal byte buffer (and digest).
+  [[nodiscard]] static Io saver() { return Io(Mode::kSave, {}); }
+  /// Walk state folding the encoded bytes into digest() only.
+  [[nodiscard]] static Io digester() { return Io(Mode::kDigest, {}); }
+  /// Walk state out of `payload` (as produced by a saver).
+  [[nodiscard]] static Io loader(std::vector<std::uint8_t> payload) {
+    return Io(Mode::kLoad, std::move(payload));
+  }
+
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+  [[nodiscard]] bool loading() const noexcept { return mode_ == Mode::kLoad; }
+
+  // Primitives. Each writes, reads, or digests the value in place
+  // depending on the mode; integers are encoded little-endian so
+  // capsules and digests are stable across hosts.
+  void u8(std::uint8_t& v) { scalar(v); }
+  void u16(std::uint16_t& v) { scalar(v); }
+  void u32(std::uint32_t& v) { scalar(v); }
+  void u64(std::uint64_t& v) { scalar(v); }
+
+  void i64(std::int64_t& v) {
+    auto bits = static_cast<std::uint64_t>(v);
+    u64(bits);
+    v = static_cast<std::int64_t>(bits);
+  }
+
+  /// Doubles travel as their bit pattern — exact, NaN-preserving.
+  void f64(double& v);
+
+  void boolean(bool& v) {
+    std::uint8_t bits = v ? 1 : 0;
+    u8(bits);
+    if (loading() && bits > 1) {
+      throw CapsuleError("capsule: corrupt bool encoding");
+    }
+    v = bits != 0;
+  }
+
+  void str(std::string& v);
+
+  /// Enum of any underlying type, transported as u32.
+  template <typename E>
+  void enum32(E& v) {
+    static_assert(std::is_enum_v<E>);
+    auto bits = static_cast<std::uint32_t>(
+        static_cast<std::underlying_type_t<E>>(v));
+    u32(bits);
+    v = static_cast<E>(static_cast<std::underlying_type_t<E>>(bits));
+  }
+
+  /// Container-size handshake: encodes `n` when saving/digesting and
+  /// returns it; returns the decoded count when loading. Callers size
+  /// their container from the return value.
+  [[nodiscard]] std::uint64_t extent(std::uint64_t n) {
+    u64(n);
+    return n;
+  }
+
+  /// Saved payload (kSave mode only; empty otherwise).
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept {
+    return buf_;
+  }
+  /// FNV-1a 64 over every byte the walk encoded so far (kSave/kDigest).
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+  /// True when a loader has consumed its whole payload.
+  [[nodiscard]] bool exhausted() const noexcept {
+    return cursor_ == buf_.size();
+  }
+
+ private:
+  Io(Mode mode, std::vector<std::uint8_t> payload)
+      : mode_(mode), buf_(std::move(payload)) {}
+
+  template <typename T>
+  void scalar(T& v) {
+    static_assert(std::is_unsigned_v<T>);
+    std::uint8_t bytes[sizeof(T)];
+    if (loading()) {
+      get(bytes, sizeof(T));
+      std::uint64_t acc = 0;
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        acc |= static_cast<std::uint64_t>(bytes[i]) << (8 * i);
+      }
+      v = static_cast<T>(acc);
+      return;
+    }
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    put(bytes, sizeof(T));
+  }
+
+  void put(const std::uint8_t* p, std::size_t n);
+  void get(std::uint8_t* p, std::size_t n);
+
+  Mode mode_;
+  std::vector<std::uint8_t> buf_;
+  std::size_t cursor_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+};
+
+/// Wrap a payload in the capsule envelope:
+/// magic "FX8CAPS\0" · u32 version · u64 payload size · payload ·
+/// u64 FNV-1a digest of the payload.
+[[nodiscard]] std::vector<std::uint8_t> seal(
+    const std::vector<std::uint8_t>& payload);
+
+/// Validate an envelope and return its payload. Throws CapsuleError on
+/// bad magic, wrong version, truncation, or digest mismatch.
+[[nodiscard]] std::vector<std::uint8_t> unseal(
+    const std::vector<std::uint8_t>& sealed);
+
+/// File I/O for sealed capsules; both throw CapsuleError on failure.
+void write_file(const std::string& path,
+                const std::vector<std::uint8_t>& sealed);
+[[nodiscard]] std::vector<std::uint8_t> read_file(const std::string& path);
+
+}  // namespace repro::capsule

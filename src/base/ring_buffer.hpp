@@ -6,8 +6,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/expect.hpp"
 
 namespace repro {
@@ -54,6 +56,33 @@ class RingBuffer {
   void clear() noexcept {
     head_ = 0;
     size_ = 0;
+  }
+
+  /// Capsule walk. `elem(io, slot)` serializes one storage slot; every
+  /// slot travels (not just the live ones) so head/size round-trip
+  /// exactly. Capacity is structural — it must match the constructed
+  /// buffer — so a mismatch on load is rejected, not resized.
+  template <typename Fn>
+  void serialize(capsule::Io& io, Fn&& elem) {
+    auto cap = static_cast<std::uint64_t>(capacity_);
+    io.u64(cap);
+    if (io.loading() && cap != capacity_) {
+      throw capsule::CapsuleError(
+          "capsule: ring buffer capacity mismatch");
+    }
+    auto head = static_cast<std::uint64_t>(head_);
+    auto size = static_cast<std::uint64_t>(size_);
+    io.u64(head);
+    io.u64(size);
+    if (io.loading() && (head >= cap || size > cap)) {
+      throw capsule::CapsuleError(
+          "capsule: ring buffer cursor out of range");
+    }
+    head_ = static_cast<std::size_t>(head);
+    size_ = static_cast<std::size_t>(size);
+    for (auto& slot : storage_) {
+      elem(io, slot);
+    }
   }
 
  private:

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <span>
 
+#include "base/capsule.hpp"
 #include "base/expect.hpp"
 
 namespace repro {
@@ -61,6 +62,13 @@ class Rng {
 
   /// Split off an independent child stream (seeded from this stream).
   [[nodiscard]] Rng split() noexcept;
+
+  /// Capsule walk over the full generator state.
+  void serialize(capsule::Io& io) {
+    for (auto& word : s_) {
+      io.u64(word);
+    }
+  }
 
  private:
   std::array<std::uint64_t, 4> s_{};

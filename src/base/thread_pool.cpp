@@ -1,6 +1,9 @@
 #include "base/thread_pool.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 
 #if defined(__linux__)
@@ -54,15 +57,42 @@ ThreadPool::~ThreadPool() {
 
 std::size_t ThreadPool::hardware_workers() { return usable_cores(); }
 
+std::size_t ThreadPool::parse_thread_count(const char* text) {
+  if (text == nullptr) {
+    return 0;
+  }
+  // Reject leading whitespace/signs ourselves: strtol would accept
+  // " +8" and, worse, stop at trailing garbage ("8x" -> 8) or saturate
+  // silently on overflow. The whole string must be plain digits.
+  if (*text == '\0' || !std::isdigit(static_cast<unsigned char>(*text))) {
+    return 0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long parsed = std::strtoul(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    return 0;
+  }
+  if (parsed == 0 || parsed > kMaxWorkers) {
+    return 0;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
 std::size_t ThreadPool::resolve_workers(std::size_t requested) {
   if (requested > 0) {
     return requested;
   }
   if (const char* env = std::getenv("FX8_THREADS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
+    const std::size_t parsed = parse_thread_count(env);
     if (parsed > 0) {
-      return static_cast<std::size_t>(parsed);
+      return parsed;
     }
+    std::fprintf(stderr,
+                 "fx8: ignoring invalid FX8_THREADS=\"%s\" "
+                 "(want an integer in [1, %zu]); using %zu hardware "
+                 "worker(s)\n",
+                 env, kMaxWorkers, hardware_workers());
   }
   return hardware_workers();
 }

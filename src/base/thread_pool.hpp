@@ -45,9 +45,21 @@ class ThreadPool {
   [[nodiscard]] static std::size_t hardware_workers();
 
   /// Worker count a `requested` value resolves to: `requested` if
-  /// nonzero, else the FX8_THREADS environment variable if set to a
-  /// positive integer, else hardware_workers().
+  /// nonzero, else the FX8_THREADS environment variable if it parses
+  /// strictly (see parse_thread_count), else hardware_workers() — with
+  /// a one-line stderr warning when FX8_THREADS is set but invalid.
   [[nodiscard]] static std::size_t resolve_workers(std::size_t requested);
+
+  /// Upper bound resolve_workers accepts from the environment; far
+  /// beyond any machine this runs on, but small enough that a typo'd
+  /// value cannot ask for millions of threads.
+  static constexpr std::size_t kMaxWorkers = 1024;
+
+  /// Strict worker-count parse: the whole string must be a plain
+  /// decimal integer in [1, kMaxWorkers] — no sign, no whitespace, no
+  /// trailing characters, no overflow. Returns 0 for anything else
+  /// (0 is never a valid worker count, so it doubles as "invalid").
+  [[nodiscard]] static std::size_t parse_thread_count(const char* text);
 
   /// Enqueue a callable; returns a future for its result. Exceptions
   /// inside the task are captured and rethrown by future::get().

@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 #include "mem/bus_ops.hpp"
 #include "mem/memory_bus.hpp"
@@ -47,6 +48,21 @@ class IpCache {
   bool access(Addr addr, bool is_write);
 
   [[nodiscard]] const IpCacheStats& stats() const { return stats_; }
+
+  /// Capsule walk: tag array and stats. The snoop hook is wiring the
+  /// owner (Machine) reinstalls at construction, not state.
+  void serialize(capsule::Io& io) {
+    const std::uint64_t tag_count = io.extent(tags_.size());
+    if (io.loading() && tag_count != tags_.size()) {
+      throw capsule::CapsuleError("capsule: IP cache geometry mismatch");
+    }
+    for (Addr& tag : tags_) {
+      io.u64(tag);
+    }
+    io.u64(stats_.accesses);
+    io.u64(stats_.misses);
+    io.u64(stats_.write_snoops);
+  }
 
  private:
   IpCacheConfig config_;

@@ -117,18 +117,20 @@ AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
 
   // Merge with an in-flight fill of the same line if one exists: the
   // cross-CE sharing path.
-  if (const auto it = fills_.find(tag); it != fills_.end()) {
-    it->second.waiters |= ce_bit;
-    it->second.want_unique |= (type == AccessType::kWrite);
-    ++stats_.merged_misses;
-    return AccessOutcome::kMissMerged;
+  for (auto& [line_tag, fill] : fills_) {
+    if (line_tag == tag) {
+      fill.waiters |= ce_bit;
+      fill.want_unique |= (type == AccessType::kWrite);
+      ++stats_.merged_misses;
+      return AccessOutcome::kMissMerged;
+    }
   }
 
   // Fetch the line; the victim is chosen (and written back if dirty) when
   // the fill completes and the line is installed.
   const std::uint32_t module = module_of_bank(bank_of(addr));
   const mem::TxnId txn = bus_.submit(module, mem::MemBusOp::kLineFetch, tag);
-  fills_.emplace(tag, Fill{txn, ce_bit, type == AccessType::kWrite});
+  fills_.emplace_back(tag, Fill{txn, ce_bit, type == AccessType::kWrite});
   return AccessOutcome::kMissStarted;
 }
 
@@ -185,6 +187,39 @@ void SharedCache::snoop_invalidate(Addr addr) {
 
 bool SharedCache::contains(Addr addr) const {
   return find_line(addr) != nullptr;
+}
+
+void SharedCache::serialize(capsule::Io& io) {
+  const std::uint64_t line_count = io.extent(lines_.size());
+  if (io.loading() && line_count != lines_.size()) {
+    throw capsule::CapsuleError("capsule: cache geometry mismatch");
+  }
+  for (Line& line : lines_) {
+    io.u64(line.tag);
+    io.enum32(line.state);
+    io.boolean(line.dirty);
+    io.u64(line.last_use);
+  }
+  const std::uint64_t fill_count = io.extent(fills_.size());
+  if (io.loading()) {
+    fills_.assign(static_cast<std::size_t>(fill_count), {});
+  }
+  for (auto& [tag, fill] : fills_) {
+    io.u64(tag);
+    io.u64(fill.txn);
+    io.u32(fill.waiters);
+    io.boolean(fill.want_unique);
+  }
+  io.u64(seen_epoch_);
+  io.u64(stats_.accesses);
+  io.u64(stats_.misses);
+  io.u64(stats_.write_upgrades);
+  io.u64(stats_.write_backs);
+  io.u64(stats_.merged_misses);
+  io.u64(stats_.snoop_invalidations);
+  io.u32(hot_->fill_ready_mask);
+  io.u32(hot_->miss_outstanding_mask);
+  io.u64(hot_->use_clock);
 }
 
 }  // namespace repro::cache

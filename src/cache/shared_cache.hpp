@@ -16,9 +16,10 @@
 #include <bit>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/expect.hpp"
 #include "base/types.hpp"
 #include "cache/hot.hpp"
@@ -123,6 +124,10 @@ class SharedCache {
   /// contiguous hot-state). Copies the current values across.
   void bind_hot(SharedCacheHot& hot);
 
+  /// Capsule walk: every line, the in-flight fills (in issue order),
+  /// stats, and the hot masks/LRU clock.
+  void serialize(capsule::Io& io);
+
  private:
   struct Line {
     Addr tag = 0;
@@ -157,7 +162,13 @@ class SharedCache {
   std::uint32_t bank_shift_ = 0;
   std::size_t set_mask_ = 0;
   bool sets_pow2_ = false;
-  std::unordered_map<Addr, Fill> fills_;  ///< Keyed by line address.
+  /// In-flight fills keyed by line address, in issue order. A vector,
+  /// not a hash map: drain order decides victim choice, LRU stamps, and
+  /// write-back submit order, so it must be deterministic state a
+  /// capsule can reproduce — and with at most one outstanding miss per
+  /// CE the set never exceeds eight entries, where a linear scan wins
+  /// anyway.
+  std::vector<std::pair<Addr, Fill>> fills_;
   /// Bus completion epoch at the last drain; unchanged epoch = no fill
   /// can have completed.
   std::uint64_t seen_epoch_ = 0;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "base/expect.hpp"
 
@@ -87,14 +88,21 @@ std::string number_repr(double value) {
   if (!std::isfinite(value)) {
     return "null";  // NaN/inf are not representable in JSON.
   }
-  // Integers print exactly; everything else gets a round-trippable %.12g.
+  // Integers print exactly; everything else gets the shortest decimal
+  // that parses back to the same double. Most doubles round-trip at 15
+  // or 16 significant digits; 17 always does (IEEE 754 binary64).
   if (value == std::floor(value) && std::abs(value) < 1e15) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", value);
     return buf;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) {
+      break;
+    }
+  }
   return buf;
 }
 

@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/expect.hpp"
 #include "base/types.hpp"
 
@@ -83,6 +84,31 @@ class ConcurrencyControlBus {
   void bind_hot(std::uint32_t& grants_left) {
     grants_left = *grants_left_;
     grants_left_ = &grants_left;
+  }
+
+  /// Capsule walk over the dispatch state of the (possibly inactive)
+  /// current loop, including the per-cycle grant budget hot slot.
+  void serialize(capsule::Io& io) {
+    io.boolean(active_);
+    io.enum32(policy_);
+    io.u64(trip_);
+    io.u64(next_iter_);
+    io.u64(dispatched_count_);
+    io.u64(completed_count_);
+    const std::uint64_t n = io.extent(complete_.size());
+    if (io.loading()) {
+      complete_.assign(static_cast<std::size_t>(n), 0);
+    }
+    for (std::uint8_t& done : complete_) {
+      io.u8(done);
+    }
+    for (std::uint64_t& next : chunk_next_) {
+      io.u64(next);
+    }
+    for (std::uint64_t& end : chunk_end_) {
+      io.u64(end);
+    }
+    io.u32(*grants_left_);
   }
 
  private:

@@ -85,6 +85,70 @@ void Ce::skip(Cycle cycles) {
 void Ce::take_completed() {
   REPRO_EXPECT(done(), "CE has not completed its instance");
   set_phase(Phase::kIdle);
+  // Drop the spec pointer with the instance: it aims into the job's
+  // program, which the scheduler destroys when the job is reaped, and a
+  // stale pointer here would make the capsule walk read freed memory.
+  inst_.spec = nullptr;
+}
+
+void Ce::serialize(capsule::Io& io) {
+  bool has_spec = inst_.spec != nullptr;
+  io.boolean(has_spec);
+  if (has_spec) {
+    if (io.loading()) {
+      owned_spec_ = {};
+      owned_spec_.serialize(io);
+      inst_.spec = &owned_spec_;
+    } else {
+      isa::KernelSpec copy = *inst_.spec;
+      copy.serialize(io);
+    }
+  } else if (io.loading()) {
+    inst_.spec = nullptr;
+  }
+  io.u64(inst_.job);
+  io.u64(inst_.key);
+  io.u64(inst_.data_base);
+  io.u64(inst_.code_base);
+  io.u64(inst_.stream_start);
+  io.u64(inst_.stream_step_bytes);
+  io.u32(inst_.extra_steps);
+
+  io.enum32(resume_phase_);
+  io.u32(step_);
+  io.u32(total_steps_);
+  io.u32(loads_left_);
+  io.u32(stores_left_);
+  io.u64(accesses_done_);
+  io.u64(stream_cursor_);
+  io.u64(stream_step_mod_);
+  io.u64(last_load_addr_);
+  io.f64(spill_frac_);
+  io.boolean(pending_is_store_);
+  io.boolean(pending_is_ifetch_);
+  io.u64(pending_addr_);
+  io.boolean(pending_translated_);
+
+  // Cold counters; the four per-cycle counters travel with the lanes.
+  io.u64(stats_.mem_accesses);
+  io.u64(stats_.xbar_conflict_cycles);
+  io.u64(stats_.instances_completed);
+
+  // This CE's hot-lane slots. Phase goes through set_phase so the
+  // cluster's done_mask bit is rebuilt on load.
+  CeHot& hot = *hot_;
+  Phase p = phase();
+  io.enum32(p);
+  if (io.loading()) {
+    set_phase(p);
+  }
+  io.enum32(hot.bus_op[id_]);
+  io.u32(hot.compute_left[id_]);
+  io.u64(hot.fault_left[id_]);
+  io.u64(hot.busy_cycles[id_]);
+  io.u64(hot.compute_cycles[id_]);
+  io.u64(hot.miss_wait_cycles[id_]);
+  io.u64(hot.fault_wait_cycles[id_]);
 }
 
 void Ce::setup_step() {

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 #include "cache/icache.hpp"
 #include "cache/shared_cache.hpp"
@@ -177,6 +178,11 @@ class Ce {
   /// sibling CEs already bound to the block are untouched.
   void bind_hot(CeHot& hot);
 
+  /// Capsule walk over the cold state, the loaded kernel instance (the
+  /// spec travels by value; a loaded CE runs from its own copy), and
+  /// this CE's hot-lane slots.
+  void serialize(capsule::Io& io);
+
  private:
   /// The cluster's fused lane kernel mirrors tick()'s fast path over the
   /// shared CeHot block and drops into tick_slow() here.
@@ -241,6 +247,11 @@ class Ce {
   CeStats stats_;
   CeHot own_hot_;
   CeHot* hot_ = &own_hot_;
+  /// Backing storage for inst_.spec after a capsule load: the original
+  /// spec lives inside scheduler-owned program storage that a freshly
+  /// loaded System does not share, so the CE keeps its own copy (the
+  /// interpreter only ever reads spec contents, never its address).
+  isa::KernelSpec owned_spec_;
 };
 
 }  // namespace repro::fx8

@@ -184,6 +184,83 @@ void Cluster::bind_hot(HotState& hot) {
   events_ = &hot.cluster_events;
 }
 
+void Cluster::serialize(capsule::Io& io) {
+  if (io.loading()) {
+    needs_program_rebind_ = false;
+    detached_rebind_mask_ = 0;
+  }
+  crossbar_.serialize(io);
+  ccb_.serialize(io);
+  for (Ce& ce : ces_) {
+    ce.serialize(io);
+  }
+  io.u64(rotation_);
+  bool busy_flag = program_ != nullptr;
+  io.boolean(busy_flag);
+  if (io.loading()) {
+    program_ = nullptr;
+    needs_program_rebind_ = busy_flag;
+  }
+  io.u64(job_);
+  auto phase_idx = static_cast<std::uint64_t>(phase_idx_);
+  io.u64(phase_idx);
+  phase_idx_ = static_cast<std::size_t>(phase_idx);
+  io.u64(serial_reps_done_);
+  io.u32(serial_ce_);
+  io.boolean(in_loop_);
+  io.boolean(in_serial_phase_);
+  for (WorkerState& worker : worker_) {
+    io.enum32(worker);
+  }
+  for (std::uint64_t& iter : worker_iter_) {
+    io.u64(iter);
+  }
+  for (std::uint32_t slot = 0; slot < kMaxCes; ++slot) {
+    DetachedJob& detached = detached_[slot];
+    bool slot_busy = detached.program != nullptr;
+    io.boolean(slot_busy);
+    if (io.loading()) {
+      detached.program = nullptr;
+      if (slot_busy) {
+        detached_rebind_mask_ |= 1u << slot;
+      }
+    }
+    io.u64(detached.job);
+    auto detached_phase = static_cast<std::uint64_t>(detached.phase_idx);
+    io.u64(detached_phase);
+    detached.phase_idx = static_cast<std::size_t>(detached_phase);
+    io.u64(detached.reps_done);
+  }
+  io.u64(stats_.jobs_completed);
+  io.u64(stats_.loops_completed);
+  io.u64(stats_.iterations_completed);
+  io.u64(stats_.serial_reps_completed);
+  io.u64(stats_.dependence_wait_cycles);
+  io.u32(deps_waiting_);
+  io.u64(*events_);
+  io.u64(now_);
+}
+
+void Cluster::rebind_program(const isa::Program* program) {
+  REPRO_EXPECT(needs_program_rebind_, "no cluster program rebind pending");
+  REPRO_EXPECT(program != nullptr, "cannot rebind a null program");
+  program_ = program;
+  needs_program_rebind_ = false;
+}
+
+bool Cluster::detached_needs_rebind(std::uint32_t slot) const {
+  REPRO_EXPECT(slot < config_.detached_ces, "detached slot out of range");
+  return ((detached_rebind_mask_ >> slot) & 1u) != 0;
+}
+
+void Cluster::rebind_detached_program(std::uint32_t slot,
+                                      const isa::Program* program) {
+  REPRO_EXPECT(detached_needs_rebind(slot), "no detached rebind pending");
+  REPRO_EXPECT(program != nullptr, "cannot rebind a null program");
+  detached_[slot].program = program;
+  detached_rebind_mask_ &= ~(1u << slot);
+}
+
 void Cluster::finish_job() {
   if (observer_) {
     observer_->on_job_end(job_, now_);

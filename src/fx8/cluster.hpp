@@ -156,6 +156,23 @@ class Cluster {
   void load_detached(std::uint32_t slot, const isa::Program* program,
                      JobId job);
 
+  // --- Capsules -------------------------------------------------------
+  /// Capsule walk over the cluster's runtime state. Program pointers
+  /// travel as busy flags: loading leaves them null with a rebind
+  /// pending, and the program's owner (the scheduler, which serializes
+  /// after the machine) re-attaches its storage via the rebind calls.
+  void serialize(capsule::Io& io);
+
+  /// True after a capsule load until rebind_program() re-attaches the
+  /// running cluster job's program storage.
+  [[nodiscard]] bool needs_program_rebind() const {
+    return needs_program_rebind_;
+  }
+  void rebind_program(const isa::Program* program);
+  [[nodiscard]] bool detached_needs_rebind(std::uint32_t slot) const;
+  void rebind_detached_program(std::uint32_t slot,
+                               const isa::Program* program);
+
  private:
   enum class WorkerState : std::uint8_t { kNone, kAwaitingDep, kExecuting };
 
@@ -213,6 +230,9 @@ class Cluster {
   std::array<std::uint64_t, kMaxCes> worker_iter_{};
 
   std::array<DetachedJob, kMaxCes> detached_{};
+  /// Set by a capsule load while program pointers await re-attachment.
+  bool needs_program_rebind_ = false;
+  std::uint32_t detached_rebind_mask_ = 0;
 
   ClusterStats stats_;
   /// The cluster's CEs always share one CeHot block (the constructor

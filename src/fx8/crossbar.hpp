@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "base/capsule.hpp"
 #include "base/expect.hpp"
 #include "base/types.hpp"
 
@@ -45,6 +46,12 @@ class Crossbar {
   void bind_hot(std::uint64_t& taken) {
     taken = *taken_;
     taken_ = &taken;
+  }
+
+  /// Capsule walk: the grant mask (hot slot) and lifetime conflicts.
+  void serialize(capsule::Io& io) {
+    io.u64(*taken_);
+    io.u64(conflicts_);
   }
 
  private:

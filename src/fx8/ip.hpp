@@ -13,6 +13,7 @@
 
 #include <cstdint>
 
+#include "base/capsule.hpp"
 #include "base/rng.hpp"
 #include "base/types.hpp"
 #include "cache/ip_cache.hpp"
@@ -64,6 +65,16 @@ class Ip {
   void skip(Cycle cycles);
 
   [[nodiscard]] std::uint64_t accesses_issued() const { return accesses_; }
+
+  /// Capsule walk: RNG stream plus burst/idle progress.
+  void serialize(capsule::Io& io) {
+    rng_.serialize(io);
+    io.boolean(bursting_);
+    io.u64(state_left_);
+    io.u32(access_countdown_);
+    io.u64(cursor_);
+    io.u64(accesses_);
+  }
 
  private:
   void tick_slow();

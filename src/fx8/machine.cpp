@@ -105,6 +105,22 @@ void Machine::run(Cycle cycles) {
   }
 }
 
+void Machine::serialize(capsule::Io& io) {
+  memory_->serialize(io);
+  membus_->serialize(io);
+  shared_cache_->serialize(io);
+  cluster_->serialize(io);
+  for (auto& ip_cache : ip_caches_) {
+    ip_cache->serialize(io);
+  }
+  for (Ip& ip : ips_) {
+    ip.serialize(io);
+  }
+  // hot_state_.cluster_events travels inside Cluster::serialize (the
+  // cluster owns that lane); the machine clock is the one hot field left.
+  io.u64(hot_state_.now);
+}
+
 Cycle Machine::tick_block(Cycle max_cycles) {
   Cluster& cluster = *cluster_;
   mem::MemoryBus& membus = *membus_;

@@ -94,6 +94,11 @@ class Machine {
     return cluster_->active_mask();
   }
 
+  /// Capsule walk over the full machine: memory, buses, caches, cluster,
+  /// IPs, and the machine clock. Program pointers inside the cluster
+  /// travel as rebind-pending flags (see Cluster::serialize).
+  void serialize(capsule::Io& io);
+
  private:
   MachineConfig config_;
   std::unique_ptr<mem::MainMemory> memory_;

@@ -11,6 +11,7 @@
 
 #include <array>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 
 namespace repro::fx8 {
@@ -44,6 +45,17 @@ class Mmu {
   /// page is already mapped). A non-zero return maps the page, so the
   /// retried access will not fault again.
   virtual Cycle touch(JobId job, CeId ce, Addr addr) = 0;
+
+  /// Capsule walk over the per-CE translation memos and their epoch.
+  /// Derived classes call this from their own serialize().
+  void serialize_translation_state(capsule::Io& io) {
+    for (Memo& memo : memo_) {
+      io.u64(memo.epoch);
+      io.u64(memo.job);
+      io.u64(memo.page);
+    }
+    io.u64(epoch_);
+  }
 
  protected:
   /// Drop every memoized translation (some mapping was removed).

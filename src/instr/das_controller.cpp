@@ -136,6 +136,42 @@ bool DasController::acquisition_complete() const {
   return analyzer_ && analyzer_->complete();
 }
 
+void DasController::serialize(capsule::Io& io) {
+  staged_.serialize(io);
+
+  bool has_analyzer = analyzer_.has_value();
+  io.boolean(has_analyzer);
+  if (has_analyzer) {
+    // The analyzer's own config travels first so the load pass can
+    // construct a buffer of the right capacity before walking its state.
+    AnalyzerConfig cfg = analyzer_ ? analyzer_->config() : AnalyzerConfig{};
+    cfg.serialize(io);
+    if (io.loading()) {
+      analyzer_.emplace(cfg);
+    }
+    analyzer_->serialize(io);
+  } else if (io.loading()) {
+    analyzer_.reset();
+  }
+
+  bool has_transfer = transfer_.has_value();
+  io.boolean(has_transfer);
+  if (has_transfer) {
+    if (io.loading()) {
+      transfer_.emplace();
+    }
+    const std::uint64_t count = io.extent(transfer_->size());
+    if (io.loading()) {
+      transfer_->assign(static_cast<std::size_t>(count), ProbeRecord{});
+    }
+    for (ProbeRecord& record : *transfer_) {
+      record.serialize(io);
+    }
+  } else if (io.loading()) {
+    transfer_.reset();
+  }
+}
+
 std::vector<ProbeRecord> DasController::take_transfer() {
   std::vector<ProbeRecord> out;
   if (transfer_) {

@@ -52,6 +52,11 @@ class DasController {
     return staged_;
   }
 
+  /// Capsule walk: staged config, the live analyzer (rebuilt from its
+  /// capsuled config on load, so a mid-capture acquisition resumes with
+  /// its partial buffer intact), and any untaken transfer.
+  void serialize(capsule::Io& io);
+
  private:
   AnalyzerConfig staged_;
   std::optional<LogicAnalyzer> analyzer_;

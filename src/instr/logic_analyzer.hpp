@@ -38,6 +38,17 @@ struct AnalyzerConfig {
   TriggerMode trigger = TriggerMode::kImmediate;
   /// Processor count that constitutes "all active" for the trigger modes.
   std::uint32_t full_width = kMaxCes;
+
+  /// Capsule walk. Unlike most configs this one travels: it is staged
+  /// state on the DAS command port, and the controller rebuilds an armed
+  /// analyzer from the capsuled copy on load.
+  void serialize(capsule::Io& io) {
+    auto depth = static_cast<std::uint64_t>(buffer_depth);
+    io.u64(depth);
+    buffer_depth = static_cast<std::size_t>(depth);
+    io.enum32(trigger);
+    io.u32(full_width);
+  }
 };
 
 class LogicAnalyzer {
@@ -61,6 +72,19 @@ class LogicAnalyzer {
   [[nodiscard]] std::vector<ProbeRecord> transfer();
 
   [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
+
+  /// Capsule walk over acquisition state. The owner must construct the
+  /// analyzer from the capsuled config first (the ring buffer's capacity
+  /// is structural); this walks only the mutable state.
+  void serialize(capsule::Io& io) {
+    io.enum32(state_);
+    buffer_.serialize(io,
+                      [](capsule::Io& inner, ProbeRecord& record) {
+                        record.serialize(inner);
+                      });
+    io.u32(previous_active_);
+    io.boolean(have_previous_);
+  }
 
  private:
   [[nodiscard]] bool trigger_fires(const ProbeRecord& record);

@@ -50,6 +50,24 @@ struct EventCounts {
 
   /// Table-1-style rendering.
   [[nodiscard]] std::string render() const;
+
+  /// Capsule walk: every reduced count.
+  void serialize(capsule::Io& io) {
+    for (std::uint64_t& n : num) {
+      io.u64(n);
+    }
+    for (std::uint64_t& n : proc) {
+      io.u64(n);
+    }
+    for (std::uint64_t& n : ceop) {
+      io.u64(n);
+    }
+    for (std::uint64_t& n : membop) {
+      io.u64(n);
+    }
+    io.u64(records);
+    io.u64(ce_bus_cycles);
+  }
 };
 
 /// Reduce a transferred acquisition buffer.

@@ -45,6 +45,15 @@ struct SampleRecord {
   Cycle interval_cycles = 0;
   EventCounts hw;
   SoftwareSample sw;
+
+  /// Capsule walk: a completed sample travels whole inside study
+  /// checkpoints (core/checkpoint.hpp).
+  void serialize(capsule::Io& io) {
+    io.u64(index);
+    io.u64(interval_cycles);
+    hw.serialize(io);
+    sw.serialize(io);
+  }
 };
 
 /// Where the controller's cycles went: bulk-jumped, block-ticked through
@@ -83,6 +92,20 @@ class SessionController {
   /// Cumulative fast-forward accounting for this controller.
   [[nodiscard]] const FastForwardStats& ff_stats() const {
     return ff_stats_;
+  }
+
+  /// Capsule walk over the controller's persistent state: the snapshot-
+  /// offset RNG, the sample index, and the fast-forward accounting.
+  /// starts_scratch_ is deliberately excluded — it is dead between
+  /// take_sample calls (rebuilt from scratch each interval), and session
+  /// checkpoints land at sample boundaries (docs/checkpointing.md).
+  void serialize(capsule::Io& io) {
+    rng_.serialize(io);
+    io.u64(next_index_);
+    io.u64(ff_stats_.skipped_cycles);
+    io.u64(ff_stats_.naive_cycles);
+    io.u64(ff_stats_.block_cycles);
+    io.u64(ff_stats_.jumps);
   }
 
  private:

@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 #include "fx8/machine.hpp"
 #include "mem/bus_ops.hpp"
@@ -28,6 +29,18 @@ struct ProbeRecord {
   [[nodiscard]] std::uint32_t active_count() const;
   [[nodiscard]] bool ce_active(CeId ce) const {
     return (active_mask >> ce) & 1u;
+  }
+
+  /// Capsule walk: every latched channel.
+  void serialize(capsule::Io& io) {
+    io.u64(cycle);
+    for (mem::CeBusOp& op : ce_ops) {
+      io.enum32(op);
+    }
+    for (mem::MemBusOp& op : mem_ops) {
+      io.enum32(op);
+    }
+    io.u32(active_mask);
   }
 };
 

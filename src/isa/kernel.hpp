@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 
 namespace repro::isa {
@@ -68,6 +69,24 @@ struct KernelSpec {
 
   /// Validate parameter sanity; throws ContractViolation on nonsense.
   void validate() const;
+
+  /// Capsule walk over every field.
+  void serialize(capsule::Io& io) {
+    io.str(name);
+    io.u32(steps);
+    io.u32(compute_cycles);
+    io.u32(compute_jitter);
+    io.u32(loads_per_step);
+    io.u32(stores_per_step);
+    io.enum32(pattern);
+    io.u64(stride_bytes);
+    io.u64(working_set_bytes);
+    io.f64(hot_fraction);
+    io.u64(hot_set_bytes);
+    io.u64(code_bytes);
+    io.f64(vector_fraction);
+    io.u32(vector_cycles);
+  }
 };
 
 /// Human-readable one-line summary (for reports and examples).

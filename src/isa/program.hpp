@@ -20,6 +20,11 @@ namespace repro::isa {
 struct SerialPhase {
   KernelSpec body;
   std::uint64_t reps = 1;
+
+  void serialize(capsule::Io& io) {
+    body.serialize(io);
+    io.u64(reps);
+  }
 };
 
 /// A compiler-parallelized DO loop.
@@ -49,6 +54,16 @@ struct ConcurrentLoopPhase {
   /// Cycles consumed per synchronization wait poll (CCB traffic only; the
   /// paper notes sync waits generate no cache/memory bus traffic, §5.1).
   std::uint32_t await_poll_cycles = 4;
+
+  void serialize(capsule::Io& io) {
+    io.u64(trip_count);
+    body.serialize(io);
+    io.boolean(shared_data);
+    io.f64(long_path_prob);
+    io.u32(long_path_extra_steps);
+    io.f64(dependence_prob);
+    io.u32(await_poll_cycles);
+  }
 };
 
 using Phase = std::variant<SerialPhase, ConcurrentLoopPhase>;
@@ -73,6 +88,31 @@ struct Program {
 
   /// True if any phase is a concurrent loop.
   [[nodiscard]] bool has_concurrency() const;
+
+  /// Capsule walk: phase list (with variant discriminants) and scalars.
+  void serialize(capsule::Io& io) {
+    io.str(name);
+    const std::uint64_t count = io.extent(phases.size());
+    if (io.loading()) {
+      phases.assign(static_cast<std::size_t>(count), SerialPhase{});
+    }
+    for (Phase& phase : phases) {
+      std::uint8_t which =
+          std::holds_alternative<ConcurrentLoopPhase>(phase) ? 1 : 0;
+      io.u8(which);
+      if (io.loading()) {
+        if (which > 1) {
+          throw capsule::CapsuleError("capsule: bad program phase tag");
+        }
+        if (which == 1) {
+          phase = ConcurrentLoopPhase{};
+        }
+      }
+      std::visit([&io](auto& p) { p.serialize(io); }, phase);
+    }
+    io.u64(data_base);
+    io.u64(seed);
+  }
 };
 
 /// Convenience builder for the common serial/loop/serial... shape.

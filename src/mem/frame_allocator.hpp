@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 
 namespace repro::mem {
@@ -41,6 +42,23 @@ class FrameAllocator {
   }
   [[nodiscard]] bool is_allocated(FrameId frame) const;
   [[nodiscard]] const FrameAllocatorStats& stats() const { return stats_; }
+
+  /// Capsule walk: the occupancy bitmap, scan cursor, and stats. Pool
+  /// size is structural (it comes from the config) and must match.
+  void serialize(capsule::Io& io) {
+    const std::uint64_t total = io.extent(total_);
+    if (io.loading() && total != total_) {
+      throw capsule::CapsuleError("capsule: frame pool size mismatch");
+    }
+    io.u64(free_count_);
+    for (std::uint8_t& used : used_) {
+      io.u8(used);
+    }
+    io.u64(cursor_);
+    io.u64(stats_.allocations);
+    io.u64(stats_.frees);
+    io.u64(stats_.exhaustions);
+  }
 
  private:
   std::uint64_t total_ = 0;

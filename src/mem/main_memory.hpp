@@ -9,6 +9,7 @@
 #include <array>
 #include <cstdint>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 
 namespace repro::mem {
@@ -38,6 +39,14 @@ class MainMemory {
 
   /// Total accesses served, for statistics/tests.
   [[nodiscard]] std::uint64_t access_count() const { return accesses_; }
+
+  /// Capsule walk: bank occupancy deadlines and the access counter.
+  void serialize(capsule::Io& io) {
+    for (Cycle& free_at : bank_free_at_) {
+      io.u64(free_at);
+    }
+    io.u64(accesses_);
+  }
 
  private:
   MainMemoryConfig config_;

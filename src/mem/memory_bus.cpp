@@ -160,6 +160,41 @@ std::size_t MemoryBus::queue_depth(std::uint32_t bus) const {
   return buses_[bus].queue.size();
 }
 
+void MemoryBus::serialize(capsule::Io& io) {
+  const auto txn = [&io](PendingTxn& t) {
+    io.u64(t.id);
+    io.enum32(t.op);
+    io.u64(t.addr);
+  };
+  for (std::uint32_t b = 0; b < buses_.size(); ++b) {
+    BusState& bus = buses_[b];
+    const std::uint64_t depth = io.extent(bus.queue.size());
+    if (io.loading()) {
+      bus.queue.assign(static_cast<std::size_t>(depth), PendingTxn{});
+    }
+    for (PendingTxn& queued : bus.queue) {
+      txn(queued);
+    }
+    txn(bus.active);
+    for (std::uint64_t& count : bus.op_cycle_counts) {
+      io.u64(count);
+    }
+    io.u32(hot_->remaining[b]);
+    io.enum32(hot_->current_op[b]);
+  }
+  const std::uint64_t finished = io.extent(finished_.size());
+  if (io.loading()) {
+    finished_.assign(static_cast<std::size_t>(finished), 0);
+  }
+  for (TxnId& id : finished_) {
+    io.u64(id);
+  }
+  io.u64(next_id_);
+  io.boolean(quiescent_);
+  io.u64(quiescent_ticks_);
+  io.u64(hot_->completion_epoch);
+}
+
 std::uint64_t MemoryBus::op_cycles(std::uint32_t bus, MemBusOp op) const {
   if (op == MemBusOp::kIdle) {
     REPRO_EXPECT(bus < buses_.size(), "bus index out of range");

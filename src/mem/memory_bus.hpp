@@ -18,6 +18,7 @@
 #include <deque>
 #include <vector>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 #include "mem/bus_ops.hpp"
 #include "mem/hot.hpp"
@@ -86,6 +87,10 @@ class MemoryBus {
   /// contiguous hot-state). Copies the current values across, so binding
   /// is transparent at any point in the bus's life.
   void bind_hot(BusHot& hot);
+
+  /// Capsule walk: per-bus queues/latches/opcode counters, the tracked
+  /// completion set, and the quiescent fold.
+  void serialize(capsule::Io& io);
 
  private:
   struct PendingTxn {

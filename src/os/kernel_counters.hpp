@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string_view>
 
+#include "base/capsule.hpp"
+
 namespace repro::os {
 
 enum class KernelCounter : std::uint8_t {
@@ -46,6 +48,13 @@ class KernelCounters {
   [[nodiscard]] std::array<std::uint64_t, kNumKernelCounters> snapshot()
       const {
     return values_;
+  }
+
+  /// Capsule walk: the whole counter table.
+  void serialize(capsule::Io& io) {
+    for (std::uint64_t& value : values_) {
+      io.u64(value);
+    }
   }
 
  private:

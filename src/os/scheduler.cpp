@@ -122,6 +122,72 @@ Cycle Scheduler::quiet_horizon() const {
   return kHorizonNever;
 }
 
+void Scheduler::serialize(capsule::Io& io) {
+  const auto job = [&io](Job& j) {
+    io.u64(j.id);
+    io.enum32(j.cls);
+    j.program.serialize(io);
+    io.u64(j.submitted_at);
+    io.u64(j.started_at);
+    io.u64(j.finished_at);
+  };
+  const auto optional_job = [&io, &job](std::optional<Job>& slot) {
+    bool present = slot.has_value();
+    io.boolean(present);
+    if (io.loading()) {
+      slot.reset();
+      if (present) {
+        slot.emplace();
+      }
+    }
+    if (present) {
+      job(*slot);
+    }
+  };
+
+  const std::uint64_t depth = io.extent(queue_.size());
+  if (io.loading()) {
+    queue_.assign(static_cast<std::size_t>(depth), Job{});
+  }
+  for (Job& queued : queue_) {
+    job(queued);
+  }
+  optional_job(running_);
+  const std::uint64_t detached = io.extent(detached_running_.size());
+  if (io.loading() && detached != detached_running_.size()) {
+    throw capsule::CapsuleError("capsule: detached slot count mismatch");
+  }
+  for (std::optional<Job>& slot : detached_running_) {
+    optional_job(slot);
+  }
+  io.u64(stats_.jobs_completed);
+  io.u64(stats_.cluster_jobs_completed);
+  io.u64(stats_.serial_jobs_completed);
+  io.u64(stats_.total_wait_cycles);
+
+  if (io.loading()) {
+    // The machine's walk left the cluster's program pointers null with
+    // rebind-pending flags for every slot that was mid-job; point them at
+    // the programs that now live inside this scheduler's Job storage.
+    fx8::Cluster& cluster = machine_.cluster();
+    if (cluster.needs_program_rebind()) {
+      REPRO_ENSURE(running_.has_value(),
+                   "capsule: cluster busy but no running job");
+      cluster.rebind_program(&running_->program);
+    }
+    for (std::uint32_t slot = 0;
+         slot < static_cast<std::uint32_t>(detached_running_.size());
+         ++slot) {
+      if (cluster.detached_needs_rebind(slot)) {
+        REPRO_ENSURE(detached_running_[slot].has_value(),
+                     "capsule: detached CE busy but no running job");
+        cluster.rebind_detached_program(slot,
+                                        &detached_running_[slot]->program);
+      }
+    }
+  }
+}
+
 bool Scheduler::idle() const {
   if (running_ || !queue_.empty()) {
     return false;

@@ -65,6 +65,12 @@ class Scheduler {
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
 
+  /// Capsule walk: run queue, the running jobs, and stats. Must run
+  /// *after* the machine's walk — on load it rebinds the cluster's
+  /// program pointers to the freshly deserialized jobs (the cluster
+  /// flags which slots need it; see Cluster::serialize).
+  void serialize(capsule::Io& io);
+
  private:
   /// Pop the next job per the policy.
   [[nodiscard]] Job pop_next();

@@ -6,8 +6,11 @@
 // cycle.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 #include "fx8/machine.hpp"
 #include "os/kernel_counters.hpp"
@@ -48,8 +51,33 @@ class System {
   [[nodiscard]] KernelCounters& counters() { return counters_; }
   [[nodiscard]] const KernelCounters& counters() const { return counters_; }
   [[nodiscard]] VirtualMemory& vm() { return *vm_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+
+  // --- State capsules --------------------------------------------------
+  /// One walk over the entire deterministic state, in dependency order:
+  /// counters, VM, machine, then the scheduler (whose load pass rebinds
+  /// the cluster's program pointers). The same walk serves save, load,
+  /// and digest (base/capsule.hpp).
+  void serialize(capsule::Io& io);
+
+  /// 64-bit FNV-1a digest over the full state walk. Two systems built
+  /// from the same config are bit-identical iff their digests match.
+  [[nodiscard]] std::uint64_t state_digest();
+
+  /// Structural fingerprint of the config this system was built from.
+  /// Stored in every capsule; load_capsule rejects a capsule whose
+  /// fingerprint differs (the walk only carries state, not structure).
+  [[nodiscard]] std::uint64_t config_fingerprint() const;
+
+  /// Sealed capsule (envelope + payload) of the current state.
+  [[nodiscard]] std::vector<std::uint8_t> save_capsule();
+  /// Restore state from a sealed capsule. Throws capsule::CapsuleError on
+  /// version/digest/fingerprint mismatch; the system is unchanged in the
+  /// fingerprint case and must be discarded on a mid-walk failure.
+  void load_capsule(const std::vector<std::uint8_t>& sealed);
 
  private:
+  SystemConfig config_;
   KernelCounters counters_;
   std::unique_ptr<VirtualMemory> vm_;
   std::unique_ptr<fx8::Machine> machine_;

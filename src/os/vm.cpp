@@ -1,5 +1,8 @@
 #include "os/vm.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "base/expect.hpp"
 #include "base/rng.hpp"
 
@@ -121,6 +124,87 @@ void VirtualMemory::release_job(JobId job) {
 std::uint64_t VirtualMemory::resident_pages(JobId job) const {
   const auto it = jobs_.find(job);
   return it == jobs_.end() ? 0 : it->second.resident.size();
+}
+
+void VirtualMemory::serialize(capsule::Io& io) {
+  // Page tables. The unordered_maps are only ever iterated in
+  // release_job's frame frees (order-independent), so serializing them in
+  // sorted key order is behaviour-neutral and makes save/digest canonical.
+  const std::uint64_t job_count = io.extent(jobs_.size());
+  if (io.loading()) {
+    jobs_.clear();
+    for (std::uint64_t j = 0; j < job_count; ++j) {
+      JobId job = 0;
+      io.u64(job);
+      JobPages& pages = jobs_[job];
+      const std::uint64_t resident = io.extent(0);
+      for (std::uint64_t p = 0; p < resident; ++p) {
+        Addr page = 0;
+        mem::FrameId frame = 0;
+        io.u64(page);
+        io.u64(frame);
+        pages.resident.emplace(page, frame);
+      }
+      const std::uint64_t fifo_depth = io.extent(0);
+      pages.fifo.assign(static_cast<std::size_t>(fifo_depth), 0);
+      for (Addr& page : pages.fifo) {
+        io.u64(page);
+      }
+    }
+  } else {
+    std::vector<JobId> job_ids;
+    job_ids.reserve(jobs_.size());
+    for (const auto& [job, pages] : jobs_) {
+      job_ids.push_back(job);
+    }
+    std::sort(job_ids.begin(), job_ids.end());
+    for (JobId job : job_ids) {
+      io.u64(job);
+      JobPages& pages = jobs_[job];
+      std::vector<Addr> resident_pages_sorted;
+      resident_pages_sorted.reserve(pages.resident.size());
+      for (const auto& [page, frame] : pages.resident) {
+        resident_pages_sorted.push_back(page);
+      }
+      std::sort(resident_pages_sorted.begin(), resident_pages_sorted.end());
+      std::uint64_t resident = io.extent(resident_pages_sorted.size());
+      (void)resident;
+      for (Addr page : resident_pages_sorted) {
+        io.u64(page);
+        io.u64(pages.resident.at(page));
+      }
+      std::uint64_t fifo_depth = io.extent(pages.fifo.size());
+      (void)fifo_depth;
+      for (Addr& page : pages.fifo) {
+        io.u64(page);
+      }
+    }
+  }
+
+  // Global reclaim FIFO.
+  const std::uint64_t global_depth = io.extent(global_fifo_.size());
+  if (io.loading()) {
+    global_fifo_.assign(static_cast<std::size_t>(global_depth), {0, 0});
+  }
+  for (auto& [job, page] : global_fifo_) {
+    io.u64(job);
+    io.u64(page);
+  }
+
+  // VM-side translation memos, the Mmu base's memos, stats, frame pool.
+  for (CeId ce = 0; ce < kMaxCes; ++ce) {
+    for (std::size_t slot = 0; slot < kMemoSlots; ++slot) {
+      io.u64(memo_job_[ce][slot]);
+      io.u64(memo_page_[ce][slot]);
+      io.boolean(memo_valid_[ce][slot]);
+    }
+  }
+  serialize_translation_state(io);
+  io.u64(stats_.faults);
+  io.u64(stats_.evictions);
+  io.u64(stats_.global_reclaims);
+  io.u64(stats_.translations);
+  frames_.serialize(io);
 }
 
 }  // namespace repro::os

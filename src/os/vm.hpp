@@ -59,6 +59,12 @@ class VirtualMemory final : public fx8::Mmu {
   [[nodiscard]] const VmConfig& config() const { return config_; }
   [[nodiscard]] const mem::FrameAllocator& frames() const { return frames_; }
 
+  /// Capsule walk: page tables (in sorted key order — the hash maps are
+  /// never iterated on behaviour-relevant paths, so the stored order is a
+  /// free choice and sorting keeps the digest canonical), FIFO queues,
+  /// translation memos, stats, and the frame pool.
+  void serialize(capsule::Io& io);
+
  private:
   struct JobPages {
     std::unordered_map<Addr, mem::FrameId> resident;

@@ -11,9 +11,12 @@
 
 namespace repro::stats {
 
-double pearson(std::span<const double> x, std::span<const double> y) {
+std::optional<double> pearson(std::span<const double> x,
+                              std::span<const double> y) {
   REPRO_EXPECT(x.size() == y.size(), "series size mismatch");
-  REPRO_EXPECT(x.size() >= 2, "correlation needs at least two points");
+  if (x.size() < 2) {
+    return std::nullopt;
+  }
   const double mx = mean(x);
   const double my = mean(y);
   double sxy = 0.0;
@@ -24,8 +27,9 @@ double pearson(std::span<const double> x, std::span<const double> y) {
     sxx += (x[i] - mx) * (x[i] - mx);
     syy += (y[i] - my) * (y[i] - my);
   }
-  REPRO_EXPECT(sxx > 0.0 && syy > 0.0,
-               "correlation undefined for a constant series");
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return std::nullopt;  // Constant series: r is undefined.
+  }
   return sxy / std::sqrt(sxx * syy);
 }
 
@@ -58,7 +62,8 @@ std::vector<double> ranks(std::span<const double> values) {
 
 }  // namespace
 
-double spearman(std::span<const double> x, std::span<const double> y) {
+std::optional<double> spearman(std::span<const double> x,
+                               std::span<const double> y) {
   const std::vector<double> rx = ranks(x);
   const std::vector<double> ry = ranks(y);
   return pearson(rx, ry);
@@ -80,9 +85,10 @@ std::string render_correlation_matrix(std::span<const Series> series,
   for (const Series& row : series) {
     os << pad_right(row.name, label_width + 2);
     for (const Series& col : series) {
-      const double r = rank ? spearman(row.values, col.values)
-                            : pearson(row.values, col.values);
-      os << pad_left(fixed(r, 3), 10);
+      const std::optional<double> r =
+          rank ? spearman(row.values, col.values)
+               : pearson(row.values, col.values);
+      os << pad_left(r ? fixed(*r, 3) : "n/a", 10);
     }
     os << '\n';
   }

@@ -6,20 +6,25 @@
 // nonlinearity the second-order models exist for.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
 namespace repro::stats {
 
-/// Pearson product-moment correlation. Requires >= 2 points and
-/// non-degenerate variance in both series.
-[[nodiscard]] double pearson(std::span<const double> x,
-                             std::span<const double> y);
+/// Pearson product-moment correlation. Series sizes must match (a
+/// logic error). Returns nullopt when the correlation is undefined —
+/// fewer than 2 points, or zero variance in either series — so a
+/// degenerate (e.g. constant quick-preset) series degrades instead of
+/// aborting the run.
+[[nodiscard]] std::optional<double> pearson(std::span<const double> x,
+                                            std::span<const double> y);
 
-/// Spearman rank correlation (Pearson over fractional ranks).
-[[nodiscard]] double spearman(std::span<const double> x,
-                              std::span<const double> y);
+/// Spearman rank correlation (Pearson over fractional ranks); nullopt
+/// under the same degeneracies as pearson.
+[[nodiscard]] std::optional<double> spearman(std::span<const double> x,
+                                             std::span<const double> y);
 
 /// Render a labelled correlation matrix for several series.
 struct Series {

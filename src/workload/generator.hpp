@@ -49,6 +49,15 @@ class WorkloadGenerator {
   [[nodiscard]] std::uint64_t jobs_generated() const { return next_job_id_; }
   [[nodiscard]] const WorkloadMix& mix() const { return mix_; }
 
+  /// Capsule walk: RNG stream and arrival progress. The mix itself is
+  /// config, pinned by the session's fingerprint rather than capsuled.
+  void serialize(capsule::Io& io) {
+    rng_.serialize(io);
+    io.u64(next_job_id_);
+    io.u64(next_arrival_);
+    io.boolean(waiting_for_drain_);
+  }
+
  private:
   void submit_burst(os::System& system);
 

@@ -92,6 +92,35 @@ TEST(ThreadPool, ResolveWorkersPrefersExplicitRequest) {
   EXPECT_EQ(ThreadPool::resolve_workers(3), 3u);
 }
 
+TEST(ThreadPool, ParseThreadCountIsStrict) {
+  EXPECT_EQ(ThreadPool::parse_thread_count("1"), 1u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("16"), 16u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("1024"), 1024u);
+  // Everything else is invalid: zero, signs, whitespace, trailing
+  // characters, empty, overflow past kMaxWorkers.
+  EXPECT_EQ(ThreadPool::parse_thread_count("0"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("1025"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("+4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("-4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(" 4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4 "), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("4x"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("0x4"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(""), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count("99999999999999999999"), 0u);
+  EXPECT_EQ(ThreadPool::parse_thread_count(nullptr), 0u);
+}
+
+TEST(ThreadPool, ResolveWorkersRejectsInvalidEnvironment) {
+  // A typo'd FX8_THREADS must fall back to the hardware count, not
+  // strtoul-prefix-parse its way into a wrong worker count.
+  ASSERT_EQ(setenv("FX8_THREADS", "8cores", 1), 0);
+  EXPECT_EQ(ThreadPool::resolve_workers(0), ThreadPool::hardware_workers());
+  ASSERT_EQ(setenv("FX8_THREADS", "0", 1), 0);
+  EXPECT_EQ(ThreadPool::resolve_workers(0), ThreadPool::hardware_workers());
+  ASSERT_EQ(unsetenv("FX8_THREADS"), 0);
+}
+
 TEST(ThreadPool, ResolveWorkersReadsEnvironment) {
   ASSERT_EQ(setenv("FX8_THREADS", "5", 1), 0);
   EXPECT_EQ(ThreadPool::resolve_workers(0), 5u);

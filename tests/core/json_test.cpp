@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <limits>
 
 namespace repro::core {
@@ -21,6 +22,22 @@ TEST(Json, IntegralDoublesPrintExact) {
   EXPECT_EQ(Json(12.0).dump(), "12");
   EXPECT_EQ(Json(1e6).dump(), "1000000");
   EXPECT_EQ(Json(std::uint64_t{400000}).dump(), "400000");
+}
+
+TEST(Json, DoublesRoundTripAtShortestPrecision) {
+  // Non-integral doubles print as the shortest decimal that parses back
+  // to the same bits — "0.1", not "0.100000000000000006".
+  EXPECT_EQ(Json(0.1).dump(), "0.1");
+  EXPECT_EQ(Json(0.35).dump(), "0.35");
+  // Values that genuinely need 16 or 17 significant digits keep them.
+  const double third = 1.0 / 3.0;
+  const double tricky = 0.1 + 0.2;  // 0.30000000000000004
+  for (const double value : {third, tricky, 2.2250738585072014e-308,
+                             1.7976931348623157e308, -0.49999999999999994}) {
+    const std::string text = Json(value).dump();
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+  EXPECT_NE(Json(tricky).dump(), "0.3");
 }
 
 TEST(Json, NonFiniteSerializesAsNull) {

@@ -13,13 +13,13 @@ namespace {
 TEST(Pearson, PerfectPositive) {
   const std::vector<double> x = {1, 2, 3, 4};
   const std::vector<double> y = {2, 4, 6, 8};
-  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y).value(), 1.0, 1e-12);
 }
 
 TEST(Pearson, PerfectNegative) {
   const std::vector<double> x = {1, 2, 3, 4};
   const std::vector<double> y = {8, 6, 4, 2};
-  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, y).value(), -1.0, 1e-12);
 }
 
 TEST(Pearson, IndependentSeriesNearZero) {
@@ -30,18 +30,35 @@ TEST(Pearson, IndependentSeriesNearZero) {
     x.push_back(rng.uniform01());
     y.push_back(rng.uniform01());
   }
-  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+  EXPECT_NEAR(pearson(x, y).value(), 0.0, 0.05);
 }
 
-TEST(Pearson, RejectsDegenerateInput) {
+TEST(Pearson, DegenerateInputIsNullopt) {
+  // Undefined correlations degrade to nullopt rather than aborting the
+  // run (a constant quick-preset series used to crash fx8bench).
   const std::vector<double> constant = {3, 3, 3};
   const std::vector<double> varying = {1, 2, 3};
-  EXPECT_THROW((void)pearson(constant, varying), ContractViolation);
+  EXPECT_EQ(pearson(constant, varying), std::nullopt);
+  EXPECT_EQ(pearson(varying, constant), std::nullopt);
+  EXPECT_EQ(spearman(constant, varying), std::nullopt);
   const std::vector<double> one = {1};
-  EXPECT_THROW((void)pearson(one, one), ContractViolation);
+  EXPECT_EQ(pearson(one, one), std::nullopt);
+}
+
+TEST(Pearson, SizeMismatchIsStillALogicError) {
   const std::vector<double> two = {1, 2};
   const std::vector<double> three = {1, 2, 3};
   EXPECT_THROW((void)pearson(two, three), ContractViolation);
+}
+
+TEST(CorrelationMatrix, DegenerateSeriesRendersNa) {
+  std::vector<Series> series = {
+      {"flat", {2.0, 2.0, 2.0}},
+      {"vary", {1.0, 2.0, 3.0}},
+  };
+  const std::string text = render_correlation_matrix(series);
+  EXPECT_NE(text.find("n/a"), std::string::npos);
+  EXPECT_NE(text.find("1.000"), std::string::npos);  // vary x vary
 }
 
 TEST(Spearman, MonotoneNonlinearIsPerfect) {
@@ -52,14 +69,14 @@ TEST(Spearman, MonotoneNonlinearIsPerfect) {
     x.push_back(i);
     y.push_back(static_cast<double>(i) * i * i);
   }
-  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
-  EXPECT_LT(pearson(x, y), 1.0);
+  EXPECT_NEAR(spearman(x, y).value(), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y).value(), 1.0);
 }
 
 TEST(Spearman, HandlesTies) {
   const std::vector<double> x = {1, 2, 2, 3};
   const std::vector<double> y = {10, 20, 20, 30};
-  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(spearman(x, y).value(), 1.0, 1e-12);
 }
 
 TEST(CorrelationMatrix, RendersSymmetricMatrix) {
