@@ -11,8 +11,11 @@
 //   1. serial, fast-forward off (the naive reference),
 //   2. serial, fast-forward on,
 //   3. parallel (auto threads), fast-forward on, finer replicate tasks,
+//   4. bootstrap-heavy: eight replicate rigs per session on one thread,
+//      advanced serially and then in lockstep (rig_batch = 8) through
+//      the wide lane kernel,
 //
-// verifies all three are bit-identical, and reports simulated
+// verifies all runs are bit-identical, and reports simulated
 // cycles/sec for each plus the fast-forward and parallel speedups as
 // JSON — both to stdout and to BENCH_parallel_study.json — so perf
 // regressions in the tick loop, the horizon logic, or the pool show up
@@ -31,6 +34,7 @@
 
 #include "base/thread_pool.hpp"
 #include "core/presets.hpp"
+#include "fx8/lane_kernel.hpp"
 #include "core/regression_models.hpp"
 #include "core/study.hpp"
 #include "workload/presets.hpp"
@@ -183,6 +187,41 @@ int main(int argc, char** argv) {
                     identical(reference, parallel.result);
   }
 
+  // Run 4: the bootstrap-heavy datapoint — eight replicate rigs per
+  // session on one thread, advanced serially (rig_batch = 1) and then
+  // in lockstep through the wide lane kernel (rig_batch = 8). Same
+  // decomposition, same seeds: the two runs must be bit-identical, and
+  // their wall-clock ratio is the rig-batching speedup on top of the
+  // fused serial kernel.
+  TimedRun batch_serial;
+  TimedRun batched;
+  std::uint32_t batch_rigs = 0;
+  double batch_total_cycles = 0.0;
+  if (!baseline_only) {
+    core::StudyConfig bootstrap = core::presets::quick_study();
+    bootstrap.threads = 1;
+    bootstrap.fast_forward = true;
+    bootstrap.replicates_per_session = 8;
+    bootstrap.rig_batch = 1;
+    batch_serial = timed_study(bootstrap);
+    bootstrap.rig_batch = 8;
+    batch_rigs = bootstrap.rig_batch;
+    batched = timed_study(bootstrap);
+    bit_identical =
+        bit_identical && identical(batch_serial.result, batched.result);
+    // Every replicate warms its own rig, so the simulated-cycle total
+    // grows with the replicate count.
+    batch_total_cycles =
+        static_cast<double>(sessions) *
+        (static_cast<double>(bootstrap.replicates_per_session) *
+             static_cast<double>(bootstrap.warmup_cycles) +
+         static_cast<double>(bootstrap.samples_per_session) *
+             static_cast<double>(bootstrap.sampling.interval_cycles));
+  }
+  const double batch_speedup = !baseline_only && batched.seconds > 0.0
+                                   ? batch_serial.seconds / batched.seconds
+                                   : 0.0;
+
   // Per-session serial fast-forward rates (the fused-kernel headline:
   // concurrency-saturated sessions 3 and 6 are the slowest per cycle).
   core::StudyConfig per_session = config;
@@ -238,6 +277,19 @@ int main(int argc, char** argv) {
       rate(total_cycles, ff.seconds), rate(total_cycles, parallel.seconds),
       naive.seconds, ff.seconds, rate(total_cycles, naive.seconds),
       rate(total_cycles, ff.seconds), ff_speedup);
+  char batch_json[384];
+  std::snprintf(
+      batch_json, sizeof(batch_json),
+      "\"batch_rigs\": %u, \"lane_kernel\": \"%s\", "
+      "\"batch_total_cycles\": %.0f, "
+      "\"batch_serial_seconds\": %.4f, \"batch_seconds\": %.4f, "
+      "\"batch_serial_cycles_per_sec\": %.0f, "
+      "\"batch_cycles_per_sec\": %.0f, \"batch_speedup\": %.3f, ",
+      batch_rigs, fx8::lane_pass_name(fx8::select_lane_pass()),
+      batch_total_cycles, batch_serial.seconds, batched.seconds,
+      rate(batch_total_cycles, batch_serial.seconds),
+      rate(batch_total_cycles, batched.seconds), batch_speedup);
+
   char tail[512];
   std::snprintf(
       tail, sizeof(tail),
@@ -248,8 +300,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ff.result.ff.block_cycles),
       static_cast<unsigned long long>(ff.result.ff.naive_cycles),
       bit_identical ? "true" : "false");
-  const std::string json =
-      std::string(head) + speedup_json + tail + session_json + "}}";
+  const std::string json = std::string(head) + speedup_json + batch_json +
+                           tail + session_json + "}}";
 
   std::printf("%s\n", json.c_str());
   if (std::FILE* out = std::fopen("BENCH_parallel_study.json", "w")) {

@@ -7,11 +7,17 @@
 //   fx8meter [--sessions N] [--samples M] [--interval CYCLES]
 //            [--mix 0..8|high|presets] [--mix-file FILE]
 //            [--policy fifo|concurrent|serial] [--seed S]
-//            [--threads N] [--report table2|models|histogram|all]
+//            [--threads N] [--replicates R] [--rig-batch B]
+//            [--report table2|models|histogram|all]
 //            [--csv FILE] [--checkpoint FILE] [--resume FILE]
 //
 // --threads 0 (the default) picks FX8_THREADS or the hardware
 // concurrency; results are bit-identical for every thread count.
+//
+// --replicates splits each session across R independent rigs;
+// --rig-batch advances up to B of them in lockstep through the wide
+// lane kernel (0 = auto). Both leave results bit-identical — see
+// docs/perf.md ("Rig-batched lanes").
 //
 // --checkpoint FILE writes a sealed state capsule after every completed
 // sample; --resume FILE continues a run from such a capsule. Both
@@ -53,6 +59,8 @@ struct Options {
   std::string resume_file;
   std::uint64_t seed = 0x19870301;
   std::uint32_t threads = 0;
+  std::uint32_t replicates = 1;
+  std::uint32_t rig_batch = 0;
 };
 
 bool parse(int argc, char** argv, Options& options) {
@@ -89,6 +97,16 @@ bool parse(int argc, char** argv, Options& options) {
       const char* v = next();
       if (!v) return false;
       options.threads =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--replicates") {
+      const char* v = next();
+      if (!v) return false;
+      options.replicates =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--rig-batch") {
+      const char* v = next();
+      if (!v) return false;
+      options.rig_batch =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--report") {
       const char* v = next();
@@ -205,7 +223,8 @@ int main(int argc, char** argv) {
         "usage: fx8meter [--sessions N] [--samples M] [--interval CYCLES]\n"
         "                [--mix 0..8|high|presets] [--policy "
         "fifo|concurrent|serial]\n"
-        "                [--seed S] [--threads N]\n"
+        "                [--seed S] [--threads N] [--replicates R]\n"
+        "                [--rig-batch B]\n"
         "                [--report table2|models|histogram|all]\n"
         "                [--checkpoint FILE] [--resume FILE]\n");
     return 2;
@@ -252,6 +271,8 @@ int main(int argc, char** argv) {
   config.sampling.interval_cycles = options.interval;
   config.seed = options.seed;
   config.threads = options.threads;
+  config.replicates_per_session = options.replicates;
+  config.rig_batch = options.rig_batch;
   if (options.policy == "concurrent") {
     config.system.scheduling = os::SchedulingPolicy::kConcurrentFirst;
   } else if (options.policy == "serial") {

@@ -100,6 +100,12 @@ class SharedCache {
     return (hot_->fill_ready_mask >> ce) & 1u;
   }
 
+  /// The whole fill-ready word (one bit per CE) — input to the batched
+  /// lane pass (fx8/lane_kernel.hpp), which tests all lanes at once.
+  [[nodiscard]] std::uint32_t fill_ready_mask() const {
+    return hot_->fill_ready_mask;
+  }
+
   /// Coherence request from the IP side: drop any copy of this line.
   void snoop_invalidate(Addr addr);
 

@@ -13,7 +13,9 @@ std::string render_table2(const ConcurrencyMeasures& overall) {
   os << "TABLE 2. Overall Concurrency Measures for All Sessions.\n";
   os << "  ";
   for (std::uint32_t j = 0; j <= overall.width; ++j) {
-    os << pad_left("c" + std::to_string(j), 8);
+    std::string label = "c";
+    label += std::to_string(j);
+    os << pad_left(label, 8);
   }
   os << pad_left("Cw", 8) << pad_left("c(8|c)", 8) << pad_left("Pc", 8)
      << '\n';

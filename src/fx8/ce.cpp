@@ -19,6 +19,11 @@ Ce::Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
   REPRO_EXPECT(id < kMaxCes, "CE id out of hot-lane range");
 }
 
+void Ce::set_mmu_rig(std::uint32_t rig) {
+  REPRO_EXPECT(rig < kMaxBatchRigs, "MMU rig index exceeds the batch cap");
+  mmu_rig_ = rig;
+}
+
 void Ce::bind_hot(CeHot& hot) {
   hot.phase[id_] = hot_->phase[id_];
   hot.bus_op[id_] = hot_->bus_op[id_];
@@ -307,7 +312,8 @@ void Ce::tick_slow() {
       }
       case Phase::kIFetch: {
         if (!pending_translated_) {
-          const Cycle fault = mmu_.translate(inst_.job, id_, pending_addr_);
+          const Cycle fault =
+              mmu_.translate(inst_.job, id_, pending_addr_, mmu_rig_);
           pending_translated_ = true;
           if (fault > 0) {
             fault_left() = fault;
@@ -339,7 +345,8 @@ void Ce::tick_slow() {
         if (!pending_translated_) {
           pending_is_store_ = loads_left_ == 0;
           pending_addr_ = next_data_addr(pending_is_store_);
-          const Cycle fault = mmu_.translate(inst_.job, id_, pending_addr_);
+          const Cycle fault =
+              mmu_.translate(inst_.job, id_, pending_addr_, mmu_rig_);
           pending_translated_ = true;
           if (fault > 0) {
             fault_left() = fault;

@@ -515,6 +515,54 @@ void Cluster::tick() {
   ++now_;
 }
 
+void Cluster::tick_batched(LanePassFn pass) {
+  if (rotating_) {
+    refresh_service_order();
+  }
+  crossbar_.begin_cycle();
+  if (in_loop_) {
+    ccb_.begin_cycle();
+  }
+  advance_control();
+  if (has_detached_) {
+    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+      run_detached(slot);
+    }
+  }
+  CeHot& hot = *ce_hot_;
+  // One wide pass advances every steady-state lane; only the reported
+  // slow lanes take the per-lane dispatch, visited in exactly the order
+  // tick() would have reached them. Fast lanes touch nothing outside
+  // their own CeHot slots (the cache's fill-ready word is read-only here
+  // and only drain_fills — end-of-cycle cache tick — sets it), so the
+  // split preserves tick()'s semantics bit for bit.
+  const std::uint32_t slow = pass(hot, cache_.fill_ready_mask());
+  if (slow != 0) {
+    for (std::uint32_t i = 0; i < service_count_; ++i) {
+      const CeId c = service_order_[i];
+      if ((slow >> c) & 1u) {
+        tick_lane(hot, c);
+      }
+    }
+    if (has_detached_) {
+      for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+        const CeId c = detached_ce(slot);
+        if ((slow >> c) & 1u) {
+          tick_lane(hot, c);
+        }
+      }
+    }
+  }
+  ++rotation_;
+  ++now_;
+}
+
+void Cluster::set_mmu_rig(std::uint32_t rig) {
+  for (Ce& ce : ces_) {
+    ce.set_mmu_rig(rig);
+  }
+}
+
 Cycle Cluster::quiet_horizon() const {
   Cycle horizon = kHorizonNever;
   if (busy()) {

@@ -24,6 +24,7 @@
 #include "fx8/ce.hpp"
 #include "fx8/crossbar.hpp"
 #include "fx8/hot_state.hpp"
+#include "fx8/lane_kernel.hpp"
 #include "fx8/mmu.hpp"
 #include "isa/program.hpp"
 
@@ -96,6 +97,17 @@ class Cluster {
 
   /// Advance one cycle (program control, CCB, crossbar, all CEs).
   void tick();
+
+  /// tick() with the CE loop replaced by one wide lane pass
+  /// (fx8/lane_kernel.hpp): `pass` advances every steady-state lane in
+  /// straight-line arithmetic and only the lanes it reports slow run the
+  /// per-lane tick_lane dispatch, in the cycle's service order. Driven by
+  /// fx8::RigBatch; bit-identical to tick() for any pass honouring the
+  /// lane-kernel contract.
+  void tick_batched(LanePassFn pass);
+
+  /// Forward Machine::set_mmu_rig to every CE (see Ce::set_mmu_rig).
+  void set_mmu_rig(std::uint32_t rig);
 
   // --- Event-horizon fast-forward -------------------------------------
   /// Cycles for which the whole cluster (program control, CCB, detached

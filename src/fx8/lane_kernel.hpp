@@ -1,0 +1,57 @@
+// Wide fast pass over the eight CE state lanes.
+//
+// The three steady-state CE behaviours (compute burn, miss wait, fault
+// wait) touch only that lane's CeHot slots plus the cache's fill-ready
+// word, so one pass can classify and advance all eight lanes of a rig
+// with straight-line arithmetic instead of eight dispatched switches.
+// Cluster::tick_batched runs this pass first and drops only the returned
+// slow lanes — phase transitions, access issue, stall pick-up — into the
+// per-lane tick_slow() path, in exactly the service order Cluster::tick
+// would have used. The pass leaves slow lanes completely untouched (their
+// bus opcode is rewritten by tick_lane before dispatch), so batched and
+// serial ticks are bit-identical by construction.
+//
+// Two implementations share the contract: a portable scalar version and,
+// when the build detects -mavx2 support (FX8_HAVE_AVX2), an AVX2 version
+// that maps the lane arrays onto 256-bit vectors. select_lane_pass()
+// picks at runtime — AVX2 when compiled in and the CPU reports it, unless
+// the FX8_FORCE_SCALAR environment variable is set to anything but "0"
+// (so CI exercises both paths on any runner).
+#pragma once
+
+#include <cstdint>
+
+#include "fx8/hot_state.hpp"
+
+namespace repro::fx8 {
+
+/// One fast pass over a rig's CE lanes. `fill_ready_mask` is the shared
+/// cache's current fill-ready word (cache::SharedCacheHot). Returns the
+/// bitmask of lanes the pass could not advance — lanes in a transition
+/// the caller must run through Ce::tick_slow(), in service order. Lanes
+/// that are idle/done or that the pass advanced are fully updated (bus
+/// opcode, countdown, the four per-cycle counters) and must not be
+/// ticked again this cycle.
+using LanePassFn = std::uint32_t (*)(CeHot& hot,
+                                     std::uint32_t fill_ready_mask);
+
+/// Portable reference implementation.
+[[nodiscard]] std::uint32_t lane_pass_scalar(CeHot& hot,
+                                             std::uint32_t fill_ready_mask);
+
+#if defined(FX8_HAVE_AVX2)
+/// AVX2 implementation (lane_kernel_avx2.cpp, built with -mavx2). Only
+/// call when the CPU supports AVX2 — select_lane_pass() checks.
+[[nodiscard]] std::uint32_t lane_pass_avx2(CeHot& hot,
+                                           std::uint32_t fill_ready_mask);
+#endif
+
+/// The pass a batch should use on this host: AVX2 when compiled in and
+/// supported by the CPU, scalar otherwise or when the FX8_FORCE_SCALAR
+/// environment variable is set (to anything but "0").
+[[nodiscard]] LanePassFn select_lane_pass();
+
+/// "avx2" or "scalar" — for bench/report labels.
+[[nodiscard]] const char* lane_pass_name(LanePassFn pass);
+
+}  // namespace repro::fx8

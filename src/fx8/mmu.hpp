@@ -21,33 +21,38 @@ class Mmu {
   virtual ~Mmu() = default;
 
   /// The CE-facing entry point: touch `addr` on behalf of `job` from
-  /// processor `ce`. A per-CE single-entry memo of the last resident
-  /// (job, page) skips the virtual touch() call entirely for the
-  /// within-page streaming accesses that dominate saturated sessions;
+  /// processor `ce` of rig `rig`. A per-(rig, CE) single-entry memo of the
+  /// last resident (job, page) skips the virtual touch() call entirely for
+  /// the within-page streaming accesses that dominate saturated sessions;
   /// implementations must call invalidate_translations() whenever any
   /// mapping is removed. The memo works at kPageBytes granularity — the
   /// system page size every Mmu implementation shares.
-  Cycle translate(JobId job, CeId ce, Addr addr) {
-    Memo& memo = memo_[ce];
+  ///
+  /// `rig` distinguishes machines sharing one Mmu inside an fx8::RigBatch
+  /// (CE ids repeat across rigs, so a shared memo slot would let one rig's
+  /// translation satisfy another's first touch). A machine that owns its
+  /// Mmu — every os::System — keeps the default rig 0.
+  Cycle translate(JobId job, CeId ce, Addr addr, std::uint32_t rig = 0) {
+    Memo& memo = memo_[rig * kMaxCes + ce];
     const Addr page = addr / kPageBytes;
     if (memo.epoch == epoch_ && memo.page == page && memo.job == job) {
       return 0;
     }
-    const Cycle stall = touch(job, ce, addr);
+    const Cycle stall = touch(job, ce, addr, rig);
     // A non-zero return maps the page (see touch), so the page is
     // resident either way and the memo entry is valid.
     memo = {epoch_, job, page};
     return stall;
   }
 
-  /// Touch `addr` on behalf of `job` from processor `ce`. Returns the
-  /// number of cycles the access must stall for fault service (0 when the
-  /// page is already mapped). A non-zero return maps the page, so the
-  /// retried access will not fault again.
-  virtual Cycle touch(JobId job, CeId ce, Addr addr) = 0;
+  /// Touch `addr` on behalf of `job` from processor `ce` of rig `rig`.
+  /// Returns the number of cycles the access must stall for fault service
+  /// (0 when the page is already mapped). A non-zero return maps the page,
+  /// so the retried access will not fault again.
+  virtual Cycle touch(JobId job, CeId ce, Addr addr, std::uint32_t rig) = 0;
 
-  /// Capsule walk over the per-CE translation memos and their epoch.
-  /// Derived classes call this from their own serialize().
+  /// Capsule walk over the per-(rig, CE) translation memos and their
+  /// epoch. Derived classes call this from their own serialize().
   void serialize_translation_state(capsule::Io& io) {
     for (Memo& memo : memo_) {
       io.u64(memo.epoch);
@@ -67,14 +72,15 @@ class Mmu {
     JobId job = 0;
     Addr page = 0;
   };
-  std::array<Memo, kMaxCes> memo_{};
+  /// Rig-major: rig r's CE c memoizes at slot r * kMaxCes + c.
+  std::array<Memo, kMaxBatchRigs * kMaxCes> memo_{};
   std::uint64_t epoch_ = 1;
 };
 
 /// MMU that never faults; used by unit tests of the bare machine.
 class NoFaultMmu final : public Mmu {
  public:
-  Cycle touch(JobId, CeId, Addr) override { return 0; }
+  Cycle touch(JobId, CeId, Addr, std::uint32_t) override { return 0; }
 };
 
 }  // namespace repro::fx8

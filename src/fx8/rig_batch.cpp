@@ -1,0 +1,123 @@
+#include "fx8/rig_batch.hpp"
+
+#include <algorithm>
+
+#include "base/expect.hpp"
+#include "fx8/machine.hpp"
+
+namespace repro::fx8 {
+
+namespace {
+/// Cycles a lane runs per rotation turn in refill mode. Coarse on
+/// purpose: a turn must amortize re-warming the rig's simulator working
+/// set (tens of kilobytes of cache tags, bank state, and CE lanes), and
+/// measured cross-rig miss overlap is too small to reward anything
+/// finer. Lanes still rotate, so no rig falls more than one turn behind
+/// its batch mates.
+constexpr Cycle kLaneTurnCycles = 8192;
+}  // namespace
+
+void RigBatch::add(Machine& machine, Cycle budget, std::size_t tag) {
+  REPRO_EXPECT(lanes_.size() < kMaxBatchRigs,
+               "batch exceeds the rig cap (kMaxBatchRigs)");
+  lanes_.push_back(Lane{&machine, budget, tag, 0, 0});
+}
+
+Cycle RigBatch::run_window(Machine& machine, LanePassFn pass, Cycle limit,
+                          std::uint64_t events_at_entry, bool& event) {
+  // Exactly Machine::tick_block's loop body with the cluster tick swapped
+  // for its lane-pass twin; the owning-pointer hops are hoisted once per
+  // window.
+  HotState& hot = machine.hot_state_;
+  Cluster& cluster = *machine.cluster_;
+  mem::MemoryBus& membus = *machine.membus_;
+  cache::SharedCache& shared_cache = *machine.shared_cache_;
+  Ip* const ips = machine.ips_.data();
+  const std::size_t n_ips = machine.ips_.size();
+  Cycle done = 0;
+  event = false;
+  while (done < limit) {
+    cluster.tick_batched(pass);
+    for (std::size_t p = 0; p < n_ips; ++p) {
+      ips[p].tick();
+    }
+    membus.tick(hot.now);
+    shared_cache.tick();
+    ++hot.now;
+    ++done;
+    if (hot.cluster_events != events_at_entry) {
+      // A control event ended this lane's block: the OS layer must react
+      // before the rig can run fused again.
+      event = true;
+      break;
+    }
+  }
+  return done;
+}
+
+void RigBatch::run() {
+  const LanePassFn pass = pass_;
+  for (Lane& lane : lanes_) {
+    lane.events_at_entry = lane.machine->hot_state_.cluster_events;
+    bool event = false;
+    lane.advanced =
+        run_window(*lane.machine, pass, lane.budget, lane.events_at_entry,
+                   event);
+  }
+}
+
+void RigBatch::run(const RefillFn& refill) {
+  active_.clear();
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    Lane& lane = lanes_[i];
+    lane.advanced = 0;
+    lane.events_at_entry = lane.machine->hot_state_.cluster_events;
+    if (lane.budget > 0) {
+      active_.push_back(i);
+    }
+  }
+  const LanePassFn pass = pass_;
+  while (!active_.empty()) {
+    std::size_t i = 0;
+    while (i < active_.size()) {
+      Lane& lane = lanes_[active_[i]];
+      Machine& machine = *lane.machine;
+      Cycle turn = 0;
+      bool retire = false;
+      while (turn < kLaneTurnCycles) {
+        const Cycle limit =
+            std::min(lane.budget - lane.advanced, kLaneTurnCycles - turn);
+        bool event = false;
+        const Cycle done =
+            run_window(machine, pass, limit, lane.events_at_entry, event);
+        lane.advanced += done;
+        turn += done;
+        if (!event && lane.advanced < lane.budget) {
+          continue;  // Turn limit split the window; resume next turn.
+        }
+        // Block window over (budget spent or control event): hand the
+        // consumed cycles to the refill hook, which runs the rig's
+        // scalar control decisions and either retires the lane or hands
+        // back the next block budget. The hook may tick the machine
+        // itself (OS lockstep steps, acquisition windows), so the event
+        // baseline is re-latched from the machine afterwards.
+        const Cycle next = refill(lane.tag, lane.advanced);
+        if (next == 0) {
+          retire = true;
+          break;
+        }
+        lane.budget = next;
+        lane.advanced = 0;
+        lane.events_at_entry = machine.hot_state_.cluster_events;
+      }
+      if (retire) {
+        active_[i] = active_.back();
+        active_.pop_back();
+        continue;
+      }
+      ++i;
+    }
+  }
+}
+
+}  // namespace repro::fx8

@@ -1,0 +1,103 @@
+// Batch driver: several independent machines ("rigs") advanced through
+// the fused tick kernel with one instruction stream.
+//
+// The bootstrap replicates of a study are embarrassingly rig-parallel:
+// B machines tick the same preset with different RNG streams, and the
+// dominant cycles are steady-state lanes. RigBatch runs the per-cycle
+// component sequence of Machine::tick_block across its lanes — cluster
+// (through the wide lane pass of fx8/lane_kernel.hpp), IPs, memory bus,
+// shared cache — keeping each rig's own cycle order exactly serial.
+//
+// Lanes rotate at a coarse granularity rather than per cycle: a rig's
+// per-block working set (cache tags, bank state, CE lanes, RNG) spans
+// tens of kilobytes, so fine-grained interleaving evicts it on every
+// turn and measures *slower* than serial, while the simulated misses of
+// divergent rigs are too sparse for cross-rig overlap to pay that back.
+// Long turns keep each rig cache-resident and leave the wide lane pass
+// as the batch's per-cycle win (see docs/perf.md, "Rig-batched lanes").
+//
+// Two modes:
+//  - run(): every lane advances one block window — until its budget is
+//    exhausted or a cycle raises a cluster control event (peel-off).
+//    Per rig this is bit-identical to Machine::tick_block(budget).
+//  - run(refill): session mode. When a lane ends a block window, the
+//    refill hook absorbs the consumed cycles (note_block_cycles), runs
+//    the rig's scalar control decisions, and returns the next block
+//    budget — so a lane stays hot across consecutive block windows and
+//    only retires when its rig has no fused work left.
+//
+// Machines in a batch are normally fully independent. If they share one
+// Mmu, give each a distinct Machine::set_mmu_rig lane first so the
+// translation memos stay per-rig (see fx8/mmu.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "fx8/lane_kernel.hpp"
+
+namespace repro::fx8 {
+
+class Machine;
+
+class RigBatch {
+ public:
+  /// Selects the lane pass for this host: AVX2 when compiled in and the
+  /// CPU supports it, scalar otherwise or under FX8_FORCE_SCALAR (env).
+  RigBatch() : pass_(select_lane_pass()) {}
+  /// Pin a specific pass (differential tests drive scalar vs. AVX2).
+  explicit RigBatch(LanePassFn pass) : pass_(pass) {}
+
+  struct Lane {
+    Machine* machine = nullptr;
+    Cycle budget = 0;
+    /// Caller's cookie for mapping lanes back to rigs after run().
+    std::size_t tag = 0;
+    /// Cycles actually advanced by the last run() (>= 1 for budget >= 1;
+    /// less than budget when a control event peeled the lane off). In
+    /// refill mode this is the progress of the lane's *current* block
+    /// window only — the hook has already absorbed earlier windows.
+    Cycle advanced = 0;
+    std::uint64_t events_at_entry = 0;
+  };
+
+  /// Refill hook for run(refill): called when `tag`'s lane ends a block
+  /// window, with the cycles consumed since the previous call. Returns
+  /// the lane's next block budget; 0 retires the lane.
+  using RefillFn = std::function<Cycle(std::size_t tag, Cycle advanced)>;
+
+  void clear() { lanes_.clear(); }
+  /// Enlist `machine` for up to `budget` fused cycles in the next run().
+  void add(Machine& machine, Cycle budget, std::size_t tag = 0);
+  [[nodiscard]] bool empty() const { return lanes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return lanes_.size(); }
+  [[nodiscard]] std::span<const Lane> lanes() const { return lanes_; }
+  [[nodiscard]] const char* pass_name() const {
+    return lane_pass_name(pass_);
+  }
+
+  /// Advance every lane one block window: until its budget is exhausted
+  /// or it ends a cycle that raised a cluster control event.
+  void run();
+
+  /// Session mode: advance every lane through consecutive block windows,
+  /// drawing fresh budgets from `refill`, until every lane has retired.
+  void run(const RefillFn& refill);
+
+ private:
+  /// One block window of Machine::tick_block's fused loop: up to `limit`
+  /// cycles, stopping at the end of a cycle whose cluster_events moved
+  /// off `events_at_entry` (sets `event`). Returns cycles advanced.
+  static Cycle run_window(Machine& machine, LanePassFn pass, Cycle limit,
+                          std::uint64_t events_at_entry, bool& event);
+
+  LanePassFn pass_;
+  std::vector<Lane> lanes_;
+  std::vector<std::size_t> active_;  ///< run() scratch: live lane indices.
+};
+
+}  // namespace repro::fx8

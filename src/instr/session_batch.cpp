@@ -1,0 +1,108 @@
+#include "instr/session_batch.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "base/expect.hpp"
+#include "fx8/rig_batch.hpp"
+
+namespace repro::instr {
+
+namespace {
+
+/// Per-rig driver state: which cursor is live and what remains.
+struct RigState {
+  SessionController* controller = nullptr;
+  enum class Stage : std::uint8_t { kWarmup, kSample, kDone };
+  Stage stage = Stage::kWarmup;
+  SessionController::AdvanceCursor warmup;
+  std::optional<SessionController::SampleCursor> sample;
+  std::uint32_t samples_left = 0;
+  std::vector<SampleRecord> out;
+};
+
+/// Run one rig's scalar decisions until it requests a fused-kernel block
+/// (returned budget > 0) or finishes everything (stage -> kDone).
+Cycle next_block_request(RigState& s) {
+  while (s.stage != RigState::Stage::kDone) {
+    const SessionController::Decision decision =
+        s.stage == RigState::Stage::kWarmup
+            ? s.controller->advance_step(s.warmup)
+            : s.controller->sample_step(*s.sample);
+    if (decision.kind == SessionController::Decision::Kind::kAdvanced) {
+      continue;
+    }
+    if (decision.kind == SessionController::Decision::Kind::kBlock) {
+      return decision.cycles;
+    }
+    // kDone: this cursor is spent — move to the next sample (cursor
+    // creation order is the serial order, which keeps the controller's
+    // RNG stream identical) or finish the rig.
+    if (s.stage == RigState::Stage::kSample) {
+      s.out.push_back(s.controller->finish_sample(*s.sample));
+      --s.samples_left;
+    }
+    if (s.samples_left == 0) {
+      s.sample.reset();
+      s.stage = RigState::Stage::kDone;
+      break;
+    }
+    s.stage = RigState::Stage::kSample;
+    s.sample.emplace();
+    s.controller->begin_sample(*s.sample);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::vector<SampleRecord>> run_session_batch(
+    std::span<const BatchRig> rigs) {
+  REPRO_EXPECT(rigs.size() <= kMaxBatchRigs,
+               "batch exceeds the rig cap (kMaxBatchRigs)");
+  std::vector<RigState> states(rigs.size());
+  for (std::size_t i = 0; i < rigs.size(); ++i) {
+    REPRO_EXPECT(rigs[i].controller != nullptr, "batch rig needs a controller");
+    RigState& s = states[i];
+    s.controller = rigs[i].controller;
+    s.warmup = s.controller->begin_advance(rigs[i].warmup_cycles);
+    s.samples_left = rigs[i].n_samples;
+    s.out.reserve(s.samples_left);
+  }
+
+  // Enlist every rig at its first fused-block request; a rig whose
+  // scalar decisions finish the whole session without one never joins
+  // (next_block_request already drove it to completion).
+  fx8::RigBatch batch;
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    const Cycle budget = next_block_request(states[i]);
+    if (budget > 0) {
+      batch.add(states[i].controller->system().machine(), budget, i);
+    }
+  }
+
+  // Lanes stay hot across consecutive block windows: the refill hook
+  // books the consumed cycles against the rig's live cursor, runs its
+  // scalar decisions (skips, OS lockstep steps, acquisition windows,
+  // sample turnover), and hands back the next block budget. Each rig
+  // sees exactly the serial decision sequence, so results and
+  // fast-forward stats match the unbatched path bit for bit.
+  batch.run([&states](std::size_t tag, Cycle advanced) -> Cycle {
+    RigState& s = states[tag];
+    if (s.stage == RigState::Stage::kWarmup) {
+      s.controller->note_block_cycles(s.warmup, advanced);
+    } else {
+      s.controller->note_block_cycles(*s.sample, advanced);
+    }
+    return next_block_request(s);
+  });
+
+  std::vector<std::vector<SampleRecord>> results;
+  results.reserve(states.size());
+  for (RigState& s : states) {
+    results.push_back(std::move(s.out));
+  }
+  return results;
+}
+
+}  // namespace repro::instr

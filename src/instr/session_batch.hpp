@@ -1,0 +1,45 @@
+// Batched session driver: several measurement rigs advanced in lockstep.
+//
+// The serial path runs one rig at a time: warmup, then sample intervals,
+// with every fused-kernel burst going through that rig's own
+// Machine::tick_block. This driver runs B rigs together. Each rig's
+// SessionController is decomposed into its resumable cursors
+// (session_controller.hpp): the driver lets every rig make scalar
+// decisions — lockstep steps, bulk skips, probe arming/latching — until
+// the rig either finishes or requests a fused-kernel block, collects all
+// outstanding block requests into one fx8::RigBatch, advances them in
+// lockstep through the wide lane kernel, and resumes the cursors with
+// the cycles each lane actually covered. Rigs that hit control events
+// mid-block peel off inside the batch and simply request their next
+// block a round early — the decision stream per rig is untouched.
+//
+// Because the cursors execute the same decision code the serial entry
+// points loop over, and RigBatch::run() is bit-identical per machine to
+// tick_block, every rig's samples, RNG stream, and fast-forward stats
+// are bit-identical to driving its controller serially.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/types.hpp"
+#include "instr/session_controller.hpp"
+
+namespace repro::instr {
+
+/// One rig's share of a batched run.
+struct BatchRig {
+  SessionController* controller = nullptr;
+  Cycle warmup_cycles = 0;
+  std::uint32_t n_samples = 0;
+};
+
+/// Drive every rig through its warmup and sample count, batching the
+/// fused-kernel bursts across rigs. Returns each rig's samples, in rig
+/// order — element r is exactly what `controller->advance(warmup);
+/// controller->run_session(n_samples)` would have produced for rig r.
+[[nodiscard]] std::vector<std::vector<SampleRecord>> run_session_batch(
+    std::span<const BatchRig> rigs);
+
+}  // namespace repro::instr

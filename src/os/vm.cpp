@@ -47,7 +47,8 @@ bool VirtualMemory::reclaim_one() {
   return false;
 }
 
-Cycle VirtualMemory::touch(JobId job, CeId ce, Addr addr) {
+Cycle VirtualMemory::touch(JobId job, CeId ce, Addr addr,
+                           std::uint32_t /*rig*/) {
   ++stats_.translations;
   const Addr page = addr / kPageBytes;
   // Memo hit: this exact (job, page) resolved resident for this CE

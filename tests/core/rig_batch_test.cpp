@@ -1,0 +1,433 @@
+// Rig-batched lockstep kernel differential tests.
+//
+// The batching stack must be bit-identical to the serial path at every
+// layer: the wide lane pass against its scalar twin (fuzzed), RigBatch
+// against Machine::tick_block (including lanes peeling off at control
+// events mid-batch), the batched session driver against serial
+// controllers (records and full state digests), and whole studies across
+// the nine presets for every batch width — all regardless of thread
+// count or the AVX2/scalar dispatch.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/study.hpp"
+#include "fx8/lane_kernel.hpp"
+#include "fx8/machine.hpp"
+#include "fx8/rig_batch.hpp"
+#include "instr/session_batch.hpp"
+#include "instr/session_controller.hpp"
+#include "os/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::core {
+namespace {
+
+// --- Study-level differential: batched == serial ----------------------
+
+StudyConfig batch_config(std::uint32_t rig_batch, std::uint32_t threads = 1) {
+  StudyConfig config;
+  config.samples_per_session = 8;
+  config.replicates_per_session = 8;
+  config.sampling.interval_cycles = 6000;
+  config.warmup_cycles = 2000;
+  config.threads = threads;
+  config.rig_batch = rig_batch;
+  return config;
+}
+
+void expect_identical(const StudyResult& serial, const StudyResult& batched) {
+  ASSERT_EQ(serial.sessions.size(), batched.sessions.size());
+  EXPECT_EQ(serial.totals.num, batched.totals.num);
+  EXPECT_EQ(serial.totals.proc, batched.totals.proc);
+  EXPECT_EQ(serial.totals.ceop, batched.totals.ceop);
+  EXPECT_EQ(serial.totals.membop, batched.totals.membop);
+  EXPECT_EQ(serial.totals.records, batched.totals.records);
+  EXPECT_EQ(serial.overall.cw, batched.overall.cw);
+  EXPECT_EQ(serial.overall.pc, batched.overall.pc);
+  // Fast-forward accounting is part of the contract: the batched driver
+  // makes the same skip/naive/block decisions, just through cursors.
+  EXPECT_EQ(serial.ff.skipped_cycles, batched.ff.skipped_cycles);
+  EXPECT_EQ(serial.ff.naive_cycles, batched.ff.naive_cycles);
+  EXPECT_EQ(serial.ff.block_cycles, batched.ff.block_cycles);
+  EXPECT_EQ(serial.ff.jumps, batched.ff.jumps);
+  for (std::size_t s = 0; s < serial.sessions.size(); ++s) {
+    const SessionResult& a = serial.sessions[s];
+    const SessionResult& b = batched.sessions[s];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.totals.num, b.totals.num);
+    EXPECT_EQ(a.overall.cw, b.overall.cw);
+    EXPECT_EQ(a.overall.pc, b.overall.pc);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    for (std::size_t i = 0; i < a.samples.size(); ++i) {
+      EXPECT_EQ(a.samples[i].measures.cw, b.samples[i].measures.cw);
+      EXPECT_EQ(a.samples[i].miss_rate, b.samples[i].miss_rate);
+      EXPECT_EQ(a.samples[i].bus_busy, b.samples[i].bus_busy);
+    }
+  }
+}
+
+// The full nine-preset study, eight replicates per session, batched
+// eight wide: every sample, total, and fast-forward count must match the
+// strictly serial (rig_batch = 1) run bit-for-bit.
+TEST(RigBatchStudy, NinePresetsBatchedBitIdenticalToSerial) {
+  const auto mixes = workload::session_presets();
+  const StudyResult serial = run_study(mixes, batch_config(1));
+  const StudyResult batched = run_study(mixes, batch_config(8));
+  expect_identical(serial, batched);
+}
+
+// Batch-width sweep: every width (including widths that do not divide
+// the replicate count, leaving a ragged tail group) reproduces serial.
+TEST(RigBatchStudy, WidthSweepBitIdentical) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> three(mixes.begin(), mixes.begin() + 3);
+  const StudyResult serial = run_study(three, batch_config(1));
+  for (const std::uint32_t width : {2u, 3u, 4u, 8u, 16u}) {
+    const StudyResult batched = run_study(three, batch_config(width));
+    expect_identical(serial, batched);
+  }
+}
+
+// Auto batching (rig_batch = 0) is just a default width, not a different
+// code path: identical to requesting 8 explicitly.
+TEST(RigBatchStudy, AutoWidthMatchesExplicitEight) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> two(mixes.begin(), mixes.begin() + 2);
+  expect_identical(run_study(two, batch_config(8)),
+                   run_study(two, batch_config(0)));
+}
+
+// Batching composes with the thread pool: groups are the task unit, and
+// results stay bit-identical however many workers run them. (This is the
+// configuration the TSan job drives.)
+TEST(RigBatchStudy, ThreadedBatchedMatchesSerialBatched) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> three(mixes.begin(), mixes.begin() + 3);
+  const StudyResult serial = run_study(three, batch_config(1, 1));
+  const StudyResult pooled = run_study(three, batch_config(4, 4));
+  expect_identical(serial, pooled);
+}
+
+// Narrow and partially-detached clusters take the slow lane path far
+// more often (detached lanes never fast-path); the batch must still
+// reproduce serial exactly.
+TEST(RigBatchStudy, NarrowDetachedClusterBatchesBitIdentical) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> two(mixes.begin(), mixes.begin() + 2);
+  StudyConfig serial_config = batch_config(1);
+  serial_config.system.machine.cluster.n_ces = 4;
+  serial_config.system.machine.cluster.detached_ces = 1;
+  serial_config.replicates_per_session = 4;
+  StudyConfig batched_config = serial_config;
+  batched_config.rig_batch = 4;
+  expect_identical(run_study(two, serial_config),
+                   run_study(two, batched_config));
+}
+
+// --- Machine-level differential: RigBatch == tick_block ---------------
+
+isa::KernelSpec rb_kernel() {
+  isa::KernelSpec k;
+  k.steps = 6;
+  k.compute_cycles = 4;
+  k.compute_jitter = 2;
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.working_set_bytes = 48 * 1024;
+  return k;
+}
+
+isa::Program rb_program(std::uint64_t trip) {
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = trip;
+  loop.body = rb_kernel();
+  return isa::ProgramBuilder("rig-batch")
+      .data_base(0x200000)
+      .serial(rb_kernel(), 2)
+      .concurrent_loop(loop)
+      .build();
+}
+
+void expect_same_machine(fx8::Machine& a, fx8::Machine& b) {
+  EXPECT_EQ(a.now(), b.now());
+  EXPECT_EQ(a.active_mask(), b.active_mask());
+  EXPECT_EQ(a.cluster().control_events(), b.cluster().control_events());
+  for (CeId ce = 0; ce < a.cluster().width(); ++ce) {
+    EXPECT_EQ(a.ce_bus_op(ce), b.ce_bus_op(ce)) << "ce " << ce;
+    const fx8::CeStats& sa = a.cluster().ce(ce).stats();
+    const fx8::CeStats& sb = b.cluster().ce(ce).stats();
+    EXPECT_EQ(sa.busy_cycles, sb.busy_cycles) << "ce " << ce;
+    EXPECT_EQ(sa.compute_cycles, sb.compute_cycles) << "ce " << ce;
+    EXPECT_EQ(sa.miss_wait_cycles, sb.miss_wait_cycles) << "ce " << ce;
+    EXPECT_EQ(sa.fault_wait_cycles, sb.fault_wait_cycles) << "ce " << ce;
+    EXPECT_EQ(sa.mem_accesses, sb.mem_accesses) << "ce " << ce;
+    EXPECT_EQ(sa.instances_completed, sb.instances_completed);
+  }
+  EXPECT_EQ(a.cluster().stats().jobs_completed,
+            b.cluster().stats().jobs_completed);
+  EXPECT_EQ(a.cluster().stats().iterations_completed,
+            b.cluster().stats().iterations_completed);
+  EXPECT_EQ(a.shared_cache().stats().accesses,
+            b.shared_cache().stats().accesses);
+  EXPECT_EQ(a.shared_cache().stats().misses, b.shared_cache().stats().misses);
+}
+
+// Four rigs with different job lengths run in one batch: lanes hit their
+// control events at different cycles, peel off mid-batch, and every
+// final state must equal the rig's serial tick_block twin.
+TEST(RigBatch, PeelOffAtControlEventsMatchesTickBlock) {
+  constexpr std::size_t kRigs = 4;
+  const std::array<std::uint64_t, kRigs> trips = {8, 21, 13, 34};
+  std::vector<isa::Program> programs;
+  for (const std::uint64_t trip : trips) {
+    programs.push_back(rb_program(trip));
+  }
+
+  std::vector<fx8::NoFaultMmu> mmus(2 * kRigs);
+  std::vector<std::unique_ptr<fx8::Machine>> batched;
+  std::vector<std::unique_ptr<fx8::Machine>> serial;
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    batched.push_back(
+        std::make_unique<fx8::Machine>(fx8::MachineConfig::fx8(), mmus[r]));
+    serial.push_back(std::make_unique<fx8::Machine>(fx8::MachineConfig::fx8(),
+                                                    mmus[kRigs + r]));
+    batched[r]->cluster().load(&programs[r], 1);
+    serial[r]->cluster().load(&programs[r], 1);
+  }
+
+  // Batched: rounds of equal budgets; a lane that peels off early simply
+  // re-enlists next round, exactly like the session driver re-enlists a
+  // rig after its control decisions.
+  constexpr Cycle kBudget = 97;  // Deliberately misaligned with events.
+  fx8::RigBatch batch;
+  for (;;) {
+    batch.clear();
+    for (std::size_t r = 0; r < kRigs; ++r) {
+      if (batched[r]->cluster().busy()) {
+        batch.add(*batched[r], kBudget, r);
+      }
+    }
+    if (batch.empty()) {
+      break;
+    }
+    batch.run();
+    for (const fx8::RigBatch::Lane& lane : batch.lanes()) {
+      ASSERT_GE(lane.advanced, 1u);
+      ASSERT_LE(lane.advanced, kBudget);
+    }
+  }
+
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    while (serial[r]->cluster().busy()) {
+      (void)serial[r]->tick_block(kBudget);
+    }
+    expect_same_machine(*serial[r], *batched[r]);
+  }
+}
+
+// Lanes with different budgets in the same run(): each advances exactly
+// as its own tick_block call would, unaffected by its neighbours.
+TEST(RigBatch, HeterogeneousBudgetsAdvanceIndependently) {
+  constexpr std::size_t kRigs = 3;
+  const std::array<Cycle, kRigs> budgets = {31, 131, 997};
+  const isa::Program prog = rb_program(30);
+  std::vector<fx8::NoFaultMmu> mmus(2 * kRigs);
+  std::vector<std::unique_ptr<fx8::Machine>> batched;
+  std::vector<std::unique_ptr<fx8::Machine>> serial;
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    batched.push_back(
+        std::make_unique<fx8::Machine>(fx8::MachineConfig::fx8(), mmus[r]));
+    serial.push_back(std::make_unique<fx8::Machine>(fx8::MachineConfig::fx8(),
+                                                    mmus[kRigs + r]));
+    batched[r]->cluster().load(&prog, 1);
+    serial[r]->cluster().load(&prog, 1);
+  }
+
+  fx8::RigBatch batch;
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    batch.add(*batched[r], budgets[r], r);
+  }
+  batch.run();
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    const Cycle serial_advanced = serial[r]->tick_block(budgets[r]);
+    EXPECT_EQ(batch.lanes()[r].advanced, serial_advanced) << "rig " << r;
+    expect_same_machine(*serial[r], *batched[r]);
+  }
+}
+
+// --- Session-driver differential: digests included --------------------
+
+// The batched session driver must leave every rig's full system state —
+// not just its sample records — bit-identical to serial driving: the
+// capsule digest over counters, VM, machine, and scheduler must match.
+TEST(RigBatchSession, DriverMatchesSerialControllersAndDigests) {
+  constexpr std::size_t kRigs = 4;
+  const auto mixes = workload::session_presets();
+
+  struct Rig {
+    os::System system;
+    workload::WorkloadGenerator generator;
+    instr::SessionController controller;
+    Rig(const workload::WorkloadMix& mix, std::uint64_t seed)
+        : system(os::SystemConfig{}),
+          generator(mix, seed),
+          controller(system, generator, instr::SamplingConfig{},
+                     seed ^ 0x5A5AULL) {}
+  };
+
+  std::vector<std::unique_ptr<Rig>> a;  // Serial.
+  std::vector<std::unique_ptr<Rig>> b;  // Batched.
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    // Different presets per lane: heterogeneous workloads in one batch.
+    const workload::WorkloadMix& mix = mixes[2 * r];
+    const std::uint64_t seed = 0xB16B00B5ULL + r;
+    a.push_back(std::make_unique<Rig>(mix, seed));
+    b.push_back(std::make_unique<Rig>(mix, seed));
+  }
+
+  constexpr Cycle kWarmup = 3000;
+  constexpr std::uint32_t kSamples = 3;
+  std::vector<std::vector<instr::SampleRecord>> serial_records;
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    a[r]->controller.advance(kWarmup);
+    serial_records.push_back(a[r]->controller.run_session(kSamples));
+  }
+
+  std::vector<instr::BatchRig> members;
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    members.push_back(instr::BatchRig{&b[r]->controller, kWarmup, kSamples});
+  }
+  const auto batched_records = instr::run_session_batch(members);
+
+  ASSERT_EQ(batched_records.size(), kRigs);
+  for (std::size_t r = 0; r < kRigs; ++r) {
+    ASSERT_EQ(serial_records[r].size(), batched_records[r].size());
+    for (std::size_t s = 0; s < serial_records[r].size(); ++s) {
+      EXPECT_EQ(serial_records[r][s].hw.num, batched_records[r][s].hw.num);
+      EXPECT_EQ(serial_records[r][s].hw.ceop, batched_records[r][s].hw.ceop);
+      EXPECT_EQ(serial_records[r][s].hw.membop,
+                batched_records[r][s].hw.membop);
+      EXPECT_EQ(serial_records[r][s].sw.jobs_completed,
+                batched_records[r][s].sw.jobs_completed);
+    }
+    EXPECT_EQ(a[r]->system.now(), b[r]->system.now()) << "rig " << r;
+    EXPECT_EQ(a[r]->system.state_digest(), b[r]->system.state_digest())
+        << "rig " << r;
+  }
+}
+
+// --- Lane-pass differential: scalar vs. AVX2, fuzzed -------------------
+
+#if defined(FX8_HAVE_AVX2)
+
+/// Deterministic xorshift64* stream for the fuzz states.
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
+// Every lane classification — fast compute/miss/fault, parked, slow —
+// and every countdown edge (0, 1, 2, huge) must produce byte-identical
+// CeHot lanes and the same slow mask from both passes.
+TEST(RigBatch, ScalarAndAvx2LanePassesAgree) {
+  if (!__builtin_cpu_supports("avx2")) {
+    GTEST_SKIP() << "host has no AVX2";
+  }
+  std::uint64_t seed = 0xC0FFEE5EEDULL;
+  for (int iter = 0; iter < 5000; ++iter) {
+    fx8::CeHot base{};
+    for (CeId c = 0; c < kMaxCes; ++c) {
+      base.phase[c] = static_cast<std::uint8_t>(next_rand(seed) % 8);
+      base.bus_op[c] = static_cast<mem::CeBusOp>(next_rand(seed) % 4);
+      // Bias countdowns toward the decision edges.
+      const std::array<std::uint32_t, 6> edges = {
+          0u, 1u, 2u, 3u, 0xFFFFu, 0xFFFFFFFFu};
+      base.compute_left[c] = edges[next_rand(seed) % edges.size()];
+      const std::array<Cycle, 6> fedges = {0u, 1u, 2u, 3u, 50u,
+                                           0xFFFFFFFFFFULL};
+      base.fault_left[c] = fedges[next_rand(seed) % fedges.size()];
+      base.busy_cycles[c] = next_rand(seed) % 1000000;
+      base.compute_cycles[c] = next_rand(seed) % 1000000;
+      base.miss_wait_cycles[c] = next_rand(seed) % 1000000;
+      base.fault_wait_cycles[c] = next_rand(seed) % 1000000;
+    }
+    const auto fill_ready =
+        static_cast<std::uint32_t>(next_rand(seed) & 0xFFu);
+
+    fx8::CeHot scalar = base;
+    fx8::CeHot vector = base;
+    const std::uint32_t slow_scalar =
+        fx8::lane_pass_scalar(scalar, fill_ready);
+    const std::uint32_t slow_vector = fx8::lane_pass_avx2(vector, fill_ready);
+    ASSERT_EQ(slow_scalar, slow_vector) << "iter " << iter;
+    ASSERT_EQ(scalar.phase, vector.phase) << "iter " << iter;
+    ASSERT_EQ(scalar.bus_op, vector.bus_op) << "iter " << iter;
+    ASSERT_EQ(scalar.compute_left, vector.compute_left) << "iter " << iter;
+    ASSERT_EQ(scalar.fault_left, vector.fault_left) << "iter " << iter;
+    ASSERT_EQ(scalar.busy_cycles, vector.busy_cycles) << "iter " << iter;
+    ASSERT_EQ(scalar.compute_cycles, vector.compute_cycles)
+        << "iter " << iter;
+    ASSERT_EQ(scalar.miss_wait_cycles, vector.miss_wait_cycles)
+        << "iter " << iter;
+    ASSERT_EQ(scalar.fault_wait_cycles, vector.fault_wait_cycles)
+        << "iter " << iter;
+  }
+}
+
+#endif  // FX8_HAVE_AVX2
+
+// The dispatcher honours FX8_FORCE_SCALAR regardless of host support.
+TEST(RigBatch, ForceScalarEnvPinsScalarPass) {
+  ASSERT_EQ(setenv("FX8_FORCE_SCALAR", "1", 1), 0);
+  EXPECT_EQ(fx8::select_lane_pass(), &fx8::lane_pass_scalar);
+  EXPECT_STREQ(fx8::lane_pass_name(fx8::select_lane_pass()), "scalar");
+  ASSERT_EQ(setenv("FX8_FORCE_SCALAR", "0", 1), 0);
+#if defined(FX8_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) {
+    EXPECT_EQ(fx8::select_lane_pass(), &fx8::lane_pass_avx2);
+    EXPECT_STREQ(fx8::lane_pass_name(fx8::select_lane_pass()), "avx2");
+  }
+#endif
+  ASSERT_EQ(unsetenv("FX8_FORCE_SCALAR"), 0);
+}
+
+// A batch pinned to the scalar pass reproduces the default dispatch
+// exactly — the machine-visible contract does not depend on the SIMD
+// path taken.
+TEST(RigBatch, ScalarBatchMatchesDispatchedBatch) {
+  const isa::Program prog = rb_program(24);
+  fx8::NoFaultMmu mmu_a;
+  fx8::NoFaultMmu mmu_b;
+  fx8::Machine dispatched(fx8::MachineConfig::fx8(), mmu_a);
+  fx8::Machine scalar(fx8::MachineConfig::fx8(), mmu_b);
+  dispatched.cluster().load(&prog, 1);
+  scalar.cluster().load(&prog, 1);
+
+  fx8::RigBatch default_batch;
+  fx8::RigBatch scalar_batch{&fx8::lane_pass_scalar};
+  while (dispatched.cluster().busy() || scalar.cluster().busy()) {
+    default_batch.clear();
+    scalar_batch.clear();
+    if (dispatched.cluster().busy()) {
+      default_batch.add(dispatched, 61);
+      default_batch.run();
+    }
+    if (scalar.cluster().busy()) {
+      scalar_batch.add(scalar, 61);
+      scalar_batch.run();
+    }
+  }
+  expect_same_machine(dispatched, scalar);
+}
+
+}  // namespace
+}  // namespace repro::core

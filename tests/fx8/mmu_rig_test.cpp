@@ -1,0 +1,136 @@
+// Rig-indexed translation memos.
+//
+// Mmu::translate keeps a single-entry memo per (rig, CE). CE ids repeat
+// across the machines of an fx8::RigBatch, so before the memos were
+// rig-indexed, two rigs sharing one Mmu could cross-hit: rig 1's first
+// touch of a page rig 0 had already memoized would be silently skipped,
+// and rig 1 would never fault, map, or account the page. These tests pin
+// the isolation down at the Mmu level and through two machines sharing
+// one Mmu via Machine::set_mmu_rig.
+#include "fx8/mmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "fx8/machine.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+/// Records every touch() it serves, keyed by (rig, job, ce, addr).
+class SpyMmu final : public Mmu {
+ public:
+  struct Touch {
+    std::uint32_t rig;
+    JobId job;
+    CeId ce;
+    Addr addr;
+  };
+
+  Cycle touch(JobId job, CeId ce, Addr addr, std::uint32_t rig) override {
+    touches.push_back(Touch{rig, job, ce, addr});
+    return 0;
+  }
+
+  using Mmu::invalidate_translations;
+
+  std::vector<Touch> touches;
+};
+
+// The regression: rig 1's first translate of a page rig 0 already
+// memoized must still reach touch() — the memo never crosses rigs.
+TEST(MmuRig, FirstTouchPerRigAlwaysReachesMmu) {
+  SpyMmu mmu;
+  constexpr JobId kJob = 7;
+  constexpr CeId kCe = 3;
+  constexpr Addr kAddr = 0x200040;
+
+  EXPECT_EQ(mmu.translate(kJob, kCe, kAddr, /*rig=*/0), 0u);
+  ASSERT_EQ(mmu.touches.size(), 1u);
+
+  // Same (job, ce, page) from rig 1: a fresh first touch, not a memo hit.
+  EXPECT_EQ(mmu.translate(kJob, kCe, kAddr, /*rig=*/1), 0u);
+  ASSERT_EQ(mmu.touches.size(), 2u);
+  EXPECT_EQ(mmu.touches[0].rig, 0u);
+  EXPECT_EQ(mmu.touches[1].rig, 1u);
+
+  // Repeats within each rig memo-hit as before.
+  EXPECT_EQ(mmu.translate(kJob, kCe, kAddr + 8, /*rig=*/0), 0u);
+  EXPECT_EQ(mmu.translate(kJob, kCe, kAddr + 8, /*rig=*/1), 0u);
+  EXPECT_EQ(mmu.touches.size(), 2u);
+}
+
+// Every rig slot is independent, and invalidation drops them all.
+TEST(MmuRig, InvalidationClearsEveryRigSlot) {
+  SpyMmu mmu;
+  for (std::uint32_t rig = 0; rig < kMaxBatchRigs; ++rig) {
+    (void)mmu.translate(1, 0, 0x1000, rig);
+  }
+  EXPECT_EQ(mmu.touches.size(), kMaxBatchRigs);
+  for (std::uint32_t rig = 0; rig < kMaxBatchRigs; ++rig) {
+    (void)mmu.translate(1, 0, 0x1000, rig);
+  }
+  EXPECT_EQ(mmu.touches.size(), kMaxBatchRigs);  // All memo hits.
+
+  mmu.invalidate_translations();
+  for (std::uint32_t rig = 0; rig < kMaxBatchRigs; ++rig) {
+    (void)mmu.translate(1, 0, 0x1000, rig);
+  }
+  EXPECT_EQ(mmu.touches.size(), 2 * kMaxBatchRigs);
+}
+
+// Two machines sharing one Mmu with distinct set_mmu_rig lanes: each
+// machine's translations carry its own rig index, so per-rig page maps
+// in the implementation can never cross-serve. With identical programs,
+// both rigs must generate the same first-touch set, each under its own
+// rig id.
+TEST(MmuRig, TwoMachinesSharingOneMmuStayIsolated) {
+  isa::KernelSpec k;
+  k.steps = 4;
+  k.compute_cycles = 3;
+  k.loads_per_step = 2;
+  k.stores_per_step = 1;
+  k.working_set_bytes = 16 * 1024;
+  const isa::Program prog = isa::ProgramBuilder("mmu-rig")
+                                .data_base(0x400000)
+                                .serial(k, 2)
+                                .build();
+
+  SpyMmu mmu;
+  Machine rig0(MachineConfig::fx8(), mmu);
+  Machine rig1(MachineConfig::fx8(), mmu);
+  rig0.set_mmu_rig(0);
+  rig1.set_mmu_rig(1);
+  rig0.cluster().load(&prog, 1);
+  rig1.cluster().load(&prog, 1);
+
+  while (rig0.cluster().busy() || rig1.cluster().busy()) {
+    if (rig0.cluster().busy()) {
+      rig0.tick();
+    }
+    if (rig1.cluster().busy()) {
+      rig1.tick();
+    }
+  }
+
+  std::vector<SpyMmu::Touch> from0;
+  std::vector<SpyMmu::Touch> from1;
+  for (const SpyMmu::Touch& t : mmu.touches) {
+    (t.rig == 0 ? from0 : from1).push_back(t);
+    EXPECT_LE(t.rig, 1u);
+  }
+  // Identical deterministic programs: the same touch stream per rig —
+  // neither rig's stream was swallowed by the other's memo.
+  ASSERT_FALSE(from0.empty());
+  ASSERT_EQ(from0.size(), from1.size());
+  for (std::size_t i = 0; i < from0.size(); ++i) {
+    EXPECT_EQ(from0[i].job, from1[i].job);
+    EXPECT_EQ(from0[i].ce, from1[i].ce);
+    EXPECT_EQ(from0[i].addr, from1[i].addr);
+  }
+}
+
+}  // namespace
+}  // namespace repro::fx8

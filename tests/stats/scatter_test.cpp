@@ -53,8 +53,8 @@ TEST(Scatter, TitleAndLabelsAppear) {
   const std::vector<double> y = {0.2};
   ScatterOptions options;
   options.title = "Missrate vs Cw";
-  options.x_label = "Cw";
-  options.y_label = "missrate";
+  options.x_label = std::string{"Cw"};
+  options.y_label = std::string{"missrate"};
   const std::string plot = render_scatter(x, y, options);
   EXPECT_NE(plot.find("Missrate vs Cw"), std::string::npos);
   EXPECT_NE(plot.find("Cw"), std::string::npos);
