@@ -14,17 +14,27 @@
 //   fx8bench --only fig12,table2    run a comma-separated selection
 //   fx8bench --quick                CI-scale populations (~seconds)
 //   fx8bench --json report.json     write the structured report
+//   fx8bench --cache-dir <dir>      persistent result cache: artifacts
+//                                   whose inputs are unchanged load from
+//                                   disk instead of re-running (also via
+//                                   the FX8BENCH_CACHE_DIR environment
+//                                   variable; see docs/benchmarks.md)
+//   fx8bench --no-cache             ignore any configured cache
+//   fx8bench --cache-stats          print hit/miss/bytes counters
 //
 // Exit code: 0 all artifacts ok; 1 a headline metric fell outside its
 // paper-tolerance band (or came out NaN); 2 a render failed outright.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "artifacts/inputs.hpp"
 #include "artifacts/registry.hpp"
+#include "artifacts/result_store.hpp"
 #include "artifacts/runner.hpp"
 #include "core/json.hpp"
 
@@ -35,7 +45,8 @@ using namespace repro;
 void print_usage() {
   std::printf(
       "usage: fx8bench [--list] [--all | --only id1,id2,...]\n"
-      "                [--quick] [--json <path>]\n");
+      "                [--quick] [--json <path>]\n"
+      "                [--cache-dir <dir>] [--no-cache] [--cache-stats]\n");
 }
 
 std::vector<std::string> split_ids(const std::string& arg) {
@@ -71,6 +82,9 @@ int main(int argc, char** argv) {
   bool list = false;
   bool all = false;
   bool quick = false;
+  bool no_cache = false;
+  bool cache_stats = false;
+  std::string cache_dir;
   std::string json_path;
   std::vector<std::string> only_ids;
 
@@ -82,6 +96,16 @@ int main(int argc, char** argv) {
       all = true;
     } else if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--cache-stats") {
+      cache_stats = true;
+    } else if (arg == "--cache-dir") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "fx8bench: --cache-dir needs a path\n");
+        return 2;
+      }
+      cache_dir = argv[++i];
     } else if (arg == "--only") {
       if (i + 1 >= argc) {
         std::fprintf(stderr, "fx8bench: --only needs an id list\n");
@@ -125,16 +149,45 @@ int main(int argc, char** argv) {
     for (const std::string& id : only_ids) {
       const artifacts::ArtifactDef* def = artifacts::find_artifact(id);
       if (def == nullptr) {
-        std::fprintf(stderr,
-                     "fx8bench: unknown artifact '%s' (see --list)\n",
-                     id.c_str());
+        const artifacts::ArtifactDef* nearest =
+            artifacts::suggest_artifact(id);
+        if (nearest != nullptr) {
+          std::fprintf(stderr,
+                       "fx8bench: unknown artifact '%s' — did you mean "
+                       "'%s'? (see --list)\n",
+                       id.c_str(), nearest->id.c_str());
+        } else {
+          std::fprintf(stderr,
+                       "fx8bench: unknown artifact '%s' (see --list)\n",
+                       id.c_str());
+        }
         return 2;
       }
       selection.push_back(def);
     }
   }
 
-  artifacts::Inputs inputs(quick);
+  // Cache resolution: --no-cache beats everything; otherwise --cache-dir,
+  // falling back to the FX8BENCH_CACHE_DIR environment variable. With
+  // neither, results are only memoized in-process (the pre-cache
+  // behaviour).
+  if (cache_dir.empty()) {
+    if (const char* env = std::getenv("FX8BENCH_CACHE_DIR")) {
+      cache_dir = env;
+    }
+  }
+  if (no_cache) {
+    cache_dir.clear();
+  }
+
+  std::optional<artifacts::Inputs> inputs_storage;
+  try {
+    inputs_storage.emplace(quick, cache_dir);
+  } catch (const capsule::CapsuleError& error) {
+    std::fprintf(stderr, "fx8bench: %s\n", error.what());
+    return 2;
+  }
+  artifacts::Inputs& inputs = *inputs_storage;
   artifacts::RunReport report;
   {
     // Stream per-artifact output as it renders rather than waiting for
@@ -192,10 +245,27 @@ int main(int argc, char** argv) {
               report.run_counts.study_runs,
               report.run_counts.transition_runs,
               report.run_counts.private_runs);
+  if (const artifacts::ResultStore* store = inputs.store()) {
+    const artifacts::CacheStats& stats = store->stats();
+    std::printf("cache: %llu hit(s), %llu miss(es) (%llu bloom-skipped, "
+                "%llu corrupt), %llu put(s), %llu B read, %llu B written "
+                "[%s]\n",
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses),
+                static_cast<unsigned long long>(stats.bloom_skips),
+                static_cast<unsigned long long>(stats.corrupt_misses),
+                static_cast<unsigned long long>(stats.puts),
+                static_cast<unsigned long long>(stats.bytes_read),
+                static_cast<unsigned long long>(stats.bytes_written),
+                store->dir().c_str());
+  } else if (cache_stats) {
+    std::printf("cache: disabled (pass --cache-dir or set "
+                "FX8BENCH_CACHE_DIR)\n");
+  }
 
   if (!json_path.empty()) {
     const core::Json doc = artifacts::build_report_json(
-        report, inputs, inputs.study_if_run());
+        report, inputs, inputs.study_for_report());
     std::ofstream out(json_path);
     if (!out) {
       std::fprintf(stderr, "fx8bench: cannot write '%s'\n",

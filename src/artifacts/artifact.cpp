@@ -36,6 +36,34 @@ const char* to_string(ArtifactStatus status) {
   return "?";
 }
 
+void ArtifactResult::serialize(capsule::Io& io) {
+  io.str(id);
+  io.enum32(status);
+  if (io.loading() && static_cast<std::uint32_t>(status) >
+                          static_cast<std::uint32_t>(ArtifactStatus::kError)) {
+    throw capsule::CapsuleError("artifact capsule: bad status encoding");
+  }
+  io.str(error);
+  io.str(text);
+  auto n_metrics = io.extent(metrics.size());
+  metrics.resize(n_metrics);
+  for (Metric& metric : metrics) {
+    io.str(metric.name);
+    io.f64(metric.value);
+  }
+  auto n_checks = io.extent(checks.size());
+  checks.resize(n_checks);
+  for (Check& check : checks) {
+    io.str(check.name);
+    io.f64(check.measured);
+    io.f64(check.paper);
+    io.f64(check.lo);
+    io.f64(check.hi);
+    io.boolean(check.pass);
+    io.boolean(check.enforced);
+  }
+}
+
 bool Context::quick() const { return inputs_.quick(); }
 
 void Context::printf(const char* format, ...) {

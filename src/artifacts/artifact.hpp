@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include "base/capsule.hpp"
+
 namespace repro::artifacts {
 
 class Inputs;
@@ -57,6 +59,11 @@ struct ArtifactResult {
   std::vector<Metric> metrics;
   std::vector<Check> checks;
   double seconds = 0.0;  ///< Render wall time (filled by the runner).
+
+  /// Capsule walk over everything but `seconds` (wall time is a property
+  /// of the run, not of the artifact): a cache hit restores the text,
+  /// metrics, and checks the cold render produced, byte for byte.
+  void serialize(capsule::Io& io);
 };
 
 /// Handed to a render function: the shared input cache plus the result

@@ -5,17 +5,50 @@
 
 namespace repro::artifacts {
 
-Inputs::Inputs(bool quick)
+namespace {
+
+/// Fetch-or-compute through the store: a hit deserializes the cold run's
+/// result, a miss (of any kind — absent, truncated, tampered, stale
+/// salt) runs the experiment and writes back. A blob that unseals but
+/// fails the result walk is also just a miss.
+template <typename T, typename Run>
+T cached_result(ResultStore* store, std::uint64_t key, const Run& run) {
+  if (store != nullptr) {
+    if (auto payload = store->get(key)) {
+      try {
+        return decode_result<T>(std::move(*payload));
+      } catch (const capsule::CapsuleError&) {
+        // Walk-shape mismatch after a clean unseal: recompute below.
+      }
+    }
+  }
+  T result = run();
+  if (store != nullptr) {
+    store->put(key, encode_result(result));
+  }
+  return result;
+}
+
+}  // namespace
+
+Inputs::Inputs(bool quick, const std::string& cache_dir)
     : quick_(quick),
       study_config_(quick ? core::presets::quick_study()
                           : core::presets::bench_study()),
       transition_config_(quick ? core::presets::quick_transition()
-                               : core::presets::bench_transition()) {}
+                               : core::presets::bench_transition()) {
+  if (!cache_dir.empty()) {
+    store_ = std::make_unique<ResultStore>(cache_dir);
+  }
+}
 
 const core::StudyResult& Inputs::study() {
   if (!study_) {
-    study_ = core::run_default_study(study_config_);
-    ++counts_.study_runs;
+    study_ = cached_result<core::StudyResult>(
+        store_.get(), study_cache_key(study_config_), [this] {
+          ++counts_.study_runs;
+          return core::run_default_study(study_config_);
+        });
   }
   return *study_;
 }
@@ -53,12 +86,31 @@ const core::MedianModel& Inputs::model(core::SystemMeasure measure,
 
 const core::TransitionResult& Inputs::transition() {
   if (!transition_) {
-    transition_ = core::run_transition_study(
-        workload::high_concurrency_mix(), transition_config_,
-        instr::TriggerMode::kTransitionFromFull);
-    ++counts_.transition_runs;
+    transition_ = cached_result<core::TransitionResult>(
+        store_.get(), transition_cache_key(transition_config_), [this] {
+          ++counts_.transition_runs;
+          return core::run_transition_study(
+              workload::high_concurrency_mix(), transition_config_,
+              instr::TriggerMode::kTransitionFromFull);
+        });
   }
   return *transition_;
+}
+
+const core::StudyResult* Inputs::study_for_report() {
+  if (study_) {
+    return &*study_;
+  }
+  if (store_ != nullptr) {
+    if (auto payload = store_->get(study_cache_key(study_config_))) {
+      try {
+        study_ = decode_result<core::StudyResult>(std::move(*payload));
+        return &*study_;
+      } catch (const capsule::CapsuleError&) {
+      }
+    }
+  }
+  return nullptr;
 }
 
 }  // namespace repro::artifacts

@@ -14,9 +14,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "artifacts/result_store.hpp"
 #include "core/presets.hpp"
 #include "core/regression_models.hpp"
 #include "core/sample.hpp"
@@ -36,7 +39,13 @@ class Inputs {
   /// `quick` swaps the paper-scale populations for the CI-scale presets
   /// (core::presets::quick_*) and tells artifact-private simulations to
   /// shrink via scaled().
-  explicit Inputs(bool quick = false);
+  ///
+  /// A non-empty `cache_dir` opens (creating if needed) the persistent
+  /// result store there: study() and transition() consult it before
+  /// running and write back after, and the runner caches whole rendered
+  /// artifacts through store(). Empty = in-process memoization only,
+  /// exactly the pre-cache behaviour.
+  explicit Inputs(bool quick = false, const std::string& cache_dir = {});
 
   [[nodiscard]] bool quick() const { return quick_; }
   [[nodiscard]] const core::StudyConfig& study_config() const {
@@ -71,6 +80,20 @@ class Inputs {
     return study_ ? &*study_ : nullptr;
   }
 
+  /// study_if_run(), except a warm store may satisfy it without a run:
+  /// on a fully cached invocation the report's `study_engine` section
+  /// still matches the cold run's byte for byte. Never simulates.
+  [[nodiscard]] const core::StudyResult* study_for_report();
+
+  /// The persistent store, or nullptr when caching is disabled.
+  [[nodiscard]] ResultStore* store() { return store_.get(); }
+  [[nodiscard]] const ResultStore* store() const { return store_.get(); }
+
+  /// Key of one rendered artifact under this Inputs' configs.
+  [[nodiscard]] std::uint64_t artifact_key(const std::string& id) const {
+    return artifact_cache_key(id, study_config_, transition_config_, quick_);
+  }
+
   /// Scale an artifact-private population: `full` normally, `quick`
   /// under --quick. Call note_private_run() next to the simulation so
   /// the run accounting stays honest.
@@ -87,6 +110,7 @@ class Inputs {
   bool quick_;
   core::StudyConfig study_config_;
   core::TransitionConfig transition_config_;
+  std::unique_ptr<ResultStore> store_;
   std::optional<core::StudyResult> study_;
   std::optional<std::vector<core::AnalyzedSample>> samples_;
   std::optional<std::vector<core::AnalyzedSample>> samples_with_pc_;

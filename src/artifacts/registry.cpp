@@ -1,5 +1,7 @@
 #include "artifacts/registry.hpp"
 
+#include "base/text.hpp"
+
 namespace repro::artifacts {
 
 const std::vector<ArtifactDef>& catalog() {
@@ -25,6 +27,19 @@ const ArtifactDef* find_artifact(const std::string& id) {
     }
   }
   return nullptr;
+}
+
+const ArtifactDef* suggest_artifact(const std::string& id) {
+  const ArtifactDef* best = nullptr;
+  std::size_t best_distance = 0;
+  for (const ArtifactDef& def : catalog()) {
+    const std::size_t distance = edit_distance(id, def.id);
+    if (best == nullptr || distance < best_distance) {
+      best = &def;
+      best_distance = distance;
+    }
+  }
+  return best;
 }
 
 }  // namespace repro::artifacts

@@ -19,6 +19,11 @@ namespace repro::artifacts {
 /// Lookup by id; nullptr when unknown.
 [[nodiscard]] const ArtifactDef* find_artifact(const std::string& id);
 
+/// The catalog id nearest to `id` by edit distance ("did you mean"),
+/// preferring the earlier catalog entry on ties. Never nullptr while the
+/// catalog is non-empty.
+[[nodiscard]] const ArtifactDef* suggest_artifact(const std::string& id);
+
 // Group registrars (one per artifacts/*.cpp registration file).
 void register_tables(std::vector<ArtifactDef>& catalog);
 void register_study_figures(std::vector<ArtifactDef>& catalog);

@@ -1,0 +1,165 @@
+// Persistent content-addressed result store: incremental fx8bench.
+//
+// Every artifact of the reproduction is a deterministic function of its
+// study/transition config, so its result can be addressed by a 64-bit
+// content hash of that config and reused across processes. The store
+// maps such a key to a sealed capsule-envelope blob (base/capsule.hpp)
+// holding a serialized StudyResult, TransitionResult, or ArtifactResult;
+// a warm `fx8bench --all` then only re-runs artifacts whose inputs
+// actually changed.
+//
+// Key derivation (docs/benchmarks.md, "The result cache"):
+//
+//   key = fasthash( kind tag · code salt · config fingerprint ·
+//                   canonical config walk , seed = code salt )
+//
+// The canonical walk covers EVERY config field — including knobs like
+// `threads` that provably do not change results — so any field change
+// misses the cache. The code salt folds the capsule format version, the
+// store format version, and a manually bumped kCodeVersion; bumping any
+// of them orphans every old key (a clean miss, never a stale hit).
+//
+// Robustness contract: the store can only ever *miss*, never return a
+// wrong answer. A truncated, tampered, wrong-version, or stale-salt blob
+// fails the envelope or header checks, is counted in CacheStats, deleted
+// when possible, and recomputed. A missing or corrupt bloom sidecar is
+// rebuilt from the object directory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/capsule.hpp"
+#include "core/study.hpp"
+#include "core/transition.hpp"
+
+namespace repro::artifacts {
+
+/// Store directory format version: the envelope laid around blobs and
+/// the bloom sidecar. Bump on layout changes.
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+/// Manually bumped experiment-semantics version. Bump whenever simulator
+/// or artifact-render changes alter what any config would produce — the
+/// cheap, honest alternative to hashing the binary. Folded into every
+/// key, so a stale store degrades to a full miss.
+inline constexpr std::uint32_t kCodeVersion = 1;
+
+/// The salt every key is seeded with.
+inline constexpr std::uint64_t kCodeSalt =
+    (static_cast<std::uint64_t>(kCodeVersion) << 40) |
+    (static_cast<std::uint64_t>(kStoreFormatVersion) << 20) |
+    static_cast<std::uint64_t>(capsule::kFormatVersion);
+
+/// Hit/miss accounting, reported in the fx8bench JSON (`cache` object)
+/// and by --cache-stats.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;        ///< Includes bloom skips and corrupt blobs.
+  std::uint64_t bloom_skips = 0;   ///< Misses resolved without touching disk.
+  std::uint64_t corrupt_misses = 0;  ///< Blobs rejected by envelope/header.
+  std::uint64_t puts = 0;
+  std::uint64_t put_errors = 0;    ///< Failed writes (read-only dir, ...).
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+};
+
+/// Membership bloom over every key ever put: if it says "absent" the key
+/// is definitely not stored and the open/stat path is skipped (the
+/// negative cache of SNIPPETS 1-2). False positives cost one failed
+/// open; false negatives cannot occur for keys inserted through this
+/// process, and a stale sidecar only costs a spurious recompute.
+class BloomFilter {
+ public:
+  static constexpr std::uint32_t kBits = 1u << 16;  // 8 KiB of bits.
+  static constexpr int kProbes = 4;
+
+  void insert(std::uint64_t key);
+  [[nodiscard]] bool maybe_contains(std::uint64_t key) const;
+
+  /// Capsule walk for the persisted sidecar.
+  void serialize(capsule::Io& io);
+
+ private:
+  std::vector<std::uint8_t> bits_ = std::vector<std::uint8_t>(kBits / 8, 0);
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating if needed) the store at `dir`. Layout:
+  ///   <dir>/objects/<16-hex-key>.blob   sealed result blobs
+  ///   <dir>/bloom.bin                   sealed bloom sidecar
+  /// Throws capsule::CapsuleError if the directory cannot be created.
+  explicit ResultStore(std::string dir);
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+  /// The unsealed result payload for `key`, or nullopt on any kind of
+  /// miss (absent, truncated, tampered, wrong version, foreign key).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> get(
+      std::uint64_t key);
+
+  /// Store `payload` under `key` (tmp-file + rename; failures are
+  /// counted, never thrown) and persist the updated bloom.
+  void put(std::uint64_t key, const std::vector<std::uint8_t>& payload);
+
+  [[nodiscard]] const CacheStats& stats() const { return stats_; }
+
+  [[nodiscard]] std::string object_path(std::uint64_t key) const;
+
+ private:
+  void load_or_rebuild_bloom();
+  void save_bloom();
+
+  std::string dir_;
+  BloomFilter bloom_;
+  CacheStats stats_;
+};
+
+// --- Key derivation ---------------------------------------------------
+
+/// Key of the shared nine-session study result for `config`.
+[[nodiscard]] std::uint64_t study_cache_key(const core::StudyConfig& config,
+                                            std::uint64_t salt = kCodeSalt);
+
+/// Key of the shared triggered-transition result for `config` (the
+/// high-concurrency mix, kTransitionFromFull trigger — the one
+/// combination Inputs caches).
+[[nodiscard]] std::uint64_t transition_cache_key(
+    const core::TransitionConfig& config, std::uint64_t salt = kCodeSalt);
+
+/// Key of one rendered artifact: its id plus both shared configs plus
+/// the quick flag (which also scales artifact-private populations).
+[[nodiscard]] std::uint64_t artifact_cache_key(
+    const std::string& id, const core::StudyConfig& study,
+    const core::TransitionConfig& transition, bool quick,
+    std::uint64_t salt = kCodeSalt);
+
+// --- Result blobs -----------------------------------------------------
+
+/// Serialize a result (anything with a capsule `serialize` walk) into a
+/// store payload.
+template <typename T>
+[[nodiscard]] std::vector<std::uint8_t> encode_result(const T& value) {
+  capsule::Io io = capsule::Io::saver();
+  T copy = value;  // The walk is mode-agnostic and takes a mutable ref.
+  copy.serialize(io);
+  return io.bytes();
+}
+
+/// Decode a store payload back into a result. Throws
+/// capsule::CapsuleError on shape mismatch (callers treat it as a miss).
+template <typename T>
+[[nodiscard]] T decode_result(std::vector<std::uint8_t> payload) {
+  capsule::Io io = capsule::Io::loader(std::move(payload));
+  T value;
+  value.serialize(io);
+  if (!io.exhausted()) {
+    throw capsule::CapsuleError("result capsule: trailing bytes");
+  }
+  return value;
+}
+
+}  // namespace repro::artifacts

@@ -4,21 +4,15 @@
 #include <cstdio>
 #include <cstring>
 
+#include "base/fnv1a.hpp"
+
 namespace repro::capsule {
 
 namespace {
 
-constexpr char kMagic[8] = {'F', 'X', '8', 'C', 'A', 'P', 'S', '\0'};
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ULL;
+using base::fnv1a;
 
-std::uint64_t fnv1a(const std::uint8_t* p, std::size_t n,
-                    std::uint64_t acc = kFnvOffset) {
-  for (std::size_t i = 0; i < n; ++i) {
-    acc = (acc ^ p[i]) * kFnvPrime;
-  }
-  return acc;
-}
+constexpr char kMagic[8] = {'F', 'X', '8', 'C', 'A', 'P', 'S', '\0'};
 
 void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {

@@ -24,6 +24,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "base/fnv1a.hpp"
+
 namespace repro::capsule {
 
 /// Recoverable capsule failure: bad magic, version skew, truncation,
@@ -140,7 +142,7 @@ class Io {
   Mode mode_;
   std::vector<std::uint8_t> buf_;
   std::size_t cursor_ = 0;
-  std::uint64_t digest_ = 0xcbf29ce484222325ULL;  // FNV-1a offset basis.
+  std::uint64_t digest_ = base::kFnv1aOffset;
 };
 
 /// Wrap a payload in the capsule envelope:

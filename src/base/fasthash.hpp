@@ -1,0 +1,28 @@
+// Seeded 64-bit fast hash for content-addressed cache keys.
+//
+// This is the XXH64 construction: four parallel 64-bit accumulator
+// lanes over 32-byte stripes, a lane merge, a short tail, and a final
+// avalanche. It digests long canonical-config serializations an order
+// of magnitude faster than FNV-1a and takes a seed, which is how the
+// result cache derives its bloom-filter probe family and folds the
+// code-version salt into every key (src/artifacts/result_store.hpp).
+// FNV-1a remains the capsule digest (base/fnv1a.hpp); this hash is for
+// keys, not for sealed-envelope integrity.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace repro::base {
+
+/// Hash `n` bytes with the given seed. Deterministic across hosts (the
+/// input is read little-endian), so keys derived from it are portable
+/// cache-file names.
+[[nodiscard]] std::uint64_t fasthash(const void* data, std::size_t n,
+                                     std::uint64_t seed = 0);
+
+/// Hash one 64-bit value (bloom probes, key mixing).
+[[nodiscard]] std::uint64_t fasthash64(std::uint64_t value,
+                                       std::uint64_t seed = 0);
+
+}  // namespace repro::base

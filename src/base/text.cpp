@@ -1,7 +1,9 @@
 #include "base/text.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace repro {
 
@@ -52,6 +54,25 @@ std::string with_commas(std::uint64_t value) {
     out.push_back(digits[i]);
   }
   return out;
+}
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // One rolling row of the classic DP table.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) {
+    row[j] = j;
+  }
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitute =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({substitute, row[j] + 1, row[j - 1] + 1});
+    }
+  }
+  return row[b.size()];
 }
 
 }  // namespace repro

@@ -27,4 +27,9 @@ namespace repro {
 /// Thousands-separated integer, e.g. 231112 -> "231,112".
 [[nodiscard]] std::string with_commas(std::uint64_t value);
 
+/// Levenshtein edit distance (insert/delete/substitute, unit costs);
+/// drives the "did you mean" suggestion for unknown artifact ids.
+[[nodiscard]] std::size_t edit_distance(const std::string& a,
+                                        const std::string& b);
+
 }  // namespace repro

@@ -16,6 +16,7 @@
 #include <span>
 #include <string>
 
+#include "base/capsule.hpp"
 #include "base/types.hpp"
 
 namespace repro::core {
@@ -45,6 +46,21 @@ struct ConcurrencyMeasures {
 
   /// One-line summary for reports.
   [[nodiscard]] std::string describe() const;
+
+  /// Capsule walk: derived measures travel whole inside cached results
+  /// (src/artifacts/result_store.hpp) rather than being refit on load.
+  void serialize(capsule::Io& io) {
+    io.u32(width);
+    for (double& v : c) {
+      io.f64(v);
+    }
+    io.f64(cw);
+    for (double& v : c_cond) {
+      io.f64(v);
+    }
+    io.f64(pc);
+    io.boolean(pc_defined);
+  }
 };
 
 }  // namespace repro::core

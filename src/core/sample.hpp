@@ -19,6 +19,16 @@ struct AnalyzedSample {
   double bus_busy = 0.0;
   /// Page Fault Rate: CE page faults in the measurement interval (§5).
   double page_fault_rate = 0.0;
+
+  /// Capsule walk: raw record plus the derived measures, so a cached
+  /// study restores exactly what analyze() produced.
+  void serialize(capsule::Io& io) {
+    raw.serialize(io);
+    measures.serialize(io);
+    io.f64(miss_rate);
+    io.f64(bus_busy);
+    io.f64(page_fault_rate);
+  }
 };
 
 /// Derive the analysis measures from one sample record.

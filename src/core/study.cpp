@@ -346,4 +346,40 @@ StudyResult run_default_study(const StudyConfig& config) {
   return run_study(mixes, config);
 }
 
+void serialize_config(capsule::Io& io, StudyConfig& config) {
+  os::serialize_config(io, config.system);
+  instr::serialize_config(io, config.sampling);
+  io.u32(config.samples_per_session);
+  io.u64(config.warmup_cycles);
+  io.u64(config.seed);
+  io.u32(config.threads);
+  io.boolean(config.fast_forward);
+  io.u32(config.replicates_per_session);
+  io.u32(config.rig_batch);
+  io.u32(config.checkpoint_every_samples);
+}
+
+void SessionResult::serialize(capsule::Io& io) {
+  io.str(name);
+  auto count = io.extent(samples.size());
+  samples.resize(count);
+  for (AnalyzedSample& sample : samples) {
+    sample.serialize(io);
+  }
+  totals.serialize(io);
+  overall.serialize(io);
+  ff.serialize(io);
+}
+
+void StudyResult::serialize(capsule::Io& io) {
+  auto count = io.extent(sessions.size());
+  sessions.resize(count);
+  for (SessionResult& session : sessions) {
+    session.serialize(io);
+  }
+  totals.serialize(io);
+  overall.serialize(io);
+  ff.serialize(io);
+}
+
 }  // namespace repro::core

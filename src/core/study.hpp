@@ -71,6 +71,14 @@ struct StudyConfig {
 /// FX8_THREADS from the environment, else hardware_concurrency.
 [[nodiscard]] std::uint32_t resolve_threads(const StudyConfig& config);
 
+/// Canonical walk over EVERY StudyConfig field (system, sampling,
+/// populations, seed, and the perf-only knobs). The result cache hashes
+/// this walk into its keys, so changing any field — even one that is
+/// proven not to change results, like `threads` — misses the cache and
+/// recomputes. Conservative by design: a key must never alias two
+/// configs (docs/benchmarks.md, "The result cache").
+void serialize_config(capsule::Io& io, StudyConfig& config);
+
 struct SessionResult {
   std::string name;
   std::vector<AnalyzedSample> samples;
@@ -81,6 +89,8 @@ struct SessionResult {
   /// Fast-forward accounting summed over the session's replicates
   /// (bookkeeping only — identical simulation state either way).
   instr::FastForwardStats ff;
+
+  void serialize(capsule::Io& io);
 };
 
 struct StudyResult {
@@ -91,6 +101,11 @@ struct StudyResult {
 
   /// Every analyzed sample across all sessions.
   [[nodiscard]] std::vector<AnalyzedSample> all_samples() const;
+
+  /// Capsule walk over the whole result — sessions, totals, aggregate
+  /// measures, fast-forward accounting — so the result cache restores a
+  /// study bit-identically without re-running it.
+  void serialize(capsule::Io& io);
 };
 
 /// Run one session with the given mix.

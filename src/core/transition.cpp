@@ -106,4 +106,14 @@ TransitionResult run_transition_study(const workload::WorkloadMix& mix,
   return result;
 }
 
+void serialize_config(capsule::Io& io, TransitionConfig& config) {
+  os::serialize_config(io, config.system);
+  instr::serialize_config(io, config.sampling);
+  io.u32(config.captures);
+  io.u64(config.capture_timeout);
+  io.u64(config.warmup_cycles);
+  io.u64(config.seed);
+  io.boolean(config.checkpoint_between_captures);
+}
+
 }  // namespace repro::core

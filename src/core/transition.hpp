@@ -31,6 +31,10 @@ struct TransitionConfig {
   bool checkpoint_between_captures = false;
 };
 
+/// Canonical walk over EVERY TransitionConfig field, for the result
+/// cache's key derivation: any field change changes the key.
+void serialize_config(capsule::Io& io, TransitionConfig& config);
+
 struct TransitionResult {
   /// Records with exactly j processors active, j = 0..8, across captures.
   std::array<std::uint64_t, kMaxCes + 1> state_counts{};
@@ -50,6 +54,18 @@ struct TransitionResult {
   /// P processors to one is instantaneous, processors do not incur any
   /// idle time" — this measures how far the machine is from that ideal.
   [[nodiscard]] double idle_overhead(std::uint32_t width = kMaxCes) const;
+
+  /// Capsule walk over the whole result, for the result cache.
+  void serialize(capsule::Io& io) {
+    for (std::uint64_t& n : state_counts) {
+      io.u64(n);
+    }
+    for (std::uint64_t& n : processor_counts) {
+      io.u64(n);
+    }
+    io.u32(captures_completed);
+    io.u32(captures_timed_out);
+  }
 };
 
 /// Run the transition experiment with the given mix (defaults used by the

@@ -41,6 +41,17 @@ struct SamplingConfig {
   bool fast_forward = true;
 };
 
+/// Canonical walk over every SamplingConfig field, for the result
+/// cache's key derivation: two configs hash equal iff they match.
+inline void serialize_config(capsule::Io& io, SamplingConfig& config) {
+  io.u64(config.interval_cycles);
+  io.u32(config.snapshots_per_sample);
+  auto depth = static_cast<std::uint64_t>(config.buffer_depth);
+  io.u64(depth);
+  config.buffer_depth = static_cast<std::size_t>(depth);
+  io.boolean(config.fast_forward);
+}
+
 struct SampleRecord {
   std::uint64_t index = 0;
   Cycle interval_cycles = 0;
@@ -65,6 +76,15 @@ struct FastForwardStats {
   Cycle naive_cycles = 0;    ///< Advanced tick-by-tick (lockstep).
   Cycle block_cycles = 0;    ///< Advanced via Machine::tick_block.
   std::uint64_t jumps = 0;   ///< Number of bulk jumps taken.
+
+  /// Capsule walk: the accounting travels inside cached StudyResults so
+  /// a warm fx8bench report matches the cold one byte for byte.
+  void serialize(capsule::Io& io) {
+    io.u64(skipped_cycles);
+    io.u64(naive_cycles);
+    io.u64(block_cycles);
+    io.u64(jumps);
+  }
 };
 
 class SessionController {

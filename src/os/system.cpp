@@ -53,11 +53,7 @@ std::uint64_t System::state_digest() {
   return io.digest();
 }
 
-std::uint64_t System::config_fingerprint() const {
-  // Walk a mutable copy of the config through a digester: structure is
-  // what the state walk assumes, so structure is what the capsule pins.
-  capsule::Io io = capsule::Io::digester();
-  SystemConfig c = config_;
+void serialize_config(capsule::Io& io, SystemConfig& c) {
   io.u64(c.machine.memory.capacity_bytes);
   io.u32(c.machine.memory.interleave);
   io.u32(c.machine.memory.bank_busy_cycles);
@@ -89,7 +85,19 @@ std::uint64_t System::config_fingerprint() const {
   io.u64(c.vm.resident_limit_pages);
   io.u64(c.vm.physical_bytes);
   io.enum32(c.scheduling);
+}
+
+std::uint64_t config_fingerprint(const SystemConfig& config) {
+  // Walk a mutable copy of the config through a digester: structure is
+  // what the state walk assumes, so structure is what the capsule pins.
+  capsule::Io io = capsule::Io::digester();
+  SystemConfig c = config;
+  serialize_config(io, c);
   return io.digest();
+}
+
+std::uint64_t System::config_fingerprint() const {
+  return os::config_fingerprint(config_);
 }
 
 std::vector<std::uint8_t> System::save_capsule() {

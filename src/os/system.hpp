@@ -25,6 +25,16 @@ struct SystemConfig {
   SchedulingPolicy scheduling = SchedulingPolicy::kFifo;
 };
 
+/// Canonical walk over every structural field of a SystemConfig. This is
+/// the byte stream behind System::config_fingerprint() and the result
+/// cache's key derivation (src/artifacts/result_store.hpp): two configs
+/// hash equal iff every field matches.
+void serialize_config(capsule::Io& io, SystemConfig& config);
+
+/// 64-bit FNV-1a digest of serialize_config's walk, without needing a
+/// constructed System.
+[[nodiscard]] std::uint64_t config_fingerprint(const SystemConfig& config);
+
 class System {
  public:
   explicit System(const SystemConfig& config);

@@ -88,6 +88,19 @@ TEST(Registry, FindArtifactResolvesIdsOnly) {
   EXPECT_EQ(find_artifact(""), nullptr);
 }
 
+TEST(Registry, SuggestsTheNearestIdForTypos) {
+  // The --only did-you-mean path: one-edit typos resolve to the
+  // intended artifact.
+  ASSERT_NE(suggest_artifact("fig99"), nullptr);
+  EXPECT_EQ(suggest_artifact("fig99")->id, "fig9");
+  EXPECT_EQ(suggest_artifact("tabel2")->id, "table2");
+  EXPECT_EQ(suggest_artifact("appendix_c")->id, "appendix_a");
+  // Exact ids suggest themselves (distance zero), and even a hopeless
+  // input still gets the nearest (never nullptr on a non-empty catalog).
+  EXPECT_EQ(suggest_artifact("fig12")->id, "fig12");
+  EXPECT_NE(suggest_artifact("zzzzzzzzzz"), nullptr);
+}
+
 TEST(Registry, KindNamesSerialize) {
   EXPECT_STREQ(to_string(ArtifactKind::kTable), "table");
   EXPECT_STREQ(to_string(ArtifactKind::kFigure), "figure");

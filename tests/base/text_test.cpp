@@ -45,5 +45,17 @@ TEST(Text, WithCommas) {
   EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
 }
 
+TEST(Text, EditDistance) {
+  EXPECT_EQ(edit_distance("", ""), 0u);
+  EXPECT_EQ(edit_distance("abc", "abc"), 0u);
+  EXPECT_EQ(edit_distance("", "abc"), 3u);
+  EXPECT_EQ(edit_distance("abc", ""), 3u);
+  EXPECT_EQ(edit_distance("kitten", "sitting"), 3u);  // The classic.
+  EXPECT_EQ(edit_distance("fig99", "fig9"), 1u);      // Deletion.
+  EXPECT_EQ(edit_distance("fig9", "fig99"), 1u);      // Insertion.
+  EXPECT_EQ(edit_distance("tabel2", "table2"), 2u);   // Transposition.
+  EXPECT_EQ(edit_distance("abc", "xyz"), 3u);         // All substitutions.
+}
+
 }  // namespace
 }  // namespace repro
