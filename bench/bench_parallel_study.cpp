@@ -35,6 +35,7 @@
 #include "base/thread_pool.hpp"
 #include "core/presets.hpp"
 #include "fx8/lane_kernel.hpp"
+#include "fx8/machine.hpp"
 #include "core/regression_models.hpp"
 #include "core/study.hpp"
 #include "workload/presets.hpp"
@@ -222,6 +223,27 @@ int main(int argc, char** argv) {
                                    ? batch_serial.seconds / batched.seconds
                                    : 0.0;
 
+  // Run 5: the width-16 topology datapoint — the same quick study on a
+  // two-cluster fx16 machine (serial, fast-forward on), plus a
+  // batched-vs-serial identity check at that width, so scale-out
+  // throughput and correctness regressions land on the dashboard too.
+  TimedRun width16;
+  if (!baseline_only) {
+    core::StudyConfig wide = core::presets::quick_study();
+    wide.threads = 1;
+    wide.fast_forward = true;
+    wide.system.machine = fx8::MachineConfig::fx16();
+    width16 = timed_study(wide);
+    core::StudyConfig wide_batched = wide;
+    wide_batched.replicates_per_session = 4;
+    wide_batched.rig_batch = 4;
+    core::StudyConfig wide_serial = wide_batched;
+    wide_serial.rig_batch = 1;
+    bit_identical = bit_identical &&
+                    identical(core::run_default_study(wide_serial),
+                              core::run_default_study(wide_batched));
+  }
+
   // Per-session serial fast-forward rates (the fused-kernel headline:
   // concurrency-saturated sessions 3 and 6 are the slowest per cycle).
   core::StudyConfig per_session = config;
@@ -289,6 +311,11 @@ int main(int argc, char** argv) {
       batch_total_cycles, batch_serial.seconds, batched.seconds,
       rate(batch_total_cycles, batch_serial.seconds),
       rate(batch_total_cycles, batched.seconds), batch_speedup);
+  char width_json[192];
+  std::snprintf(
+      width_json, sizeof(width_json),
+      "\"width16_seconds\": %.4f, \"width16_cycles_per_sec\": %.0f, ",
+      width16.seconds, rate(total_cycles, width16.seconds));
 
   char tail[512];
   std::snprintf(
@@ -301,7 +328,7 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(ff.result.ff.naive_cycles),
       bit_identical ? "true" : "false");
   const std::string json = std::string(head) + speedup_json + batch_json +
-                           tail + session_json + "}}";
+                           width_json + tail + session_json + "}}";
 
   std::printf("%s\n", json.c_str());
   if (std::FILE* out = std::fopen("BENCH_parallel_study.json", "w")) {

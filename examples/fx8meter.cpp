@@ -8,6 +8,7 @@
 //            [--mix 0..8|high|presets] [--mix-file FILE]
 //            [--policy fifo|concurrent|serial] [--seed S]
 //            [--threads N] [--replicates R] [--rig-batch B]
+//            [--ces N] [--clusters K]
 //            [--report table2|models|histogram|all]
 //            [--csv FILE] [--checkpoint FILE] [--resume FILE]
 //
@@ -24,9 +25,12 @@
 // restrict the run to one session (the capsule holds one measurement
 // rig) and produce output bit-identical to an uninterrupted run — see
 // docs/checkpointing.md.
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include <fstream>
@@ -34,6 +38,7 @@
 
 #include "base/capsule.hpp"
 #include "base/rng.hpp"
+#include "fx8/topology.hpp"
 #include "core/checkpoint.hpp"
 #include "core/export.hpp"
 #include "core/regression_models.hpp"
@@ -61,7 +66,27 @@ struct Options {
   std::uint32_t threads = 0;
   std::uint32_t replicates = 1;
   std::uint32_t rig_batch = 0;
+  std::uint32_t ces = 0;       ///< 0 = the stock FX/8 width.
+  std::uint32_t clusters = 0;  ///< 0 = derive from --ces.
 };
+
+/// Strict whole-string unsigned parse (ThreadPool::parse_thread_count's
+/// rules): plain digits only — no whitespace, signs, trailing garbage or
+/// silent overflow saturation. 0 signals a parse failure.
+std::uint32_t parse_count(const char* text) {
+  if (text == nullptr || *text == '\0' ||
+      !std::isdigit(static_cast<unsigned char>(*text))) {
+    return 0;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long parsed = std::strtoul(text, &end, 10);
+  if (errno == ERANGE || end == nullptr || *end != '\0' ||
+      parsed > std::numeric_limits<std::uint32_t>::max()) {
+    return 0;
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
 
 bool parse(int argc, char** argv, Options& options) {
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +133,25 @@ bool parse(int argc, char** argv, Options& options) {
       if (!v) return false;
       options.rig_batch =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--ces") {
+      const char* v = next();
+      if (!v) return false;
+      options.ces = parse_count(v);
+      if (options.ces == 0) {
+        std::fprintf(stderr,
+                     "--ces wants a plain positive integer, got '%s'\n", v);
+        return false;
+      }
+    } else if (arg == "--clusters") {
+      const char* v = next();
+      if (!v) return false;
+      options.clusters = parse_count(v);
+      if (options.clusters == 0) {
+        std::fprintf(
+            stderr, "--clusters wants a plain positive integer, got '%s'\n",
+            v);
+        return false;
+      }
     } else if (arg == "--report") {
       const char* v = next();
       if (!v) return false;
@@ -197,7 +241,7 @@ int run_checkpointed(const Options& options, const workload::WorkloadMix& mix,
 
   core::SessionResult session;
   session.name = mix.name;
-  const std::uint32_t width = system.machine().cluster().width();
+  const std::uint32_t width = system.machine().total_ces();
   session.samples.reserve(progress.records.size());
   for (const instr::SampleRecord& record : progress.records) {
     session.samples.push_back(core::analyze(record, width));
@@ -224,7 +268,7 @@ int main(int argc, char** argv) {
         "                [--mix 0..8|high|presets] [--policy "
         "fifo|concurrent|serial]\n"
         "                [--seed S] [--threads N] [--replicates R]\n"
-        "                [--rig-batch B]\n"
+        "                [--rig-batch B] [--ces N] [--clusters K]\n"
         "                [--report table2|models|histogram|all]\n"
         "                [--checkpoint FILE] [--resume FILE]\n");
     return 2;
@@ -267,6 +311,29 @@ int main(int argc, char** argv) {
   }
 
   core::StudyConfig config;
+  if (options.ces != 0 || options.clusters != 0) {
+    fx8::TopologyConfig topology;
+    topology.n_ces = options.ces;
+    // --ces alone spreads over as few whole clusters as fit; --clusters
+    // alone gangs stock 8-CE clusters.
+    topology.n_clusters =
+        options.clusters != 0
+            ? options.clusters
+            : std::max<std::uint32_t>(1, (options.ces + kMaxCes - 1) /
+                                             kMaxCes);
+    if (!fx8::topology_valid(topology,
+                             config.system.machine.cluster.n_ces)) {
+      std::fprintf(stderr,
+                   "fx8meter: invalid topology (--ces %u --clusters %u): "
+                   "need 1..%u clusters of 1..%u CEs each (the lane "
+                   "kernel's chunk), evenly divided, %u CEs total at "
+                   "most\n",
+                   options.ces, topology.n_clusters, kMaxCes, kMaxCes,
+                   kMaxTopologyCes);
+      return 2;
+    }
+    config.system.machine.topology = topology;
+  }
   config.samples_per_session = options.samples;
   config.sampling.interval_cycles = options.interval;
   config.seed = options.seed;

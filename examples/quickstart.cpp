@@ -5,6 +5,7 @@
 //   2. instr   — the DAS-9100-style logic analyzer and event reduction,
 //   3. core    — the paper's concurrency measures.
 #include <cstdio>
+#include <span>
 
 #include "core/measures.hpp"
 #include "instr/reduction.hpp"
@@ -49,7 +50,8 @@ int main() {
 
   std::printf("%s\n", counts.render().c_str());
 
-  const auto measures = core::ConcurrencyMeasures::from_counts(counts.num);
+  const auto measures = core::ConcurrencyMeasures::from_counts(
+      std::span(counts.num).first(counts.width + 1));
   std::printf("Concurrency measures over the job's lifetime:\n  %s\n",
               measures.describe().c_str());
   std::printf("Derived system measures:\n");

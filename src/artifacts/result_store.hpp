@@ -45,7 +45,7 @@ inline constexpr std::uint32_t kStoreFormatVersion = 1;
 /// or artifact-render changes alter what any config would produce — the
 /// cheap, honest alternative to hashing the binary. Folded into every
 /// key, so a stale store degrades to a full miss.
-inline constexpr std::uint32_t kCodeVersion = 1;
+inline constexpr std::uint32_t kCodeVersion = 2;
 
 /// The salt every key is seeded with.
 inline constexpr std::uint64_t kCodeSalt =

@@ -22,8 +22,20 @@ using IpId = std::uint32_t;
 /// Identifier of a simulated process/job.
 using JobId = std::uint64_t;
 
-/// Maximum cluster width on an FX/8: eight Computational Elements.
+/// Maximum width of one cluster — eight Computational Elements, the
+/// FX/8's complex. This is also the chunk width of the wide lane kernel
+/// (fx8/lane_kernel.hpp): machines wider than this are built as several
+/// clusters and advanced in 8-lane passes.
 inline constexpr std::uint32_t kMaxCes = 8;
+
+/// Maximum machine-wide CE count across all clusters of a topology
+/// (fx8/topology.hpp): kMaxCes lanes in each of up to eight clusters.
+inline constexpr std::uint32_t kMaxTopologyCes = 64;
+
+/// Machine-wide per-CE bitmask (bit = global CE id). Wide enough for the
+/// largest supported topology; within one cluster the low kMaxCes bits
+/// are used.
+using LaneMask = std::uint64_t;
 
 /// Page size of Concentrix on the FX/8 (Appendix C: 4 Kbyte pages).
 inline constexpr std::uint64_t kPageBytes = 4096;

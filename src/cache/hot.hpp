@@ -2,22 +2,26 @@
 //
 // The per-CE miss/fill flags the per-cycle path touches constantly, split
 // out of SharedCache so the machine can pack them into its contiguous
-// hot-state block (fx8/hot_state.hpp). Both flags are bitmasks over CE
-// ids, replacing a per-CE byte vector (fill ready) and a per-access walk
-// of the in-flight fill map (miss outstanding) with single-word tests.
+// hot-state block (fx8/hot_state.hpp). Both flags are LaneMask bitmasks
+// over *global* CE ids — wide enough for every cluster of the largest
+// topology (base/types.hpp) — replacing a per-CE byte vector (fill ready)
+// and a per-access walk of the in-flight fill map (miss outstanding) with
+// single-word tests.
 #pragma once
 
 #include <cstdint>
+
+#include "base/types.hpp"
 
 namespace repro::cache {
 
 struct SharedCacheHot {
   /// CEs whose outstanding miss has filled but not yet been consumed by
   /// take_fill_ready().
-  std::uint32_t fill_ready_mask = 0;
+  LaneMask fill_ready_mask = 0;
   /// CEs with a miss outstanding (set at the missing access, cleared when
   /// take_fill_ready() consumes the fill).
-  std::uint32_t miss_outstanding_mask = 0;
+  LaneMask miss_outstanding_mask = 0;
   /// LRU clock: bumped once per access and per line install.
   std::uint64_t use_clock = 0;
 };

@@ -10,8 +10,8 @@ SharedCache::SharedCache(const SharedCacheConfig& config, mem::MemoryBus& bus)
                "cache geometry must be positive");
   REPRO_EXPECT(config.banks % config.modules == 0,
                "banks must divide evenly across modules");
-  REPRO_EXPECT(config.max_ces > 0 && config.max_ces <= 32,
-               "MSHR waiter mask supports up to 32 CEs");
+  REPRO_EXPECT(config.max_ces > 0 && config.max_ces <= kMaxTopologyCes,
+               "MSHR waiter mask supports up to 64 CEs");
   const std::uint64_t total_lines = config.total_bytes / kLineBytes;
   REPRO_EXPECT(total_lines % (config.banks * config.ways) == 0,
                "cache size must factor into banks*ways*sets");
@@ -112,7 +112,7 @@ AccessOutcome SharedCache::access(CeId ce, Addr addr, AccessType type) {
   }
 
   ++stats_.misses;
-  const std::uint32_t ce_bit = 1u << ce;
+  const LaneMask ce_bit = LaneMask{1} << ce;
   hot_->miss_outstanding_mask |= ce_bit;
 
   // Merge with an in-flight fill of the same line if one exists: the
@@ -161,7 +161,7 @@ void SharedCache::drain_fills() {
 
 bool SharedCache::take_fill_ready(CeId ce) {
   REPRO_EXPECT(ce < config_.max_ces, "CE index out of range");
-  const std::uint32_t ce_bit = 1u << ce;
+  const LaneMask ce_bit = LaneMask{1} << ce;
   if (hot_->fill_ready_mask & ce_bit) {
     hot_->fill_ready_mask &= ~ce_bit;
     hot_->miss_outstanding_mask &= ~ce_bit;
@@ -207,7 +207,7 @@ void SharedCache::serialize(capsule::Io& io) {
   for (auto& [tag, fill] : fills_) {
     io.u64(tag);
     io.u64(fill.txn);
-    io.u32(fill.waiters);
+    io.u64(fill.waiters);
     io.boolean(fill.want_unique);
   }
   io.u64(seen_epoch_);
@@ -217,8 +217,8 @@ void SharedCache::serialize(capsule::Io& io) {
   io.u64(stats_.write_backs);
   io.u64(stats_.merged_misses);
   io.u64(stats_.snoop_invalidations);
-  io.u32(hot_->fill_ready_mask);
-  io.u32(hot_->miss_outstanding_mask);
+  io.u64(hot_->fill_ready_mask);
+  io.u64(hot_->miss_outstanding_mask);
   io.u64(hot_->use_clock);
 }
 

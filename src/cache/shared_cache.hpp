@@ -37,7 +37,10 @@ struct SharedCacheConfig {
   std::uint32_t banks = 4;          ///< Interleave factor across modules.
   std::uint32_t modules = 2;        ///< CPC modules (one memory bus each).
   std::uint32_t ways = 2;           ///< Set associativity within a bank.
-  std::uint32_t max_ces = kMaxCes;  ///< Requesters tracked by the MSHRs.
+  /// Requesters tracked by the MSHRs — the machine's *total* CE count
+  /// across clusters (global CE ids index the waiter masks). Machine
+  /// raises this to the resolved topology width at construction.
+  std::uint32_t max_ces = kMaxCes;
 };
 
 /// Outcome of presenting an access to the cache.
@@ -100,9 +103,10 @@ class SharedCache {
     return (hot_->fill_ready_mask >> ce) & 1u;
   }
 
-  /// The whole fill-ready word (one bit per CE) — input to the batched
-  /// lane pass (fx8/lane_kernel.hpp), which tests all lanes at once.
-  [[nodiscard]] std::uint32_t fill_ready_mask() const {
+  /// The whole fill-ready word (one bit per global CE id) — input to the
+  /// batched lane pass (fx8/lane_kernel.hpp); each cluster shifts its
+  /// own 8-lane window out of it.
+  [[nodiscard]] LaneMask fill_ready_mask() const {
     return hot_->fill_ready_mask;
   }
 
@@ -143,8 +147,8 @@ class SharedCache {
   };
   struct Fill {
     mem::TxnId txn = 0;
-    std::uint32_t waiters = 0;  ///< Bitmask of stalled CEs.
-    bool want_unique = false;   ///< Fill triggered by a write.
+    LaneMask waiters = 0;      ///< Bitmask of stalled CEs (global ids).
+    bool want_unique = false;  ///< Fill triggered by a write.
   };
 
   static constexpr std::uint32_t kLineShift =
@@ -172,7 +176,7 @@ class SharedCache {
   /// not a hash map: drain order decides victim choice, LRU stamps, and
   /// write-back submit order, so it must be deterministic state a
   /// capsule can reproduce — and with at most one outstanding miss per
-  /// CE the set never exceeds eight entries, where a linear scan wins
+  /// CE the set never exceeds max_ces entries, where a linear scan wins
   /// anyway.
   std::vector<std::pair<Addr, Fill>> fills_;
   /// Bus completion epoch at the last drain; unchanged epoch = no fill

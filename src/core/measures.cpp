@@ -9,8 +9,8 @@ namespace repro::core {
 
 ConcurrencyMeasures ConcurrencyMeasures::from_counts(
     std::span<const std::uint64_t> counts) {
-  REPRO_EXPECT(counts.size() >= 2 && counts.size() <= kMaxCes + 1,
-               "histogram must cover 0..P with P in 1..8");
+  REPRO_EXPECT(counts.size() >= 2 && counts.size() <= kMaxTopologyCes + 1,
+               "histogram must cover 0..P with P in 1..64");
   ConcurrencyMeasures m;
   m.width = static_cast<std::uint32_t>(counts.size() - 1);
 
@@ -50,7 +50,8 @@ std::string ConcurrencyMeasures::describe() const {
   std::ostringstream os;
   os << "Cw=" << fixed(cw, 4);
   if (pc_defined) {
-    os << " Pc=" << fixed(pc, 2) << " c(8|c)=" << fixed(c_cond[width], 4);
+    os << " Pc=" << fixed(pc, 2) << " c(" << width
+       << "|c)=" << fixed(c_cond[width], 4);
   } else {
     os << " Pc=undefined";
   }

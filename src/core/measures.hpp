@@ -22,17 +22,18 @@
 namespace repro::core {
 
 struct ConcurrencyMeasures {
-  /// Cluster width P the measures were computed against.
+  /// Machine width P the measures were computed against (total CEs
+  /// across clusters on wide topologies).
   std::uint32_t width = kMaxCes;
 
   /// c_j for j = 0..P (entries above `width` are zero).
-  std::array<double, kMaxCes + 1> c{};
+  std::array<double, kMaxTopologyCes + 1> c{};
 
   /// Workload Concurrency, eq. 4.2.
   double cw = 0.0;
 
   /// c_{j|c} for j = 2..P; undefined (all zero) when cw == 0.
-  std::array<double, kMaxCes + 1> c_cond{};
+  std::array<double, kMaxTopologyCes + 1> c_cond{};
 
   /// Mean Concurrency Level, eq. 4.4; only meaningful if pc_defined.
   double pc = 0.0;

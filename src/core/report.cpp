@@ -17,8 +17,9 @@ std::string render_table2(const ConcurrencyMeasures& overall) {
     label += std::to_string(j);
     os << pad_left(label, 8);
   }
-  os << pad_left("Cw", 8) << pad_left("c(8|c)", 8) << pad_left("Pc", 8)
-     << '\n';
+  os << pad_left("Cw", 8)
+     << pad_left("c(" + std::to_string(overall.width) + "|c)", 8)
+     << pad_left("Pc", 8) << '\n';
   os << "  ";
   for (std::uint32_t j = 0; j <= overall.width; ++j) {
     os << pad_left(fixed(overall.c[j], 4), 8);
@@ -85,9 +86,11 @@ std::string render_processor_histogram(std::span<const std::uint64_t> counts,
 std::string render_session_table(std::span<const SessionResult> sessions) {
   std::ostringstream os;
   os << "Table A.1. Mean Concurrency Measures for Random Samples.\n";
+  const std::uint32_t width =
+      sessions.empty() ? kMaxCes : sessions.front().overall.width;
   os << "  " << pad_right("Session", 30) << pad_left("samples", 9)
-     << pad_left("Cw", 9) << pad_left("Pc", 9) << pad_left("c(8|c)", 9)
-     << '\n';
+     << pad_left("Cw", 9) << pad_left("Pc", 9)
+     << pad_left("c(" + std::to_string(width) + "|c)", 9) << '\n';
   for (const SessionResult& session : sessions) {
     os << "  " << pad_right(session.name, 30)
        << pad_left(std::to_string(session.samples.size()), 9)

@@ -99,7 +99,7 @@ SessionPart run_replicate(const workload::WorkloadMix& mix,
   rig->controller.advance(config.warmup_cycles);
 
   SessionPart part;
-  part.width = rig->system.machine().cluster().width();
+  part.width = rig->system.machine().total_ces();
   part.samples.reserve(n_samples);
   const std::uint32_t shard = config.checkpoint_every_samples;
   std::uint32_t taken = 0;
@@ -159,7 +159,7 @@ std::vector<SessionPart> run_replicate_group(
   parts.reserve(count);
   for (std::uint32_t r = 0; r < count; ++r) {
     SessionPart part;
-    part.width = rigs[r]->system.machine().cluster().width();
+    part.width = rigs[r]->system.machine().total_ces();
     part.samples.reserve(record_streams[r].size());
     for (const instr::SampleRecord& record : record_streams[r]) {
       part.samples.push_back(analyze(record, part.width));

@@ -18,18 +18,18 @@ double TransitionResult::transition_share(std::uint32_t j) const {
 
 std::uint64_t TransitionResult::transition_records() const {
   std::uint64_t total = 0;
-  for (std::uint32_t j = 2; j < kMaxCes; ++j) {
+  for (std::uint32_t j = 2; j < width; ++j) {
     total += state_counts[j];
   }
   return total;
 }
 
-double TransitionResult::idle_overhead(std::uint32_t width) const {
+double TransitionResult::idle_overhead(std::uint32_t at_width) const {
   std::uint64_t lost = 0;
   std::uint64_t possible = 0;
-  for (std::uint32_t j = 2; j < width; ++j) {
-    lost += static_cast<std::uint64_t>(width - j) * state_counts[j];
-    possible += static_cast<std::uint64_t>(width) * state_counts[j];
+  for (std::uint32_t j = 2; j < at_width; ++j) {
+    lost += static_cast<std::uint64_t>(at_width - j) * state_counts[j];
+    possible += static_cast<std::uint64_t>(at_width) * state_counts[j];
   }
   return possible == 0 ? 0.0
                        : static_cast<double>(lost) /
@@ -66,7 +66,8 @@ TransitionResult run_transition_study(const workload::WorkloadMix& mix,
   }
 
   TransitionResult result;
-  const std::uint32_t width = rig->system.machine().cluster().width();
+  const std::uint32_t width = rig->system.machine().total_ces();
+  result.width = width;
   for (std::uint32_t cap = 0; cap < config.captures; ++cap) {
     if (config.checkpoint_between_captures && cap > 0) {
       // Round-trip the rig through a capsule between captures; the

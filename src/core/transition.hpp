@@ -36,12 +36,15 @@ struct TransitionConfig {
 void serialize_config(capsule::Io& io, TransitionConfig& config);
 
 struct TransitionResult {
-  /// Records with exactly j processors active, j = 0..8, across captures.
-  std::array<std::uint64_t, kMaxCes + 1> state_counts{};
+  /// Records with exactly j processors active, j = 0..P, across captures
+  /// (sized for the widest topology; rows past the machine width stay 0).
+  std::array<std::uint64_t, kMaxTopologyCes + 1> state_counts{};
   /// Records in which processor j was active (transition records only).
-  std::array<std::uint64_t, kMaxCes> processor_counts{};
+  std::array<std::uint64_t, kMaxTopologyCes> processor_counts{};
   std::uint32_t captures_completed = 0;
   std::uint32_t captures_timed_out = 0;
+  /// Machine width P the captures ran at (bounds the transition states).
+  std::uint32_t width = kMaxCes;
 
   /// Fraction of transition-state records (2..P-1 active) at exactly j.
   [[nodiscard]] double transition_share(std::uint32_t j) const;
@@ -53,7 +56,7 @@ struct TransitionResult {
   /// cycles those records could have delivered. "If the transition from
   /// P processors to one is instantaneous, processors do not incur any
   /// idle time" — this measures how far the machine is from that ideal.
-  [[nodiscard]] double idle_overhead(std::uint32_t width = kMaxCes) const;
+  [[nodiscard]] double idle_overhead(std::uint32_t at_width = kMaxCes) const;
 
   /// Capsule walk over the whole result, for the result cache.
   void serialize(capsule::Io& io) {
@@ -65,6 +68,7 @@ struct TransitionResult {
     }
     io.u32(captures_completed);
     io.u32(captures_timed_out);
+    io.u32(width);
   }
 };
 

@@ -65,10 +65,16 @@ struct CeStats {
 
 class Ce {
  public:
+  /// `id` is the machine-global CE id (indexes the shared cache's waiter
+  /// masks, the MMU memos, and the probe channels). `lane` is the CE's
+  /// slot within its cluster's CeHot block, 0..kMaxCes-1; the default
+  /// kMaxCes means "lane = id" — the single-cluster case, where the two
+  /// coincide (and every standalone test keeps its old meaning).
   Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
-     std::uint64_t icache_bytes = 16 * 1024);
+     std::uint64_t icache_bytes = 16 * 1024, CeId lane = kMaxCes);
 
   [[nodiscard]] CeId id() const { return id_; }
+  [[nodiscard]] CeId lane() const { return lane_; }
 
   /// Begin executing an instance. Requires idle().
   void start(const KernelInstance& inst);
@@ -89,33 +95,33 @@ class Ce {
   /// (step setup, access issue, stall pick-up) run in tick_slow().
   void tick() {
     CeHot& hot = *hot_;
-    const Phase p = static_cast<Phase>(hot.phase[id_]);
-    hot.bus_op[id_] = mem::CeBusOp::kIdle;
+    const Phase p = static_cast<Phase>(hot.phase[lane_]);
+    hot.bus_op[lane_] = mem::CeBusOp::kIdle;
     switch (p) {
       case Phase::kIdle:
       case Phase::kDone:
         return;
       case Phase::kCompute:
-        if (hot.compute_left[id_] > 0) {
-          --hot.compute_left[id_];
-          ++hot.busy_cycles[id_];
-          ++hot.compute_cycles[id_];
+        if (hot.compute_left[lane_] > 0) {
+          --hot.compute_left[lane_];
+          ++hot.busy_cycles[lane_];
+          ++hot.compute_cycles[lane_];
           return;
         }
         break;
       case Phase::kMissWait:
         if (!cache_.fill_ready(id_)) {
-          hot.bus_op[id_] = mem::CeBusOp::kWait;
-          ++hot.busy_cycles[id_];
-          ++hot.miss_wait_cycles[id_];
+          hot.bus_op[lane_] = mem::CeBusOp::kWait;
+          ++hot.busy_cycles[lane_];
+          ++hot.miss_wait_cycles[lane_];
           return;
         }
         break;
       case Phase::kFaultWait:
-        if (hot.fault_left[id_] > 1) {
-          --hot.fault_left[id_];
-          ++hot.busy_cycles[id_];
-          ++hot.fault_wait_cycles[id_];
+        if (hot.fault_left[lane_] > 1) {
+          --hot.fault_left[lane_];
+          ++hot.busy_cycles[lane_];
+          ++hot.fault_wait_cycles[lane_];
           return;
         }
         break;
@@ -127,7 +133,7 @@ class Ce {
 
   /// Bus opcode latched by a probe for the cycle just ticked. Idle CEs
   /// latch kIdle.
-  [[nodiscard]] mem::CeBusOp bus_op() const { return hot_->bus_op[id_]; }
+  [[nodiscard]] mem::CeBusOp bus_op() const { return hot_->bus_op[lane_]; }
 
   // --- Event-horizon fast-forward -------------------------------------
   /// Cycles for which this CE's behaviour is a pure repeat that skip()
@@ -136,18 +142,18 @@ class Ce {
   /// service (minus the transition cycle). 0 means the next tick can
   /// change machine-visible state and must run naively.
   [[nodiscard]] Cycle quiet_horizon() const {
-    switch (static_cast<Phase>(hot_->phase[id_])) {
+    switch (static_cast<Phase>(hot_->phase[lane_])) {
       case Phase::kIdle:
       case Phase::kDone:
         return kHorizonNever;
       case Phase::kCompute:
         // Each of the next compute_left ticks burns one bus-idle compute
         // cycle; the tick after that enters kAccess.
-        return hot_->compute_left[id_];
+        return hot_->compute_left[lane_];
       case Phase::kFaultWait:
         // The tick that drops fault_left to zero also transitions phases,
         // so it must run naively: skip at most fault_left - 1.
-        return hot_->fault_left[id_] - 1;
+        return hot_->fault_left[lane_] - 1;
       case Phase::kMissWait:
         // Waiting on a line fill: the shared cache flags readiness on a
         // bus-completion tick, which the bus horizon already forces to be
@@ -166,10 +172,10 @@ class Ce {
   /// counters that live in the hot lanes.
   [[nodiscard]] CeStats stats() const {
     CeStats s = stats_;
-    s.busy_cycles = hot_->busy_cycles[id_];
-    s.compute_cycles = hot_->compute_cycles[id_];
-    s.miss_wait_cycles = hot_->miss_wait_cycles[id_];
-    s.fault_wait_cycles = hot_->fault_wait_cycles[id_];
+    s.busy_cycles = hot_->busy_cycles[lane_];
+    s.compute_cycles = hot_->compute_cycles[lane_];
+    s.miss_wait_cycles = hot_->miss_wait_cycles[lane_];
+    s.fault_wait_cycles = hot_->fault_wait_cycles[lane_];
     return s;
   }
 
@@ -199,11 +205,11 @@ class Ce {
   using Phase = CePhase;
 
   [[nodiscard]] Phase phase() const {
-    return static_cast<Phase>(hot_->phase[id_]);
+    return static_cast<Phase>(hot_->phase[lane_]);
   }
   void set_phase(Phase p) {
-    hot_->phase[id_] = static_cast<std::uint8_t>(p);
-    const std::uint32_t bit = 1u << id_;
+    hot_->phase[lane_] = static_cast<std::uint8_t>(p);
+    const std::uint32_t bit = 1u << lane_;
     if (p == Phase::kDone) {
       hot_->done_mask |= bit;
     } else {
@@ -211,10 +217,10 @@ class Ce {
     }
   }
   [[nodiscard]] std::uint32_t& compute_left() {
-    return hot_->compute_left[id_];
+    return hot_->compute_left[lane_];
   }
-  [[nodiscard]] Cycle& fault_left() { return hot_->fault_left[id_]; }
-  void set_bus_op(mem::CeBusOp op) { hot_->bus_op[id_] = op; }
+  [[nodiscard]] Cycle& fault_left() { return hot_->fault_left[lane_]; }
+  void set_bus_op(mem::CeBusOp op) { hot_->bus_op[lane_] = op; }
 
   void tick_slow();
   void setup_step();
@@ -222,6 +228,9 @@ class Ce {
   [[nodiscard]] Addr next_data_addr(bool is_store);
 
   CeId id_;
+  /// Index within the cluster's CeHot lane block (and its done_mask
+  /// bit); equals id_ on single-cluster machines.
+  CeId lane_;
   cache::SharedCache& cache_;
   Crossbar& crossbar_;
   Mmu& mmu_;

@@ -42,21 +42,24 @@ std::uint64_t stream_bytes_per_instance(const isa::KernelSpec& k) {
 }  // namespace
 
 Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
-                 Mmu& mmu)
-    : config_(config), cache_(cache),
+                 Mmu& mmu, CeId ce_base)
+    : config_(config), cache_(cache), ce_base_(ce_base),
       crossbar_(cache.config().banks),
       base_order_(make_order(config.policy, config.n_ces)) {
   REPRO_EXPECT(config.n_ces >= 1 && config.n_ces <= kMaxCes,
                "cluster width must be 1..8");
   REPRO_EXPECT(config.detached_ces < config.n_ces,
                "at least one CE must remain in the cluster");
+  REPRO_EXPECT(ce_base + config.n_ces <= kMaxTopologyCes,
+               "cluster CE ids exceed the LaneMask range");
   // Detached CEs (the highest ids) never take cluster work: drop them
   // from the service order.
   std::erase_if(base_order_,
                 [&](CeId c) { return c >= cluster_width(); });
   ces_.reserve(config.n_ces);
   for (CeId c = 0; c < config.n_ces; ++c) {
-    ces_.emplace_back(c, cache, crossbar_, mmu, config.icache_bytes);
+    ces_.emplace_back(ce_base + c, cache, crossbar_, mmu,
+                      config.icache_bytes, /*lane=*/c);
   }
   service_count_ = static_cast<std::uint32_t>(base_order_.size());
   std::copy(base_order_.begin(), base_order_.end(), service_order_.begin());
@@ -173,15 +176,15 @@ Addr Cluster::code_base_for_phase() const {
          static_cast<Addr>(phase_idx_) * 0x100000ULL;
 }
 
-void Cluster::bind_hot(HotState& hot) {
+void Cluster::bind_hot(ClusterHot& hot, std::uint64_t& events) {
   crossbar_.bind_hot(hot.crossbar_taken);
   ccb_.bind_hot(hot.ccb_grants_left);
   for (Ce& ce : ces_) {
     ce.bind_hot(hot.ce);
   }
   ce_hot_ = &hot.ce;
-  hot.cluster_events = *events_;
-  events_ = &hot.cluster_events;
+  events = *events_;
+  events_ = &events;
 }
 
 void Cluster::serialize(capsule::Io& io) {
@@ -467,7 +470,7 @@ inline void Cluster::tick_lane(CeHot& hot, CeId c) {
       }
       break;
     case CePhase::kMissWait:
-      if (!cache_.fill_ready(c)) {
+      if (!cache_.fill_ready(ce_base_ + c)) {
         hot.bus_op[c] = mem::CeBusOp::kWait;
         ++hot.busy_cycles[c];
         ++hot.miss_wait_cycles[c];
@@ -536,7 +539,11 @@ void Cluster::tick_batched(LanePassFn pass) {
   // their own CeHot slots (the cache's fill-ready word is read-only here
   // and only drain_fills — end-of-cycle cache tick — sets it), so the
   // split preserves tick()'s semantics bit for bit.
-  const std::uint32_t slow = pass(hot, cache_.fill_ready_mask());
+  // The machine-wide fill-ready word is over global CE ids; shift this
+  // cluster's 8-lane window down to lane bit positions for the pass.
+  const std::uint32_t slow = pass(
+      hot, static_cast<std::uint32_t>((cache_.fill_ready_mask() >> ce_base_) &
+                                      0xffu));
   if (slow != 0) {
     for (std::uint32_t i = 0; i < service_count_; ++i) {
       const CeId c = service_order_[i];

@@ -87,7 +87,13 @@ class ClusterObserver {
 
 class Cluster {
  public:
-  Cluster(const ClusterConfig& config, cache::SharedCache& cache, Mmu& mmu);
+  /// `ce_base` is the machine-global id of the cluster's lane 0: member
+  /// CEs get global ids ce_base..ce_base+n_ces-1 (cache MSHRs, MMU memos,
+  /// probe channels) while every cluster-internal structure stays
+  /// lane-indexed 0..n_ces-1. Single-cluster machines and standalone
+  /// tests keep the default 0, where lane == global id.
+  Cluster(const ClusterConfig& config, cache::SharedCache& cache, Mmu& mmu,
+          CeId ce_base = 0);
 
   /// Load a job onto the cluster. Requires !busy().
   void load(const isa::Program* program, JobId job);
@@ -137,15 +143,19 @@ class Cluster {
   [[nodiscard]] const ClusterStats& stats() const { return stats_; }
   [[nodiscard]] std::uint32_t width() const { return config_.n_ces; }
   [[nodiscard]] CeId continuation_ce() const { return serial_ce_; }
+  /// Machine-global id of lane 0 (ce(lane).id() == ce_base() + lane).
+  [[nodiscard]] CeId ce_base() const { return ce_base_; }
 
   /// Attach/detach a marker-event observer (nullptr detaches). The
   /// observer must outlive the cluster or be detached first.
   void set_observer(ClusterObserver* observer) { observer_ = observer; }
 
   /// Re-point the cluster's hot state (crossbar grant mask, CCB grant
-  /// budget, every CE's lanes, the control-event counter) at the
-  /// machine's contiguous hot-state block. Copies current values.
-  void bind_hot(HotState& hot);
+  /// budget, every CE's lanes) at the cluster's slice of the machine's
+  /// contiguous hot-state block, and the control-event counter at the
+  /// machine-wide counter (shared by all clusters). Copies current
+  /// values.
+  void bind_hot(ClusterHot& hot, std::uint64_t& events);
 
   /// Monotone count of control events the OS layer can react to: a
   /// cluster job or a detached job completing. Machine::tick_block stops
@@ -215,6 +225,8 @@ class Cluster {
 
   ClusterConfig config_;
   cache::SharedCache& cache_;
+  /// Global CE id of lane 0 (cluster index * ces-per-cluster).
+  CeId ce_base_ = 0;
   Crossbar crossbar_;
   ConcurrencyControlBus ccb_;
   std::vector<Ce> ces_;

@@ -13,6 +13,7 @@
 #include "base/capsule.hpp"
 #include "base/expect.hpp"
 #include "base/types.hpp"
+#include "fx8/fabric.hpp"
 
 namespace repro::fx8 {
 
@@ -25,12 +26,19 @@ class Crossbar {
   /// (this runs every machine cycle of every session).
   void begin_cycle() { *taken_ = 0; }
 
-  /// Try to route an access to `bank` this cycle; true on success.
+  /// Try to route an access to `bank` this cycle; true on success. An
+  /// intra-cluster conflict (the bank already granted to a sibling CE)
+  /// and a cross-cluster fabric rejection both count here — the losing
+  /// CE retries next cycle either way.
   /// Inline: this sits on the per-access hot path of every CE.
   [[nodiscard]] bool try_acquire(std::uint32_t bank) {
     REPRO_EXPECT(bank < banks_, "bank index out of range");
     const std::uint64_t bit = std::uint64_t{1} << bank;
     if (*taken_ & bit) {
+      ++conflicts_;
+      return false;
+    }
+    if (fabric_ != nullptr && !fabric_->try_acquire(bank)) {
       ++conflicts_;
       return false;
     }
@@ -40,6 +48,11 @@ class Crossbar {
 
   /// Lifetime count of rejected (conflicted) acquisitions.
   [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+
+  /// Attach the machine's second-level arbiter (multi-cluster machines
+  /// only; nullptr detaches). Structural wiring, not evolving state: it
+  /// stays out of the capsule walk, like the hot-state binding.
+  void attach_fabric(ClusterFabric* fabric) { fabric_ = fabric; }
 
   /// Re-point the grant mask at an externally owned slot (the machine's
   /// contiguous hot-state). Copies the current value across.
@@ -59,6 +72,7 @@ class Crossbar {
   std::uint64_t own_taken_ = 0;
   std::uint64_t* taken_ = &own_taken_;
   std::uint64_t conflicts_ = 0;
+  ClusterFabric* fabric_ = nullptr;
 };
 
 }  // namespace repro::fx8

@@ -1,0 +1,60 @@
+// Crossbar-of-crossbars: second-level bank arbitration across clusters.
+//
+// Each cluster keeps its own Crossbar (one CE per bank per cycle inside
+// the cluster, as on the measured machine). When a machine has several
+// clusters sharing the banked cache, a bank must additionally be granted
+// to at most one cluster per cycle; this fabric is that second level. A
+// CE's access routes through its cluster crossbar first (intra-cluster
+// conflicts are charged there) and then through the fabric, whose
+// rejections are the cross-cluster contention the width_scaling artifact
+// reports. Single-cluster machines attach no fabric, so the FX/8 path is
+// byte-for-byte the pre-topology behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "base/capsule.hpp"
+#include "base/expect.hpp"
+#include "base/types.hpp"
+
+namespace repro::fx8 {
+
+class ClusterFabric {
+ public:
+  explicit ClusterFabric(std::uint32_t banks) : banks_(banks) {
+    REPRO_EXPECT(banks >= 1 && banks <= 64,
+                 "fabric arbitrates at most 64 banks (one grant word)");
+  }
+
+  /// Reset per-cycle grants. The machine calls this once per cycle,
+  /// before any cluster ticks (clusters then contend in service order).
+  void begin_cycle() { taken_ = 0; }
+
+  /// Try to claim `bank` for the calling cluster this cycle.
+  [[nodiscard]] bool try_acquire(std::uint32_t bank) {
+    REPRO_EXPECT(bank < banks_, "bank index out of range");
+    const std::uint64_t bit = std::uint64_t{1} << bank;
+    if (taken_ & bit) {
+      ++conflicts_;
+      return false;
+    }
+    taken_ |= bit;
+    return true;
+  }
+
+  /// Lifetime count of cross-cluster bank rejections.
+  [[nodiscard]] std::uint64_t conflicts() const { return conflicts_; }
+
+  /// Capsule walk: the per-cycle grant word and lifetime conflicts.
+  void serialize(capsule::Io& io) {
+    io.u64(taken_);
+    io.u64(conflicts_);
+  }
+
+ private:
+  std::uint32_t banks_;
+  std::uint64_t taken_ = 0;
+  std::uint64_t conflicts_ = 0;
+};
+
+}  // namespace repro::fx8

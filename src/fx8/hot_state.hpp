@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "base/types.hpp"
 #include "cache/hot.hpp"
@@ -39,10 +40,13 @@ enum class CePhase : std::uint8_t {
   kDone,
 };
 
-/// Per-CE state lanes, one slot per CE id (SoA). The values are the hot
-/// subset of Ce: the phase discriminant the cluster polls, the bus opcode
-/// the probe latches, and the countdowns the three stall fast paths
-/// decrement. Stats and the streaming/pending cold state stay in Ce.
+/// Per-CE state lanes, one slot per *lane* — a CE's index within its
+/// cluster, 0..kMaxCes-1 (SoA). The values are the hot subset of Ce: the
+/// phase discriminant the cluster polls, the bus opcode the probe
+/// latches, and the countdowns the three stall fast paths decrement.
+/// Stats and the streaming/pending cold state stay in Ce. The block is
+/// exactly one lane-kernel chunk: wider machines carry one CeHot per
+/// cluster (HotState::clusters) and the wide pass runs per cluster.
 struct CeHot {
   std::array<std::uint8_t, kMaxCes> phase{};     ///< CePhase values.
   std::array<mem::CeBusOp, kMaxCes> bus_op{};
@@ -61,12 +65,20 @@ struct CeHot {
   std::uint32_t done_mask = 0;
 };
 
-struct HotState {
+/// One cluster's slice of the hot block: its CE lanes, its crossbar
+/// grant word, and its CCB grant budget.
+struct ClusterHot {
   CeHot ce;
   /// Crossbar: banks granted this cycle (one bit per bank).
   std::uint64_t crossbar_taken = 0;
   /// CCB: iteration-dispatch grants left this cycle.
   std::uint32_t ccb_grants_left = 0;
+};
+
+struct HotState {
+  /// One slice per cluster, sized at Machine construction from the
+  /// resolved topology (default: the FX/8's single cluster).
+  std::vector<ClusterHot> clusters = std::vector<ClusterHot>(1);
   cache::SharedCacheHot cache;
   mem::BusHot bus;
   /// Monotone count of cluster control events (job / detached-job

@@ -21,17 +21,76 @@ MachineConfig MachineConfig::fx1() {
   return config;
 }
 
-Machine::Machine(const MachineConfig& config, Mmu& mmu) : config_(config) {
+MachineConfig MachineConfig::fx16() {
+  MachineConfig config;
+  config.topology.n_clusters = 2;
+  config.shared_cache.total_bytes = 256 * 1024;
+  config.shared_cache.banks = 8;
+  return config;
+}
+
+MachineConfig MachineConfig::fx32() {
+  MachineConfig config;
+  config.topology.n_clusters = 4;
+  config.shared_cache.total_bytes = 512 * 1024;
+  config.shared_cache.banks = 16;
+  config.shared_cache.modules = 4;
+  config.membus.bus_count = 4;
+  return config;
+}
+
+MachineConfig MachineConfig::fx64() {
+  MachineConfig config;
+  config.topology.n_clusters = 8;
+  config.shared_cache.total_bytes = 1024 * 1024;
+  config.shared_cache.banks = 32;
+  config.shared_cache.modules = 4;
+  config.membus.bus_count = 4;
+  return config;
+}
+
+Machine::Machine(const MachineConfig& config, Mmu& mmu)
+    : config_(config),
+      topology_(resolve_topology(config.topology, config.cluster.n_ces)) {
   memory_ = std::make_unique<mem::MainMemory>(config.memory);
-  membus_ = std::make_unique<mem::MemoryBus>(config.membus, *memory_);
+
+  mem::MemoryBusConfig bus_config = config.membus;
+  if (config.topology.mem_buses != 0) {
+    bus_config.bus_count = config.topology.mem_buses;
+  }
+  membus_ = std::make_unique<mem::MemoryBus>(bus_config, *memory_);
+
+  cache::SharedCacheConfig cache_config = config.shared_cache;
+  if (config.topology.cache_banks != 0) {
+    cache_config.banks = config.topology.cache_banks;
+  }
+  // Global CE ids index the MSHR waiter masks: cover every cluster.
+  cache_config.max_ces = std::max(cache_config.max_ces, topology_.total_ces);
   shared_cache_ =
-      std::make_unique<cache::SharedCache>(config.shared_cache, *membus_);
-  cluster_ = std::make_unique<Cluster>(config.cluster, *shared_cache_, mmu);
+      std::make_unique<cache::SharedCache>(cache_config, *membus_);
+
+  // MMU translation memos are keyed by global CE id as well.
+  mmu.ensure_lanes(topology_.total_ces);
+
+  ClusterConfig cluster_config = config.cluster;
+  cluster_config.n_ces = topology_.ces_per_cluster;
+  if (topology_.n_clusters > 1) {
+    fabric_ = std::make_unique<ClusterFabric>(cache_config.banks);
+  }
+  clusters_.reserve(topology_.n_clusters);
+  for (std::uint32_t i = 0; i < topology_.n_clusters; ++i) {
+    clusters_.push_back(std::make_unique<Cluster>(
+        cluster_config, *shared_cache_, mmu,
+        /*ce_base=*/i * topology_.ces_per_cluster));
+    if (fabric_) {
+      clusters_.back()->crossbar().attach_fabric(fabric_.get());
+    }
+  }
 
   std::uint64_t seed = config.seed;
   for (IpId ip = 0; ip < config.n_ips; ++ip) {
     cache::IpCacheConfig ipc;
-    ipc.bus = ip % config.membus.bus_count;
+    ipc.bus = ip % bus_config.bus_count;
     auto ip_cache = std::make_unique<cache::IpCache>(ipc, *membus_);
     ip_cache->set_snoop_hook(
         [this](Addr line) { shared_cache_->snoop_invalidate(line); });
@@ -43,13 +102,22 @@ Machine::Machine(const MachineConfig& config, Mmu& mmu) : config_(config) {
 
   // Pack every component's per-tick hot state into the machine's
   // contiguous block (fx8/hot_state.hpp).
+  hot_state_.clusters.resize(topology_.n_clusters);
   membus_->bind_hot(hot_state_.bus);
   shared_cache_->bind_hot(hot_state_.cache);
-  cluster_->bind_hot(hot_state_);
+  for (std::uint32_t i = 0; i < topology_.n_clusters; ++i) {
+    clusters_[i]->bind_hot(hot_state_.clusters[i],
+                           hot_state_.cluster_events);
+  }
 }
 
 void Machine::tick() {
-  cluster_->tick();
+  if (fabric_) {
+    fabric_->begin_cycle();
+  }
+  for (auto& cluster : clusters_) {
+    cluster->tick();
+  }
   for (Ip& ip : ips_) {
     ip.tick();
   }
@@ -59,9 +127,12 @@ void Machine::tick() {
 }
 
 Cycle Machine::quiet_horizon() const {
-  Cycle horizon = cluster_->quiet_horizon();
-  if (horizon == 0) {
-    return 0;
+  Cycle horizon = kHorizonNever;
+  for (const auto& cluster : clusters_) {
+    horizon = std::min(horizon, cluster->quiet_horizon());
+    if (horizon == 0) {
+      return 0;
+    }
   }
   horizon = std::min(horizon, membus_->quiet_horizon(hot_state_.now));
   if (horizon == 0) {
@@ -78,7 +149,9 @@ Cycle Machine::quiet_horizon() const {
 }
 
 void Machine::skip(Cycle cycles) {
-  cluster_->skip(cycles);
+  for (auto& cluster : clusters_) {
+    cluster->skip(cycles);
+  }
   for (Ip& ip : ips_) {
     ip.skip(cycles);
   }
@@ -89,13 +162,30 @@ void Machine::skip(Cycle cycles) {
 void Machine::run(Cycle cycles) {
   // Hoist the owning-pointer hops out of the loop: the components are
   // fixed for the machine's lifetime, so the per-cycle path needs no
-  // re-deref of the unique_ptr members.
-  Cluster& cluster = *cluster_;
+  // re-deref of the unique_ptr members. Single-cluster machines (every
+  // width-<=8 configuration) keep the direct cluster reference; the
+  // general loop only runs on multi-cluster topologies.
   mem::MemoryBus& membus = *membus_;
   cache::SharedCache& shared_cache = *shared_cache_;
   Cycle& now = hot_state_.now;
+  if (clusters_.size() == 1) {
+    Cluster& cluster = *clusters_[0];
+    for (Cycle i = 0; i < cycles; ++i) {
+      cluster.tick();
+      for (Ip& ip : ips_) {
+        ip.tick();
+      }
+      membus.tick(now);
+      shared_cache.tick();
+      ++now;
+    }
+    return;
+  }
   for (Cycle i = 0; i < cycles; ++i) {
-    cluster.tick();
+    fabric_->begin_cycle();
+    for (auto& cluster : clusters_) {
+      cluster->tick();
+    }
     for (Ip& ip : ips_) {
       ip.tick();
     }
@@ -109,7 +199,14 @@ void Machine::serialize(capsule::Io& io) {
   memory_->serialize(io);
   membus_->serialize(io);
   shared_cache_->serialize(io);
-  cluster_->serialize(io);
+  for (auto& cluster : clusters_) {
+    cluster->serialize(io);
+  }
+  if (fabric_) {
+    // Gated on existence: the single-cluster walk stays byte-identical
+    // to the pre-topology stream.
+    fabric_->serialize(io);
+  }
   for (auto& ip_cache : ip_caches_) {
     ip_cache->serialize(io);
   }
@@ -117,19 +214,42 @@ void Machine::serialize(capsule::Io& io) {
     ip.serialize(io);
   }
   // hot_state_.cluster_events travels inside Cluster::serialize (the
-  // cluster owns that lane); the machine clock is the one hot field left.
+  // clusters share that counter); the machine clock is the one hot field
+  // left.
   io.u64(hot_state_.now);
 }
 
 Cycle Machine::tick_block(Cycle max_cycles) {
-  Cluster& cluster = *cluster_;
   mem::MemoryBus& membus = *membus_;
   cache::SharedCache& shared_cache = *shared_cache_;
   HotState& hot = hot_state_;
   const std::uint64_t events_at_entry = hot.cluster_events;
   Cycle done = 0;
+  if (clusters_.size() == 1) {
+    Cluster& cluster = *clusters_[0];
+    while (done < max_cycles) {
+      cluster.tick();
+      for (Ip& ip : ips_) {
+        ip.tick();
+      }
+      membus.tick(hot.now);
+      shared_cache.tick();
+      ++hot.now;
+      ++done;
+      if (hot.cluster_events != events_at_entry) {
+        // A job or detached job completed this cycle: stop so the OS
+        // layer ticks naively next cycle, exactly as lockstep ticking
+        // would.
+        break;
+      }
+    }
+    return done;
+  }
   while (done < max_cycles) {
-    cluster.tick();
+    fabric_->begin_cycle();
+    for (auto& cluster : clusters_) {
+      cluster->tick();
+    }
     for (Ip& ip : ips_) {
       ip.tick();
     }
@@ -138,8 +258,6 @@ Cycle Machine::tick_block(Cycle max_cycles) {
     ++hot.now;
     ++done;
     if (hot.cluster_events != events_at_entry) {
-      // A job or detached job completed this cycle: stop so the OS layer
-      // ticks naively next cycle, exactly as lockstep ticking would.
       break;
     }
   }

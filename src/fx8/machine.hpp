@@ -17,9 +17,11 @@
 #include "cache/ip_cache.hpp"
 #include "cache/shared_cache.hpp"
 #include "fx8/cluster.hpp"
+#include "fx8/fabric.hpp"
 #include "fx8/hot_state.hpp"
 #include "fx8/ip.hpp"
 #include "fx8/mmu.hpp"
+#include "fx8/topology.hpp"
 #include "mem/main_memory.hpp"
 #include "mem/memory_bus.hpp"
 
@@ -33,12 +35,23 @@ struct MachineConfig {
   IpConfig ip;
   std::uint32_t n_ips = 2;
   std::uint64_t seed = 0x1987;
+  /// Machine topology: cluster count and total CE width (0-valued fields
+  /// inherit the legacy single-cluster fields above — see
+  /// fx8/topology.hpp). The default is the measured machine's one
+  /// cluster.
+  TopologyConfig topology;
 
   /// The measured machine: 8 CEs, 2 IPs, 128 KB shared cache (the CSRD
   /// configuration of Figure 1).
   static MachineConfig fx8();
   /// Entry configuration: 1 CE, 1 IP (the FX/1 of Appendix C).
   static MachineConfig fx1();
+  /// Width-scaling presets: 2/4/8 FX/8-style clusters sharing a banked
+  /// cache through the cluster fabric, with cache capacity, interleave,
+  /// and memory buses scaled alongside (docs/topology.md).
+  static MachineConfig fx16();
+  static MachineConfig fx32();
+  static MachineConfig fx64();
 };
 
 class Machine {
@@ -71,8 +84,22 @@ class Machine {
 
   [[nodiscard]] Cycle now() const { return hot_state_.now; }
 
-  [[nodiscard]] Cluster& cluster() { return *cluster_; }
-  [[nodiscard]] const Cluster& cluster() const { return *cluster_; }
+  /// Cluster 0 — the whole machine on every width-<=8 configuration.
+  /// Single-cluster call sites keep using this accessor unchanged.
+  [[nodiscard]] Cluster& cluster() { return *clusters_[0]; }
+  [[nodiscard]] const Cluster& cluster() const { return *clusters_[0]; }
+  [[nodiscard]] Cluster& cluster(std::uint32_t i) { return *clusters_[i]; }
+  [[nodiscard]] const Cluster& cluster(std::uint32_t i) const {
+    return *clusters_[i];
+  }
+  [[nodiscard]] std::uint32_t n_clusters() const {
+    return static_cast<std::uint32_t>(clusters_.size());
+  }
+  /// Total CE count across clusters (the machine width N).
+  [[nodiscard]] std::uint32_t total_ces() const { return topology_.total_ces; }
+  [[nodiscard]] const ResolvedTopology& topology() const { return topology_; }
+  /// Second-level bank arbiter; nullptr on single-cluster machines.
+  [[nodiscard]] const ClusterFabric* fabric() const { return fabric_.get(); }
   [[nodiscard]] cache::SharedCache& shared_cache() { return *shared_cache_; }
   [[nodiscard]] const cache::SharedCache& shared_cache() const {
     return *shared_cache_;
@@ -83,15 +110,27 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
   // --- Probe surface -------------------------------------------------
+  /// `ce` is the machine-global id; routed to the owning cluster's lane.
   [[nodiscard]] mem::CeBusOp ce_bus_op(CeId ce) const {
-    return cluster_->ce_bus_op(ce);
+    return clusters_[ce / topology_.ces_per_cluster]->ce_bus_op(
+        ce % topology_.ces_per_cluster);
   }
   [[nodiscard]] mem::MemBusOp mem_bus_op(std::uint32_t bus) const {
     return membus_->op_on(bus);
   }
-  /// CCB probe: bitmask of concurrent/serial-active CEs.
-  [[nodiscard]] std::uint32_t active_mask() const {
-    return cluster_->active_mask();
+  /// Effective memory-bus count (after any topology override).
+  [[nodiscard]] std::uint32_t mem_bus_count() const {
+    return membus_->config().bus_count;
+  }
+  /// CCB probe: bitmask of concurrent/serial-active CEs over global ids
+  /// (each cluster's local mask shifted to its ce_base).
+  [[nodiscard]] LaneMask active_mask() const {
+    LaneMask mask = clusters_[0]->active_mask();
+    for (std::size_t i = 1; i < clusters_.size(); ++i) {
+      mask |= static_cast<LaneMask>(clusters_[i]->active_mask())
+              << clusters_[i]->ce_base();
+    }
+    return mask;
   }
 
   /// Capsule walk over the full machine: memory, buses, caches, cluster,
@@ -103,7 +142,11 @@ class Machine {
   /// Machines sharing one Mmu inside a RigBatch must carry distinct
   /// indices (< kMaxBatchRigs) so their memo slots never cross-hit; a
   /// machine owning its Mmu keeps the default 0. See Ce::set_mmu_rig.
-  void set_mmu_rig(std::uint32_t rig) { cluster_->set_mmu_rig(rig); }
+  void set_mmu_rig(std::uint32_t rig) {
+    for (auto& cluster : clusters_) {
+      cluster->set_mmu_rig(rig);
+    }
+  }
 
  private:
   /// The lockstep batch driver replays tick_block's loop across several
@@ -111,10 +154,14 @@ class Machine {
   friend class RigBatch;
 
   MachineConfig config_;
+  ResolvedTopology topology_;
   std::unique_ptr<mem::MainMemory> memory_;
   std::unique_ptr<mem::MemoryBus> membus_;
   std::unique_ptr<cache::SharedCache> shared_cache_;
-  std::unique_ptr<Cluster> cluster_;
+  /// Second-level bank arbiter; only constructed for n_clusters > 1 so
+  /// the single-cluster machine is byte-for-byte the pre-topology path.
+  std::unique_ptr<ClusterFabric> fabric_;
+  std::vector<std::unique_ptr<Cluster>> clusters_;
   std::vector<std::unique_ptr<cache::IpCache>> ip_caches_;
   std::vector<Ip> ips_;
   /// Contiguous per-tick hot state; every component's hot slice points in

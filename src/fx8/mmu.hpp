@@ -9,9 +9,10 @@
 // paper collected (§3.3).
 #pragma once
 
-#include <array>
+#include <vector>
 
 #include "base/capsule.hpp"
+#include "base/expect.hpp"
 #include "base/types.hpp"
 
 namespace repro::fx8 {
@@ -33,7 +34,7 @@ class Mmu {
   /// translation satisfy another's first touch). A machine that owns its
   /// Mmu — every os::System — keeps the default rig 0.
   Cycle translate(JobId job, CeId ce, Addr addr, std::uint32_t rig = 0) {
-    Memo& memo = memo_[rig * kMaxCes + ce];
+    Memo& memo = memo_[rig * lanes_ + ce];
     const Addr page = addr / kPageBytes;
     if (memo.epoch == epoch_ && memo.page == page && memo.job == job) {
       return 0;
@@ -50,6 +51,26 @@ class Mmu {
   /// (0 when the page is already mapped). A non-zero return maps the page,
   /// so the retried access will not fault again.
   virtual Cycle touch(JobId job, CeId ce, Addr addr, std::uint32_t rig) = 0;
+
+  /// Grow the per-rig memo stride to cover `n` CE lanes (a machine with
+  /// global CE ids up to n-1). Called by Machine at construction; only
+  /// ever grows, and the default kMaxCes stride means machines of width
+  /// <= 8 never reallocate (keeping the capsule walk byte-stable for
+  /// them). Growing wipes the memos — harmless before any activity, and
+  /// behaviour-neutral anyway since a memo miss just re-touches a
+  /// resident page. Virtual so implementations holding their own per-CE
+  /// state (os::VirtualMemory) can widen it in the same call.
+  virtual void ensure_lanes(std::uint32_t n) {
+    REPRO_EXPECT(n <= kMaxTopologyCes, "lane count beyond topology maximum");
+    if (n <= lanes_) {
+      return;
+    }
+    lanes_ = n;
+    memo_.assign(static_cast<std::size_t>(kMaxBatchRigs) * lanes_, Memo{});
+  }
+
+  /// CE lanes the translation memo currently covers.
+  [[nodiscard]] std::uint32_t lanes() const { return lanes_; }
 
   /// Capsule walk over the per-(rig, CE) translation memos and their
   /// epoch. Derived classes call this from their own serialize().
@@ -72,8 +93,10 @@ class Mmu {
     JobId job = 0;
     Addr page = 0;
   };
-  /// Rig-major: rig r's CE c memoizes at slot r * kMaxCes + c.
-  std::array<Memo, kMaxBatchRigs * kMaxCes> memo_{};
+  std::uint32_t lanes_ = kMaxCes;
+  /// Rig-major: rig r's CE c memoizes at slot r * lanes_ + c.
+  std::vector<Memo> memo_ =
+      std::vector<Memo>(std::size_t{kMaxBatchRigs} * kMaxCes);
   std::uint64_t epoch_ = 1;
 };
 

@@ -25,11 +25,15 @@ void RigBatch::add(Machine& machine, Cycle budget, std::size_t tag) {
 
 Cycle RigBatch::run_window(Machine& machine, LanePassFn pass, Cycle limit,
                           std::uint64_t events_at_entry, bool& event) {
-  // Exactly Machine::tick_block's loop body with the cluster tick swapped
-  // for its lane-pass twin; the owning-pointer hops are hoisted once per
-  // window.
+  // Exactly Machine::tick_block's loop body with the cluster ticks
+  // swapped for their lane-pass twins; the owning-pointer hops are
+  // hoisted once per window. Each cluster runs its own 8-lane pass (the
+  // kernel's chunk width), in cluster order, just as tick_block ticks
+  // them.
   HotState& hot = machine.hot_state_;
-  Cluster& cluster = *machine.cluster_;
+  ClusterFabric* const fabric = machine.fabric_.get();
+  auto* const clusters = machine.clusters_.data();
+  const std::size_t n_clusters = machine.clusters_.size();
   mem::MemoryBus& membus = *machine.membus_;
   cache::SharedCache& shared_cache = *machine.shared_cache_;
   Ip* const ips = machine.ips_.data();
@@ -37,7 +41,12 @@ Cycle RigBatch::run_window(Machine& machine, LanePassFn pass, Cycle limit,
   Cycle done = 0;
   event = false;
   while (done < limit) {
-    cluster.tick_batched(pass);
+    if (fabric != nullptr) {
+      fabric->begin_cycle();
+    }
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+      clusters[k]->tick_batched(pass);
+    }
     for (std::size_t p = 0; p < n_ips; ++p) {
       ips[p].tick();
     }

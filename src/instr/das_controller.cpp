@@ -74,7 +74,7 @@ DasController::Response DasController::command(const std::string& line) {
   if (verb == "WIDTH") {
     std::uint64_t width = 0;
     if (tokens.size() != 2 || !parse_u64(tokens[1], width) || width == 0 ||
-        width > kMaxCes) {
+        width > kMaxTopologyCes) {
       return {false, "NAK BAD WIDTH"};
     }
     staged_.full_width = static_cast<std::uint32_t>(width);

@@ -7,8 +7,8 @@ namespace repro::instr {
 LogicAnalyzer::LogicAnalyzer(const AnalyzerConfig& config)
     : config_(config), buffer_(config.buffer_depth) {
   REPRO_EXPECT(config.buffer_depth > 0, "buffer depth must be positive");
-  REPRO_EXPECT(config.full_width >= 1 && config.full_width <= kMaxCes,
-               "full width must be 1..8");
+  REPRO_EXPECT(config.full_width >= 1 && config.full_width <= kMaxTopologyCes,
+               "full width must be 1..64");
 }
 
 void LogicAnalyzer::arm() {

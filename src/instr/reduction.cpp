@@ -9,12 +9,17 @@ namespace repro::instr {
 
 void EventCounts::accumulate(const ProbeRecord& record, std::uint32_t n_ces,
                              std::uint32_t n_buses) {
-  REPRO_EXPECT(n_ces >= 1 && n_ces <= kMaxCes, "CE count out of range");
-  REPRO_EXPECT(n_buses >= 1 && n_buses <= 2, "bus count out of range");
+  REPRO_EXPECT(n_ces >= 1 && n_ces <= kMaxTopologyCes,
+               "CE count out of range");
+  REPRO_EXPECT(n_buses >= 1 && n_buses <= mem::kMaxMemBuses,
+               "bus count out of range");
+  if (n_ces > width) {
+    width = n_ces;
+  }
   ++records;
   ce_bus_cycles += n_ces;
   const std::uint32_t active = record.active_count();
-  REPRO_ENSURE(active <= kMaxCes, "more active processors than exist");
+  REPRO_ENSURE(active <= n_ces, "more active processors than exist");
   ++num[active];
   for (CeId ce = 0; ce < n_ces; ++ce) {
     if (record.ce_active(ce)) {
@@ -28,6 +33,9 @@ void EventCounts::accumulate(const ProbeRecord& record, std::uint32_t n_ces,
 }
 
 void EventCounts::merge(const EventCounts& other) {
+  if (other.width > width) {
+    width = other.width;
+  }
   for (std::size_t j = 0; j < num.size(); ++j) {
     num[j] += other.num[j];
   }
@@ -81,11 +89,11 @@ std::string EventCounts::render() const {
   std::ostringstream os;
   os << "HARDWARE MEASUREMENT EVENT COUNTS (" << records << " records)\n";
   os << "  num_j  (records with j processors active):\n";
-  for (std::size_t j = 0; j < num.size(); ++j) {
+  for (std::size_t j = 0; j <= width; ++j) {
     os << "    j=" << j << "  " << with_commas(num[j]) << '\n';
   }
   os << "  proc_j (records with processor j active):\n";
-  for (std::size_t j = 0; j < proc.size(); ++j) {
+  for (std::size_t j = 0; j < width; ++j) {
     os << "    CE" << j << "  " << with_commas(proc[j]) << '\n';
   }
   os << "  ceop_j (CE bus opcode cycles):\n";

@@ -23,18 +23,24 @@
 namespace repro::instr {
 
 struct EventCounts {
-  /// num_j: records with exactly j processors active, j = 0..8.
-  std::array<std::uint64_t, kMaxCes + 1> num{};
+  /// num_j: records with exactly j processors active, j = 0..width.
+  /// Sized for the widest topology; rows past `width` stay zero and are
+  /// neither rendered nor reported.
+  std::array<std::uint64_t, kMaxTopologyCes + 1> num{};
   /// proc_j: records in which processor j was active.
-  std::array<std::uint64_t, kMaxCes> proc{};
+  std::array<std::uint64_t, kMaxTopologyCes> proc{};
   /// ceop_j: CE-bus opcode occurrences, summed over all CE buses.
   std::array<std::uint64_t, mem::kNumCeBusOps> ceop{};
-  /// membop_j: memory-bus opcode occurrences, summed over both buses.
+  /// membop_j: memory-bus opcode occurrences, summed over all buses.
   std::array<std::uint64_t, mem::kNumMemBusOps> membop{};
 
   std::uint64_t records = 0;
   /// CE bus cycles observed = records * number of CE buses probed.
   std::uint64_t ce_bus_cycles = 0;
+  /// Widest machine these counts were reduced from: bounds the num/proc
+  /// rows render() emits. Never shrinks below the FX/8's 8 lanes, so
+  /// every width-<=8 rendering is unchanged from the pre-topology text.
+  std::uint32_t width = kMaxCes;
 
   void accumulate(const ProbeRecord& record, std::uint32_t n_ces = kMaxCes,
                   std::uint32_t n_buses = 2);
@@ -67,6 +73,7 @@ struct EventCounts {
     }
     io.u64(records);
     io.u64(ce_bus_cycles);
+    io.u32(width);
   }
 };
 

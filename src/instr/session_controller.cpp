@@ -123,8 +123,8 @@ void SessionController::advance(Cycle cycles) {
 }
 
 void SessionController::begin_sample(SampleCursor& cursor) {
-  cursor.n_ces = system_.machine().cluster().width();
-  cursor.n_buses = system_.machine().config().membus.bus_count;
+  cursor.n_ces = system_.machine().total_ces();
+  cursor.n_buses = system_.machine().mem_bus_count();
 
   // Choose snapshot start offsets within the interval, far enough apart
   // that acquisitions never overlap. The offsets live in a member scratch
@@ -261,7 +261,7 @@ std::optional<std::vector<ProbeRecord>> SessionController::capture_triggered(
   }
   must_ack(das, "DEPTH " + std::to_string(config_.buffer_depth));
   must_ack(das, "WIDTH " +
-                    std::to_string(system_.machine().cluster().width()));
+                    std::to_string(system_.machine().total_ces()));
   must_ack(das, "ARM");
   for (Cycle c = 0; c < timeout; ++c) {
     step();

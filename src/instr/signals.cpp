@@ -11,12 +11,13 @@ std::uint32_t ProbeRecord::active_count() const {
 ProbeRecord latch(const fx8::Machine& machine) {
   ProbeRecord record;
   record.cycle = machine.now();
-  const std::uint32_t n_ces = machine.cluster().width();
-  for (CeId ce = 0; ce < n_ces && ce < kMaxCes; ++ce) {
+  const std::uint32_t n_ces = machine.total_ces();
+  for (CeId ce = 0; ce < n_ces && ce < kMaxTopologyCes; ++ce) {
     record.ce_ops[ce] = machine.ce_bus_op(ce);
   }
-  const std::uint32_t n_buses = machine.config().membus.bus_count;
-  for (std::uint32_t bus = 0; bus < n_buses && bus < 2; ++bus) {
+  const std::uint32_t n_buses = machine.mem_bus_count();
+  for (std::uint32_t bus = 0; bus < n_buses && bus < mem::kMaxMemBuses;
+       ++bus) {
     record.mem_ops[bus] = machine.mem_bus_op(bus);
   }
   record.active_mask = machine.active_mask();

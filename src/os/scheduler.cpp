@@ -10,7 +10,9 @@ namespace repro::os {
 Scheduler::Scheduler(fx8::Machine& machine, VirtualMemory& vm,
                      KernelCounters& counters, SchedulingPolicy policy)
     : machine_(machine), vm_(vm), counters_(counters), policy_(policy),
-      detached_running_(machine.cluster().detached_count()) {}
+      running_(machine.n_clusters()),
+      detached_running_(static_cast<std::size_t>(machine.n_clusters()) *
+                        machine.cluster().detached_count()) {}
 
 Job Scheduler::pop_next() {
   auto it = queue_.begin();
@@ -38,10 +40,11 @@ void Scheduler::submit(Job job) {
 }
 
 void Scheduler::tick(Cycle now) {
+  const std::uint32_t per = detached_per_cluster();
   // Reap drained detached jobs.
   for (std::uint32_t slot = 0; slot < detached_running_.size(); ++slot) {
     if (detached_running_[slot] &&
-        !machine_.cluster().detached_busy(slot)) {
+        !machine_.cluster(slot / per).detached_busy(slot % per)) {
       detached_running_[slot]->finished_at = now;
       vm_.release_job(detached_running_[slot]->id);
       counters_.increment(KernelCounter::kJobsCompleted);
@@ -68,45 +71,53 @@ void Scheduler::tick(Cycle now) {
     stats_.total_wait_cycles += now - job.submitted_at;
     counters_.increment(KernelCounter::kContextSwitches);
     detached_running_[slot] = std::move(job);
-    machine_.cluster().load_detached(
-        slot, &detached_running_[slot]->program,
+    machine_.cluster(slot / per).load_detached(
+        slot % per, &detached_running_[slot]->program,
         detached_running_[slot]->id);
   }
 
-  // Reap a drained job.
-  if (running_ && !machine_.cluster().busy()) {
-    running_->finished_at = now;
-    vm_.release_job(running_->id);
-    counters_.increment(KernelCounter::kJobsCompleted);
-    ++stats_.jobs_completed;
-    if (running_->cls == JobClass::kCluster) {
-      ++stats_.cluster_jobs_completed;
-    } else {
-      ++stats_.serial_jobs_completed;
+  // Reap drained cluster jobs.
+  for (std::uint32_t k = 0; k < running_.size(); ++k) {
+    std::optional<Job>& running = running_[k];
+    if (running && !machine_.cluster(k).busy()) {
+      running->finished_at = now;
+      vm_.release_job(running->id);
+      counters_.increment(KernelCounter::kJobsCompleted);
+      ++stats_.jobs_completed;
+      if (running->cls == JobClass::kCluster) {
+        ++stats_.cluster_jobs_completed;
+      } else {
+        ++stats_.serial_jobs_completed;
+      }
+      running.reset();
     }
-    running_.reset();
   }
-  // Start the next one.
-  if (!running_ && !queue_.empty()) {
-    running_ = pop_next();
-    running_->started_at = now;
-    stats_.total_wait_cycles += now - running_->submitted_at;
-    counters_.increment(KernelCounter::kContextSwitches);
-    machine_.cluster().load(&running_->program, running_->id);
+  // Start the next ones (cluster 0 first, matching hardware priority).
+  for (std::uint32_t k = 0; k < running_.size(); ++k) {
+    if (!running_[k] && !queue_.empty()) {
+      running_[k] = pop_next();
+      running_[k]->started_at = now;
+      stats_.total_wait_cycles += now - running_[k]->submitted_at;
+      counters_.increment(KernelCounter::kContextSwitches);
+      machine_.cluster(k).load(&running_[k]->program, running_[k]->id);
+    }
   }
 }
 
 Cycle Scheduler::quiet_horizon() const {
-  if (running_ && !machine_.cluster().busy()) {
-    return 0;  // A cluster job to reap.
+  for (std::uint32_t k = 0; k < running_.size(); ++k) {
+    if (running_[k] && !machine_.cluster(k).busy()) {
+      return 0;  // A cluster job to reap.
+    }
+    if (!running_[k] && !queue_.empty()) {
+      return 0;  // A job to start.
+    }
   }
-  if (!running_ && !queue_.empty()) {
-    return 0;  // A job to start.
-  }
+  const std::uint32_t per = detached_per_cluster();
   bool free_slot = false;
   for (std::uint32_t slot = 0; slot < detached_running_.size(); ++slot) {
     if (detached_running_[slot]) {
-      if (!machine_.cluster().detached_busy(slot)) {
+      if (!machine_.cluster(slot / per).detached_busy(slot % per)) {
         return 0;  // A detached job to reap.
       }
     } else {
@@ -152,7 +163,12 @@ void Scheduler::serialize(capsule::Io& io) {
   for (Job& queued : queue_) {
     job(queued);
   }
-  optional_job(running_);
+  // One slot per cluster, no extent: the slot count is structural (it
+  // must match the machine), so the single-cluster stream stays
+  // byte-identical to the pre-topology one-optional walk.
+  for (std::optional<Job>& running : running_) {
+    optional_job(running);
+  }
   const std::uint64_t detached = io.extent(detached_running_.size());
   if (io.loading() && detached != detached_running_.size()) {
     throw capsule::CapsuleError("capsule: detached slot count mismatch");
@@ -166,30 +182,32 @@ void Scheduler::serialize(capsule::Io& io) {
   io.u64(stats_.total_wait_cycles);
 
   if (io.loading()) {
-    // The machine's walk left the cluster's program pointers null with
+    // The machine's walk left each cluster's program pointers null with
     // rebind-pending flags for every slot that was mid-job; point them at
     // the programs that now live inside this scheduler's Job storage.
-    fx8::Cluster& cluster = machine_.cluster();
-    if (cluster.needs_program_rebind()) {
-      REPRO_ENSURE(running_.has_value(),
-                   "capsule: cluster busy but no running job");
-      cluster.rebind_program(&running_->program);
-    }
-    for (std::uint32_t slot = 0;
-         slot < static_cast<std::uint32_t>(detached_running_.size());
-         ++slot) {
-      if (cluster.detached_needs_rebind(slot)) {
-        REPRO_ENSURE(detached_running_[slot].has_value(),
-                     "capsule: detached CE busy but no running job");
-        cluster.rebind_detached_program(slot,
-                                        &detached_running_[slot]->program);
+    const std::uint32_t per = detached_per_cluster();
+    for (std::uint32_t k = 0; k < running_.size(); ++k) {
+      fx8::Cluster& cluster = machine_.cluster(k);
+      if (cluster.needs_program_rebind()) {
+        REPRO_ENSURE(running_[k].has_value(),
+                     "capsule: cluster busy but no running job");
+        cluster.rebind_program(&running_[k]->program);
+      }
+      for (std::uint32_t slot = 0; slot < per; ++slot) {
+        if (cluster.detached_needs_rebind(slot)) {
+          const std::uint32_t flat = k * per + slot;
+          REPRO_ENSURE(detached_running_[flat].has_value(),
+                       "capsule: detached CE busy but no running job");
+          cluster.rebind_detached_program(
+              slot, &detached_running_[flat]->program);
+        }
       }
     }
   }
 }
 
 bool Scheduler::idle() const {
-  if (running_ || !queue_.empty()) {
+  if (job_running() || !queue_.empty()) {
     return false;
   }
   for (const std::optional<Job>& job : detached_running_) {

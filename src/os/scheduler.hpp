@@ -61,7 +61,15 @@ class Scheduler {
   [[nodiscard]] Cycle quiet_horizon() const;
 
   [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
-  [[nodiscard]] bool job_running() const { return running_.has_value(); }
+  /// True while any cluster has a job loaded.
+  [[nodiscard]] bool job_running() const {
+    for (const std::optional<Job>& job : running_) {
+      if (job) {
+        return true;
+      }
+    }
+    return false;
+  }
   [[nodiscard]] const SchedulerStats& stats() const { return stats_; }
   [[nodiscard]] SchedulingPolicy policy() const { return policy_; }
 
@@ -75,13 +83,21 @@ class Scheduler {
   /// Pop the next job per the policy.
   [[nodiscard]] Job pop_next();
 
+  /// Detached CEs each cluster contributes (identical clusters).
+  [[nodiscard]] std::uint32_t detached_per_cluster() const {
+    return machine_.cluster().detached_count();
+  }
+
   fx8::Machine& machine_;
   VirtualMemory& vm_;
   KernelCounters& counters_;
   SchedulingPolicy policy_;
   std::deque<Job> queue_;
-  std::optional<Job> running_;
-  /// Serial jobs running on detached CEs, one per slot.
+  /// One running cluster job per cluster (index = cluster index). The
+  /// single FIFO queue feeds every cluster; cluster 0 fills first.
+  std::vector<std::optional<Job>> running_;
+  /// Serial jobs running on detached CEs, flattened cluster-major:
+  /// global slot = cluster * detached_per_cluster() + local slot.
   std::vector<std::optional<Job>> detached_running_;
   SchedulerStats stats_;
 };

@@ -78,6 +78,10 @@ void serialize_config(capsule::Io& io, SystemConfig& c) {
   io.f64(c.machine.ip.jump_prob);
   io.u32(c.machine.n_ips);
   io.u64(c.machine.seed);
+  io.u32(c.machine.topology.n_ces);
+  io.u32(c.machine.topology.n_clusters);
+  io.u32(c.machine.topology.cache_banks);
+  io.u32(c.machine.topology.mem_buses);
   io.u64(c.vm.segments);
   io.u64(c.vm.pages_per_segment);
   io.u64(c.vm.fault_service_cycles);

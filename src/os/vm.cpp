@@ -192,8 +192,9 @@ void VirtualMemory::serialize(capsule::Io& io) {
     io.u64(page);
   }
 
-  // VM-side translation memos, the Mmu base's memos, stats, frame pool.
-  for (CeId ce = 0; ce < kMaxCes; ++ce) {
+  // VM-side translation memos (one row per lane — kMaxCes by default,
+  // more on wide machines), the Mmu base's memos, stats, frame pool.
+  for (CeId ce = 0; ce < memo_job_.size(); ++ce) {
     for (std::size_t slot = 0; slot < kMemoSlots; ++slot) {
       io.u64(memo_job_[ce][slot]);
       io.u64(memo_page_[ce][slot]);

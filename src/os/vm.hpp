@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
 #include "base/types.hpp"
 #include "fx8/mmu.hpp"
@@ -52,6 +53,17 @@ class VirtualMemory final : public fx8::Mmu {
   /// unused — a System-owned VM serves exactly one machine (rig 0); only
   /// batch harnesses sharing a bare Mmu across rigs key on it.
   Cycle touch(JobId job, CeId ce, Addr addr, std::uint32_t rig = 0) override;
+
+  /// fx8::Mmu: widen the VM-side per-CE memos alongside the base memo
+  /// when the machine resolves to more than kMaxCes global CEs.
+  void ensure_lanes(std::uint32_t n) override {
+    fx8::Mmu::ensure_lanes(n);
+    if (memo_job_.size() < lanes()) {
+      memo_job_.assign(lanes(), {});
+      memo_page_.assign(lanes(), {});
+      memo_valid_.assign(lanes(), {});
+    }
+  }
 
   /// Drop a finished job's resident set (frames return to the pool).
   void release_job(JobId job);
@@ -108,9 +120,14 @@ class VirtualMemory final : public fx8::Mmu {
   /// short-circuit the hash lookup on the hot path. Invalidated
   /// wholesale on any unmap or job release.
   static constexpr std::size_t kMemoSlots = 4;
-  std::array<std::array<JobId, kMemoSlots>, kMaxCes> memo_job_{};
-  std::array<std::array<Addr, kMemoSlots>, kMaxCes> memo_page_{};
-  std::array<std::array<bool, kMemoSlots>, kMaxCes> memo_valid_{};
+  /// Lane-count entries (default kMaxCes; ensure_lanes grows them for
+  /// wider machines, keeping the capsule walk byte-stable at width <= 8).
+  std::vector<std::array<JobId, kMemoSlots>> memo_job_ =
+      std::vector<std::array<JobId, kMemoSlots>>(kMaxCes);
+  std::vector<std::array<Addr, kMemoSlots>> memo_page_ =
+      std::vector<std::array<Addr, kMemoSlots>>(kMaxCes);
+  std::vector<std::array<bool, kMemoSlots>> memo_valid_ =
+      std::vector<std::array<bool, kMemoSlots>>(kMaxCes);
   VmStats stats_;
 };
 

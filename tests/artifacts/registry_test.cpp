@@ -43,7 +43,8 @@ TEST(Registry, CoversTheAblationsAndExtensions) {
   for (const char* id :
        {"ablation_service_order", "ablation_locality",
         "ablation_vector_traffic", "ablation_dispatch", "trace_vs_sampling",
-        "scheduling_policy", "width_sweep", "correlation_matrix",
+        "scheduling_policy", "width_sweep", "width_scaling",
+        "correlation_matrix",
         "detached_artifact", "high_concurrency_captures"}) {
     EXPECT_TRUE(ids.count(id)) << "missing artifact: " << id;
   }

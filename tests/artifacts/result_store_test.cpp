@@ -230,6 +230,18 @@ TEST(CacheKeys, EveryStudyConfigFieldChangesTheKey) {
             }));
   EXPECT_NE(key, mutated([](auto& c) { c.system.machine.n_ips += 1; }));
   EXPECT_NE(key, mutated([](auto& c) { c.system.machine.seed += 1; }));
+  // The topology block: every field keys (a width-16 run must never
+  // serve a width-8 blob and vice versa).
+  EXPECT_NE(key,
+            mutated([](auto& c) { c.system.machine.topology.n_ces += 1; }));
+  EXPECT_NE(key, mutated(
+                     [](auto& c) { c.system.machine.topology.n_clusters += 1; }));
+  EXPECT_NE(key, mutated([](auto& c) {
+              c.system.machine.topology.cache_banks += 1;
+            }));
+  EXPECT_NE(key, mutated([](auto& c) {
+              c.system.machine.topology.mem_buses += 1;
+            }));
   EXPECT_NE(key, mutated([](auto& c) { c.system.vm.fault_service_cycles += 1; }));
   EXPECT_NE(key, mutated([](auto& c) {
               c.system.scheduling = os::SchedulingPolicy::kConcurrentFirst;

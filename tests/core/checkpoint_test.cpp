@@ -246,6 +246,39 @@ TEST(DigestRoundTrip, EveryPresetAndWidthRestoresExactly) {
   }
 }
 
+TEST(DigestRoundTrip, MultiClusterWidthsRestoreExactly) {
+  // The topology matrix: three mixes at every multi-cluster preset
+  // width, saved mid-stream and restored byte-identically (the restored
+  // rig re-seals to the very bytes it was loaded from).
+  const auto presets = workload::session_presets();
+  for (const std::uint32_t width : {16u, 32u, 64u}) {
+    os::SystemConfig config;
+    config.machine = width == 16   ? fx8::MachineConfig::fx16()
+                     : width == 32 ? fx8::MachineConfig::fx32()
+                                   : fx8::MachineConfig::fx64();
+    for (std::size_t m = 0; m < 3; ++m) {
+      Rig rig(presets[m], config, tiny_sampling(), 0x2000 + m);
+      rig.controller.advance(3000);
+      (void)rig.controller.run_session(1);
+
+      const std::uint64_t before =
+          session_digest(rig.system, rig.generator, rig.controller);
+      const auto sealed =
+          save_session(rig.system, rig.generator, rig.controller);
+      Rig fresh(presets[m], config, tiny_sampling(), 0xE000 + m);
+      load_session(sealed, fresh.system, fresh.generator, fresh.controller);
+      EXPECT_EQ(session_digest(fresh.system, fresh.generator,
+                               fresh.controller),
+                before)
+          << "mix " << presets[m].name << " width " << width;
+      EXPECT_EQ(save_session(fresh.system, fresh.generator,
+                             fresh.controller),
+                sealed)
+          << "mix " << presets[m].name << " width " << width;
+    }
+  }
+}
+
 TEST(DigestRoundTrip, DigestsDiscriminateStates) {
   auto a = warm_rig(2, 0x1234);
   auto b = warm_rig(2, 0x1235);

@@ -66,8 +66,10 @@ TEST(Measures, BadWidthThrows) {
   const std::vector<std::uint64_t> one = {5};
   EXPECT_THROW((void)ConcurrencyMeasures::from_counts(one),
                ContractViolation);
-  const std::vector<std::uint64_t> ten(11, 5);
-  EXPECT_THROW((void)ConcurrencyMeasures::from_counts(ten),
+  const std::vector<std::uint64_t> sixteen(17, 5);
+  EXPECT_NO_THROW((void)ConcurrencyMeasures::from_counts(sixteen));
+  const std::vector<std::uint64_t> too_wide(kMaxTopologyCes + 2, 5);
+  EXPECT_THROW((void)ConcurrencyMeasures::from_counts(too_wide),
                ContractViolation);
 }
 

@@ -131,6 +131,40 @@ TEST(RigBatchStudy, NarrowDetachedClusterBatchesBitIdentical) {
                    run_study(two, batched_config));
 }
 
+// Multi-cluster topologies (fx16/fx32/fx64): the batch window drives
+// every cluster plus the second-level bank fabric; results must still be
+// bit-identical to the serial per-rig path at every machine width.
+TEST(RigBatchStudy, MultiClusterWidthsBatchedBitIdenticalToSerial) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> two(mixes.begin(), mixes.begin() + 2);
+  for (const std::uint32_t width : {16u, 32u, 64u}) {
+    StudyConfig serial_config = batch_config(1);
+    serial_config.replicates_per_session = 4;
+    serial_config.system.machine = width == 16   ? fx8::MachineConfig::fx16()
+                                   : width == 32 ? fx8::MachineConfig::fx32()
+                                                 : fx8::MachineConfig::fx64();
+    StudyConfig batched_config = serial_config;
+    batched_config.rig_batch = 4;
+    expect_identical(run_study(two, serial_config),
+                     run_study(two, batched_config));
+  }
+}
+
+// The SIMD dispatch is invisible at every topology: a width-32 batched
+// study pinned to the scalar lane pass reproduces the dispatched run.
+TEST(RigBatchStudy, MultiClusterScalarMatchesDispatched) {
+  const auto mixes = workload::session_presets();
+  std::vector<workload::WorkloadMix> two(mixes.begin(), mixes.begin() + 2);
+  StudyConfig config = batch_config(4);
+  config.replicates_per_session = 4;
+  config.system.machine = fx8::MachineConfig::fx32();
+  const StudyResult dispatched = run_study(two, config);
+  ASSERT_EQ(setenv("FX8_FORCE_SCALAR", "1", 1), 0);
+  const StudyResult scalar = run_study(two, config);
+  ASSERT_EQ(unsetenv("FX8_FORCE_SCALAR"), 0);
+  expect_identical(dispatched, scalar);
+}
+
 // --- Machine-level differential: RigBatch == tick_block ---------------
 
 isa::KernelSpec rb_kernel() {

@@ -49,7 +49,7 @@ isa::Program tk_program(std::uint64_t trip) {
 /// after naive and block-ticked runs reach the same cycle.
 struct MachineState {
   Cycle now = 0;
-  std::uint32_t active_mask = 0;
+  LaneMask active_mask = 0;
   std::array<mem::CeBusOp, kMaxCes> ce_ops{};
   std::array<mem::MemBusOp, 2> mem_ops{};
   std::vector<fx8::CeStats> ce_stats;

@@ -78,7 +78,7 @@ TEST_P(ClusterProperty, ActiveMaskStaysWithinClusterWidth) {
   Cycle guard = 0;
   while (machine.cluster().busy()) {
     machine.tick();
-    const std::uint32_t mask = machine.active_mask();
+    const LaneMask mask = machine.active_mask();
     EXPECT_EQ(mask >> width, 0u) << "active bit beyond cluster width";
     EXPECT_LE(machine.cluster().active_count(), width);
     ASSERT_LT(++guard, 5'000'000u);

@@ -91,7 +91,7 @@ TEST(Detached, ConcurrentAndDetachedWorkOverlap) {
   Cycle guard = 0;
   while (machine.cluster().busy() || machine.cluster().detached_busy(0)) {
     machine.tick();
-    const std::uint32_t mask = machine.active_mask();
+    const LaneMask mask = machine.active_mask();
     // 8-active = 7 cluster CEs + the detached CE: the footnote's state.
     if ((mask & (1u << 7)) && std::popcount(mask) == 8) {
       saw_overlap = true;

@@ -1,0 +1,260 @@
+// Topology scale-out tests: parameterized N-CE, multi-cluster machines.
+//
+// The TopologyConfig validation matrix, multi-cluster machine
+// construction (global CE ids, fabric wiring, scheduler slots), the
+// second-level bank fabric's arbitration, and capsule round-trips at
+// every preset width. The FX/8 default must stay structurally identical
+// to the pre-topology machine: one cluster, no fabric.
+#include "fx8/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "base/expect.hpp"
+#include "fx8/fabric.hpp"
+#include "fx8/machine.hpp"
+#include "os/system.hpp"
+#include "workload/kernels.hpp"
+
+namespace repro::fx8 {
+namespace {
+
+/// A concurrent DO loop over the shared triad kernel: enough iterations
+/// to light up every CE of whichever cluster runs it.
+isa::Program loop_program(const char* name, std::uint64_t trips) {
+  workload::KernelTuning tuning;
+  isa::ConcurrentLoopPhase loop;
+  loop.trip_count = trips;
+  loop.body = workload::triad_body(tuning);
+  return isa::ProgramBuilder(name)
+      .data_base(0x01000000)
+      .concurrent_loop(loop)
+      .build();
+}
+
+// --- TopologyConfig validation matrix ---------------------------------
+
+TEST(TopologyConfig, DefaultInheritsTheLegacyWidth) {
+  const TopologyConfig inherit;
+  EXPECT_TRUE(topology_valid(inherit, kMaxCes));
+  const ResolvedTopology resolved = resolve_topology(inherit, kMaxCes);
+  EXPECT_EQ(resolved.n_clusters, 1u);
+  EXPECT_EQ(resolved.ces_per_cluster, kMaxCes);
+  EXPECT_EQ(resolved.total_ces, kMaxCes);
+
+  const ResolvedTopology narrow = resolve_topology(inherit, 4);
+  EXPECT_EQ(narrow.ces_per_cluster, 4u);
+  EXPECT_EQ(narrow.total_ces, 4u);
+}
+
+TEST(TopologyConfig, ValidationMatrix) {
+  const auto valid = [](std::uint32_t ces, std::uint32_t clusters) {
+    TopologyConfig t;
+    t.n_ces = ces;
+    t.n_clusters = clusters;
+    return topology_valid(t, kMaxCes);
+  };
+  // Every preset shape and the single-cluster widths.
+  EXPECT_TRUE(valid(0, 1));    // inherit
+  EXPECT_TRUE(valid(8, 1));    // FX/8
+  EXPECT_TRUE(valid(4, 1));    // narrow cluster
+  EXPECT_TRUE(valid(16, 2));   // fx16
+  EXPECT_TRUE(valid(32, 4));   // fx32
+  EXPECT_TRUE(valid(64, 8));   // fx64
+  EXPECT_TRUE(valid(12, 4));   // 3 CEs per cluster
+  // Shapes the lane kernel cannot chunk or the grant words cannot hold.
+  EXPECT_FALSE(valid(16, 1));  // 16 CEs in one cluster: chunk is 8
+  EXPECT_FALSE(valid(12, 5));  // not evenly divided
+  EXPECT_FALSE(valid(0, 0));   // zero clusters
+  EXPECT_FALSE(valid(0, 9));   // too many clusters
+  EXPECT_FALSE(valid(65, 8));  // over the 64-CE grant word
+  EXPECT_FALSE(valid(72, 8));  // 9 CEs per cluster
+}
+
+TEST(TopologyConfig, ResolveRejectsInvalidShapes) {
+  TopologyConfig bad;
+  bad.n_ces = 16;
+  bad.n_clusters = 1;
+  EXPECT_THROW((void)resolve_topology(bad, kMaxCes), ContractViolation);
+}
+
+// --- Multi-cluster machine construction -------------------------------
+
+TEST(TopologyMachine, Fx8DefaultHasOneClusterAndNoFabric) {
+  NoFaultMmu mmu;
+  Machine machine(MachineConfig::fx8(), mmu);
+  EXPECT_EQ(machine.n_clusters(), 1u);
+  EXPECT_EQ(machine.total_ces(), kMaxCes);
+  EXPECT_EQ(machine.fabric(), nullptr);
+  EXPECT_EQ(machine.cluster().ce_base(), 0u);
+}
+
+TEST(TopologyMachine, PresetsBuildTheAdvertisedShapes) {
+  struct Shape {
+    MachineConfig config;
+    std::uint32_t clusters;
+    std::uint32_t total;
+  };
+  const std::vector<Shape> shapes = {
+      {MachineConfig::fx16(), 2, 16},
+      {MachineConfig::fx32(), 4, 32},
+      {MachineConfig::fx64(), 8, 64},
+  };
+  for (const Shape& shape : shapes) {
+    NoFaultMmu mmu;
+    Machine machine(shape.config, mmu);
+    EXPECT_EQ(machine.n_clusters(), shape.clusters);
+    EXPECT_EQ(machine.total_ces(), shape.total);
+    ASSERT_NE(machine.fabric(), nullptr);
+    // Clusters own disjoint global CE id ranges, 8 wide each.
+    for (std::uint32_t k = 0; k < shape.clusters; ++k) {
+      EXPECT_EQ(machine.cluster(k).ce_base(), k * kMaxCes);
+      EXPECT_EQ(machine.cluster(k).width(), kMaxCes);
+    }
+    // The MMU grew to the machine width.
+    EXPECT_EQ(mmu.lanes(), shape.total);
+  }
+}
+
+TEST(TopologyMachine, WideMachineRunsJobsOnEveryCluster) {
+  const isa::Program prog = loop_program("wide", kMaxCes * 3);
+  NoFaultMmu mmu;
+  Machine machine(MachineConfig::fx16(), mmu);
+  machine.cluster(0).load(&prog, 1);
+  machine.cluster(1).load(&prog, 2);
+  Cycle used = 0;
+  while (machine.cluster(0).busy() || machine.cluster(1).busy()) {
+    machine.tick();
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  // Both clusters executed iterations and the mask spans both id ranges.
+  EXPECT_GT(machine.cluster(0).stats().iterations_completed, 0u);
+  EXPECT_GT(machine.cluster(1).stats().iterations_completed, 0u);
+}
+
+TEST(TopologyMachine, ActiveMaskUsesGlobalCeIds) {
+  const isa::Program prog = loop_program("mask", kMaxCes * 4);
+  NoFaultMmu mmu;
+  Machine machine(MachineConfig::fx16(), mmu);
+  machine.cluster(1).load(&prog, 7);
+  LaneMask seen = 0;
+  Cycle used = 0;
+  while (machine.cluster(1).busy()) {
+    machine.tick();
+    seen |= machine.active_mask();
+    ASSERT_LT(++used, 1'000'000u);
+  }
+  // Only cluster 1 ran, so activity sits in bits 8..15 exclusively.
+  EXPECT_NE(seen, 0u);
+  EXPECT_EQ(seen & 0xffu, 0u);
+  EXPECT_EQ(seen >> 16, 0u);
+}
+
+// --- The second-level bank fabric -------------------------------------
+
+TEST(TopologyFabric, GrantsEachBankOncePerCycle) {
+  ClusterFabric fabric(16);
+  EXPECT_TRUE(fabric.try_acquire(3));
+  EXPECT_FALSE(fabric.try_acquire(3));  // same cycle: rejected
+  EXPECT_TRUE(fabric.try_acquire(4));   // other banks unaffected
+  EXPECT_EQ(fabric.conflicts(), 1u);
+  fabric.begin_cycle();
+  EXPECT_TRUE(fabric.try_acquire(3));  // new cycle: granted again
+  EXPECT_EQ(fabric.conflicts(), 1u);
+}
+
+TEST(TopologyFabric, WideMachinesRecordCrossClusterConflicts) {
+  // Two clusters hammering the same banks must trip the second-level
+  // arbitration at least once.
+  const isa::Program prog = loop_program("contend", kMaxCes * 16);
+  NoFaultMmu mmu;
+  Machine machine(MachineConfig::fx16(), mmu);
+  machine.cluster(0).load(&prog, 1);
+  machine.cluster(1).load(&prog, 2);
+  Cycle used = 0;
+  while (machine.cluster(0).busy() || machine.cluster(1).busy()) {
+    machine.tick();
+    ASSERT_LT(++used, 2'000'000u);
+  }
+  ASSERT_NE(machine.fabric(), nullptr);
+  EXPECT_GT(machine.fabric()->conflicts(), 0u);
+}
+
+// --- Scheduler across clusters ----------------------------------------
+
+TEST(TopologyScheduler, FillsEveryClusterFromOneQueue) {
+  os::SystemConfig config;
+  config.machine = MachineConfig::fx32();
+  os::System system{config};
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    os::Job job;
+    job.id = id;
+    job.cls = os::JobClass::kCluster;
+    job.program = loop_program("wide-job", kMaxCes * 2);
+    system.scheduler().submit(std::move(job));
+  }
+  // After one scheduling tick every cluster has a job loaded.
+  system.tick();
+  std::uint32_t busy = 0;
+  for (std::uint32_t k = 0; k < system.machine().n_clusters(); ++k) {
+    busy += system.machine().cluster(k).busy() ? 1u : 0u;
+  }
+  EXPECT_EQ(busy, system.machine().n_clusters());
+  Cycle used = 0;
+  while (!system.scheduler().idle()) {
+    system.tick();
+    ASSERT_LT(++used, 4'000'000u);
+  }
+  EXPECT_EQ(system.scheduler().stats().jobs_completed, 8u);
+}
+
+// --- Capsules at every width ------------------------------------------
+
+TEST(TopologyCapsule, SystemRoundTripsAtEveryPresetWidth) {
+  const std::vector<MachineConfig> presets = {
+      MachineConfig::fx8(), MachineConfig::fx16(), MachineConfig::fx32(),
+      MachineConfig::fx64()};
+  for (const MachineConfig& preset : presets) {
+    os::SystemConfig config;
+    config.machine = preset;
+    os::System system{config};
+    os::Job job;
+    job.id = 1;
+    job.cls = os::JobClass::kCluster;
+    job.program = loop_program("capsule-job", kMaxCes * 8);
+    system.scheduler().submit(std::move(job));
+    for (Cycle c = 0; c < 5000; ++c) {
+      system.tick();
+    }
+    const std::uint64_t before = system.state_digest();
+    const auto sealed = system.save_capsule();
+    os::System restored{config};
+    restored.load_capsule(sealed);
+    EXPECT_EQ(restored.state_digest(), before)
+        << "width " << system.machine().total_ces();
+    // And the restored system re-seals to the same bytes.
+    EXPECT_EQ(restored.save_capsule(), sealed)
+        << "width " << system.machine().total_ces();
+  }
+}
+
+TEST(TopologyCapsule, FingerprintCoversTopologyFields) {
+  os::SystemConfig base;
+  const std::uint64_t key = os::config_fingerprint(base);
+  os::SystemConfig ces = base;
+  ces.machine.topology.n_ces = 16;
+  os::SystemConfig clusters = base;
+  clusters.machine.topology.n_clusters = 2;
+  os::SystemConfig banks = base;
+  banks.machine.topology.cache_banks = 32;
+  os::SystemConfig buses = base;
+  buses.machine.topology.mem_buses = 4;
+  EXPECT_NE(os::config_fingerprint(ces), key);
+  EXPECT_NE(os::config_fingerprint(clusters), key);
+  EXPECT_NE(os::config_fingerprint(banks), key);
+  EXPECT_NE(os::config_fingerprint(buses), key);
+}
+
+}  // namespace
+}  // namespace repro::fx8

@@ -77,7 +77,7 @@ TEST(DasController, MalformedCommandsNakWithoutThrowing) {
   EXPECT_FALSE(das.command("TRIGGER SOMETIMES").ok);
   EXPECT_FALSE(das.command("DEPTH zero").ok);
   EXPECT_FALSE(das.command("DEPTH 0").ok);
-  EXPECT_FALSE(das.command("WIDTH 9").ok);
+  EXPECT_FALSE(das.command("WIDTH 65").ok);
   EXPECT_FALSE(das.command("FIRE").ok);
 }
 

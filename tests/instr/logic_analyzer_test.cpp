@@ -129,8 +129,12 @@ TEST(LogicAnalyzer, RejectsBadConfig) {
   zero_depth.buffer_depth = 0;
   EXPECT_THROW(LogicAnalyzer{zero_depth}, ContractViolation);
 
+  AnalyzerConfig wide_width;
+  wide_width.full_width = 64;  // Topology ceiling: accepted.
+  EXPECT_NO_THROW(LogicAnalyzer{wide_width});
+
   AnalyzerConfig bad_width;
-  bad_width.full_width = 9;
+  bad_width.full_width = 65;  // Past kMaxTopologyCes: rejected.
   EXPECT_THROW(LogicAnalyzer{bad_width}, ContractViolation);
 }
 

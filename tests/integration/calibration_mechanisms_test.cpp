@@ -136,7 +136,7 @@ TEST(CalibrationMechanisms, LingererIdentityIsDeterministic) {
                                      .concurrent_loop(loop)
                                      .build();
     machine.cluster().load(&program, 1);
-    std::uint32_t last_two_mask = 0;
+    repro::LaneMask last_two_mask = 0;
     while (machine.cluster().busy()) {
       machine.tick();
       if (machine.cluster().active_count() == 2) {
@@ -145,7 +145,7 @@ TEST(CalibrationMechanisms, LingererIdentityIsDeterministic) {
     }
     return last_two_mask;
   };
-  const std::uint32_t first = last_pair_mask();
+  const repro::LaneMask first = last_pair_mask();
   EXPECT_EQ(first, last_pair_mask());
   EXPECT_NE(first, 0u);  // a 2-active tail existed
 }
