@@ -244,6 +244,19 @@ int main(int argc, char** argv) {
                               core::run_default_study(wide_batched));
   }
 
+  // Run 6: the width-64 datapoint — eight clusters through the
+  // machine-wide lane pass. The widest preset is where the width-native
+  // kernel (one pass per cycle instead of one per cluster) pays most, so
+  // its cycles/sec rides the dashboard next to width16.
+  TimedRun width64;
+  if (!baseline_only) {
+    core::StudyConfig widest = core::presets::quick_study();
+    widest.threads = 1;
+    widest.fast_forward = true;
+    widest.system.machine = fx8::MachineConfig::fx64();
+    width64 = timed_study(widest);
+  }
+
   // Per-session serial fast-forward rates (the fused-kernel headline:
   // concurrency-saturated sessions 3 and 6 are the slowest per cycle).
   core::StudyConfig per_session = config;
@@ -311,11 +324,13 @@ int main(int argc, char** argv) {
       batch_total_cycles, batch_serial.seconds, batched.seconds,
       rate(batch_total_cycles, batch_serial.seconds),
       rate(batch_total_cycles, batched.seconds), batch_speedup);
-  char width_json[192];
+  char width_json[320];
   std::snprintf(
       width_json, sizeof(width_json),
-      "\"width16_seconds\": %.4f, \"width16_cycles_per_sec\": %.0f, ",
-      width16.seconds, rate(total_cycles, width16.seconds));
+      "\"width16_seconds\": %.4f, \"width16_cycles_per_sec\": %.0f, "
+      "\"width64_seconds\": %.4f, \"width64_cycles_per_sec\": %.0f, ",
+      width16.seconds, rate(total_cycles, width16.seconds),
+      width64.seconds, rate(total_cycles, width64.seconds));
 
   char tail[512];
   std::snprintf(

@@ -109,6 +109,49 @@ void BM_RigBatchTickBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_RigBatchTickBlock)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
 
+// Machine-width sweep: a saturated machine at each width preset (every
+// cluster mid concurrent loop), advanced through tick_block. Items =
+// machine cycles, so items/sec across the rows shows how the per-cycle
+// cost scales with width — the width-native kernel's target is one wide
+// lane pass per cycle regardless of cluster count.
+void BM_WidthTickBlock(benchmark::State& state) {
+  const auto width = state.range(0);
+  fx8::MachineConfig config =
+      width == 8    ? fx8::MachineConfig::fx8()
+      : width == 16 ? fx8::MachineConfig::fx16()
+      : width == 32 ? fx8::MachineConfig::fx32()
+                    : fx8::MachineConfig::fx64();
+  fx8::NoFaultMmu mmu;
+  fx8::Machine machine(config, mmu);
+  workload::KernelTuning tuning;
+  std::vector<isa::Program> programs;
+  for (std::uint32_t i = 0; i < machine.n_clusters(); ++i) {
+    isa::ConcurrentLoopPhase loop;
+    loop.body = workload::matmul_row_body(tuning);
+    loop.trip_count = 1u << 20;
+    programs.push_back(isa::ProgramBuilder("bench-wide")
+                           .data_base(0x01000000 + Addr{i} * 0x02000000)
+                           .concurrent_loop(loop)
+                           .build());
+  }
+  for (std::uint32_t i = 0; i < machine.n_clusters(); ++i) {
+    machine.cluster(i).load(&programs[i], i + 1);
+  }
+  machine.run(2000);  // past dispatch ramp-up, into the steady state
+  const Cycle block = 4096;
+  Cycle cycles = 0;
+  while (state.KeepRunningBatch(static_cast<benchmark::IterationCount>(
+      block))) {
+    Cycle done = 0;
+    while (done < block) {
+      done += machine.tick_block(block - done);
+    }
+    cycles += done;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_WidthTickBlock)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
 void BM_IdleTickBlock(benchmark::State& state) {
   fx8::NoFaultMmu mmu;
   fx8::MachineConfig config = fx8::MachineConfig::fx8();

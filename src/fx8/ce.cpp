@@ -13,11 +13,10 @@ double hash_frac(std::uint64_t h) {
 }  // namespace
 
 Ce::Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
-       std::uint64_t icache_bytes, CeId lane)
-    : id_(id), lane_(lane == kMaxCes ? id : lane), cache_(cache),
-      crossbar_(crossbar), mmu_(mmu), icache_(icache_bytes) {
+       std::uint64_t icache_bytes)
+    : id_(id), cache_(cache), crossbar_(crossbar), mmu_(mmu),
+      icache_(icache_bytes) {
   REPRO_EXPECT(id < kMaxTopologyCes, "CE id out of LaneMask range");
-  REPRO_EXPECT(lane_ < kMaxCes, "CE lane out of hot-lane range");
 }
 
 void Ce::set_mmu_rig(std::uint32_t rig) {
@@ -26,15 +25,15 @@ void Ce::set_mmu_rig(std::uint32_t rig) {
 }
 
 void Ce::bind_hot(CeHot& hot) {
-  hot.phase[lane_] = hot_->phase[lane_];
-  hot.bus_op[lane_] = hot_->bus_op[lane_];
-  hot.compute_left[lane_] = hot_->compute_left[lane_];
-  hot.fault_left[lane_] = hot_->fault_left[lane_];
-  hot.busy_cycles[lane_] = hot_->busy_cycles[lane_];
-  hot.compute_cycles[lane_] = hot_->compute_cycles[lane_];
-  hot.miss_wait_cycles[lane_] = hot_->miss_wait_cycles[lane_];
-  hot.fault_wait_cycles[lane_] = hot_->fault_wait_cycles[lane_];
-  const std::uint32_t bit = 1u << lane_;
+  hot.phase[id_] = hot_->phase[id_];
+  hot.bus_op[id_] = hot_->bus_op[id_];
+  hot.compute_left[id_] = hot_->compute_left[id_];
+  hot.fault_left[id_] = hot_->fault_left[id_];
+  hot.busy_cycles[id_] = hot_->busy_cycles[id_];
+  hot.compute_cycles[id_] = hot_->compute_cycles[id_];
+  hot.miss_wait_cycles[id_] = hot_->miss_wait_cycles[id_];
+  hot.fault_wait_cycles[id_] = hot_->fault_wait_cycles[id_];
+  const LaneMask bit = LaneMask{1} << id_;
   hot.done_mask = (hot.done_mask & ~bit) | (hot_->done_mask & bit);
   hot_ = &hot;
 }
@@ -75,16 +74,16 @@ void Ce::skip(Cycle cycles) {
   }
   REPRO_EXPECT(cycles <= quiet_horizon(), "CE skip beyond its horizon");
   set_bus_op(mem::CeBusOp::kIdle);
-  hot_->busy_cycles[lane_] += cycles;
+  hot_->busy_cycles[id_] += cycles;
   if (p == Phase::kCompute) {
     compute_left() -= static_cast<std::uint32_t>(cycles);
-    hot_->compute_cycles[lane_] += cycles;
+    hot_->compute_cycles[id_] += cycles;
   } else if (p == Phase::kMissWait) {
     set_bus_op(mem::CeBusOp::kWait);  // What each skipped tick would latch.
-    hot_->miss_wait_cycles[lane_] += cycles;
+    hot_->miss_wait_cycles[id_] += cycles;
   } else {  // kFaultWait
     fault_left() -= cycles;
-    hot_->fault_wait_cycles[lane_] += cycles;
+    hot_->fault_wait_cycles[id_] += cycles;
   }
 }
 
@@ -148,13 +147,13 @@ void Ce::serialize(capsule::Io& io) {
   if (io.loading()) {
     set_phase(p);
   }
-  io.enum32(hot.bus_op[lane_]);
-  io.u32(hot.compute_left[lane_]);
-  io.u64(hot.fault_left[lane_]);
-  io.u64(hot.busy_cycles[lane_]);
-  io.u64(hot.compute_cycles[lane_]);
-  io.u64(hot.miss_wait_cycles[lane_]);
-  io.u64(hot.fault_wait_cycles[lane_]);
+  io.enum32(hot.bus_op[id_]);
+  io.u32(hot.compute_left[id_]);
+  io.u64(hot.fault_left[id_]);
+  io.u64(hot.busy_cycles[id_]);
+  io.u64(hot.compute_cycles[id_]);
+  io.u64(hot.miss_wait_cycles[id_]);
+  io.u64(hot.fault_wait_cycles[id_]);
 }
 
 void Ce::setup_step() {
@@ -247,10 +246,10 @@ void Ce::tick_slow() {
   if (phase() == Phase::kIdle || phase() == Phase::kDone) {
     return;
   }
-  ++hot_->busy_cycles[lane_];
+  ++hot_->busy_cycles[id_];
 
   if (phase() == Phase::kFaultWait) {
-    ++hot_->fault_wait_cycles[lane_];
+    ++hot_->fault_wait_cycles[id_];
     if (--fault_left() == 0) {
       set_phase(resume_phase_);
     }
@@ -258,7 +257,7 @@ void Ce::tick_slow() {
   }
 
   if (phase() == Phase::kMissWait) {
-    ++hot_->miss_wait_cycles[lane_];
+    ++hot_->miss_wait_cycles[id_];
     set_bus_op(mem::CeBusOp::kWait);
     if (cache_.take_fill_ready(id_)) {
       // The stalled access completes with this fill.
@@ -285,7 +284,7 @@ void Ce::tick_slow() {
         if (step_ >= total_steps_) {
           set_phase(Phase::kDone);
           ++stats_.instances_completed;
-          --hot_->busy_cycles[lane_];  // This cycle did no work.
+          --hot_->busy_cycles[id_];  // This cycle did no work.
           return;
         }
         setup_step();
@@ -305,7 +304,7 @@ void Ce::tick_slow() {
       case Phase::kCompute: {
         if (compute_left() > 0) {
           --compute_left();
-          ++hot_->compute_cycles[lane_];
+          ++hot_->compute_cycles[id_];
           return;  // Bus idle this cycle.
         }
         set_phase(Phase::kAccess);
@@ -319,7 +318,7 @@ void Ce::tick_slow() {
           if (fault > 0) {
             fault_left() = fault;
             resume_phase_ = Phase::kIFetch;
-            ++hot_->fault_wait_cycles[lane_];
+            ++hot_->fault_wait_cycles[id_];
             set_phase(Phase::kFaultWait);
             return;
           }
@@ -352,7 +351,7 @@ void Ce::tick_slow() {
           if (fault > 0) {
             fault_left() = fault;
             resume_phase_ = Phase::kAccess;
-            ++hot_->fault_wait_cycles[lane_];
+            ++hot_->fault_wait_cycles[id_];
             set_phase(Phase::kFaultWait);
             return;
           }

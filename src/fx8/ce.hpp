@@ -9,10 +9,11 @@
 // what the logic-analyzer probe on this CE's cache bus latches.
 //
 // The per-tick hot state (phase, bus opcode, stall countdowns) lives in a
-// CeHot lane block (fx8/hot_state.hpp) so the machine's fused kernel
-// walks one contiguous array for all eight CEs; the three steady-state
-// behaviours (compute burn, miss wait, fault wait) run as an inlined fast
-// path and everything else drops to tick_slow().
+// machine-wide CeHot lane block (fx8/hot_state.hpp), indexed by the CE's
+// global id, so the machine's fused kernel walks one contiguous array
+// for every cluster's CEs; the three steady-state behaviours (compute
+// burn, miss wait, fault wait) run as an inlined fast path and
+// everything else drops to tick_slow().
 #pragma once
 
 #include <cstdint>
@@ -66,15 +67,12 @@ struct CeStats {
 class Ce {
  public:
   /// `id` is the machine-global CE id (indexes the shared cache's waiter
-  /// masks, the MMU memos, and the probe channels). `lane` is the CE's
-  /// slot within its cluster's CeHot block, 0..kMaxCes-1; the default
-  /// kMaxCes means "lane = id" — the single-cluster case, where the two
-  /// coincide (and every standalone test keeps its old meaning).
+  /// masks, the MMU memos, the probe channels, and this CE's slots in
+  /// the machine-wide CeHot lane block).
   Ce(CeId id, cache::SharedCache& cache, Crossbar& crossbar, Mmu& mmu,
-     std::uint64_t icache_bytes = 16 * 1024, CeId lane = kMaxCes);
+     std::uint64_t icache_bytes = 16 * 1024);
 
   [[nodiscard]] CeId id() const { return id_; }
-  [[nodiscard]] CeId lane() const { return lane_; }
 
   /// Begin executing an instance. Requires idle().
   void start(const KernelInstance& inst);
@@ -95,33 +93,33 @@ class Ce {
   /// (step setup, access issue, stall pick-up) run in tick_slow().
   void tick() {
     CeHot& hot = *hot_;
-    const Phase p = static_cast<Phase>(hot.phase[lane_]);
-    hot.bus_op[lane_] = mem::CeBusOp::kIdle;
+    const Phase p = static_cast<Phase>(hot.phase[id_]);
+    hot.bus_op[id_] = mem::CeBusOp::kIdle;
     switch (p) {
       case Phase::kIdle:
       case Phase::kDone:
         return;
       case Phase::kCompute:
-        if (hot.compute_left[lane_] > 0) {
-          --hot.compute_left[lane_];
-          ++hot.busy_cycles[lane_];
-          ++hot.compute_cycles[lane_];
+        if (hot.compute_left[id_] > 0) {
+          --hot.compute_left[id_];
+          ++hot.busy_cycles[id_];
+          ++hot.compute_cycles[id_];
           return;
         }
         break;
       case Phase::kMissWait:
         if (!cache_.fill_ready(id_)) {
-          hot.bus_op[lane_] = mem::CeBusOp::kWait;
-          ++hot.busy_cycles[lane_];
-          ++hot.miss_wait_cycles[lane_];
+          hot.bus_op[id_] = mem::CeBusOp::kWait;
+          ++hot.busy_cycles[id_];
+          ++hot.miss_wait_cycles[id_];
           return;
         }
         break;
       case Phase::kFaultWait:
-        if (hot.fault_left[lane_] > 1) {
-          --hot.fault_left[lane_];
-          ++hot.busy_cycles[lane_];
-          ++hot.fault_wait_cycles[lane_];
+        if (hot.fault_left[id_] > 1) {
+          --hot.fault_left[id_];
+          ++hot.busy_cycles[id_];
+          ++hot.fault_wait_cycles[id_];
           return;
         }
         break;
@@ -133,7 +131,7 @@ class Ce {
 
   /// Bus opcode latched by a probe for the cycle just ticked. Idle CEs
   /// latch kIdle.
-  [[nodiscard]] mem::CeBusOp bus_op() const { return hot_->bus_op[lane_]; }
+  [[nodiscard]] mem::CeBusOp bus_op() const { return hot_->bus_op[id_]; }
 
   // --- Event-horizon fast-forward -------------------------------------
   /// Cycles for which this CE's behaviour is a pure repeat that skip()
@@ -142,18 +140,18 @@ class Ce {
   /// service (minus the transition cycle). 0 means the next tick can
   /// change machine-visible state and must run naively.
   [[nodiscard]] Cycle quiet_horizon() const {
-    switch (static_cast<Phase>(hot_->phase[lane_])) {
+    switch (static_cast<Phase>(hot_->phase[id_])) {
       case Phase::kIdle:
       case Phase::kDone:
         return kHorizonNever;
       case Phase::kCompute:
         // Each of the next compute_left ticks burns one bus-idle compute
         // cycle; the tick after that enters kAccess.
-        return hot_->compute_left[lane_];
+        return hot_->compute_left[id_];
       case Phase::kFaultWait:
         // The tick that drops fault_left to zero also transitions phases,
         // so it must run naively: skip at most fault_left - 1.
-        return hot_->fault_left[lane_] - 1;
+        return hot_->fault_left[id_] - 1;
       case Phase::kMissWait:
         // Waiting on a line fill: the shared cache flags readiness on a
         // bus-completion tick, which the bus horizon already forces to be
@@ -172,10 +170,10 @@ class Ce {
   /// counters that live in the hot lanes.
   [[nodiscard]] CeStats stats() const {
     CeStats s = stats_;
-    s.busy_cycles = hot_->busy_cycles[lane_];
-    s.compute_cycles = hot_->compute_cycles[lane_];
-    s.miss_wait_cycles = hot_->miss_wait_cycles[lane_];
-    s.fault_wait_cycles = hot_->fault_wait_cycles[lane_];
+    s.busy_cycles = hot_->busy_cycles[id_];
+    s.compute_cycles = hot_->compute_cycles[id_];
+    s.miss_wait_cycles = hot_->miss_wait_cycles[id_];
+    s.fault_wait_cycles = hot_->fault_wait_cycles[id_];
     return s;
   }
 
@@ -205,11 +203,11 @@ class Ce {
   using Phase = CePhase;
 
   [[nodiscard]] Phase phase() const {
-    return static_cast<Phase>(hot_->phase[lane_]);
+    return static_cast<Phase>(hot_->phase[id_]);
   }
   void set_phase(Phase p) {
-    hot_->phase[lane_] = static_cast<std::uint8_t>(p);
-    const std::uint32_t bit = 1u << lane_;
+    hot_->phase[id_] = static_cast<std::uint8_t>(p);
+    const LaneMask bit = LaneMask{1} << id_;
     if (p == Phase::kDone) {
       hot_->done_mask |= bit;
     } else {
@@ -217,20 +215,19 @@ class Ce {
     }
   }
   [[nodiscard]] std::uint32_t& compute_left() {
-    return hot_->compute_left[lane_];
+    return hot_->compute_left[id_];
   }
-  [[nodiscard]] Cycle& fault_left() { return hot_->fault_left[lane_]; }
-  void set_bus_op(mem::CeBusOp op) { hot_->bus_op[lane_] = op; }
+  [[nodiscard]] Cycle& fault_left() { return hot_->fault_left[id_]; }
+  void set_bus_op(mem::CeBusOp op) { hot_->bus_op[id_] = op; }
 
   void tick_slow();
   void setup_step();
   void issue_access(cache::AccessType type, Addr addr);
   [[nodiscard]] Addr next_data_addr(bool is_store);
 
+  /// Global CE id; also this CE's index (and done_mask bit) in the
+  /// machine-wide CeHot lane block.
   CeId id_;
-  /// Index within the cluster's CeHot lane block (and its done_mask
-  /// bit); equals id_ on single-cluster machines.
-  CeId lane_;
   cache::SharedCache& cache_;
   Crossbar& crossbar_;
   Mmu& mmu_;

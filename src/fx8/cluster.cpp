@@ -59,14 +59,15 @@ Cluster::Cluster(const ClusterConfig& config, cache::SharedCache& cache,
   ces_.reserve(config.n_ces);
   for (CeId c = 0; c < config.n_ces; ++c) {
     ces_.emplace_back(ce_base + c, cache, crossbar_, mmu,
-                      config.icache_bytes, /*lane=*/c);
+                      config.icache_bytes);
+    lanes_mask_ |= LaneMask{1} << (ce_base + c);
   }
   service_count_ = static_cast<std::uint32_t>(base_order_.size());
   std::copy(base_order_.begin(), base_order_.end(), service_order_.begin());
   rotating_ = config.policy == ServicePolicy::kRotating;
   has_detached_ = config.detached_ces != 0;
   for (const CeId c : base_order_) {
-    service_lane_mask_ |= 1u << c;
+    service_lane_mask_ |= LaneMask{1} << (ce_base + c);
   }
   for (Ce& ce : ces_) {
     ce.bind_hot(own_ce_hot_);
@@ -103,6 +104,8 @@ void Cluster::load_detached(std::uint32_t slot, const isa::Program* program,
   REPRO_EXPECT(!program->has_concurrency(),
                "detached processes are exclusively serial");
   detached_[slot] = DetachedJob{program, job, 0, 0};
+  detached_live_ |= 1u << slot;
+  horizon_valid_ = false;
 }
 
 void Cluster::run_detached(std::uint32_t slot) {
@@ -126,6 +129,7 @@ void Cluster::run_detached(std::uint32_t slot) {
     ++detached.phase_idx;
     if (detached.phase_idx >= detached.program->phases.size()) {
       detached.program = nullptr;
+      detached_live_ &= ~(1u << slot);
       ++stats_.jobs_completed;
       ++*events_;
       return;
@@ -160,6 +164,7 @@ void Cluster::load(const isa::Program* program, JobId job) {
   in_serial_phase_ = false;
   worker_.fill(WorkerState::kNone);
   deps_waiting_ = 0;
+  horizon_valid_ = false;
   if (observer_) {
     observer_->on_job_start(job_, now_);
   }
@@ -176,13 +181,13 @@ Addr Cluster::code_base_for_phase() const {
          static_cast<Addr>(phase_idx_) * 0x100000ULL;
 }
 
-void Cluster::bind_hot(ClusterHot& hot, std::uint64_t& events) {
+void Cluster::bind_hot(ClusterHot& hot, CeHot& lanes, std::uint64_t& events) {
   crossbar_.bind_hot(hot.crossbar_taken);
   ccb_.bind_hot(hot.ccb_grants_left);
   for (Ce& ce : ces_) {
-    ce.bind_hot(hot.ce);
+    ce.bind_hot(lanes);
   }
-  ce_hot_ = &hot.ce;
+  ce_hot_ = &lanes;
   events = *events_;
   events_ = &events;
 }
@@ -191,6 +196,8 @@ void Cluster::serialize(capsule::Io& io) {
   if (io.loading()) {
     needs_program_rebind_ = false;
     detached_rebind_mask_ = 0;
+    detached_live_ = 0;
+    horizon_valid_ = false;
   }
   crossbar_.serialize(io);
   ccb_.serialize(io);
@@ -226,6 +233,7 @@ void Cluster::serialize(capsule::Io& io) {
       detached.program = nullptr;
       if (slot_busy) {
         detached_rebind_mask_ |= 1u << slot;
+        detached_live_ |= 1u << slot;
       }
     }
     io.u64(detached.job);
@@ -378,7 +386,7 @@ void Cluster::run_concurrent_phase(const isa::ConcurrentLoopPhase& phase) {
     // another worker state. Skipping it preserves the service order for
     // every lane that does get serviced.
     if (worker_[c] == WorkerState::kExecuting &&
-        ((ce_hot_->done_mask >> c) & 1u) == 0) {
+        ((ce_hot_->done_mask >> (ce_base_ + c)) & 1u) == 0) {
       continue;
     }
     Ce& ce = ces_[c];
@@ -455,33 +463,36 @@ void Cluster::advance_control() {
 }
 
 inline void Cluster::tick_lane(CeHot& hot, CeId c) {
-  const CePhase p = static_cast<CePhase>(hot.phase[c]);
-  hot.bus_op[c] = mem::CeBusOp::kIdle;
+  // `c` is the cluster-local lane; the hot block is machine-wide,
+  // indexed by global CE id.
+  const CeId g = ce_base_ + c;
+  const CePhase p = static_cast<CePhase>(hot.phase[g]);
+  hot.bus_op[g] = mem::CeBusOp::kIdle;
   switch (p) {
     case CePhase::kIdle:
     case CePhase::kDone:
       return;
     case CePhase::kCompute:
-      if (hot.compute_left[c] > 0) {
-        --hot.compute_left[c];
-        ++hot.busy_cycles[c];
-        ++hot.compute_cycles[c];
+      if (hot.compute_left[g] > 0) {
+        --hot.compute_left[g];
+        ++hot.busy_cycles[g];
+        ++hot.compute_cycles[g];
         return;
       }
       break;
     case CePhase::kMissWait:
-      if (!cache_.fill_ready(ce_base_ + c)) {
-        hot.bus_op[c] = mem::CeBusOp::kWait;
-        ++hot.busy_cycles[c];
-        ++hot.miss_wait_cycles[c];
+      if (!cache_.fill_ready(g)) {
+        hot.bus_op[g] = mem::CeBusOp::kWait;
+        ++hot.busy_cycles[g];
+        ++hot.miss_wait_cycles[g];
         return;
       }
       break;
     case CePhase::kFaultWait:
-      if (hot.fault_left[c] > 1) {
-        --hot.fault_left[c];
-        ++hot.busy_cycles[c];
-        ++hot.fault_wait_cycles[c];
+      if (hot.fault_left[g] > 1) {
+        --hot.fault_left[g];
+        ++hot.busy_cycles[g];
+        ++hot.fault_wait_cycles[g];
         return;
       }
       break;
@@ -491,7 +502,20 @@ inline void Cluster::tick_lane(CeHot& hot, CeId c) {
   ces_[c].tick_slow();
 }
 
-void Cluster::tick() {
+void Cluster::tick_control() {
+  if (program_ == nullptr && detached_live_ == 0) {
+    // Idle cluster: control has provably nothing to do, every lane is
+    // parked, and the crossbar grant word is already clear (the last
+    // access any lane issued was followed by a live-cluster cycle whose
+    // begin_cycle reset it before the cluster could drain). Only the
+    // cycle counters advance; the cached horizon — necessarily
+    // kHorizonNever — survives.
+    ++rotation_;
+    ++now_;
+    return;
+  }
+  // Anything control can do this cycle makes the cached horizon stale.
+  horizon_valid_ = false;
   if (rotating_) {
     refresh_service_order();
   }
@@ -500,10 +524,25 @@ void Cluster::tick() {
     ccb_.begin_cycle();
   }
   advance_control();
-  if (has_detached_) {
+  if (has_detached_ && detached_live_ != 0) {
     for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
       run_detached(slot);
     }
+  }
+  // Nothing between here and the lane ticks reads these: the rotation
+  // was consumed by refresh_service_order above and observers stamp now_
+  // during control, so the counters pre-increment for the next cycle.
+  ++rotation_;
+  ++now_;
+}
+
+void Cluster::tick() {
+  tick_control();
+  if (program_ == nullptr && detached_live_ == 0) {
+    // Every lane is parked with its bus opcode already latched kIdle;
+    // ticking them is a provable no-op (the wide path skips these lanes
+    // via its live prefix, and the two paths are bit-identical).
+    return;
   }
   CeHot& hot = *ce_hot_;
   for (std::uint32_t i = 0; i < service_count_; ++i) {
@@ -514,54 +553,29 @@ void Cluster::tick() {
       tick_lane(hot, detached_ce(slot));
     }
   }
-  ++rotation_;
-  ++now_;
 }
 
-void Cluster::tick_batched(LanePassFn pass) {
-  if (rotating_) {
-    refresh_service_order();
+void Cluster::tick_peel(LaneMask slow) {
+  if ((slow & lanes_mask_) == 0) {
+    return;
   }
-  crossbar_.begin_cycle();
-  if (in_loop_) {
-    ccb_.begin_cycle();
-  }
-  advance_control();
-  if (has_detached_) {
-    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
-      run_detached(slot);
+  // Visit this cluster's slow lanes in exactly the order tick() would
+  // have reached them: service lanes in service order, then detached.
+  CeHot& hot = *ce_hot_;
+  for (std::uint32_t i = 0; i < service_count_; ++i) {
+    const CeId c = service_order_[i];
+    if ((slow >> (ce_base_ + c)) & 1u) {
+      tick_lane(hot, c);
     }
   }
-  CeHot& hot = *ce_hot_;
-  // One wide pass advances every steady-state lane; only the reported
-  // slow lanes take the per-lane dispatch, visited in exactly the order
-  // tick() would have reached them. Fast lanes touch nothing outside
-  // their own CeHot slots (the cache's fill-ready word is read-only here
-  // and only drain_fills — end-of-cycle cache tick — sets it), so the
-  // split preserves tick()'s semantics bit for bit.
-  // The machine-wide fill-ready word is over global CE ids; shift this
-  // cluster's 8-lane window down to lane bit positions for the pass.
-  const std::uint32_t slow = pass(
-      hot, static_cast<std::uint32_t>((cache_.fill_ready_mask() >> ce_base_) &
-                                      0xffu));
-  if (slow != 0) {
-    for (std::uint32_t i = 0; i < service_count_; ++i) {
-      const CeId c = service_order_[i];
-      if ((slow >> c) & 1u) {
+  if (has_detached_) {
+    for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
+      const CeId c = detached_ce(slot);
+      if ((slow >> (ce_base_ + c)) & 1u) {
         tick_lane(hot, c);
       }
     }
-    if (has_detached_) {
-      for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
-        const CeId c = detached_ce(slot);
-        if ((slow >> c) & 1u) {
-          tick_lane(hot, c);
-        }
-      }
-    }
   }
-  ++rotation_;
-  ++now_;
 }
 
 void Cluster::set_mmu_rig(std::uint32_t rig) {
@@ -571,6 +585,20 @@ void Cluster::set_mmu_rig(std::uint32_t rig) {
 }
 
 Cycle Cluster::quiet_horizon() const {
+  // Every machine advancement either invalidates this cache (a control
+  // step on a busy cluster) or updates it exactly (skip), so a valid
+  // entry is always the answer the walk below would recompute. Wide
+  // machines mostly hold a few busy clusters and many idle ones; the
+  // idle ones answer from here in O(1).
+  if (horizon_valid_) {
+    return horizon_cache_;
+  }
+  horizon_cache_ = compute_quiet_horizon();
+  horizon_valid_ = true;
+  return horizon_cache_;
+}
+
+Cycle Cluster::compute_quiet_horizon() const {
   Cycle horizon = kHorizonNever;
   if (busy()) {
     const isa::Phase& phase = program_->phases[phase_idx_];
@@ -613,7 +641,7 @@ Cycle Cluster::quiet_horizon() const {
       }
     }
   }
-  if (has_detached_) {
+  if (has_detached_ && detached_live_ != 0) {
     for (std::uint32_t slot = 0; slot < config_.detached_ces; ++slot) {
       if (detached_[slot].program == nullptr) {
         continue;
@@ -631,6 +659,13 @@ Cycle Cluster::quiet_horizon() const {
 void Cluster::skip(Cycle cycles) {
   for (Ce& ce : ces_) {
     ce.skip(cycles);
+  }
+  // Each skipped cycle shrinks every finite member horizon by exactly
+  // one (compute/fault countdowns decrement; miss waits and parked lanes
+  // are kHorizonNever and cannot flip mid-skip — the bus horizon forces
+  // completion ticks to run naively), so the cached minimum just slides.
+  if (horizon_valid_ && horizon_cache_ != kHorizonNever) {
+    horizon_cache_ -= cycles;
   }
   if (busy() && in_loop_) {
     // Naive ticks bump the dependence-wait counter once per waiting CE

@@ -24,7 +24,6 @@
 #include "fx8/ce.hpp"
 #include "fx8/crossbar.hpp"
 #include "fx8/hot_state.hpp"
-#include "fx8/lane_kernel.hpp"
 #include "fx8/mmu.hpp"
 #include "isa/program.hpp"
 
@@ -104,13 +103,22 @@ class Cluster {
   /// Advance one cycle (program control, CCB, crossbar, all CEs).
   void tick();
 
-  /// tick() with the CE loop replaced by one wide lane pass
-  /// (fx8/lane_kernel.hpp): `pass` advances every steady-state lane in
-  /// straight-line arithmetic and only the lanes it reports slow run the
-  /// per-lane tick_lane dispatch, in the cycle's service order. Driven by
-  /// fx8::RigBatch; bit-identical to tick() for any pass honouring the
-  /// lane-kernel contract.
-  void tick_batched(LanePassFn pass);
+  /// The control half of tick(): service-order refresh, crossbar/CCB
+  /// begin_cycle, program control, detached control, and the cycle
+  /// counters — everything except the per-lane CE advancement. The wide
+  /// machine paths (Machine::tick_block, fx8::RigBatch) run this for
+  /// every cluster, then one machine-wide lane pass
+  /// (fx8/lane_kernel.hpp), then tick_peel for the pass's slow lanes.
+  /// tick() == tick_control() + every lane's tick_lane.
+  void tick_control();
+
+  /// Run the per-lane tick path for this cluster's lanes flagged in the
+  /// machine-wide `slow` mask (bit = global CE id), in exactly the
+  /// service order tick() would have used (service lanes first, then
+  /// detached). No-op when none of this cluster's bits are set. Only
+  /// valid right after tick_control() in the same cycle, with every
+  /// other lane already advanced by the wide pass.
+  void tick_peel(LaneMask slow);
 
   /// Forward Machine::set_mmu_rig to every CE (see Ce::set_mmu_rig).
   void set_mmu_rig(std::uint32_t rig);
@@ -150,17 +158,30 @@ class Cluster {
   /// observer must outlive the cluster or be detached first.
   void set_observer(ClusterObserver* observer) { observer_ = observer; }
 
-  /// Re-point the cluster's hot state (crossbar grant mask, CCB grant
-  /// budget, every CE's lanes) at the cluster's slice of the machine's
-  /// contiguous hot-state block, and the control-event counter at the
-  /// machine-wide counter (shared by all clusters). Copies current
-  /// values.
-  void bind_hot(ClusterHot& hot, std::uint64_t& events);
+  /// Re-point the cluster's hot state at the machine's contiguous
+  /// hot-state block: the crossbar grant mask and CCB grant budget at
+  /// the cluster's slice, every CE's lanes at the machine-wide lane
+  /// block (`lanes`, indexed by global CE id), and the control-event
+  /// counter at the machine-wide counter (shared by all clusters).
+  /// Copies current values.
+  void bind_hot(ClusterHot& hot, CeHot& lanes, std::uint64_t& events);
 
   /// Monotone count of control events the OS layer can react to: a
   /// cluster job or a detached job completing. Machine::tick_block stops
   /// at the end of the cycle that bumps this (see fx8/hot_state.hpp).
   [[nodiscard]] std::uint64_t control_events() const { return *events_; }
+
+  /// True while the cluster has any work (a cluster job or a live
+  /// detached slot). While false, every lane is parked — phases
+  /// kIdle/kDone with bus opcodes already latched kIdle — so the wide
+  /// machine paths can drop the cluster's lanes from the per-cycle pass
+  /// without changing a byte of state.
+  [[nodiscard]] bool lanes_live() const {
+    return program_ != nullptr || detached_live_ != 0;
+  }
+  /// One past this cluster's highest global CE id (the pass-prefix bound
+  /// the wide paths take the max of over live clusters).
+  [[nodiscard]] CeId lane_end() const { return ce_base_ + config_.n_ces; }
 
   // --- Detached CEs ---------------------------------------------------
   /// CEs participating in cluster (loop) execution.
@@ -206,6 +227,8 @@ class Cluster {
   };
 
   void advance_control();
+  /// The uncached horizon walk behind quiet_horizon().
+  [[nodiscard]] Cycle compute_quiet_horizon() const;
   /// The fused per-lane fast path — the lane-resident mirror of
   /// Ce::tick(). Steady-state lanes touch only the shared CeHot block
   /// (plus the cache's fill-ready word); transitions drop into the
@@ -259,14 +282,28 @@ class Cluster {
   std::uint32_t detached_rebind_mask_ = 0;
 
   ClusterStats stats_;
-  /// The cluster's CEs always share one CeHot block (the constructor
-  /// binds them to own_ce_hot_; Machine::bind_hot re-points them at the
-  /// machine block), so control can poll the shared done_mask instead of
-  /// every CE.
+  /// The cluster's CEs always share one CeHot block, indexed by global
+  /// CE id (the constructor binds them to own_ce_hot_; Machine::bind_hot
+  /// re-points them at the machine-wide block), so control can poll the
+  /// shared done_mask instead of every CE.
   CeHot own_ce_hot_;
   CeHot* ce_hot_ = &own_ce_hot_;
-  /// Bitmask of the lanes participating in cluster (non-detached) work.
-  std::uint32_t service_lane_mask_ = 0;
+  /// Bitmask (global CE ids) of the lanes participating in cluster
+  /// (non-detached) work.
+  LaneMask service_lane_mask_ = 0;
+  /// Bitmask (global CE ids) of every lane this cluster owns — the
+  /// cluster's window into a machine-wide slow mask.
+  LaneMask lanes_mask_ = 0;
+  /// Detached slots currently running a job (bit = slot index). Lets
+  /// tick_control() and quiet_horizon() skip the slot walk (and keep the
+  /// horizon cache valid) on clusters with nothing detached running.
+  std::uint32_t detached_live_ = 0;
+  /// Cached quiet_horizon() value. Valid until the next control step
+  /// that can act (tick_control invalidates whenever the cluster has a
+  /// program or a live detached job); skip() updates it exactly, since
+  /// every skipped cycle shrinks each member horizon by exactly one.
+  mutable Cycle horizon_cache_ = 0;
+  mutable bool horizon_valid_ = false;
   /// Workers currently in WorkerState::kAwaitingDep. Together with the
   /// done mask and the CCB dispatch cursor this tells the concurrent
   /// control scan when it has provably nothing to do this cycle.

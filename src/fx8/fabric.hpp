@@ -30,6 +30,12 @@ class ClusterFabric {
   /// before any cluster ticks (clusters then contend in service order).
   void begin_cycle() { taken_ = 0; }
 
+  /// True when no bank was granted since the last begin_cycle — i.e.
+  /// begin_cycle() would be a no-op. Lets the machine elide the reset on
+  /// cycles where no cluster touched a bank (the common case on wide
+  /// machines running compute-heavy phases).
+  [[nodiscard]] bool idle() const { return taken_ == 0; }
+
   /// Try to claim `bank` for the calling cluster this cycle.
   [[nodiscard]] bool try_acquire(std::uint32_t bank) {
     REPRO_EXPECT(bank < banks_, "bank index out of range");

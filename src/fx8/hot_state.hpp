@@ -40,35 +40,36 @@ enum class CePhase : std::uint8_t {
   kDone,
 };
 
-/// Per-CE state lanes, one slot per *lane* — a CE's index within its
-/// cluster, 0..kMaxCes-1 (SoA). The values are the hot subset of Ce: the
-/// phase discriminant the cluster polls, the bus opcode the probe
-/// latches, and the countdowns the three stall fast paths decrement.
-/// Stats and the streaming/pending cold state stay in Ce. The block is
-/// exactly one lane-kernel chunk: wider machines carry one CeHot per
-/// cluster (HotState::clusters) and the wide pass runs per cluster.
+/// Machine-wide per-CE state lanes, one slot per *global CE id* —
+/// cluster-major, 0..kMaxTopologyCes-1, matching base::LaneMask bit
+/// positions (SoA). The values are the hot subset of Ce: the phase
+/// discriminant the cluster polls, the bus opcode the probe latches, and
+/// the countdowns the three stall fast paths decrement. Stats and the
+/// streaming/pending cold state stay in Ce. Every cluster's lanes live
+/// contiguously in one block (HotState::lanes) so a single wide pass
+/// (fx8/lane_kernel.hpp) sweeps all clusters' steady-state lanes in one
+/// call; unused lanes beyond the machine width stay zero (kIdle).
 struct CeHot {
-  std::array<std::uint8_t, kMaxCes> phase{};     ///< CePhase values.
-  std::array<mem::CeBusOp, kMaxCes> bus_op{};
-  std::array<std::uint32_t, kMaxCes> compute_left{};
-  std::array<Cycle, kMaxCes> fault_left{};
+  std::array<std::uint8_t, kMaxTopologyCes> phase{};  ///< CePhase values.
+  std::array<mem::CeBusOp, kMaxTopologyCes> bus_op{};
+  std::array<std::uint32_t, kMaxTopologyCes> compute_left{};
+  std::array<Cycle, kMaxTopologyCes> fault_left{};
   /// The four per-cycle CeStats counters. They live in lanes so a
   /// steady-state tick touches only this block — the Ce object itself
   /// stays untouched on the fast path.
-  std::array<std::uint64_t, kMaxCes> busy_cycles{};
-  std::array<std::uint64_t, kMaxCes> compute_cycles{};
-  std::array<std::uint64_t, kMaxCes> miss_wait_cycles{};
-  std::array<std::uint64_t, kMaxCes> fault_wait_cycles{};
-  /// One bit per CE, set while that CE's phase is kDone. Maintained by
-  /// Ce::set_phase so the cluster's control scan can test "any completion
-  /// to reap?" in O(1) instead of polling every CE every cycle.
-  std::uint32_t done_mask = 0;
+  std::array<std::uint64_t, kMaxTopologyCes> busy_cycles{};
+  std::array<std::uint64_t, kMaxTopologyCes> compute_cycles{};
+  std::array<std::uint64_t, kMaxTopologyCes> miss_wait_cycles{};
+  std::array<std::uint64_t, kMaxTopologyCes> fault_wait_cycles{};
+  /// One bit per global CE id, set while that CE's phase is kDone.
+  /// Maintained by Ce::set_phase so a cluster's control scan can test
+  /// "any completion to reap?" in O(1) instead of polling every CE.
+  LaneMask done_mask = 0;
 };
 
-/// One cluster's slice of the hot block: its CE lanes, its crossbar
-/// grant word, and its CCB grant budget.
+/// One cluster's slice of the hot block: its crossbar grant word and its
+/// CCB grant budget. The CE lanes live machine-wide in HotState::lanes.
 struct ClusterHot {
-  CeHot ce;
   /// Crossbar: banks granted this cycle (one bit per bank).
   std::uint64_t crossbar_taken = 0;
   /// CCB: iteration-dispatch grants left this cycle.
@@ -76,6 +77,10 @@ struct ClusterHot {
 };
 
 struct HotState {
+  /// Every cluster's CE lanes in one cluster-major block (lane index =
+  /// global CE id = ce_base + local lane), so the wide lane pass covers
+  /// the whole machine in one call.
+  CeHot lanes;
   /// One slice per cluster, sized at Machine construction from the
   /// resolved topology (default: the FX/8's single cluster).
   std::vector<ClusterHot> clusters = std::vector<ClusterHot>(1);

@@ -5,9 +5,10 @@
 
 namespace repro::fx8 {
 
-std::uint32_t lane_pass_scalar(CeHot& hot, std::uint32_t fill_ready_mask) {
-  std::uint32_t slow = 0;
-  for (CeId c = 0; c < kMaxCes; ++c) {
+LaneMask lane_pass_scalar(CeHot& hot, LaneMask fill_ready_mask,
+                          std::uint32_t n_lanes) {
+  LaneMask slow = 0;
+  for (CeId c = 0; c < n_lanes; ++c) {
     const auto p = static_cast<CePhase>(hot.phase[c]);
     const bool compute_ok =
         p == CePhase::kCompute && hot.compute_left[c] > 0;
@@ -17,7 +18,7 @@ std::uint32_t lane_pass_scalar(CeHot& hot, std::uint32_t fill_ready_mask) {
     const bool parked = p == CePhase::kIdle || p == CePhase::kDone;
     const bool fast = compute_ok || miss_ok || fault_ok;
     if (!fast && !parked) {
-      slow |= 1u << c;
+      slow |= LaneMask{1} << c;
       continue;
     }
     hot.bus_op[c] = miss_ok ? mem::CeBusOp::kWait : mem::CeBusOp::kIdle;

@@ -1,52 +1,60 @@
-// Wide fast pass over the eight CE state lanes.
+// Wide fast pass over the machine's CE state lanes.
 //
 // The three steady-state CE behaviours (compute burn, miss wait, fault
 // wait) touch only that lane's CeHot slots plus the cache's fill-ready
-// word, so one pass can classify and advance all eight lanes of a rig
-// with straight-line arithmetic instead of eight dispatched switches.
-// Cluster::tick_batched runs this pass first and drops only the returned
-// slow lanes — phase transitions, access issue, stall pick-up — into the
-// per-lane tick_slow() path, in exactly the service order Cluster::tick
-// would have used. The pass leaves slow lanes completely untouched (their
-// bus opcode is rewritten by tick_lane before dispatch), so batched and
-// serial ticks are bit-identical by construction.
+// word, so one pass can classify and advance every lane of a machine —
+// all clusters, cluster-major over global CE ids — with straight-line
+// arithmetic instead of per-CE dispatched switches. The wide machine
+// paths (Machine::tick_block, fx8::RigBatch) run this pass first and
+// drop only the returned slow lanes — phase transitions, access issue,
+// stall pick-up — into each owning cluster's per-lane tick path, in
+// exactly the service order Cluster::tick would have used. The pass
+// leaves slow lanes completely untouched (their bus opcode is rewritten
+// by tick_lane before dispatch), so fused and serial ticks are
+// bit-identical by construction.
 //
 // Two implementations share the contract: a portable scalar version and,
 // when the build detects -mavx2 support (FX8_HAVE_AVX2), an AVX2 version
-// that maps the lane arrays onto 256-bit vectors. select_lane_pass()
-// picks at runtime — AVX2 when compiled in and the CPU reports it, unless
-// the FX8_FORCE_SCALAR environment variable is set to anything but "0"
-// (so CI exercises both paths on any runner).
+// that maps the lane arrays onto 256-bit vectors, eight lanes per chunk
+// (chunks may span cluster boundaries — the pass is cluster-agnostic).
+// select_lane_pass() picks at runtime — AVX2 when compiled in and the
+// CPU reports it, unless the FX8_FORCE_SCALAR environment variable is
+// set to anything but "0" (so CI exercises both paths on any runner).
 #pragma once
 
 #include <cstdint>
 
+#include "base/types.hpp"
 #include "fx8/hot_state.hpp"
 
 namespace repro::fx8 {
 
-/// One fast pass over a rig's CE lanes. `fill_ready_mask` is the shared
-/// cache's current fill-ready word (cache::SharedCacheHot). Returns the
-/// bitmask of lanes the pass could not advance — lanes in a transition
-/// the caller must run through Ce::tick_slow(), in service order. Lanes
-/// that are idle/done or that the pass advanced are fully updated (bus
+/// One fast pass over the first `n_lanes` lanes of a machine's CE block.
+/// `fill_ready_mask` is the shared cache's current fill-ready word over
+/// global CE ids (cache::SharedCacheHot) — the full grant word, no
+/// per-cluster windowing. Returns the bitmask (bit = global CE id) of
+/// lanes the pass could not advance — lanes in a transition the caller
+/// must run through the per-lane slow path, in service order. Lanes that
+/// are idle/done or that the pass advanced are fully updated (bus
 /// opcode, countdown, the four per-cycle counters) and must not be
-/// ticked again this cycle.
-using LanePassFn = std::uint32_t (*)(CeHot& hot,
-                                     std::uint32_t fill_ready_mask);
+/// ticked again this cycle. Lanes at n_lanes and beyond are never
+/// reported slow; implementations may store idle no-op values to them
+/// inside the final 8-lane chunk (they are zero on any machine).
+using LanePassFn = LaneMask (*)(CeHot& hot, LaneMask fill_ready_mask,
+                                std::uint32_t n_lanes);
 
 /// Portable reference implementation.
-[[nodiscard]] std::uint32_t lane_pass_scalar(CeHot& hot,
-                                             std::uint32_t fill_ready_mask);
+[[nodiscard]] LaneMask lane_pass_scalar(CeHot& hot, LaneMask fill_ready_mask,
+                                        std::uint32_t n_lanes);
 
 #if defined(FX8_HAVE_AVX2)
 /// AVX2 implementation (lane_kernel_avx2.cpp, built with -mavx2). Only
 /// call when the CPU supports AVX2 — select_lane_pass() checks.
-[[nodiscard]] std::uint32_t lane_pass_avx2(CeHot& hot,
-                                           std::uint32_t fill_ready_mask);
+[[nodiscard]] LaneMask lane_pass_avx2(CeHot& hot, LaneMask fill_ready_mask,
+                                      std::uint32_t n_lanes);
 #endif
 
-/// The pass a batch should use on this host: AVX2 when compiled in and
+/// The pass a machine should use on this host: AVX2 when compiled in and
 /// supported by the CPU, scalar otherwise or when the FX8_FORCE_SCALAR
 /// environment variable is set (to anything but "0").
 [[nodiscard]] LanePassFn select_lane_pass();

@@ -30,14 +30,15 @@ inline void bump(std::uint64_t* counters, __m256i m_lo, __m256i m_hi) {
   _mm256_storeu_si256(hi, _mm256_sub_epi64(_mm256_loadu_si256(hi), m_hi));
 }
 
-}  // namespace
-
-std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
-  static_assert(kMaxCes == 8, "lane vectors assume eight CE slots");
+/// One eight-lane chunk of the wide pass, at lane offset `base` (global
+/// CE ids base..base+7). `fill_ready8` is the fill-ready word's 8-bit
+/// window for those lanes. Returns the chunk's slow byte.
+inline std::uint32_t lane_chunk_avx2(CeHot& hot, std::uint32_t base,
+                                     std::uint32_t fill_ready8) {
   const __m256i zero = _mm256_setzero_si256();
   // Widen the phase bytes to one 32-bit lane per CE.
-  const __m128i phase8 =
-      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(hot.phase.data()));
+  const __m128i phase8 = _mm_loadl_epi64(
+      reinterpret_cast<const __m128i*>(hot.phase.data() + base));
   const __m256i phase = _mm256_cvtepu8_epi32(phase8);
   const auto is_phase = [&phase](CePhase p) {
     return _mm256_cmpeq_epi32(phase,
@@ -45,7 +46,8 @@ std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
   };
 
   // compute_ok: kCompute with a nonzero budget.
-  auto* compute_left = reinterpret_cast<__m256i*>(hot.compute_left.data());
+  auto* compute_left =
+      reinterpret_cast<__m256i*>(hot.compute_left.data() + base);
   const __m256i cleft = _mm256_loadu_si256(compute_left);
   const __m256i compute_ok = _mm256_andnot_si256(
       _mm256_cmpeq_epi32(cleft, zero), is_phase(CePhase::kCompute));
@@ -54,7 +56,7 @@ std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
   const __m256i lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
   const __m256i fill_ready = _mm256_cmpeq_epi32(
       _mm256_and_si256(
-          _mm256_set1_epi32(static_cast<int>(fill_ready_mask)), lane_bits),
+          _mm256_set1_epi32(static_cast<int>(fill_ready8)), lane_bits),
       lane_bits);
   const __m256i miss_ok =
       _mm256_andnot_si256(fill_ready, is_phase(CePhase::kMissWait));
@@ -62,7 +64,7 @@ std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
   // fault_ok: kFaultWait with fault_left > 1. fault_left is 64-bit
   // (Cycle) but holds small service times, so the signed compare is
   // exact.
-  auto* fault_left = reinterpret_cast<__m256i*>(hot.fault_left.data());
+  auto* fault_left = reinterpret_cast<__m256i*>(hot.fault_left.data() + base);
   const __m256i one64 = _mm256_set1_epi64x(1);
   const __m256i fl_lo = _mm256_loadu_si256(fault_left);
   const __m256i fl_hi = _mm256_loadu_si256(fault_left + 1);
@@ -90,11 +92,12 @@ std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
   _mm256_storeu_si256(compute_left, _mm256_add_epi32(cleft, compute_ok));
   _mm256_storeu_si256(fault_left, _mm256_add_epi64(fl_lo, fault_lo));
   _mm256_storeu_si256(fault_left + 1, _mm256_add_epi64(fl_hi, fault_hi));
-  bump(hot.busy_cycles.data(), mask_lo64(fast), mask_hi64(fast));
-  bump(hot.compute_cycles.data(), mask_lo64(compute_ok),
+  bump(hot.busy_cycles.data() + base, mask_lo64(fast), mask_hi64(fast));
+  bump(hot.compute_cycles.data() + base, mask_lo64(compute_ok),
        mask_hi64(compute_ok));
-  bump(hot.miss_wait_cycles.data(), mask_lo64(miss_ok), mask_hi64(miss_ok));
-  bump(hot.fault_wait_cycles.data(), mask_lo64(fault_ok),
+  bump(hot.miss_wait_cycles.data() + base, mask_lo64(miss_ok),
+       mask_hi64(miss_ok));
+  bump(hot.fault_wait_cycles.data() + base, mask_lo64(fault_ok),
        mask_hi64(fault_ok));
 
   const auto m_fast = static_cast<std::uint32_t>(
@@ -118,9 +121,32 @@ std::uint32_t lane_pass_avx2(CeHot& hot, std::uint32_t fill_ready_mask) {
       _mm_set1_epi8(static_cast<char>(mem::CeBusOp::kIdle)),
       _mm_set1_epi8(static_cast<char>(mem::CeBusOp::kWait)),
       narrow8(miss_ok));
-  auto* bus_op = reinterpret_cast<__m128i*>(hot.bus_op.data());
+  auto* bus_op = reinterpret_cast<__m128i*>(hot.bus_op.data() + base);
   const __m128i old_ops = _mm_loadl_epi64(bus_op);
   _mm_storel_epi64(bus_op, _mm_blendv_epi8(fresh, old_ops, keep8));
+  return slow;
+}
+
+}  // namespace
+
+LaneMask lane_pass_avx2(CeHot& hot, LaneMask fill_ready_mask,
+                        std::uint32_t n_lanes) {
+  static_assert(kMaxTopologyCes % 8 == 0,
+                "chunks of eight must tile the lane block");
+  // A machine narrower than a chunk multiple still runs whole chunks:
+  // lanes past the width are permanently idle (phase zero), so the chunk
+  // classifies them parked and stores back idle no-ops — value-identical
+  // to the scalar pass leaving them untouched. The final mask guards the
+  // slow word anyway.
+  LaneMask slow = 0;
+  for (std::uint32_t base = 0; base < n_lanes; base += 8) {
+    const auto window =
+        static_cast<std::uint32_t>((fill_ready_mask >> base) & 0xFFu);
+    slow |= static_cast<LaneMask>(lane_chunk_avx2(hot, base, window)) << base;
+  }
+  if (n_lanes < kMaxTopologyCes) {
+    slow &= (LaneMask{1} << n_lanes) - 1;
+  }
   return slow;
 }
 

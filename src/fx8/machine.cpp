@@ -51,7 +51,8 @@ MachineConfig MachineConfig::fx64() {
 
 Machine::Machine(const MachineConfig& config, Mmu& mmu)
     : config_(config),
-      topology_(resolve_topology(config.topology, config.cluster.n_ces)) {
+      topology_(resolve_topology(config.topology, config.cluster.n_ces)),
+      lane_pass_(select_lane_pass()) {
   memory_ = std::make_unique<mem::MainMemory>(config.memory);
 
   mem::MemoryBusConfig bus_config = config.membus;
@@ -85,6 +86,7 @@ Machine::Machine(const MachineConfig& config, Mmu& mmu)
     if (fabric_) {
       clusters_.back()->crossbar().attach_fabric(fabric_.get());
     }
+    cluster_ptrs_.push_back(clusters_.back().get());
   }
 
   std::uint64_t seed = config.seed;
@@ -106,13 +108,13 @@ Machine::Machine(const MachineConfig& config, Mmu& mmu)
   membus_->bind_hot(hot_state_.bus);
   shared_cache_->bind_hot(hot_state_.cache);
   for (std::uint32_t i = 0; i < topology_.n_clusters; ++i) {
-    clusters_[i]->bind_hot(hot_state_.clusters[i],
+    clusters_[i]->bind_hot(hot_state_.clusters[i], hot_state_.lanes,
                            hot_state_.cluster_events);
   }
 }
 
 void Machine::tick() {
-  if (fabric_) {
+  if (fabric_ && !fabric_->idle()) {
     fabric_->begin_cycle();
   }
   for (auto& cluster : clusters_) {
@@ -160,38 +162,13 @@ void Machine::skip(Cycle cycles) {
 }
 
 void Machine::run(Cycle cycles) {
-  // Hoist the owning-pointer hops out of the loop: the components are
-  // fixed for the machine's lifetime, so the per-cycle path needs no
-  // re-deref of the unique_ptr members. Single-cluster machines (every
-  // width-<=8 configuration) keep the direct cluster reference; the
-  // general loop only runs on multi-cluster topologies.
-  mem::MemoryBus& membus = *membus_;
-  cache::SharedCache& shared_cache = *shared_cache_;
-  Cycle& now = hot_state_.now;
-  if (clusters_.size() == 1) {
-    Cluster& cluster = *clusters_[0];
-    for (Cycle i = 0; i < cycles; ++i) {
-      cluster.tick();
-      for (Ip& ip : ips_) {
-        ip.tick();
-      }
-      membus.tick(now);
-      shared_cache.tick();
-      ++now;
-    }
-    return;
-  }
-  for (Cycle i = 0; i < cycles; ++i) {
-    fabric_->begin_cycle();
-    for (auto& cluster : clusters_) {
-      cluster->tick();
-    }
-    for (Ip& ip : ips_) {
-      ip.tick();
-    }
-    membus.tick(now);
-    shared_cache.tick();
-    ++now;
+  // tick_block is bit-identical to ticking (its early stops only split
+  // the loop and it always advances >= 1 cycle per call), so run() is
+  // just the block driven to completion — one loop body for every
+  // topology instead of duplicated single/multi cluster copies.
+  Cycle done = 0;
+  while (done < cycles) {
+    done += tick_block(cycles - done);
   }
 }
 
@@ -245,10 +222,47 @@ Cycle Machine::tick_block(Cycle max_cycles) {
     }
     return done;
   }
+  // Width-native path: run every cluster's control half, then ONE lane
+  // pass over the whole machine-wide hot block, then peel only the slow
+  // lanes into their owning cluster, cluster-major. Bit-identical to the
+  // per-cluster tick() sequence because control is strictly
+  // cluster-local (no cache/fabric/MMU touches), fast lanes touch only
+  // their own CeHot slots plus the read-only fill-ready word (set only
+  // by the end-of-cycle cache tick), and the peel preserves the exact
+  // service order every slow lane would have seen.
+  Cluster* const* clusters = cluster_ptrs_.data();
+  const std::size_t n_clusters = cluster_ptrs_.size();
+  ClusterFabric& fabric = *fabric_;
+  const LanePassFn pass = lane_pass_;
+  CeHot& lanes = hot.lanes;
   while (done < max_cycles) {
-    fabric_->begin_cycle();
-    for (auto& cluster : clusters_) {
-      cluster->tick();
+    if (!fabric.idle()) {
+      fabric.begin_cycle();
+    }
+    for (std::size_t k = 0; k < n_clusters; ++k) {
+      clusters[k]->tick_control();
+    }
+    // Pass only up to the highest live cluster: idle clusters' lanes are
+    // parked with bus opcodes already latched kIdle, so dropping them
+    // from the pass (and the scheduler fills clusters lowest-first)
+    // changes no state and saves most of the wide sweep on
+    // partially-loaded machines. A lane above the prefix can never be
+    // slow or hold a pending fill — either would keep its cluster live.
+    std::uint32_t live_lanes = 0;
+    for (std::size_t k = n_clusters; k-- > 0;) {
+      if (clusters[k]->lanes_live()) {
+        live_lanes = clusters[k]->lane_end();
+        break;
+      }
+    }
+    if (live_lanes != 0) {
+      const LaneMask slow =
+          pass(lanes, shared_cache.fill_ready_mask(), live_lanes);
+      if (slow != 0) {
+        for (std::size_t k = 0; k < n_clusters; ++k) {
+          clusters[k]->tick_peel(slow);
+        }
+      }
     }
     for (Ip& ip : ips_) {
       ip.tick();

@@ -19,6 +19,7 @@
 #include "fx8/cluster.hpp"
 #include "fx8/fabric.hpp"
 #include "fx8/hot_state.hpp"
+#include "fx8/lane_kernel.hpp"
 #include "fx8/ip.hpp"
 #include "fx8/mmu.hpp"
 #include "fx8/topology.hpp"
@@ -110,10 +111,13 @@ class Machine {
   [[nodiscard]] const MachineConfig& config() const { return config_; }
 
   // --- Probe surface -------------------------------------------------
-  /// `ce` is the machine-global id; routed to the owning cluster's lane.
+  /// `ce` is the machine-global id — also its lane index in the
+  /// machine-wide hot block, so the probe reads the latched opcode
+  /// straight out of the lane array (the DAS latches every CE channel
+  /// each sample clock; a per-call cluster hop would dominate wide
+  /// acquisitions).
   [[nodiscard]] mem::CeBusOp ce_bus_op(CeId ce) const {
-    return clusters_[ce / topology_.ces_per_cluster]->ce_bus_op(
-        ce % topology_.ces_per_cluster);
+    return hot_state_.lanes.bus_op[ce];
   }
   [[nodiscard]] mem::MemBusOp mem_bus_op(std::uint32_t bus) const {
     return membus_->op_on(bus);
@@ -125,10 +129,14 @@ class Machine {
   /// CCB probe: bitmask of concurrent/serial-active CEs over global ids
   /// (each cluster's local mask shifted to its ce_base).
   [[nodiscard]] LaneMask active_mask() const {
-    LaneMask mask = clusters_[0]->active_mask();
-    for (std::size_t i = 1; i < clusters_.size(); ++i) {
-      mask |= static_cast<LaneMask>(clusters_[i]->active_mask())
-              << clusters_[i]->ce_base();
+    LaneMask mask = 0;
+    for (const auto& cluster : clusters_) {
+      // A cluster with no job and no live detached slot contributes no
+      // active lines — skip its worker/detached scan.
+      if (cluster->lanes_live()) {
+        mask |= static_cast<LaneMask>(cluster->active_mask())
+                << cluster->ce_base();
+      }
     }
     return mask;
   }
@@ -137,6 +145,12 @@ class Machine {
   /// IPs, and the machine clock. Program pointers inside the cluster
   /// travel as rebind-pending flags (see Cluster::serialize).
   void serialize(capsule::Io& io);
+
+  /// Lane pass the multi-cluster tick_block runs over the machine-wide
+  /// hot block (select_lane_pass() by default). Exposed so differential
+  /// tests can pin the scalar pass against the dispatched one.
+  [[nodiscard]] LanePassFn lane_pass() const { return lane_pass_; }
+  void set_lane_pass(LanePassFn pass) { lane_pass_ = pass; }
 
   /// Rig lane this machine's CEs present to the MMU translation memo.
   /// Machines sharing one Mmu inside a RigBatch must carry distinct
@@ -162,6 +176,11 @@ class Machine {
   /// the single-cluster machine is byte-for-byte the pre-topology path.
   std::unique_ptr<ClusterFabric> fabric_;
   std::vector<std::unique_ptr<Cluster>> clusters_;
+  /// Raw mirror of clusters_ so the per-cycle loops index a flat pointer
+  /// array instead of hopping through unique_ptr storage.
+  std::vector<Cluster*> cluster_ptrs_;
+  /// Machine-wide lane pass used by the multi-cluster tick_block.
+  LanePassFn lane_pass_;
   std::vector<std::unique_ptr<cache::IpCache>> ip_caches_;
   std::vector<Ip> ips_;
   /// Contiguous per-tick hot state; every component's hot slice points in

@@ -25,27 +25,47 @@ void RigBatch::add(Machine& machine, Cycle budget, std::size_t tag) {
 
 Cycle RigBatch::run_window(Machine& machine, LanePassFn pass, Cycle limit,
                           std::uint64_t events_at_entry, bool& event) {
-  // Exactly Machine::tick_block's loop body with the cluster ticks
-  // swapped for their lane-pass twins; the owning-pointer hops are
-  // hoisted once per window. Each cluster runs its own 8-lane pass (the
-  // kernel's chunk width), in cluster order, just as tick_block ticks
-  // them.
+  // Exactly Machine::tick_block's width-native loop body with the batch's
+  // pinned pass; the owning-pointer hops are hoisted once per window.
+  // Every cluster runs its control half, then ONE machine-wide lane pass
+  // sweeps all lanes, then only slow lanes peel into their cluster — so
+  // a 64-CE rig costs one pass per cycle, not eight.
   HotState& hot = machine.hot_state_;
   ClusterFabric* const fabric = machine.fabric_.get();
-  auto* const clusters = machine.clusters_.data();
-  const std::size_t n_clusters = machine.clusters_.size();
+  Cluster* const* clusters = machine.cluster_ptrs_.data();
+  const std::size_t n_clusters = machine.cluster_ptrs_.size();
   mem::MemoryBus& membus = *machine.membus_;
   cache::SharedCache& shared_cache = *machine.shared_cache_;
   Ip* const ips = machine.ips_.data();
   const std::size_t n_ips = machine.ips_.size();
+  CeHot& lanes = hot.lanes;
   Cycle done = 0;
   event = false;
   while (done < limit) {
-    if (fabric != nullptr) {
+    if (fabric != nullptr && !fabric->idle()) {
       fabric->begin_cycle();
     }
     for (std::size_t k = 0; k < n_clusters; ++k) {
-      clusters[k]->tick_batched(pass);
+      clusters[k]->tick_control();
+    }
+    // Same live-prefix bound as Machine::tick_block: lanes above the
+    // highest live cluster are parked and value-stable, so the pass
+    // skips them.
+    std::uint32_t live_lanes = 0;
+    for (std::size_t k = n_clusters; k-- > 0;) {
+      if (clusters[k]->lanes_live()) {
+        live_lanes = clusters[k]->lane_end();
+        break;
+      }
+    }
+    if (live_lanes != 0) {
+      const LaneMask slow =
+          pass(lanes, shared_cache.fill_ready_mask(), live_lanes);
+      if (slow != 0) {
+        for (std::size_t k = 0; k < n_clusters; ++k) {
+          clusters[k]->tick_peel(slow);
+        }
+      }
     }
     for (std::size_t p = 0; p < n_ips; ++p) {
       ips[p].tick();

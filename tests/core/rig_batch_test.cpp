@@ -359,8 +359,6 @@ TEST(RigBatchSession, DriverMatchesSerialControllersAndDigests) {
 
 // --- Lane-pass differential: scalar vs. AVX2, fuzzed -------------------
 
-#if defined(FX8_HAVE_AVX2)
-
 /// Deterministic xorshift64* stream for the fuzz states.
 std::uint64_t next_rand(std::uint64_t& s) {
   s ^= s >> 12;
@@ -369,55 +367,132 @@ std::uint64_t next_rand(std::uint64_t& s) {
   return s * 0x2545F4914F6CDD1DULL;
 }
 
+/// Fill one random machine-wide lane state, biased toward the countdown
+/// decision edges.
+fx8::CeHot random_hot(std::uint64_t& seed, std::uint32_t n_lanes) {
+  fx8::CeHot base{};
+  for (CeId c = 0; c < n_lanes; ++c) {
+    base.phase[c] = static_cast<std::uint8_t>(next_rand(seed) % 8);
+    base.bus_op[c] = static_cast<mem::CeBusOp>(next_rand(seed) % 4);
+    const std::array<std::uint32_t, 6> edges = {
+        0u, 1u, 2u, 3u, 0xFFFFu, 0xFFFFFFFFu};
+    base.compute_left[c] = edges[next_rand(seed) % edges.size()];
+    const std::array<Cycle, 6> fedges = {0u, 1u, 2u, 3u, 50u,
+                                         0xFFFFFFFFFFULL};
+    base.fault_left[c] = fedges[next_rand(seed) % fedges.size()];
+    base.busy_cycles[c] = next_rand(seed) % 1000000;
+    base.compute_cycles[c] = next_rand(seed) % 1000000;
+    base.miss_wait_cycles[c] = next_rand(seed) % 1000000;
+    base.fault_wait_cycles[c] = next_rand(seed) % 1000000;
+  }
+  return base;
+}
+
+void expect_same_hot(const fx8::CeHot& a, const fx8::CeHot& b, int iter) {
+  ASSERT_EQ(a.phase, b.phase) << "iter " << iter;
+  ASSERT_EQ(a.bus_op, b.bus_op) << "iter " << iter;
+  ASSERT_EQ(a.compute_left, b.compute_left) << "iter " << iter;
+  ASSERT_EQ(a.fault_left, b.fault_left) << "iter " << iter;
+  ASSERT_EQ(a.busy_cycles, b.busy_cycles) << "iter " << iter;
+  ASSERT_EQ(a.compute_cycles, b.compute_cycles) << "iter " << iter;
+  ASSERT_EQ(a.miss_wait_cycles, b.miss_wait_cycles) << "iter " << iter;
+  ASSERT_EQ(a.fault_wait_cycles, b.fault_wait_cycles) << "iter " << iter;
+}
+
+#if defined(FX8_HAVE_AVX2)
+
 // Every lane classification — fast compute/miss/fault, parked, slow —
 // and every countdown edge (0, 1, 2, huge) must produce byte-identical
-// CeHot lanes and the same slow mask from both passes.
+// CeHot lanes and the same slow mask from both passes, across the full
+// 64-lane machine-wide block.
 TEST(RigBatch, ScalarAndAvx2LanePassesAgree) {
   if (!__builtin_cpu_supports("avx2")) {
     GTEST_SKIP() << "host has no AVX2";
   }
   std::uint64_t seed = 0xC0FFEE5EEDULL;
   for (int iter = 0; iter < 5000; ++iter) {
-    fx8::CeHot base{};
-    for (CeId c = 0; c < kMaxCes; ++c) {
-      base.phase[c] = static_cast<std::uint8_t>(next_rand(seed) % 8);
-      base.bus_op[c] = static_cast<mem::CeBusOp>(next_rand(seed) % 4);
-      // Bias countdowns toward the decision edges.
-      const std::array<std::uint32_t, 6> edges = {
-          0u, 1u, 2u, 3u, 0xFFFFu, 0xFFFFFFFFu};
-      base.compute_left[c] = edges[next_rand(seed) % edges.size()];
-      const std::array<Cycle, 6> fedges = {0u, 1u, 2u, 3u, 50u,
-                                           0xFFFFFFFFFFULL};
-      base.fault_left[c] = fedges[next_rand(seed) % fedges.size()];
-      base.busy_cycles[c] = next_rand(seed) % 1000000;
-      base.compute_cycles[c] = next_rand(seed) % 1000000;
-      base.miss_wait_cycles[c] = next_rand(seed) % 1000000;
-      base.fault_wait_cycles[c] = next_rand(seed) % 1000000;
-    }
-    const auto fill_ready =
-        static_cast<std::uint32_t>(next_rand(seed) & 0xFFu);
+    const fx8::CeHot base = random_hot(seed, kMaxTopologyCes);
+    const LaneMask fill_ready = next_rand(seed);
 
     fx8::CeHot scalar = base;
     fx8::CeHot vector = base;
-    const std::uint32_t slow_scalar =
-        fx8::lane_pass_scalar(scalar, fill_ready);
-    const std::uint32_t slow_vector = fx8::lane_pass_avx2(vector, fill_ready);
+    const LaneMask slow_scalar =
+        fx8::lane_pass_scalar(scalar, fill_ready, kMaxTopologyCes);
+    const LaneMask slow_vector =
+        fx8::lane_pass_avx2(vector, fill_ready, kMaxTopologyCes);
     ASSERT_EQ(slow_scalar, slow_vector) << "iter " << iter;
-    ASSERT_EQ(scalar.phase, vector.phase) << "iter " << iter;
-    ASSERT_EQ(scalar.bus_op, vector.bus_op) << "iter " << iter;
-    ASSERT_EQ(scalar.compute_left, vector.compute_left) << "iter " << iter;
-    ASSERT_EQ(scalar.fault_left, vector.fault_left) << "iter " << iter;
-    ASSERT_EQ(scalar.busy_cycles, vector.busy_cycles) << "iter " << iter;
-    ASSERT_EQ(scalar.compute_cycles, vector.compute_cycles)
-        << "iter " << iter;
-    ASSERT_EQ(scalar.miss_wait_cycles, vector.miss_wait_cycles)
-        << "iter " << iter;
-    ASSERT_EQ(scalar.fault_wait_cycles, vector.fault_wait_cycles)
-        << "iter " << iter;
+    expect_same_hot(scalar, vector, iter);
   }
 }
 
 #endif  // FX8_HAVE_AVX2
+
+// --- Wide-pass composition fuzz ----------------------------------------
+
+/// Run `pass` as eight independent 8-lane window invocations (the
+/// pre-width-native per-cluster shape) and compose the machine-wide slow
+/// mask. The lanes outside each window are shielded from the pass by
+/// parking them (phase kIdle) for its invocation.
+LaneMask per_cluster_windows(fx8::LanePassFn pass, fx8::CeHot& hot,
+                             LaneMask fill_ready) {
+  LaneMask slow = 0;
+  for (std::uint32_t base = 0; base < kMaxTopologyCes; base += kMaxCes) {
+    fx8::CeHot window = hot;
+    // Shift the window's lanes down to 0..7 so an 8-lane invocation
+    // covers exactly this cluster's slice.
+    for (CeId c = 0; c < kMaxCes; ++c) {
+      window.phase[c] = hot.phase[base + c];
+      window.bus_op[c] = hot.bus_op[base + c];
+      window.compute_left[c] = hot.compute_left[base + c];
+      window.fault_left[c] = hot.fault_left[base + c];
+      window.busy_cycles[c] = hot.busy_cycles[base + c];
+      window.compute_cycles[c] = hot.compute_cycles[base + c];
+      window.miss_wait_cycles[c] = hot.miss_wait_cycles[base + c];
+      window.fault_wait_cycles[c] = hot.fault_wait_cycles[base + c];
+    }
+    slow |= pass(window, (fill_ready >> base) & 0xFFu, kMaxCes) << base;
+    for (CeId c = 0; c < kMaxCes; ++c) {
+      hot.phase[base + c] = window.phase[c];
+      hot.bus_op[base + c] = window.bus_op[c];
+      hot.compute_left[base + c] = window.compute_left[c];
+      hot.fault_left[base + c] = window.fault_left[c];
+      hot.busy_cycles[base + c] = window.busy_cycles[c];
+      hot.compute_cycles[base + c] = window.compute_cycles[c];
+      hot.miss_wait_cycles[base + c] = window.miss_wait_cycles[c];
+      hot.fault_wait_cycles[base + c] = window.fault_wait_cycles[c];
+    }
+  }
+  return slow;
+}
+
+// The machine-wide 64-lane pass must equal the composition of eight
+// per-cluster 8-lane windows — the exact reduction the width-native
+// tick_block performs — on random hot states, for the scalar pass and
+// (when the host has it) the AVX2 pass.
+TEST(WideKernelFuzz, WidePassMatchesPerClusterWindows) {
+  std::vector<fx8::LanePassFn> passes = {&fx8::lane_pass_scalar};
+#if defined(FX8_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) {
+    passes.push_back(&fx8::lane_pass_avx2);
+  }
+#endif
+  for (fx8::LanePassFn pass : passes) {
+    std::uint64_t seed = 0xD15EA5EDBEEFULL;
+    for (int iter = 0; iter < 5000; ++iter) {
+      const fx8::CeHot base = random_hot(seed, kMaxTopologyCes);
+      const LaneMask fill_ready = next_rand(seed);
+
+      fx8::CeHot wide = base;
+      fx8::CeHot windows = base;
+      const LaneMask slow_wide = pass(wide, fill_ready, kMaxTopologyCes);
+      const LaneMask slow_windows =
+          per_cluster_windows(pass, windows, fill_ready);
+      ASSERT_EQ(slow_wide, slow_windows)
+          << fx8::lane_pass_name(pass) << " iter " << iter;
+      expect_same_hot(wide, windows, iter);
+    }
+  }
+}
 
 // The dispatcher honours FX8_FORCE_SCALAR regardless of host support.
 TEST(RigBatch, ForceScalarEnvPinsScalarPass) {

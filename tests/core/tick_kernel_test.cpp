@@ -251,5 +251,275 @@ TEST(TickKernel, BlocksAgainstProbeLatchBoundaries) {
   }
 }
 
+// --- Width-native multi-cluster kernel ---------------------------------
+//
+// The multi-cluster tick_block runs one machine-wide lane pass per cycle
+// and peels only slow lanes into their owning cluster; these suites pin
+// that path bit-identical to per-cluster naive ticking across widths
+// 16/32/64, with detached splits, and with the scalar pass pinned
+// against the dispatched one. The whole suite reruns under
+// FX8_FORCE_SCALAR in CI, giving the scalar wide pass the same coverage.
+
+/// Machine-wide probe/accounting state across every cluster.
+struct WideState {
+  Cycle now = 0;
+  LaneMask active_mask = 0;
+  std::vector<mem::CeBusOp> ce_ops;
+  std::vector<fx8::CeStats> ce_stats;
+  std::vector<fx8::ClusterStats> clusters;
+  cache::SharedCacheStats cache;
+  std::uint64_t control_events = 0;
+  std::uint64_t fabric_conflicts = 0;
+
+  static WideState capture(fx8::Machine& m) {
+    WideState s;
+    s.now = m.now();
+    s.active_mask = m.active_mask();
+    for (CeId ce = 0; ce < m.total_ces(); ++ce) {
+      s.ce_ops.push_back(m.ce_bus_op(ce));
+    }
+    for (std::uint32_t i = 0; i < m.n_clusters(); ++i) {
+      for (CeId c = 0; c < m.cluster(i).width(); ++c) {
+        s.ce_stats.push_back(m.cluster(i).ce(c).stats());
+      }
+      s.clusters.push_back(m.cluster(i).stats());
+    }
+    s.cache = m.shared_cache().stats();
+    s.control_events = m.cluster(0).control_events();
+    s.fabric_conflicts = m.fabric() ? m.fabric()->conflicts() : 0;
+    return s;
+  }
+};
+
+void expect_same_wide(const WideState& a, const WideState& b) {
+  EXPECT_EQ(a.now, b.now);
+  EXPECT_EQ(a.active_mask, b.active_mask) << "at cycle " << a.now;
+  EXPECT_EQ(a.ce_ops, b.ce_ops) << "at cycle " << a.now;
+  EXPECT_EQ(a.control_events, b.control_events) << "at cycle " << a.now;
+  EXPECT_EQ(a.fabric_conflicts, b.fabric_conflicts) << "at cycle " << a.now;
+  ASSERT_EQ(a.ce_stats.size(), b.ce_stats.size());
+  for (std::size_t ce = 0; ce < a.ce_stats.size(); ++ce) {
+    EXPECT_EQ(a.ce_stats[ce].busy_cycles, b.ce_stats[ce].busy_cycles)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].compute_cycles, b.ce_stats[ce].compute_cycles)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].mem_accesses, b.ce_stats[ce].mem_accesses)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].miss_wait_cycles,
+              b.ce_stats[ce].miss_wait_cycles)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].fault_wait_cycles,
+              b.ce_stats[ce].fault_wait_cycles)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].xbar_conflict_cycles,
+              b.ce_stats[ce].xbar_conflict_cycles)
+        << "ce " << ce;
+    EXPECT_EQ(a.ce_stats[ce].instances_completed,
+              b.ce_stats[ce].instances_completed)
+        << "ce " << ce;
+  }
+  ASSERT_EQ(a.clusters.size(), b.clusters.size());
+  for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+    EXPECT_EQ(a.clusters[i].jobs_completed, b.clusters[i].jobs_completed);
+    EXPECT_EQ(a.clusters[i].loops_completed, b.clusters[i].loops_completed);
+    EXPECT_EQ(a.clusters[i].iterations_completed,
+              b.clusters[i].iterations_completed);
+    EXPECT_EQ(a.clusters[i].serial_reps_completed,
+              b.clusters[i].serial_reps_completed);
+    EXPECT_EQ(a.clusters[i].dependence_wait_cycles,
+              b.clusters[i].dependence_wait_cycles);
+  }
+  EXPECT_EQ(a.cache.accesses, b.cache.accesses);
+  EXPECT_EQ(a.cache.misses, b.cache.misses);
+}
+
+std::vector<fx8::MachineConfig> wide_configs() {
+  return {fx8::MachineConfig::fx16(), fx8::MachineConfig::fx32(),
+          fx8::MachineConfig::fx64()};
+}
+
+isa::Program wk_serial_program(std::uint64_t reps) {
+  return isa::ProgramBuilder("wide-detached")
+      .data_base(0x900000)
+      .serial(tk_kernel(), reps)
+      .build();
+}
+
+/// Per-cluster jobs of staggered lengths so completions (control events)
+/// land on different cycles in different clusters.
+std::vector<isa::Program> wk_programs(std::uint32_t n_clusters) {
+  std::vector<isa::Program> progs;
+  for (std::uint32_t i = 0; i < n_clusters; ++i) {
+    progs.push_back(tk_program(8 + 5 * i));
+  }
+  return progs;
+}
+
+void wk_load(fx8::Machine& m, const std::vector<isa::Program>& progs) {
+  for (std::uint32_t i = 0; i < m.n_clusters(); ++i) {
+    m.cluster(i).load(&progs[i], i + 1);
+  }
+}
+
+bool wk_any_busy(fx8::Machine& m) {
+  for (std::uint32_t i = 0; i < m.n_clusters(); ++i) {
+    if (m.cluster(i).busy()) {
+      return true;
+    }
+    for (std::uint32_t slot = 0; slot < m.cluster(i).detached_count();
+         ++slot) {
+      if (m.cluster(i).detached_busy(slot)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+// The wide block path must reproduce per-cluster naive ticking
+// bit-identically at every width preset, with each block stopping at
+// the end of a cycle that raised a control event.
+TEST(WideKernel, MultiClusterBlockMatchesNaiveAcrossWidths) {
+  for (const auto& config : wide_configs()) {
+    fx8::NoFaultMmu mmu_a;
+    fx8::NoFaultMmu mmu_b;
+    fx8::Machine naive(config, mmu_a);
+    fx8::Machine block(config, mmu_b);
+    const auto progs = wk_programs(naive.n_clusters());
+    wk_load(naive, progs);
+    wk_load(block, progs);
+    Cycle guard = 0;
+    while (wk_any_busy(naive)) {
+      naive.tick();
+      ASSERT_LT(++guard, 10'000'000u);
+    }
+    while (wk_any_busy(block)) {
+      const std::uint64_t events_before = block.cluster(0).control_events();
+      ASSERT_GE(block.tick_block(1'000'000), 1u);
+      if (wk_any_busy(block)) {
+        // An early stop mid-run can only be a control event's.
+        EXPECT_GT(block.cluster(0).control_events(), events_before);
+      }
+    }
+    expect_same_wide(WideState::capture(naive), WideState::capture(block));
+  }
+}
+
+// Blocks of one against naive singles, cycle by cycle, on the two-cluster
+// machine: every probe-visible boundary of the wide path lines up.
+TEST(WideKernel, BlockOfOneMatchesSingleTickAtWidth16) {
+  fx8::NoFaultMmu mmu_a;
+  fx8::NoFaultMmu mmu_b;
+  fx8::Machine naive(fx8::MachineConfig::fx16(), mmu_a);
+  fx8::Machine block(fx8::MachineConfig::fx16(), mmu_b);
+  const auto progs = wk_programs(naive.n_clusters());
+  wk_load(naive, progs);
+  wk_load(block, progs);
+  Cycle guard = 0;
+  while (wk_any_busy(naive)) {
+    naive.tick();
+    EXPECT_EQ(block.tick_block(1), 1u);
+    expect_same_wide(WideState::capture(naive), WideState::capture(block));
+    ASSERT_LT(++guard, 1'000'000u);
+  }
+  EXPECT_FALSE(wk_any_busy(block));
+}
+
+// Clusters split between loop work and detached serial processes: the
+// peel must keep the detached lanes' service position, and detached
+// completions must stop blocks exactly as cluster jobs do.
+TEST(WideKernel, DetachedSplitMatchesNaiveAcrossWidths) {
+  for (auto config : wide_configs()) {
+    config.cluster.detached_ces = 2;
+    fx8::NoFaultMmu mmu_a;
+    fx8::NoFaultMmu mmu_b;
+    fx8::Machine naive(config, mmu_a);
+    fx8::Machine block(config, mmu_b);
+    const auto progs = wk_programs(naive.n_clusters());
+    const isa::Program detached_a = wk_serial_program(6);
+    const isa::Program detached_b = wk_serial_program(9);
+    const auto load_all = [&](fx8::Machine& m) {
+      wk_load(m, progs);
+      // Detached load on a subset of clusters, one or two slots each, so
+      // live and empty slots coexist.
+      for (std::uint32_t i = 0; i < m.n_clusters(); i += 2) {
+        m.cluster(i).load_detached(0, &detached_a, 100 + i);
+        if (i + 1 < m.n_clusters()) {
+          m.cluster(i + 1).load_detached(1, &detached_b, 200 + i);
+        }
+      }
+    };
+    load_all(naive);
+    load_all(block);
+    Cycle guard = 0;
+    while (wk_any_busy(naive)) {
+      naive.tick();
+      ASSERT_LT(++guard, 10'000'000u);
+    }
+    while (wk_any_busy(block)) {
+      ASSERT_GE(block.tick_block(1'000'000), 1u);
+    }
+    expect_same_wide(WideState::capture(naive), WideState::capture(block));
+  }
+}
+
+// Pinning the scalar pass must reproduce the dispatched (AVX2 where
+// available) wide path exactly at every width: the machine-visible
+// contract does not depend on the SIMD path taken.
+TEST(WideKernel, ScalarPassMatchesDispatchedAcrossWidths) {
+  for (const auto& config : wide_configs()) {
+    fx8::NoFaultMmu mmu_a;
+    fx8::NoFaultMmu mmu_b;
+    fx8::Machine dispatched(config, mmu_a);
+    fx8::Machine scalar(config, mmu_b);
+    scalar.set_lane_pass(&fx8::lane_pass_scalar);
+    const auto progs = wk_programs(dispatched.n_clusters());
+    wk_load(dispatched, progs);
+    wk_load(scalar, progs);
+    while (wk_any_busy(dispatched)) {
+      dispatched.tick_block(4096);
+    }
+    while (wk_any_busy(scalar)) {
+      scalar.tick_block(4096);
+    }
+    expect_same_wide(WideState::capture(dispatched),
+                     WideState::capture(scalar));
+  }
+}
+
+// The horizon-driven fast-forward loop (skip quiet stretches, tick the
+// rest) must match naive ticking at every width — this is the path that
+// leans on the per-cluster horizon cache, so a stale or inexact cache
+// entry shows up as state divergence here.
+TEST(WideKernel, FastForwardMatchesNaiveAcrossWidths) {
+  for (const auto& config : wide_configs()) {
+    fx8::NoFaultMmu mmu_a;
+    fx8::NoFaultMmu mmu_b;
+    fx8::Machine naive(config, mmu_a);
+    fx8::Machine ff(config, mmu_b);
+    const auto progs = wk_programs(naive.n_clusters());
+    wk_load(naive, progs);
+    wk_load(ff, progs);
+    Cycle guard = 0;
+    while (wk_any_busy(naive)) {
+      naive.tick();
+      ASSERT_LT(++guard, 10'000'000u);
+    }
+    while (wk_any_busy(ff)) {
+      const Cycle h = ff.quiet_horizon();
+      if (h == 0 || h == kHorizonNever) {
+        ff.tick();
+      } else {
+        ff.skip(h);
+      }
+    }
+    // Drain to the naive clock (idle machines tick without events).
+    while (ff.now() < naive.now()) {
+      ff.tick();
+    }
+    expect_same_wide(WideState::capture(naive), WideState::capture(ff));
+  }
+}
+
 }  // namespace
 }  // namespace repro::core
