@@ -74,7 +74,10 @@ bool identical(const core::StudyResult& a, const core::StudyResult& b) {
     return false;
   }
   for (std::size_t m = 0; m < models_a.size(); ++m) {
-    if (models_a[m].fit.coeffs != models_b[m].fit.coeffs) {
+    if (models_a[m].fit.has_value() != models_b[m].fit.has_value()) {
+      return false;
+    }
+    if (models_a[m].fit && models_a[m].fit->coeffs != models_b[m].fit->coeffs) {
       return false;
     }
   }

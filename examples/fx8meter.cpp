@@ -25,12 +25,9 @@
 // restrict the run to one session (the capsule holds one measurement
 // rig) and produce output bit-identical to an uninterrupted run — see
 // docs/checkpointing.md.
-#include <cctype>
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <limits>
 #include <string>
 
 #include <fstream>
@@ -38,6 +35,7 @@
 
 #include "base/capsule.hpp"
 #include "base/rng.hpp"
+#include "base/text.hpp"
 #include "fx8/topology.hpp"
 #include "core/checkpoint.hpp"
 #include "core/export.hpp"
@@ -70,22 +68,28 @@ struct Options {
   std::uint32_t clusters = 0;  ///< 0 = derive from --ces.
 };
 
-/// Strict whole-string unsigned parse (ThreadPool::parse_thread_count's
-/// rules): plain digits only — no whitespace, signs, trailing garbage or
-/// silent overflow saturation. 0 signals a parse failure.
-std::uint32_t parse_count(const char* text) {
-  if (text == nullptr || *text == '\0' ||
-      !std::isdigit(static_cast<unsigned char>(*text))) {
-    return 0;
+/// Strict flag-value parses (the shared repro::parse_u{32,64}_strict
+/// rules): plain digits only — no whitespace, signs, trailing garbage
+/// or silent overflow saturation. Missing or malformed values print
+/// which flag rejected what and fail the parse (exit 2).
+bool parse_u32_flag(const char* flag, const char* value,
+                    std::uint32_t& out) {
+  if (value == nullptr || !repro::parse_u32_strict(value, out)) {
+    std::fprintf(stderr, "%s wants a plain non-negative integer, got '%s'\n",
+                 flag, value == nullptr ? "(nothing)" : value);
+    return false;
   }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long parsed = std::strtoul(text, &end, 10);
-  if (errno == ERANGE || end == nullptr || *end != '\0' ||
-      parsed > std::numeric_limits<std::uint32_t>::max()) {
-    return 0;
+  return true;
+}
+
+bool parse_u64_flag(const char* flag, const char* value, std::uint64_t& out,
+                    int base = 10) {
+  if (value == nullptr || !repro::parse_u64_strict(value, out, base)) {
+    std::fprintf(stderr, "%s wants a plain non-negative integer, got '%s'\n",
+                 flag, value == nullptr ? "(nothing)" : value);
+    return false;
   }
-  return static_cast<std::uint32_t>(parsed);
+  return true;
 }
 
 bool parse(int argc, char** argv, Options& options) {
@@ -95,17 +99,14 @@ bool parse(int argc, char** argv, Options& options) {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     if (arg == "--sessions") {
-      const char* v = next();
-      if (!v) return false;
-      options.sessions = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32_flag("--sessions", next(), options.sessions))
+        return false;
     } else if (arg == "--samples") {
-      const char* v = next();
-      if (!v) return false;
-      options.samples = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32_flag("--samples", next(), options.samples))
+        return false;
     } else if (arg == "--interval") {
-      const char* v = next();
-      if (!v) return false;
-      options.interval = std::strtoull(v, nullptr, 10);
+      if (!parse_u64_flag("--interval", next(), options.interval))
+        return false;
     } else if (arg == "--mix") {
       const char* v = next();
       if (!v) return false;
@@ -115,41 +116,28 @@ bool parse(int argc, char** argv, Options& options) {
       if (!v) return false;
       options.policy = v;
     } else if (arg == "--seed") {
-      const char* v = next();
-      if (!v) return false;
-      options.seed = std::strtoull(v, nullptr, 0);
+      // Base 0: seeds are documented as hex-friendly (0x...).
+      if (!parse_u64_flag("--seed", next(), options.seed, 0)) return false;
     } else if (arg == "--threads") {
-      const char* v = next();
-      if (!v) return false;
-      options.threads =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32_flag("--threads", next(), options.threads))
+        return false;
     } else if (arg == "--replicates") {
-      const char* v = next();
-      if (!v) return false;
-      options.replicates =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32_flag("--replicates", next(), options.replicates))
+        return false;
     } else if (arg == "--rig-batch") {
-      const char* v = next();
-      if (!v) return false;
-      options.rig_batch =
-          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (!parse_u32_flag("--rig-batch", next(), options.rig_batch))
+        return false;
     } else if (arg == "--ces") {
-      const char* v = next();
-      if (!v) return false;
-      options.ces = parse_count(v);
+      if (!parse_u32_flag("--ces", next(), options.ces)) return false;
       if (options.ces == 0) {
-        std::fprintf(stderr,
-                     "--ces wants a plain positive integer, got '%s'\n", v);
+        std::fprintf(stderr, "--ces wants a positive integer\n");
         return false;
       }
     } else if (arg == "--clusters") {
-      const char* v = next();
-      if (!v) return false;
-      options.clusters = parse_count(v);
+      if (!parse_u32_flag("--clusters", next(), options.clusters))
+        return false;
       if (options.clusters == 0) {
-        std::fprintf(
-            stderr, "--clusters wants a plain positive integer, got '%s'\n",
-            v);
+        std::fprintf(stderr, "--clusters wants a positive integer\n");
         return false;
       }
     } else if (arg == "--report") {
@@ -299,8 +287,12 @@ int main(int argc, char** argv) {
       mixes.push_back(workload::high_concurrency_mix());
     }
   } else {
-    const auto index = static_cast<std::size_t>(
-        std::strtoul(options.mix.c_str(), nullptr, 10));
+    std::uint32_t index = 0;
+    if (!repro::parse_u32_strict(options.mix.c_str(), index)) {
+      std::fprintf(stderr, "--mix wants a preset name or index, got '%s'\n",
+                   options.mix.c_str());
+      return 2;
+    }
     if (index >= presets.size()) {
       std::fprintf(stderr, "mix index out of range (0..8)\n");
       return 2;

@@ -34,7 +34,7 @@ void render_fig12(Context& ctx) {
   ctx.printf("measured: missrate(0.5)=%.4f  missrate(1.0)=%.4f  "
              "ratio=%.2f\n",
              at_half, at_one, at_one / at_half);
-  ctx.printf("R^2 = %.2f (paper: 0.74)\n", model.fit.r_squared);
+  ctx.printf("R^2 = %.2f (paper: 0.74)\n", model.r_squared());
 
   // The headline miss-rate tripling (paper 0.007 -> 0.024, ratio 3.43;
   // measured 0.0090 -> 0.0191, ratio 2.1 at paper scale).
@@ -42,7 +42,7 @@ void render_fig12(Context& ctx) {
   ctx.check("missrate_at_one", at_one, 0.024, 0.008, 0.08);
   ctx.check("rise_ratio", at_half > 0.0 ? at_one / at_half : NAN, 3.43,
             1.4, 10.0);
-  ctx.metric("r_squared", model.fit.r_squared);
+  ctx.metric("r_squared", model.r_squared());
 }
 
 // Figure 13: Plot of Regression Model, CE Bus Busy vs. Cw.
@@ -67,16 +67,16 @@ void render_fig13(Context& ctx) {
   // Near-linearity check: the quadratic term's contribution at Cw=1
   // relative to the total rise.
   const double rise = model.predict(1.0) - model.predict(0.0);
-  const double quad_share = 100.0 * model.fit.coeffs[2] / rise;
+  const double quad_share = 100.0 * model.coeff(2) / rise;
   ctx.printf("quadratic share of the rise: %.0f%% (paper: small)\n",
              quad_share);
-  ctx.printf("R^2 = %.2f (paper: 0.89)\n", model.fit.r_squared);
+  ctx.printf("R^2 = %.2f (paper: 0.89)\n", model.r_squared());
 
   ctx.check("busbusy_at_one", model.predict(1.0), 0.33, 0.15, 0.60);
   ctx.check("rise", rise, 0.33, 0.10, 0.60);
   // "almost linear": the quadratic term stays a modest share of the rise.
   ctx.check("quadratic_share_pct", quad_share, 0.0, -60.0, 60.0);
-  ctx.check("r_squared", model.fit.r_squared, 0.89, 0.50, 1.00);
+  ctx.check("r_squared", model.r_squared(), 0.89, 0.50, 1.00);
 }
 
 // Figure 14: Plot of Regression Model, CE Bus Busy vs. Pc.
@@ -101,7 +101,7 @@ void render_fig14(Context& ctx) {
   const double late_rise = model.predict(8.0) - model.predict(6.0);
   ctx.printf("rise 3->6: %.3f   rise 6->8: %.3f  (paper: late rise ~ 0)\n",
              early_rise, late_rise);
-  ctx.printf("R^2 = %.2f (paper: 0.66)\n", model.fit.r_squared);
+  ctx.printf("R^2 = %.2f (paper: 0.66)\n", model.r_squared());
 
   // The saturation shape: bus activity rises to Pc = 6 and goes
   // relatively flat after (measured 0.190 vs 0.026 at paper scale).
@@ -109,7 +109,7 @@ void render_fig14(Context& ctx) {
   ctx.check("late_minus_early_rise", late_rise - early_rise, -0.2, -1.0,
             0.0);
   ctx.metric("late_rise", late_rise);
-  ctx.metric("r_squared", model.fit.r_squared);
+  ctx.metric("r_squared", model.r_squared());
 }
 
 }  // namespace

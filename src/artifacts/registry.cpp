@@ -14,6 +14,7 @@ const std::vector<ArtifactDef>& catalog() {
     register_appendices(defs);
     register_ablations(defs);
     register_extensions(defs);
+    register_contention(defs);
     register_perf(defs);
     return defs;
   }();

@@ -32,6 +32,7 @@ void register_model_figures(std::vector<ArtifactDef>& catalog);
 void register_appendices(std::vector<ArtifactDef>& catalog);
 void register_ablations(std::vector<ArtifactDef>& catalog);
 void register_extensions(std::vector<ArtifactDef>& catalog);
+void register_contention(std::vector<ArtifactDef>& catalog);
 void register_perf(std::vector<ArtifactDef>& catalog);
 
 }  // namespace repro::artifacts

@@ -8,6 +8,7 @@
 
 #include "base/fasthash.hpp"
 #include "os/system.hpp"
+#include "workload/presets.hpp"
 
 namespace repro::artifacts {
 
@@ -222,7 +223,10 @@ void ResultStore::save_bloom() {
   } catch (...) {
     std::error_code ec;
     fs::remove(tmp, ec);
-    ++stats_.put_errors;
+    // Not a put error: the blob (if any) landed fine, and this path also
+    // runs from the reopen rebuild where no put is in flight. Counting
+    // it against puts double-charged every sidecar failure.
+    ++stats_.bloom_save_errors;
   }
 }
 
@@ -247,10 +251,25 @@ std::uint64_t hash_walk(const char* tag, std::uint64_t salt,
 
 std::uint64_t study_cache_key(const core::StudyConfig& config,
                               std::uint64_t salt) {
+  const auto mixes = workload::session_presets();
+  return study_cache_key(config, mixes, salt);
+}
+
+std::uint64_t study_cache_key(const core::StudyConfig& config,
+                              std::span<const workload::WorkloadMix> mixes,
+                              std::uint64_t salt) {
   core::StudyConfig copy = config;
-  return hash_walk("study-result/1", salt,
+  std::vector<workload::WorkloadMix> mix_copies(mixes.begin(), mixes.end());
+  return hash_walk("study-result/2", salt,
                    os::config_fingerprint(config.system),
-                   [&copy](capsule::Io& io) { serialize_config(io, copy); });
+                   [&copy, &mix_copies](capsule::Io& io) {
+                     serialize_config(io, copy);
+                     auto count = static_cast<std::uint64_t>(mix_copies.size());
+                     io.u64(count);
+                     for (workload::WorkloadMix& mix : mix_copies) {
+                       workload::serialize_config(io, mix);
+                     }
+                   });
 }
 
 std::uint64_t transition_cache_key(const core::TransitionConfig& config,

@@ -28,12 +28,14 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "base/capsule.hpp"
 #include "core/study.hpp"
 #include "core/transition.hpp"
+#include "workload/generator.hpp"
 
 namespace repro::artifacts {
 
@@ -45,7 +47,9 @@ inline constexpr std::uint32_t kStoreFormatVersion = 1;
 /// or artifact-render changes alter what any config would produce — the
 /// cheap, honest alternative to hashing the binary. Folded into every
 /// key, so a stale store degrades to a full miss.
-inline constexpr std::uint32_t kCodeVersion = 2;
+/// v3: study keys fold the session workload mixes (the contention
+/// family made mixes an experimental axis a key must cover).
+inline constexpr std::uint32_t kCodeVersion = 3;
 
 /// The salt every key is seeded with.
 inline constexpr std::uint64_t kCodeSalt =
@@ -61,7 +65,12 @@ struct CacheStats {
   std::uint64_t bloom_skips = 0;   ///< Misses resolved without touching disk.
   std::uint64_t corrupt_misses = 0;  ///< Blobs rejected by envelope/header.
   std::uint64_t puts = 0;
-  std::uint64_t put_errors = 0;    ///< Failed writes (read-only dir, ...).
+  std::uint64_t put_errors = 0;    ///< Failed blob writes (read-only dir, ...).
+  /// Failed bloom-sidecar writes. Counted separately from put_errors:
+  /// a lost sidecar never loses the blob (it is rebuilt from the object
+  /// directory on reopen), and save_bloom also runs on reopen-rebuild,
+  /// where no put is in flight to blame.
+  std::uint64_t bloom_save_errors = 0;
   std::uint64_t bytes_read = 0;
   std::uint64_t bytes_written = 0;
 };
@@ -120,9 +129,19 @@ class ResultStore {
 
 // --- Key derivation ---------------------------------------------------
 
-/// Key of the shared nine-session study result for `config`.
+/// Key of the shared nine-session study result for `config`. The walk
+/// covers the config AND the session mixes the study runs (the default
+/// workload::session_presets()): a preset edit is a condition change
+/// and must miss, never stale-hit.
 [[nodiscard]] std::uint64_t study_cache_key(const core::StudyConfig& config,
                                             std::uint64_t salt = kCodeSalt);
+
+/// Same key derivation over an explicit mix list (run_study overloads
+/// that take caller-provided mixes, e.g. the contention scenarios).
+[[nodiscard]] std::uint64_t study_cache_key(
+    const core::StudyConfig& config,
+    std::span<const workload::WorkloadMix> mixes,
+    std::uint64_t salt = kCodeSalt);
 
 /// Key of the shared triggered-transition result for `config` (the
 /// high-concurrency mix, kTransitionFromFull trigger — the one

@@ -120,9 +120,9 @@ void render_table3(Context& ctx) {
       ctx.in().model(core::SystemMeasure::kBusBusy, core::Regressor::kCw);
   const auto& fault = ctx.in().model(core::SystemMeasure::kPageFaultRate,
                                      core::Regressor::kCw);
-  ctx.check("r2_miss_rate", miss.fit.r_squared, 0.74, 0.40, 1.00);
-  ctx.check("r2_bus_busy", busy.fit.r_squared, 0.89, 0.50, 1.00);
-  ctx.check("r2_page_fault_rate", fault.fit.r_squared, 0.65, 0.30, 1.00);
+  ctx.check("r2_miss_rate", miss.r_squared(), 0.74, 0.40, 1.00);
+  ctx.check("r2_bus_busy", busy.r_squared(), 0.89, 0.50, 1.00);
+  ctx.check("r2_page_fault_rate", fault.r_squared(), 0.65, 0.30, 1.00);
   ctx.check("miss_rise_over_cw", miss.predict(1.0) - miss.predict(0.1),
             0.017, 0.0, 1.0);
 }
@@ -167,7 +167,7 @@ void render_table4(Context& ctx) {
   const double cw_spread = std::abs(miss_cw.predict(1.0) - miss_cw.predict(0.0));
   const double ratio = cw_spread > 0.0 ? pc_spread / cw_spread : NAN;
   ctx.check("miss_pc_span_over_cw_span", ratio, 0.1, 0.0, 0.6);
-  ctx.metric("r2_miss_rate_vs_pc", miss_pc.fit.r_squared);
+  ctx.metric("r2_miss_rate_vs_pc", miss_pc.r_squared());
 }
 
 }  // namespace

@@ -1,7 +1,11 @@
 #include "base/text.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -73,6 +77,31 @@ std::size_t edit_distance(const std::string& a, const std::string& b) {
     }
   }
   return row[b.size()];
+}
+
+bool parse_u64_strict(const char* text, std::uint64_t& out, int base) {
+  if (text == nullptr || *text == '\0' ||
+      !std::isdigit(static_cast<unsigned char>(*text))) {
+    return false;  // Rejects leading whitespace and signs outright.
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long parsed = std::strtoull(text, &end, base);
+  if (errno == ERANGE || end == nullptr || *end != '\0') {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+bool parse_u32_strict(const char* text, std::uint32_t& out) {
+  std::uint64_t wide = 0;
+  if (!parse_u64_strict(text, wide) ||
+      wide > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(wide);
+  return true;
 }
 
 }  // namespace repro

@@ -32,4 +32,16 @@ namespace repro {
 [[nodiscard]] std::size_t edit_distance(const std::string& a,
                                         const std::string& b);
 
+/// Strict whole-string unsigned parse, the ThreadPool::parse_thread_count
+/// rules shared by every CLI numeric flag: the string must be digits from
+/// the first character to the terminator — no whitespace, signs, trailing
+/// garbage, or silent overflow saturation. `base` 0 additionally accepts
+/// a 0x/0 prefix (hex/octal) for flags documented to take hex seeds.
+/// Returns false (leaving `out` untouched) on any violation.
+[[nodiscard]] bool parse_u64_strict(const char* text, std::uint64_t& out,
+                                    int base = 10);
+
+/// 32-bit variant: also rejects values above the uint32 range.
+[[nodiscard]] bool parse_u32_strict(const char* text, std::uint32_t& out);
+
 }  // namespace repro

@@ -2,6 +2,9 @@
 // system measures against the concurrency measures (Tables 3 and 4).
 #pragma once
 
+#include <cmath>
+#include <limits>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -28,10 +31,22 @@ struct MedianModel {
   Regressor regressor{};
   /// The (midpoint, median) pairs the model was fitted to.
   std::vector<std::pair<double, double>> median_points;
-  /// coeffs[0] = C, coeffs[1] = beta1, coeffs[2] = beta2.
-  stats::PolyFit fit;
+  /// coeffs[0] = C, coeffs[1] = beta1, coeffs[2] = beta2. Absent when the
+  /// fit degenerated (too few occupied bins or zero regressor variance);
+  /// the NaN accessors below feed the JSON writer's null path.
+  std::optional<stats::PolyFit> fit;
 
-  [[nodiscard]] double predict(double x) const { return fit(x); }
+  [[nodiscard]] double predict(double x) const {
+    return fit ? (*fit)(x) : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double r_squared() const {
+    return fit ? fit->r_squared : std::numeric_limits<double>::quiet_NaN();
+  }
+  [[nodiscard]] double coeff(std::size_t k) const {
+    return fit && k < fit->coeffs.size()
+               ? fit->coeffs[k]
+               : std::numeric_limits<double>::quiet_NaN();
+  }
 };
 
 /// Cw midpoints "(0.0, 0.1, ... 1.0)" (§5.2).

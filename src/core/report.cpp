@@ -46,11 +46,16 @@ std::string render_regression_table(std::span<const MedianModel> models,
     if (model.regressor != regressor) {
       continue;
     }
-    os << "  " << pad_right(measure_name(model.measure), 26)
-       << pad_left(scientific(model.fit.coeffs[1], 2), 12)
-       << pad_left(scientific(model.fit.coeffs[2], 2), 12)
-       << pad_left(scientific(model.fit.coeffs[0], 2), 12)
-       << pad_left(fixed(model.fit.r_squared, 2), 8) << '\n';
+    os << "  " << pad_right(measure_name(model.measure), 26);
+    if (model.fit) {
+      os << pad_left(scientific(model.fit->coeffs[1], 2), 12)
+         << pad_left(scientific(model.fit->coeffs[2], 2), 12)
+         << pad_left(scientific(model.fit->coeffs[0], 2), 12)
+         << pad_left(fixed(model.fit->r_squared, 2), 8) << '\n';
+    } else {
+      os << pad_left("n/a", 12) << pad_left("n/a", 12) << pad_left("n/a", 12)
+         << pad_left("n/a", 8) << '\n';
+    }
   }
   return os.str();
 }

@@ -1,0 +1,65 @@
+#include "model/lock_model.hpp"
+
+#include "base/expect.hpp"
+
+namespace repro::model {
+
+namespace {
+
+// Cluster control costs the closed form cannot collapse to zero:
+//
+//  * Handoff: a critical-section dependence release is serviced in the
+//    same control scan that reaps the predecessor's completion, so the
+//    successor starts between 0 and a few cycles after the release.
+//  * Phase turn: all_complete -> end_loop advances the phase the same
+//    cycle; the next phase's first dispatch grant lands on a following
+//    scan.
+//
+// The point estimates are the typical-case values observed from the
+// interpreter; the lo/hi spreads bracket the scheduling variance.
+constexpr double kHandoff = 1.0;
+constexpr double kHandoffLo = 0.0;
+constexpr double kHandoffHi = 3.0;
+constexpr double kPhaseTurn = 2.0;
+constexpr double kPhaseTurnLo = 0.0;
+constexpr double kPhaseTurnHi = 4.0;
+
+}  // namespace
+
+double kernel_duration_cycles(const isa::KernelSpec& body) {
+  REPRO_EXPECT(body.compute_jitter == 0,
+               "lock model prices only jitter-free bodies");
+  REPRO_EXPECT(body.vector_fraction == 0.0,
+               "lock model prices only scalar bodies");
+  // Step setup is combinational; every all-hit access costs one cycle,
+  // and instance completion is detected one cycle after the last step.
+  const double per_step = static_cast<double>(
+      body.compute_cycles + body.loads_per_step + body.stores_per_step);
+  return static_cast<double>(body.steps) * per_step + 1.0;
+}
+
+LockPrediction predict_lock_round(const workload::LockJobParams& params) {
+  const auto n = static_cast<double>(params.contenders);
+  const double d_par =
+      kernel_duration_cycles(workload::lock_parallel_body(params));
+  const double d_crit =
+      kernel_duration_cycles(workload::lock_critical_body(params));
+
+  // Parallel section: one CCB dispatch grant per cycle ramps the N
+  // contenders in, so the last finishes (N-1) + D_par after the phase
+  // opens. Critical section: iteration 0 dispatches immediately, every
+  // successor starts `handoff` after its predecessor completes, so the
+  // N critical sections serialize end to end — the Aksenov coarse-
+  // grained bound T = D_par + N * (D_crit + handoff).
+  const auto round = [&](double handoff, double turn, double ramp) {
+    return ramp + d_par + turn + n * (d_crit + handoff) + turn;
+  };
+  LockPrediction out;
+  out.round_cycles = round(kHandoff, kPhaseTurn, n - 1.0);
+  out.lo_cycles = round(kHandoffLo, kPhaseTurnLo, 0.0);
+  out.hi_cycles = round(kHandoffHi, kPhaseTurnHi, n - 1.0);
+  out.throughput_per_kcycle = 1000.0 * n / out.round_cycles;
+  return out;
+}
+
+}  // namespace repro::model

@@ -1,0 +1,67 @@
+// Analytical throughput model for the coarse-grained-locking scenarios.
+//
+// Under coarse-grained locking the round time of N contenders decomposes
+// into the parallel section, which all N execute concurrently, plus N
+// serialized critical sections: T = D_par + N * (D_crit + handoff). The
+// asymptotic throughput of a coarse-grained structure is therefore set
+// by the critical path alone and degrades as 1/N — the closed form this
+// module cross-checks against the simulator (the predictor_validation
+// artifact), following the analytical-vs-measured methodology of
+// Aksenov et al. for lock-based concurrency levels.
+//
+// The model prices the exact kernels the workload executes (the body
+// factories in workload/contention.hpp are shared), using the CE
+// interpreter's deterministic all-hit step cost. Cold-start cache misses
+// are not modelled; measurements cancel them by differencing two round
+// counts (see predictor_validation).
+#pragma once
+
+#include <cstdint>
+
+#include "isa/kernel.hpp"
+#include "workload/contention.hpp"
+
+namespace repro::model {
+
+/// One point of the validation sweep.
+struct LockScenario {
+  workload::LockJobParams params;
+
+  [[nodiscard]] const char* lock_name() const {
+    return workload::to_string(params.lock);
+  }
+};
+
+/// Predicted steady-state cost of one lock round (parallel section +
+/// every contender's critical section), with uncertainty bounds from
+/// the parts of the machine the closed form does not model exactly
+/// (dispatch ramp overlap, CCB handoff latency, phase-turn cost).
+struct LockPrediction {
+  /// Point estimate, cycles per round.
+  double round_cycles = 0.0;
+  /// Bounds: [lo, hi] brackets the simulator's steady-state round time.
+  double lo_cycles = 0.0;
+  double hi_cycles = 0.0;
+  /// Lock acquisitions per 1000 cycles (contenders / round_cycles).
+  double throughput_per_kcycle = 0.0;
+
+  /// True when the bounds pin the round time within `band` (relative
+  /// half-width), i.e. simulation would not tell us anything the model
+  /// does not already resolve — the pruning criterion.
+  [[nodiscard]] bool resolves_within(double band) const {
+    return round_cycles > 0.0 &&
+           (hi_cycles - lo_cycles) / (2.0 * round_cycles) <= band;
+  }
+};
+
+/// Deterministic all-hit duration of one kernel instance in CE cycles:
+/// steps * (compute + loads + stores) plus the completion-detection
+/// cycle. Valid only for jitter-free scalar bodies (the contention
+/// family); REPRO_EXPECTs otherwise.
+[[nodiscard]] double kernel_duration_cycles(const isa::KernelSpec& body);
+
+/// Closed-form round-time prediction for a lock scenario.
+[[nodiscard]] LockPrediction predict_lock_round(
+    const workload::LockJobParams& params);
+
+}  // namespace repro::model

@@ -16,10 +16,9 @@ double mean(std::span<const double> values) {
   return sum / static_cast<double>(values.size());
 }
 
-double variance(std::span<const double> values) {
-  REPRO_EXPECT(!values.empty(), "variance of empty sample");
+std::optional<double> variance(std::span<const double> values) {
   if (values.size() < 2) {
-    return 0.0;
+    return std::nullopt;
   }
   const double m = mean(values);
   double sq = 0.0;
@@ -29,8 +28,12 @@ double variance(std::span<const double> values) {
   return sq / static_cast<double>(values.size() - 1);
 }
 
-double stddev(std::span<const double> values) {
-  return std::sqrt(variance(values));
+std::optional<double> stddev(std::span<const double> values) {
+  const std::optional<double> var = variance(values);
+  if (!var) {
+    return std::nullopt;
+  }
+  return std::sqrt(*var);
 }
 
 double quantile(std::span<const double> values, double q) {

@@ -1,6 +1,7 @@
 // Descriptive statistics (the SAS replacement, part 1).
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -8,10 +9,13 @@ namespace repro::stats {
 
 [[nodiscard]] double mean(std::span<const double> values);
 
-/// Sample variance (n-1 denominator); 0 for fewer than two values.
-[[nodiscard]] double variance(std::span<const double> values);
+/// Sample variance (n-1 denominator). A sample of fewer than two values
+/// has no dispersion estimate: nullopt (rendered as null in JSON), never
+/// a silent 0 or NaN.
+[[nodiscard]] std::optional<double> variance(std::span<const double> values);
 
-[[nodiscard]] double stddev(std::span<const double> values);
+/// sqrt(variance); nullopt under the same degenerate inputs.
+[[nodiscard]] std::optional<double> stddev(std::span<const double> values);
 
 /// Median (average of the two central order statistics for even n).
 [[nodiscard]] double median(std::span<const double> values);

@@ -19,8 +19,8 @@ double PolyFit::operator()(double x) const {
   return result;
 }
 
-std::vector<double> solve_linear(std::vector<double> a,
-                                 std::vector<double> b) {
+std::optional<std::vector<double>> solve_linear(std::vector<double> a,
+                                                std::vector<double> b) {
   const std::size_t n = b.size();
   REPRO_EXPECT(a.size() == n * n, "matrix/vector size mismatch");
   for (std::size_t col = 0; col < n; ++col) {
@@ -31,8 +31,9 @@ std::vector<double> solve_linear(std::vector<double> a,
         pivot = row;
       }
     }
-    REPRO_EXPECT(std::abs(a[pivot * n + col]) > 1e-12,
-                 "singular normal-equation matrix");
+    if (std::abs(a[pivot * n + col]) <= 1e-12) {
+      return std::nullopt;  // Singular (e.g. zero x-variance).
+    }
     if (pivot != col) {
       for (std::size_t k = 0; k < n; ++k) {
         std::swap(a[col * n + k], a[pivot * n + k]);
@@ -60,12 +61,14 @@ std::vector<double> solve_linear(std::vector<double> a,
   return z;
 }
 
-PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
-                       int degree) {
+std::optional<PolyFit> fit_polynomial(std::span<const double> x,
+                                      std::span<const double> y, int degree) {
   REPRO_EXPECT(degree >= 0, "degree must be non-negative");
   REPRO_EXPECT(x.size() == y.size(), "x/y size mismatch");
   const auto terms = static_cast<std::size_t>(degree) + 1;
-  REPRO_EXPECT(x.size() >= terms, "need at least degree+1 points");
+  if (x.size() < terms) {
+    return std::nullopt;  // Underdetermined system.
+  }
 
   // Normal equations: (X'X) beta = X'y with X_{ij} = x_i^j.
   std::vector<double> xtx(terms * terms, 0.0);
@@ -83,8 +86,13 @@ PolyFit fit_polynomial(std::span<const double> x, std::span<const double> y,
     }
   }
 
+  std::optional<std::vector<double>> coeffs =
+      solve_linear(std::move(xtx), std::move(xty));
+  if (!coeffs) {
+    return std::nullopt;  // Collinear regressors (zero x-variance).
+  }
   PolyFit fit;
-  fit.coeffs = solve_linear(std::move(xtx), std::move(xty));
+  fit.coeffs = std::move(*coeffs);
 
   // R^2 = 1 - SSE/SST.
   const double y_mean = mean(y);
@@ -116,11 +124,13 @@ std::vector<std::pair<double, double>> median_by_midpoint(
   return result;
 }
 
-PolyFit fit_median_model(std::span<const double> x, std::span<const double> y,
-                         std::span<const double> midpoints) {
+std::optional<PolyFit> fit_median_model(std::span<const double> x,
+                                        std::span<const double> y,
+                                        std::span<const double> midpoints) {
   const auto medians = median_by_midpoint(x, y, midpoints);
-  REPRO_EXPECT(medians.size() >= 3,
-               "need at least three occupied bins for a 2nd-order model");
+  if (medians.size() < 3) {
+    return std::nullopt;  // A 2nd-order model needs three occupied bins.
+  }
   std::vector<double> mx;
   std::vector<double> my;
   for (const auto& [mid, med] : medians) {

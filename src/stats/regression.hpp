@@ -8,6 +8,7 @@
 // their closest midpoint").
 #pragma once
 
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -23,10 +24,14 @@ struct PolyFit {
   [[nodiscard]] double operator()(double x) const;
 };
 
-/// Least-squares fit of a degree-`degree` polynomial. Requires at least
-/// degree+1 points.
-[[nodiscard]] PolyFit fit_polynomial(std::span<const double> x,
-                                     std::span<const double> y, int degree);
+/// Least-squares fit of a degree-`degree` polynomial. Degenerate data —
+/// fewer than degree+1 points, or a singular normal-equation matrix
+/// (e.g. zero x-variance) — yields nullopt rather than NaN/Inf
+/// coefficients, mirroring the stats::pearson contract: callers render
+/// the absent fit as null.
+[[nodiscard]] std::optional<PolyFit> fit_polynomial(std::span<const double> x,
+                                                    std::span<const double> y,
+                                                    int degree);
 
 /// Cluster (x,y) points to their nearest midpoint and take the median of y
 /// within each non-empty cluster. Returns (midpoint, median) pairs in
@@ -36,14 +41,16 @@ struct PolyFit {
     std::span<const double> midpoints);
 
 /// The paper's full pipeline: median-bin, then fit a 2nd-order model to
-/// the (midpoint, median) pairs.
-[[nodiscard]] PolyFit fit_median_model(std::span<const double> x,
-                                       std::span<const double> y,
-                                       std::span<const double> midpoints);
+/// the (midpoint, median) pairs. nullopt when fewer than three bins are
+/// occupied or the 2nd-order fit itself degenerates.
+[[nodiscard]] std::optional<PolyFit> fit_median_model(
+    std::span<const double> x, std::span<const double> y,
+    std::span<const double> midpoints);
 
 /// Solve the square linear system A·z = b by Gaussian elimination with
-/// partial pivoting (exposed for tests). A is row-major n×n.
-[[nodiscard]] std::vector<double> solve_linear(std::vector<double> a,
-                                               std::vector<double> b);
+/// partial pivoting (exposed for tests). A is row-major n×n. nullopt when
+/// the matrix is singular (pivot below 1e-12).
+[[nodiscard]] std::optional<std::vector<double>> solve_linear(
+    std::vector<double> a, std::vector<double> b);
 
 }  // namespace repro::stats

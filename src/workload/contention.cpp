@@ -1,0 +1,163 @@
+#include "workload/contention.hpp"
+
+#include <string>
+
+#include "base/expect.hpp"
+#include "isa/program.hpp"
+#include "workload/jobs.hpp"
+
+namespace repro::workload {
+
+const char* to_string(LockType lock) {
+  switch (lock) {
+    case LockType::kTicket:
+      return "ticket";
+    case LockType::kMcs:
+      return "mcs";
+  }
+  return "unknown";
+}
+
+void ContentionParams::validate() const {
+  REPRO_EXPECT(rcu_fraction >= 0.0 && rcu_fraction <= 1.0,
+               "rcu_fraction must be in [0, 1]");
+  REPRO_EXPECT(lock.contenders >= 1 && lock.contenders <= 8,
+               "lock contenders must be 1..8 (one cluster)");
+  REPRO_EXPECT(lock.min_rounds >= 1, "lock rounds must be >= 1");
+  REPRO_EXPECT(lock.min_rounds <= lock.max_rounds,
+               "lock min_rounds must be <= max_rounds");
+  REPRO_EXPECT(lock.critical_steps >= 1, "critical_steps must be >= 1");
+  REPRO_EXPECT(lock.parallel_steps >= 1, "parallel_steps must be >= 1");
+  REPRO_EXPECT(rcu.readers >= 1 && rcu.readers <= 8,
+               "rcu readers must be 1..8 (one cluster)");
+  REPRO_EXPECT(rcu.min_rounds >= 1, "rcu rounds must be >= 1");
+  REPRO_EXPECT(rcu.min_rounds <= rcu.max_rounds,
+               "rcu min_rounds must be <= max_rounds");
+  REPRO_EXPECT(rcu.reader_steps >= 1, "reader_steps must be >= 1");
+  REPRO_EXPECT(rcu.writer_steps >= 1, "writer_steps must be >= 1");
+  REPRO_EXPECT(rcu.writer_every >= 1, "writer_every must be >= 1");
+}
+
+namespace {
+
+// Contention bodies are deliberately predictor-friendly: no jitter, no
+// vector steps, icache-resident code, and a working set small enough to
+// stay cache-resident after the first round, so the analytical model's
+// all-hit step cost (compute + loads + stores) holds in steady state.
+isa::KernelSpec contention_body(const char* name, std::uint32_t steps,
+                                std::uint32_t loads, std::uint32_t stores) {
+  isa::KernelSpec k;
+  k.name = name;
+  k.steps = steps;
+  k.compute_cycles = 3;
+  k.compute_jitter = 0;
+  k.loads_per_step = loads;
+  k.stores_per_step = stores;
+  k.pattern = isa::AccessPattern::kStreaming;
+  k.stride_bytes = 8;
+  k.working_set_bytes = 2 * 1024;
+  k.code_bytes = 2 * 1024;
+  k.vector_fraction = 0.0;
+  k.validate();
+  return k;
+}
+
+}  // namespace
+
+isa::KernelSpec lock_parallel_body(const LockJobParams& params) {
+  // Private per-thread work between acquisitions: mostly compute with a
+  // light read stream.
+  return contention_body("lock-parallel", params.parallel_steps, 1, 0);
+}
+
+isa::KernelSpec lock_critical_body(const LockJobParams& params) {
+  // Shared-structure update under the lock: read-modify-write traffic.
+  // A ticket lock's release additionally bumps the shared now-serving
+  // line, and every still-queued spinner re-reads it — modelled as extra
+  // RMW steps per critical section. An MCS handoff writes one private
+  // per-waiter flag (the CCB dependence release), costing nothing extra.
+  std::uint32_t steps = params.critical_steps;
+  if (params.lock == LockType::kTicket) {
+    steps += params.ticket_handoff_steps;
+  }
+  return contention_body("lock-critical", steps, 1, 1);
+}
+
+isa::KernelSpec rcu_reader_body(const RcuJobParams& params) {
+  // Read-side lookup: pointer-chase reads, no stores (no write-side
+  // synchronization on the read path is the whole point of RCU).
+  return contention_body("rcu-reader", params.reader_steps, 2, 0);
+}
+
+isa::KernelSpec rcu_writer_body(const RcuJobParams& params) {
+  // Copy + publish + grace-period stand-in, run as a serial phase.
+  return contention_body("rcu-writer", params.writer_steps, 1, 1);
+}
+
+os::Job make_lock_job(JobId id, Rng& rng, const LockJobParams& params,
+                      Cycle now) {
+  isa::ProgramBuilder builder(std::string("lock-") + to_string(params.lock) +
+                              "-" + std::to_string(id));
+  builder.seed(rng.next()).data_base(job_data_base(id));
+
+  const auto rounds = static_cast<std::uint32_t>(
+      rng.uniform_in(params.min_rounds, params.max_rounds));
+  const isa::KernelSpec parallel = lock_parallel_body(params);
+  const isa::KernelSpec critical = lock_critical_body(params);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    isa::ConcurrentLoopPhase section;
+    section.trip_count = params.contenders;
+    section.body = parallel;
+    section.shared_data = false;  // private per-thread work
+    section.dependence_prob = 0.0;
+    builder.concurrent_loop(section);
+
+    isa::ConcurrentLoopPhase acquire;
+    acquire.trip_count = params.contenders;
+    acquire.body = critical;
+    acquire.shared_data = true;  // the lock-protected structure
+    // dependence_prob = 1 chains every iteration on its predecessor, so
+    // critical sections run one at a time in FIFO ticket order — the
+    // CCB's dependence release is the lock handoff.
+    acquire.dependence_prob = 1.0;
+    builder.concurrent_loop(acquire);
+  }
+
+  os::Job job;
+  job.id = id;
+  job.cls = os::JobClass::kCluster;
+  job.program = builder.build();
+  job.submitted_at = now;
+  return job;
+}
+
+os::Job make_rcu_job(JobId id, Rng& rng, const RcuJobParams& params,
+                     Cycle now) {
+  isa::ProgramBuilder builder("rcu-search-" + std::to_string(id));
+  builder.seed(rng.next()).data_base(job_data_base(id));
+
+  const auto rounds = static_cast<std::uint32_t>(
+      rng.uniform_in(params.min_rounds, params.max_rounds));
+  const isa::KernelSpec reader = rcu_reader_body(params);
+  const isa::KernelSpec writer = rcu_writer_body(params);
+  for (std::uint32_t r = 0; r < rounds; ++r) {
+    isa::ConcurrentLoopPhase lookup;
+    lookup.trip_count = params.readers;
+    lookup.body = reader;
+    lookup.shared_data = true;  // all readers walk the shared structure
+    lookup.dependence_prob = 0.0;  // readers never block each other
+    builder.concurrent_loop(lookup);
+    if ((r + 1) % params.writer_every == 0) {
+      builder.serial(writer, 1);
+    }
+  }
+
+  os::Job job;
+  job.id = id;
+  job.cls = os::JobClass::kCluster;
+  job.program = builder.build();
+  job.submitted_at = now;
+  return job;
+}
+
+}  // namespace repro::workload

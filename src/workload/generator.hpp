@@ -14,6 +14,7 @@
 #include "base/rng.hpp"
 #include "base/types.hpp"
 #include "os/system.hpp"
+#include "workload/contention.hpp"
 #include "workload/jobs.hpp"
 
 namespace repro::workload {
@@ -26,11 +27,23 @@ struct WorkloadMix {
   double mean_idle_cycles = 30000;
   /// Mean number of jobs per arrival burst (>= 1).
   double mean_burst_jobs = 1.6;
+  /// Probability the next submitted job is a synchronization-bound
+  /// contention job (drawn before the concurrent/serial split). Exactly
+  /// 0.0 draws no RNG, so legacy mixes keep their job streams
+  /// bit-identical to builds that predate the contention family.
+  double contention_job_fraction = 0.0;
+  ContentionParams contention;
   NumericJobParams numeric;
   SerialJobParams serial;
 
   void validate() const;
 };
+
+/// Capsule walk over every WorkloadMix knob. The mix is config, not
+/// state — generators never capsule it — but cache fingerprints must
+/// fold it in so that editing a preset can never stale-hit a study
+/// result computed under the old conditions (see study_cache_key).
+void serialize_config(capsule::Io& io, WorkloadMix& mix);
 
 class WorkloadGenerator {
  public:

@@ -57,6 +57,27 @@ std::string mix_to_text(const WorkloadMix& mix) {
   emit(os, "mean_idle_cycles", mix.mean_idle_cycles);
   emit(os, "mean_burst_jobs", mix.mean_burst_jobs);
 
+  emit(os, "contention_job_fraction", mix.contention_job_fraction);
+  emit(os, "contention.rcu_fraction", mix.contention.rcu_fraction);
+  const LockJobParams& cl = mix.contention.lock;
+  os << "contention.lock.type = " << to_string(cl.lock) << '\n';
+  emit(os, "contention.lock.contenders", std::uint64_t{cl.contenders});
+  emit(os, "contention.lock.min_rounds", std::uint64_t{cl.min_rounds});
+  emit(os, "contention.lock.max_rounds", std::uint64_t{cl.max_rounds});
+  emit(os, "contention.lock.critical_steps",
+       std::uint64_t{cl.critical_steps});
+  emit(os, "contention.lock.parallel_steps",
+       std::uint64_t{cl.parallel_steps});
+  emit(os, "contention.lock.ticket_handoff_steps",
+       std::uint64_t{cl.ticket_handoff_steps});
+  const RcuJobParams& cr = mix.contention.rcu;
+  emit(os, "contention.rcu.readers", std::uint64_t{cr.readers});
+  emit(os, "contention.rcu.min_rounds", std::uint64_t{cr.min_rounds});
+  emit(os, "contention.rcu.max_rounds", std::uint64_t{cr.max_rounds});
+  emit(os, "contention.rcu.reader_steps", std::uint64_t{cr.reader_steps});
+  emit(os, "contention.rcu.writer_steps", std::uint64_t{cr.writer_steps});
+  emit(os, "contention.rcu.writer_every", std::uint64_t{cr.writer_every});
+
   const NumericJobParams& n = mix.numeric;
   emit(os, "numeric.min_loops", std::uint64_t{n.min_loops});
   emit(os, "numeric.max_loops", std::uint64_t{n.max_loops});
@@ -118,6 +139,54 @@ WorkloadMix parse_mix(const std::string& text) {
       mix.mean_idle_cycles = parse_double(value, line);
     } else if (key == "mean_burst_jobs") {
       mix.mean_burst_jobs = parse_double(value, line);
+    } else if (key == "contention_job_fraction") {
+      mix.contention_job_fraction = parse_double(value, line);
+    } else if (key == "contention.rcu_fraction") {
+      mix.contention.rcu_fraction = parse_double(value, line);
+    } else if (key == "contention.lock.type") {
+      if (value == "ticket") {
+        mix.contention.lock.lock = LockType::kTicket;
+      } else if (value == "mcs") {
+        mix.contention.lock.lock = LockType::kMcs;
+      } else {
+        REPRO_EXPECT(false, "unknown lock type in: " + line);
+      }
+    } else if (key == "contention.lock.contenders") {
+      mix.contention.lock.contenders =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.lock.min_rounds") {
+      mix.contention.lock.min_rounds =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.lock.max_rounds") {
+      mix.contention.lock.max_rounds =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.lock.critical_steps") {
+      mix.contention.lock.critical_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.lock.parallel_steps") {
+      mix.contention.lock.parallel_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.lock.ticket_handoff_steps") {
+      mix.contention.lock.ticket_handoff_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.readers") {
+      mix.contention.rcu.readers =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.min_rounds") {
+      mix.contention.rcu.min_rounds =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.max_rounds") {
+      mix.contention.rcu.max_rounds =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.reader_steps") {
+      mix.contention.rcu.reader_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.writer_steps") {
+      mix.contention.rcu.writer_steps =
+          static_cast<std::uint32_t>(parse_u64(value, line));
+    } else if (key == "contention.rcu.writer_every") {
+      mix.contention.rcu.writer_every =
+          static_cast<std::uint32_t>(parse_u64(value, line));
     } else if (key == "numeric.min_loops") {
       n.min_loops = static_cast<std::uint32_t>(parse_u64(value, line));
     } else if (key == "numeric.max_loops") {

@@ -79,6 +79,29 @@ WorkloadMix high_concurrency_mix() {
   return mix;
 }
 
+WorkloadMix lock_contention_mix(LockType lock) {
+  WorkloadMix mix = base_mix();
+  mix.name = std::string("lock-contention-") + to_string(lock);
+  mix.contention_job_fraction = 1.0;
+  mix.contention.rcu_fraction = 0.0;
+  mix.contention.lock.lock = lock;
+  // Keep the machine under sustained lock pressure: short idle gaps,
+  // multi-job bursts.
+  mix.mean_idle_cycles = 5000;
+  mix.mean_burst_jobs = 2.0;
+  return mix;
+}
+
+WorkloadMix rcu_search_mix() {
+  WorkloadMix mix = base_mix();
+  mix.name = "rcu-search";
+  mix.contention_job_fraction = 1.0;
+  mix.contention.rcu_fraction = 1.0;
+  mix.mean_idle_cycles = 5000;
+  mix.mean_burst_jobs = 2.0;
+  return mix;
+}
+
 WorkloadMix equal_locality_mix() {
   WorkloadMix mix = base_mix();
   mix.name = "ablation-equal-locality";

@@ -26,4 +26,13 @@ namespace repro::workload {
 /// show the Cw–missrate coupling comes from data intensity (DESIGN.md §6.4).
 [[nodiscard]] WorkloadMix equal_locality_mix();
 
+/// Contention scenario: every job is a coarse-grained-locking job of the
+/// given lock type (ticket or MCS queue lock), back-to-back bursts. The
+/// lock_scaling and predictor_validation artifacts sweep this mix.
+[[nodiscard]] WorkloadMix lock_contention_mix(LockType lock);
+
+/// Contention scenario: RCU-style concurrent searches with a periodic
+/// serial writer.
+[[nodiscard]] WorkloadMix rcu_search_mix();
+
 }  // namespace repro::workload

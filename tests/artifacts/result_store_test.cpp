@@ -16,6 +16,7 @@
 #include "base/capsule.hpp"
 #include "core/study.hpp"
 #include "core/transition.hpp"
+#include "workload/presets.hpp"
 
 namespace repro::artifacts {
 namespace {
@@ -186,6 +187,25 @@ TEST_F(ResultStoreTest, UnwritableDirectoryCountsPutErrors) {
   store.put(0xBBBB, payload({1}));
   EXPECT_EQ(store.stats().puts, 0u);
   EXPECT_GE(store.stats().put_errors, 1u);
+  // The blob write failed before the sidecar save was even attempted.
+  EXPECT_EQ(store.stats().bloom_save_errors, 0u);
+}
+
+TEST_F(ResultStoreTest, BloomSidecarFailureIsNotAPutError) {
+  ResultStore store(dir_.string());
+  store.put(0xCCC0, payload({7}));
+  EXPECT_EQ(store.stats().bloom_save_errors, 0u);
+  // Squat a non-empty directory on the sidecar's temp path: the blob
+  // itself still lands, only the bloom save fails. This used to be
+  // charged to put_errors — double-counting every sidecar failure
+  // against puts that had in fact succeeded.
+  fs::create_directories(dir_ / "bloom.bin.tmp" / "squat");
+  store.put(0xCCCC, payload({1, 2}));
+  EXPECT_EQ(store.stats().puts, 2u);
+  EXPECT_EQ(store.stats().put_errors, 0u);
+  EXPECT_GE(store.stats().bloom_save_errors, 1u);
+  // The freshly put blob is still perfectly readable.
+  EXPECT_TRUE(store.get(0xCCCC).has_value());
 }
 
 // --- Key derivation ---------------------------------------------------
@@ -248,6 +268,49 @@ TEST(CacheKeys, EveryStudyConfigFieldChangesTheKey) {
             }));
   // And the identity mutation does NOT change the key (determinism).
   EXPECT_EQ(key, mutated([](auto&) {}));
+}
+
+TEST(CacheKeys, EveryContentionMixFieldChangesTheStudyKey) {
+  // The v3 keys fold the session mixes: a cached blob computed for one
+  // contention configuration must never be served for another. One
+  // mutation per new WorkloadMix field.
+  const core::StudyConfig config;
+  const std::vector<workload::WorkloadMix> mixes = {
+      workload::lock_contention_mix(workload::LockType::kTicket)};
+  const std::uint64_t key = study_cache_key(config, mixes);
+  const auto mutated = [&](auto&& mutate) {
+    auto copy = mixes;
+    mutate(copy[0]);
+    return study_cache_key(config, copy);
+  };
+  EXPECT_NE(key, mutated([](auto& m) { m.contention_job_fraction -= 0.5; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu_fraction += 0.5; }));
+  EXPECT_NE(key, mutated([](auto& m) {
+              m.contention.lock.lock = workload::LockType::kMcs;
+            }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.lock.contenders -= 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.lock.min_rounds += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.lock.max_rounds += 1; }));
+  EXPECT_NE(key,
+            mutated([](auto& m) { m.contention.lock.critical_steps += 1; }));
+  EXPECT_NE(key,
+            mutated([](auto& m) { m.contention.lock.parallel_steps += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) {
+              m.contention.lock.ticket_handoff_steps += 1;
+            }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.readers -= 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.min_rounds += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.max_rounds += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.reader_steps += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.writer_steps += 1; }));
+  EXPECT_NE(key, mutated([](auto& m) { m.contention.rcu.writer_every += 1; }));
+  // The identity mutation keeps the key; the mix COUNT keys as well.
+  EXPECT_EQ(key, mutated([](auto&) {}));
+  const std::vector<workload::WorkloadMix> two = {mixes[0], mixes[0]};
+  EXPECT_NE(key, study_cache_key(config, two));
+  // The default overload is exactly the session-preset overload.
+  const auto presets = workload::session_presets();
+  EXPECT_EQ(study_cache_key(config), study_cache_key(config, presets));
 }
 
 TEST(CacheKeys, EveryTransitionConfigFieldChangesTheKey) {

@@ -45,6 +45,51 @@ TEST(Text, WithCommas) {
   EXPECT_EQ(with_commas(1234567890), "1,234,567,890");
 }
 
+TEST(Text, ParseU64StrictAcceptsPlainDigits) {
+  std::uint64_t out = 7;
+  EXPECT_TRUE(parse_u64_strict("0", out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(parse_u64_strict("20000", out));
+  EXPECT_EQ(out, 20000u);
+  EXPECT_TRUE(parse_u64_strict("18446744073709551615", out));  // UINT64_MAX.
+  EXPECT_EQ(out, 18446744073709551615ull);
+}
+
+TEST(Text, ParseU64StrictRejectsMalformedInput) {
+  std::uint64_t out = 42;
+  EXPECT_FALSE(parse_u64_strict(nullptr, out));
+  EXPECT_FALSE(parse_u64_strict("", out));
+  EXPECT_FALSE(parse_u64_strict("2junk", out));   // Trailing garbage.
+  EXPECT_FALSE(parse_u64_strict(" 7", out));      // Leading whitespace.
+  EXPECT_FALSE(parse_u64_strict("7 ", out));      // Trailing whitespace.
+  EXPECT_FALSE(parse_u64_strict("-3", out));      // strtoull would wrap this.
+  EXPECT_FALSE(parse_u64_strict("+3", out));
+  EXPECT_FALSE(parse_u64_strict("0x10", out));    // Hex needs base 0.
+  EXPECT_FALSE(parse_u64_strict("18446744073709551616", out));  // Overflow.
+  EXPECT_EQ(out, 42u);  // Failures leave the output untouched.
+}
+
+TEST(Text, ParseU64StrictBaseZeroAcceptsHexSeeds) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(parse_u64_strict("0x5E5510", out, 0));
+  EXPECT_EQ(out, 0x5E5510u);
+  EXPECT_TRUE(parse_u64_strict("644", out, 0));  // Octal prefix rules: 0644.
+  EXPECT_TRUE(parse_u64_strict("0644", out, 0));
+  EXPECT_EQ(out, 0644u);
+  EXPECT_FALSE(parse_u64_strict("0xzz", out, 0));
+  EXPECT_FALSE(parse_u64_strict("x10", out, 0));  // Must start with a digit.
+}
+
+TEST(Text, ParseU32StrictEnforcesRange) {
+  std::uint32_t out = 9;
+  EXPECT_TRUE(parse_u32_strict("4294967295", out));  // UINT32_MAX.
+  EXPECT_EQ(out, 4294967295u);
+  EXPECT_FALSE(parse_u32_strict("4294967296", out));  // One past the range.
+  EXPECT_FALSE(parse_u32_strict("99999999999", out));
+  EXPECT_FALSE(parse_u32_strict("12x", out));
+  EXPECT_EQ(out, 4294967295u);
+}
+
 TEST(Text, EditDistance) {
   EXPECT_EQ(edit_distance("", ""), 0u);
   EXPECT_EQ(edit_distance("abc", "abc"), 0u);

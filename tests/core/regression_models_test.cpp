@@ -50,11 +50,12 @@ TEST(RegressionModels, RecoversPlantedCwRelationship) {
   const auto samples = quadratic_population(5);
   const MedianModel model =
       fit_model(samples, SystemMeasure::kMissRate, Regressor::kCw);
-  EXPECT_EQ(model.fit.coeffs.size(), 3u);
+  ASSERT_TRUE(model.fit.has_value());
+  EXPECT_EQ(model.fit->coeffs.size(), 3u);
   // Planted: miss = 0.002 + 0.02 cw^2.
   EXPECT_NEAR(model.predict(1.0), 0.022, 0.004);
   EXPECT_NEAR(model.predict(0.0), 0.002, 0.004);
-  EXPECT_GT(model.fit.r_squared, 0.8);
+  EXPECT_GT(model.r_squared(), 0.8);
   EXPECT_GE(model.median_points.size(), 5u);
 }
 

@@ -31,11 +31,10 @@ TEST(Report, RegressionTableFiltersByRegressor) {
   MedianModel cw_model;
   cw_model.measure = SystemMeasure::kMissRate;
   cw_model.regressor = Regressor::kCw;
-  cw_model.fit.coeffs = {1e-3, 2e-2, 3e-3};
-  cw_model.fit.r_squared = 0.74;
+  cw_model.fit = stats::PolyFit{{1e-3, 2e-2, 3e-3}, 0.74};
   MedianModel pc_model = cw_model;
   pc_model.regressor = Regressor::kPc;
-  pc_model.fit.r_squared = 0.07;
+  pc_model.fit->r_squared = 0.07;
   const std::vector<MedianModel> models = {cw_model, pc_model};
 
   const std::string cw_table =

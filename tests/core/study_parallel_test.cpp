@@ -56,8 +56,11 @@ void expect_identical(const StudyResult& serial, const StudyResult& pooled,
   const auto models_b = fit_all_models(pooled.all_samples());
   ASSERT_EQ(models_a.size(), models_b.size());
   for (std::size_t m = 0; m < models_a.size(); ++m) {
-    EXPECT_EQ(models_a[m].fit.coeffs, models_b[m].fit.coeffs);
-    EXPECT_EQ(models_a[m].fit.r_squared, models_b[m].fit.r_squared);
+    ASSERT_EQ(models_a[m].fit.has_value(), models_b[m].fit.has_value());
+    if (models_a[m].fit) {
+      EXPECT_EQ(models_a[m].fit->coeffs, models_b[m].fit->coeffs);
+      EXPECT_EQ(models_a[m].fit->r_squared, models_b[m].fit->r_squared);
+    }
   }
 }
 

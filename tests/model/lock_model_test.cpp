@@ -1,0 +1,146 @@
+// The analytical lock model must price exactly what the interpreter
+// executes: for every sweep point the simulator's steady-state marginal
+// round time has to land inside the model's [lo, hi] bracket, and the
+// point estimate has to be close. Measurements difference two round
+// counts so cold-start cache misses and job load/teardown cancel.
+#include "model/lock_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "base/rng.hpp"
+#include "os/system.hpp"
+#include "workload/contention.hpp"
+
+namespace repro::model {
+namespace {
+
+/// Cycles for one lock job with a pinned round count to drain through a
+/// default (single-cluster fx8) system.
+Cycle run_lock_job(const workload::LockJobParams& params,
+                   std::uint32_t rounds) {
+  os::SystemConfig config;
+  os::System system{config};
+  Rng rng(0x5E5510);
+  workload::LockJobParams pinned = params;
+  pinned.min_rounds = rounds;
+  pinned.max_rounds = rounds;
+  system.scheduler().submit(workload::make_lock_job(1, rng, pinned, 0));
+  constexpr Cycle kGuard = 50'000'000;
+  while (!system.scheduler().idle() && system.now() < kGuard) {
+    system.tick();
+  }
+  EXPECT_LT(system.now(), kGuard) << "lock job failed to drain";
+  return system.now();
+}
+
+/// Simulator ground truth: steady-state cycles per round.
+double measured_round_cycles(const workload::LockJobParams& params) {
+  constexpr std::uint32_t kLow = 2;
+  constexpr std::uint32_t kHigh = 10;
+  const Cycle t_low = run_lock_job(params, kLow);
+  const Cycle t_high = run_lock_job(params, kHigh);
+  return static_cast<double>(t_high - t_low) / (kHigh - kLow);
+}
+
+workload::LockJobParams scenario(workload::LockType lock,
+                                 std::uint32_t contenders,
+                                 std::uint32_t critical_steps,
+                                 std::uint32_t parallel_steps) {
+  workload::LockJobParams params;
+  params.lock = lock;
+  params.contenders = contenders;
+  params.critical_steps = critical_steps;
+  params.parallel_steps = parallel_steps;
+  return params;
+}
+
+TEST(LockModel, KernelDurationMatchesInterpreter) {
+  // One contender, one round: no contention, no handoff — the phase
+  // durations alone should dominate, pinning kernel_duration_cycles.
+  workload::LockJobParams params = scenario(workload::LockType::kMcs, 1, 8, 8);
+  const double measured = measured_round_cycles(params);
+  const double d_par =
+      kernel_duration_cycles(workload::lock_parallel_body(params));
+  const double d_crit =
+      kernel_duration_cycles(workload::lock_critical_body(params));
+  // Uncontended round = both bodies back to back plus phase turns.
+  EXPECT_NEAR(measured, d_par + d_crit, 10.0)
+      << "d_par=" << d_par << " d_crit=" << d_crit;
+}
+
+TEST(LockModel, BracketsSimulatorAcrossSweep) {
+  const workload::LockType locks[] = {workload::LockType::kTicket,
+                                      workload::LockType::kMcs};
+  for (const workload::LockType lock : locks) {
+    for (const std::uint32_t contenders : {2u, 4u, 8u}) {
+      for (const std::uint32_t critical : {6u, 24u}) {
+        const workload::LockJobParams params =
+            scenario(lock, contenders, critical, 48);
+        const double measured = measured_round_cycles(params);
+        const LockPrediction prediction = predict_lock_round(params);
+        const double rel_err =
+            (prediction.round_cycles - measured) / measured;
+        std::printf(
+            "lock=%s n=%u crit=%u: measured=%.1f predicted=%.1f "
+            "[%.1f, %.1f] err=%+.2f%%\n",
+            workload::to_string(lock), contenders, critical, measured,
+            prediction.round_cycles, prediction.lo_cycles,
+            prediction.hi_cycles, 100.0 * rel_err);
+        EXPECT_GE(measured, prediction.lo_cycles)
+            << to_string(lock) << " n=" << contenders << " crit=" << critical;
+        EXPECT_LE(measured, prediction.hi_cycles)
+            << to_string(lock) << " n=" << contenders << " crit=" << critical;
+        // The documented tolerance band of predictor_validation.
+        EXPECT_LT(std::abs(rel_err), 0.10)
+            << to_string(lock) << " n=" << contenders << " crit=" << critical;
+      }
+    }
+  }
+}
+
+TEST(LockModel, TicketCostsMoreThanMcs) {
+  // Identical scenarios except the lock type: the ticket lock's shared
+  // now-serving handoff steps must show up in both model and simulator.
+  const auto ticket = scenario(workload::LockType::kTicket, 8, 12, 48);
+  const auto mcs = scenario(workload::LockType::kMcs, 8, 12, 48);
+  EXPECT_GT(predict_lock_round(ticket).round_cycles,
+            predict_lock_round(mcs).round_cycles);
+  EXPECT_GT(measured_round_cycles(ticket), measured_round_cycles(mcs));
+}
+
+TEST(LockModel, ThroughputDegradesWithContenders) {
+  // Coarse-grained locking: per-cycle round throughput is set by the
+  // serialized critical path, so acquisitions/cycle saturates while
+  // cycles-per-acquisition grows ~linearly in N.
+  const auto n2 = predict_lock_round(scenario(workload::LockType::kMcs, 2, 24, 12));
+  const auto n8 = predict_lock_round(scenario(workload::LockType::kMcs, 8, 24, 12));
+  const double per_acquire_2 = n2.round_cycles / 2.0;
+  const double per_acquire_8 = n8.round_cycles / 8.0;
+  EXPECT_GT(n8.round_cycles, n2.round_cycles);
+  EXPECT_GT(per_acquire_8 / per_acquire_2, 0.8);  // approaching flat
+}
+
+TEST(LockModel, ResolvesWithinReflectsBounds) {
+  const auto params = scenario(workload::LockType::kMcs, 8, 12, 48);
+  const LockPrediction prediction = predict_lock_round(params);
+  const double half_width = (prediction.hi_cycles - prediction.lo_cycles) /
+                            (2.0 * prediction.round_cycles);
+  EXPECT_TRUE(prediction.resolves_within(half_width + 1e-9));
+  EXPECT_FALSE(prediction.resolves_within(half_width - 1e-9));
+  LockPrediction degenerate;
+  EXPECT_FALSE(degenerate.resolves_within(1.0));
+}
+
+TEST(LockModel, RejectsUnpriceableBodies) {
+  isa::KernelSpec jittery;
+  jittery.compute_jitter = 2;
+  EXPECT_THROW((void)kernel_duration_cycles(jittery), ContractViolation);
+  isa::KernelSpec vectored;
+  vectored.vector_fraction = 0.5;
+  EXPECT_THROW((void)kernel_duration_cycles(vectored), ContractViolation);
+}
+
+}  // namespace
+}  // namespace repro::model

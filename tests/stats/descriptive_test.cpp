@@ -21,13 +21,19 @@ TEST(Descriptive, MeanOfEmptyThrows) {
 
 TEST(Descriptive, VarianceAndStddev) {
   const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
-  EXPECT_NEAR(variance(v), 4.571428, 1e-5);
-  EXPECT_NEAR(stddev(v), 2.13809, 1e-4);
+  ASSERT_TRUE(variance(v).has_value());
+  EXPECT_NEAR(*variance(v), 4.571428, 1e-5);
+  EXPECT_NEAR(*stddev(v), 2.13809, 1e-4);
 }
 
-TEST(Descriptive, VarianceOfSingletonIsZero) {
-  const std::vector<double> v = {42.0};
-  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+TEST(Descriptive, VarianceNeedsTwoValues) {
+  // n < 2 has no dispersion estimate: nullopt, not a silent zero.
+  const std::vector<double> one = {42.0};
+  EXPECT_FALSE(variance(one).has_value());
+  EXPECT_FALSE(stddev(one).has_value());
+  const std::vector<double> none;
+  EXPECT_FALSE(variance(none).has_value());
+  EXPECT_FALSE(stddev(none).has_value());
 }
 
 TEST(Descriptive, MedianOddAndEven) {

@@ -1,0 +1,159 @@
+#include "workload/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "base/expect.hpp"
+#include "base/rng.hpp"
+#include "os/system.hpp"
+#include "workload/generator.hpp"
+#include "workload/presets.hpp"
+
+namespace repro::workload {
+namespace {
+
+TEST(ContentionParams, ValidateRejectsBadInputs) {
+  const auto rejects = [](auto&& mutate) {
+    ContentionParams params;
+    mutate(params);
+    EXPECT_THROW(params.validate(), ContractViolation);
+  };
+  rejects([](auto& p) { p.rcu_fraction = -0.1; });
+  rejects([](auto& p) { p.rcu_fraction = 1.5; });
+  rejects([](auto& p) { p.lock.contenders = 0; });
+  rejects([](auto& p) { p.lock.contenders = 9; });
+  rejects([](auto& p) { p.lock.min_rounds = 0; });
+  rejects([](auto& p) { p.lock.min_rounds = 5; p.lock.max_rounds = 4; });
+  rejects([](auto& p) { p.lock.critical_steps = 0; });
+  rejects([](auto& p) { p.lock.parallel_steps = 0; });
+  rejects([](auto& p) { p.rcu.readers = 0; });
+  rejects([](auto& p) { p.rcu.readers = 9; });
+  rejects([](auto& p) { p.rcu.min_rounds = 3; p.rcu.max_rounds = 2; });
+  rejects([](auto& p) { p.rcu.reader_steps = 0; });
+  rejects([](auto& p) { p.rcu.writer_steps = 0; });
+  rejects([](auto& p) { p.rcu.writer_every = 0; });
+  ContentionParams good;
+  EXPECT_NO_THROW(good.validate());
+}
+
+TEST(ContentionBodies, ArePredictorFriendly) {
+  // The analytical model prices a step as compute + loads + stores; that
+  // only holds if the bodies stay jitter-free and scalar.
+  const LockJobParams lock;
+  const RcuJobParams rcu;
+  for (const isa::KernelSpec& body :
+       {lock_parallel_body(lock), lock_critical_body(lock),
+        rcu_reader_body(rcu), rcu_writer_body(rcu)}) {
+    EXPECT_EQ(body.compute_jitter, 0u) << body.name;
+    EXPECT_DOUBLE_EQ(body.vector_fraction, 0.0) << body.name;
+  }
+}
+
+TEST(ContentionBodies, TicketReleasePaysTheHandoffSteps) {
+  LockJobParams params;
+  params.critical_steps = 12;
+  params.ticket_handoff_steps = 2;
+  params.lock = LockType::kTicket;
+  const isa::KernelSpec ticket = lock_critical_body(params);
+  params.lock = LockType::kMcs;
+  const isa::KernelSpec mcs = lock_critical_body(params);
+  EXPECT_EQ(mcs.steps, 12u);
+  EXPECT_EQ(ticket.steps, 14u);
+  // The parallel section is identical regardless of lock type.
+  EXPECT_EQ(lock_parallel_body(params).steps, params.parallel_steps);
+}
+
+TEST(ContentionJobs, LockJobAlternatesParallelAndChainedCritical) {
+  LockJobParams params;
+  params.min_rounds = 3;
+  params.max_rounds = 3;  // Pin the count.
+  params.contenders = 6;
+  Rng rng(0xBEEF);
+  const os::Job job = make_lock_job(7, rng, params, 100);
+  EXPECT_EQ(job.id, 7u);
+  EXPECT_EQ(job.cls, os::JobClass::kCluster);
+  EXPECT_EQ(job.submitted_at, 100u);
+  EXPECT_EQ(job.program.name, "lock-ticket-7");
+  ASSERT_EQ(job.program.phases.size(), 6u);  // 3 rounds x (parallel, crit).
+  for (std::size_t i = 0; i < job.program.phases.size(); ++i) {
+    const auto* loop =
+        std::get_if<isa::ConcurrentLoopPhase>(&job.program.phases[i]);
+    ASSERT_NE(loop, nullptr) << "phase " << i;
+    EXPECT_EQ(loop->trip_count, 6u);
+    if (i % 2 == 0) {
+      // Parallel section: private data, no cross-iteration dependences.
+      EXPECT_FALSE(loop->shared_data);
+      EXPECT_DOUBLE_EQ(loop->dependence_prob, 0.0);
+    } else {
+      // Critical section: shared structure, fully FIFO-chained — the
+      // CCB dependence release IS the lock handoff.
+      EXPECT_TRUE(loop->shared_data);
+      EXPECT_DOUBLE_EQ(loop->dependence_prob, 1.0);
+    }
+  }
+}
+
+TEST(ContentionJobs, McsJobNamesItsLockType) {
+  LockJobParams params;
+  params.lock = LockType::kMcs;
+  Rng rng(1);
+  EXPECT_EQ(make_lock_job(3, rng, params, 0).program.name, "lock-mcs-3");
+}
+
+TEST(ContentionJobs, RoundsDrawWithinBounds) {
+  LockJobParams params;
+  params.min_rounds = 2;
+  params.max_rounds = 5;
+  Rng rng(0x1234);
+  for (JobId draw = 0; draw < 50; ++draw) {
+    const os::Job job = make_lock_job(draw, rng, params, 0);
+    const std::size_t rounds = job.program.phases.size() / 2;
+    EXPECT_GE(rounds, 2u);
+    EXPECT_LE(rounds, 5u);
+    EXPECT_EQ(job.program.phases.size() % 2, 0u);
+  }
+}
+
+TEST(ContentionJobs, RcuWriterRunsOnItsCadence) {
+  RcuJobParams params;
+  params.min_rounds = 4;
+  params.max_rounds = 4;
+  params.writer_every = 2;
+  Rng rng(0xFEED);
+  const os::Job job = make_rcu_job(11, rng, params, 0);
+  EXPECT_EQ(job.program.name, "rcu-search-11");
+  // 4 reader rounds with a serial writer after rounds 2 and 4:
+  // L L W L L W.
+  ASSERT_EQ(job.program.phases.size(), 6u);
+  for (const std::size_t serial_at : {2u, 5u}) {
+    EXPECT_TRUE(std::holds_alternative<isa::SerialPhase>(
+        job.program.phases[serial_at]))
+        << "phase " << serial_at;
+  }
+  const auto* lookup =
+      std::get_if<isa::ConcurrentLoopPhase>(&job.program.phases[0]);
+  ASSERT_NE(lookup, nullptr);
+  // Readers share the structure but never block each other.
+  EXPECT_TRUE(lookup->shared_data);
+  EXPECT_DOUBLE_EQ(lookup->dependence_prob, 0.0);
+}
+
+TEST(ContentionPresets, MixesValidateAndDriveAGenerator) {
+  for (const WorkloadMix& mix :
+       {lock_contention_mix(LockType::kTicket),
+        lock_contention_mix(LockType::kMcs), rcu_search_mix()}) {
+    mix.validate();
+    os::System system{os::SystemConfig{}};
+    WorkloadGenerator generator(mix, 42);
+    for (Cycle c = 0; c < 30000; ++c) {
+      generator.tick(system);
+      system.tick();
+    }
+    EXPECT_GT(generator.jobs_generated(), 0u) << mix.name;
+    EXPECT_GT(system.scheduler().stats().jobs_completed, 0u) << mix.name;
+  }
+}
+
+}  // namespace
+}  // namespace repro::workload

@@ -38,6 +38,36 @@ TEST(MixIo, RoundTripsEveryPreset) {
             high.numeric.tuning.concurrent_steps_scale);
 }
 
+TEST(MixIo, RoundTripsContentionMixes) {
+  for (const WorkloadMix& mix :
+       {lock_contention_mix(LockType::kTicket),
+        lock_contention_mix(LockType::kMcs), rcu_search_mix()}) {
+    const WorkloadMix parsed = parse_mix(mix_to_text(mix));
+    EXPECT_EQ(parsed.name, mix.name);
+    EXPECT_DOUBLE_EQ(parsed.contention_job_fraction,
+                     mix.contention_job_fraction);
+    EXPECT_DOUBLE_EQ(parsed.contention.rcu_fraction,
+                     mix.contention.rcu_fraction);
+    EXPECT_EQ(parsed.contention.lock.lock, mix.contention.lock.lock);
+    EXPECT_EQ(parsed.contention.lock.contenders,
+              mix.contention.lock.contenders);
+    EXPECT_EQ(parsed.contention.lock.critical_steps,
+              mix.contention.lock.critical_steps);
+    EXPECT_EQ(parsed.contention.lock.parallel_steps,
+              mix.contention.lock.parallel_steps);
+    EXPECT_EQ(parsed.contention.lock.ticket_handoff_steps,
+              mix.contention.lock.ticket_handoff_steps);
+    EXPECT_EQ(parsed.contention.rcu.readers, mix.contention.rcu.readers);
+    EXPECT_EQ(parsed.contention.rcu.writer_every,
+              mix.contention.rcu.writer_every);
+  }
+}
+
+TEST(MixIo, UnknownLockTypeThrows) {
+  EXPECT_THROW((void)parse_mix("contention.lock.type = spinlock\n"),
+               ContractViolation);
+}
+
 TEST(MixIo, CommentsAndBlanksIgnored) {
   const WorkloadMix parsed = parse_mix(
       "# a comment\n"
